@@ -1,0 +1,125 @@
+// Case study 2 reproduction (paper Appendix F): county-level projections
+// with the metapopulation SEIR model. Five scenarios — a worst case with
+// limited social distancing, plus intense distancing from March 15
+// differentiated by end date (April 30 vs June 10) and transmissibility
+// reduction (25% vs 50%). Transmissibility and infectious duration are
+// first calibrated to county-level confirmed cases with the Eq (6)
+// Bayesian approach (direct simulation inside the MCMC loop).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "calibration/calibrate.hpp"
+#include "metapop/metapop.hpp"
+#include "surveillance/ground_truth.hpp"
+#include "synthpop/locations.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace epi;
+  using namespace epi::bench;
+
+  heading("Case study: county-level projections (metapopulation model, VA)");
+
+  // County geography shared with the surveillance substrate.
+  const StateInfo& state = state_by_abbrev("VA");
+  Rng layout_rng = Rng(20200315).derive({0x5359'4e50ULL, state.fips});
+  const CountyLayout layout = make_county_layout(state, layout_rng);
+  std::vector<double> county_pops;
+  for (double share : layout.population_share) {
+    county_pops.push_back(share * static_cast<double>(state.population));
+  }
+  const MetapopModel model = MetapopModel::with_gravity_coupling(county_pops);
+  note("counties: " + fmt_int(county_pops.size()) + ", population " +
+       fmt_int(state.population));
+
+  // --- Calibration against observed county-level confirmed cases ---------
+  // Hidden truth: beta 0.42, infectious 6 days (unknown to the
+  // calibration); observations carry the Eq (6) 20% noise assumption.
+  MetapopParams truth;
+  truth.beta = 0.42;
+  truth.infectious_days = 6.0;
+  std::vector<MetapopSeed> seeds = {MetapopSeed{0, 10.0}, MetapopSeed{1, 5.0},
+                                    MetapopSeed{2, 3.0}};
+  Rng truth_rng(20200315);
+  const MetapopOutput observed_run =
+      model.run_stochastic(truth, 54, seeds, truth_rng);  // through Mar 15
+
+  const MetapopCalibrator calibrator(model, observed_run.new_confirmed, seeds,
+                                     MetapopParams{});
+  McmcConfig mcmc;
+  mcmc.samples = 600;
+  mcmc.burn_in = 600;
+  Rng mcmc_rng(77);
+  const auto calibrated = calibrator.calibrate(
+      ParamRange{"beta", 0.2, 0.7}, ParamRange{"infectious", 3.0, 9.0}, mcmc,
+      mcmc_rng);
+  compare("calibrated beta", "hidden truth 0.42",
+          fmt(calibrated.map_params.beta, 3));
+  compare("calibrated infectious days", "hidden truth 6.0",
+          fmt(calibrated.map_params.infectious_days, 2));
+  // beta and D are individually weakly identified from growth-phase data
+  // (the classic SEIR ridge); the identified quantity is the epidemic
+  // growth rate r solving (r + sigma)(r + 1/D) = sigma * beta.
+  auto growth_rate = [](double beta, double infectious_days) {
+    const double sigma = 1.0 / 4.0;
+    const double gamma = 1.0 / infectious_days;
+    const double b = sigma + gamma;
+    const double c = sigma * gamma - sigma * beta;
+    return (-b + std::sqrt(b * b - 4.0 * c)) / 2.0;
+  };
+  compare("implied epidemic growth rate r/day",
+          fmt(growth_rate(0.42, 6.0), 3) + " (truth)",
+          fmt(growth_rate(calibrated.map_params.beta,
+                          calibrated.map_params.infectious_days),
+              3));
+
+  // --- Five scenarios ------------------------------------------------------
+  struct Scenario {
+    const char* name;
+    int end_day;        // distancing end (-1 = no distancing)
+    double reduction;   // transmissibility reduction while distancing
+  };
+  const Scenario scenarios[] = {
+      {"worst case (limited distancing)", -1, 0.0},
+      {"distancing to Apr 30, 25% reduction", 100, 0.25},
+      {"distancing to Apr 30, 50% reduction", 100, 0.50},
+      {"distancing to Jun 10, 25% reduction", 141, 0.25},
+      {"distancing to Jun 10, 50% reduction", 141, 0.50},
+  };
+
+  subheading("projections (200 days from Jan 21; counts statewide)");
+  row({"scenario", "peak infectious", "peak day", "total confirmed"}, 24);
+  std::vector<double> totals;
+  for (const Scenario& scenario : scenarios) {
+    MetapopParams params = calibrated.map_params;
+    if (scenario.end_day > 0) {
+      params.intervention_start_day = 54;  // March 15
+      params.intervention_end_day = scenario.end_day;
+      params.intervention_effect = 1.0 - scenario.reduction;
+    }
+    const MetapopOutput projection =
+        model.run_deterministic(params, 200, seeds);
+    const auto& infectious = projection.infectious;
+    const auto peak_it =
+        std::max_element(infectious.begin(), infectious.end());
+    const auto cumulative = projection.cumulative_confirmed_total();
+    totals.push_back(cumulative.back());
+    row({scenario.name, fmt(*peak_it, 0),
+         fmt_int(static_cast<std::uint64_t>(peak_it - infectious.begin())),
+         fmt(cumulative.back(), 0)},
+        24);
+  }
+
+  subheading("shape checks");
+  note("- every distancing scenario beats the worst case; 50% reduction");
+  note("  beats 25%; the longer (Jun 10) window beats Apr 30 at equal");
+  note("  reduction — the orderings the case study reported to the state");
+  const bool ordered = totals[0] > totals[1] && totals[1] > totals[2] &&
+                       totals[3] < totals[1] && totals[4] < totals[2];
+  compare("scenario ordering", "as above", ordered ? "holds" : "VIOLATED");
+  return 0;
+}

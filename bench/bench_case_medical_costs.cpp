@@ -1,0 +1,104 @@
+// Case study 1 reproduction (paper section VII): medical costs of
+// COVID-19 under the economic workflow's NPI factorial — 2 VHI compliances
+// x 3 lockdown durations x 2 lockdown compliances = 12 cells, disease
+// model calibrated toward R0 = 2.5, county-level seeding; per-cell medical
+// costs from attended cases, hospital days, ventilator days and deaths.
+
+#include <cstdio>
+#include <vector>
+
+#include "analytics/aggregate.hpp"
+#include "analytics/costs.hpp"
+#include "analytics/dendrogram.hpp"
+#include "bench_report.hpp"
+#include "epihiper/parallel.hpp"
+#include "synthpop/generator.hpp"
+#include "workflow/designs.hpp"
+
+int main() {
+  using namespace epi;
+  using namespace epi::bench;
+
+  heading("Case study: medical costs of COVID-19 (economic workflow)");
+
+  SynthPopConfig pop_config;
+  pop_config.region = "VT";
+  pop_config.scale = 1.0 / 150.0;  // ~4.2k persons
+  pop_config.seed = 20200325;
+  const SyntheticRegion region = generate_region(pop_config);
+  note("region: VT at 1/150 scale, " +
+       fmt_int(region.population.person_count()) + " persons; 3 replicates");
+  note("per cell; costs in 2020 USD at the simulated population scale");
+
+  // Check the base model's reproduction number against the calibration
+  // target (R0 = 2.5) via the transmission-forest offspring estimate.
+  {
+    CovidParams params;
+    const DiseaseModel model = covid_model(params);
+    SimulationConfig config;
+    config.num_ticks = 60;
+    config.seed = 17;
+    config.seeds = {SeedSpec{0, 10, 0}};
+    const SimOutput out =
+        run_simulation(region.network, region.population, model, config);
+    const TransmissionForest forest(out.transitions);
+    compare("early mean offspring (R estimate, no NPIs)",
+            "calibrated towards R0 = 2.5", fmt(forest.mean_offspring(), 2));
+  }
+
+  const auto cells = make_cell_configs(economic_design(), "VT", 20200325);
+  row({"cell", "VHI", "SH days", "SH compl", "infections", "hosp days",
+       "deaths", "med cost ($)"},
+      12);
+  const double vhi_levels[] = {0.5, 0.8};
+  const Tick durations[] = {30, 60, 90};
+  const double sh_levels[] = {0.5, 0.8};
+  std::vector<double> costs_by_duration(3, 0.0);
+  std::size_t index = 0;
+  for (double vhi : vhi_levels) {
+    for (std::size_t duration_index = 0; duration_index < 3; ++duration_index) {
+      for (double sh : sh_levels) {
+        const CellConfig& cell = cells[index];
+        MedicalCostBreakdown total;
+        std::uint64_t infections = 0;
+        const int replicates = 3;
+        for (int rep = 0; rep < replicates; ++rep) {
+          SimulationConfig sim_config =
+              cell.make_sim_config(static_cast<std::uint32_t>(rep));
+          sim_config.num_ticks = 150;
+          const DiseaseModel model = covid_model(cell.disease);
+          const SimOutput out = run_simulation(
+              region.network, region.population, model, sim_config,
+              [&] { return cell.make_interventions(); });
+          const SummaryCube cube = build_summary_cube(
+              out, region.population, model, sim_config.num_ticks);
+          const MedicalCostBreakdown costs = medical_costs(cube, model);
+          total.outpatient += costs.outpatient / replicates;
+          total.hospital += costs.hospital / replicates;
+          total.ventilator += costs.ventilator / replicates;
+          total.death += costs.death / replicates;
+          total.hospital_days += costs.hospital_days / replicates;
+          infections += out.total_infections / replicates;
+        }
+        costs_by_duration[duration_index] += total.total();
+        row({fmt_int(index), fmt(vhi, 1),
+             fmt_int(static_cast<std::uint64_t>(durations[duration_index])),
+             fmt(sh, 1), fmt_int(infections), fmt_int(total.hospital_days),
+             fmt(total.death / 10000.0, 0), fmt(total.total(), 0)},
+            12);
+        ++index;
+      }
+    }
+  }
+
+  subheading("aggregate effects");
+  compare("medical cost: 30-day vs 90-day lockdown",
+          "longer NPIs suppress medical costs",
+          fmt(costs_by_duration[0], 0) + " vs " + fmt(costs_by_duration[2], 0));
+
+  subheading("shape checks");
+  note("- higher compliance / longer lockdowns -> fewer infections and");
+  note("  lower medical costs within each factorial slice");
+  note("- hospital days dominate the cost breakdown, as in [9]");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Fig 10 reproduction: memory required at each simulation step.
+// Left panel: different cells (intervention compliances) of one state —
+// higher compliance schedules more system-state changes and needs more
+// memory. Right panel: different states — final memory strongly
+// correlated with initial (network-size-dominated) memory.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "epihiper/interventions.hpp"
+#include "epihiper/parallel.hpp"
+#include "synthpop/generator.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace epi;
+
+SimOutput run_with_compliance(const SyntheticRegion& region, double compliance,
+                              Tick ticks) {
+  CovidParams params;
+  params.transmissibility = 0.25;
+  const DiseaseModel model = covid_model(params);
+  SimulationConfig config;
+  config.num_ticks = ticks;
+  config.seed = 3;
+  config.seeds = {SeedSpec{0, 10, 0}};
+  return run_simulation(
+      region.network, region.population, model, config, [compliance] {
+        return std::vector<std::shared_ptr<Intervention>>{
+            std::make_shared<VoluntaryHomeIsolation>(
+                VoluntaryHomeIsolation::Config{compliance, 14, 0}),
+            std::make_shared<SchoolClosure>(SchoolClosure::Config{10}),
+            std::make_shared<StayAtHome>(
+                StayAtHome::Config{20, 80, compliance}),
+            std::make_shared<ContactTracing>(
+                ContactTracing::Config{1, 15, compliance, compliance, 14})};
+      });
+}
+
+}  // namespace
+
+int main() {
+  using namespace epi::bench;
+
+  heading("Fig 10 — memory required per simulation step");
+
+  const Tick ticks = 100;
+
+  subheading("left panel: VA cells (varying intervention compliance)");
+  SynthPopConfig va_config;
+  va_config.region = "VA";
+  va_config.scale = 1.0 / 4000.0;
+  const SyntheticRegion va = generate_region(va_config);
+  row({"compliance", "mem@t0 (KB)", "mem@t50 (KB)", "mem@t99 (KB)",
+       "growth"},
+      14);
+  std::vector<double> final_by_compliance;
+  for (const double compliance : {0.2, 0.4, 0.6, 0.8}) {
+    const SimOutput out = run_with_compliance(va, compliance, ticks);
+    const double t0 = static_cast<double>(out.memory_bytes_per_tick.front());
+    const double t50 = static_cast<double>(out.memory_bytes_per_tick[50]);
+    const double t99 = static_cast<double>(out.memory_bytes_per_tick.back());
+    final_by_compliance.push_back(t99);
+    row({fmt(compliance, 1), fmt(t0 / 1e3, 0), fmt(t50 / 1e3, 0),
+         fmt(t99 / 1e3, 0), fmt(t99 / t0, 2) + "x"},
+        14);
+  }
+  bool monotone = true;
+  for (std::size_t i = 1; i < final_by_compliance.size(); ++i) {
+    monotone &= final_by_compliance[i] >= final_by_compliance[i - 1] * 0.98;
+  }
+  compare("higher compliance -> more scheduled changes -> more memory",
+          "yes", monotone ? "yes" : "no");
+
+  subheading("right panel: different states (fixed cell)");
+  row({"state", "persons", "mem@t0 (KB)", "mem@t99 (KB)"}, 14);
+  std::vector<double> initial_memory, final_memory;
+  for (const char* abbrev : {"WY", "VT", "DE", "NH", "ME", "RI", "MT"}) {
+    SynthPopConfig pop_config;
+    pop_config.region = abbrev;
+    pop_config.scale = 1.0 / 1000.0;
+    const SyntheticRegion region = generate_region(pop_config);
+    const SimOutput out = run_with_compliance(region, 0.6, ticks);
+    const double t0 = static_cast<double>(out.memory_bytes_per_tick.front());
+    const double t99 = static_cast<double>(out.memory_bytes_per_tick.back());
+    initial_memory.push_back(t0);
+    final_memory.push_back(t99);
+    row({abbrev, fmt_int(region.population.person_count()), fmt(t0 / 1e3, 0),
+         fmt(t99 / 1e3, 0)},
+        14);
+  }
+  compare("corr(final memory, initial memory)", "strongly correlated",
+          fmt(correlation(initial_memory, final_memory), 3));
+
+  subheading("shape checks");
+  note("- memory grows during the run (event logs + scheduled interventions)");
+  note("- growth is compliance-sensitive (left) and size-dominated (right)");
+  return 0;
+}

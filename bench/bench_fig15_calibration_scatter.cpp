@@ -1,0 +1,79 @@
+// Fig 15 reproduction: prior vs posterior calibration designs.
+// Paper observations after calibration: transmissibility (TAU) and
+// symptomatic fraction (SYMP) become negatively correlated and both
+// distributions tighten; SH compliance concentrates toward lower values;
+// VHI compliance is essentially unchanged.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "util/stats.hpp"
+#include "workflow/calibration_cycle.hpp"
+
+int main() {
+  using namespace epi;
+  using namespace epi::bench;
+
+  heading("Fig 15 — prior vs posterior parameter designs (VA calibration)");
+
+  CalibrationCycleConfig config;
+  config.region = "VA";
+  config.scale = 1.0 / 2000.0;
+  config.seed = 20200411;
+  config.prior_configs = 60;
+  config.posterior_configs = 100;
+  config.calibration_days = 80;
+  config.horizon_days = 56;
+  config.prediction_runs = 0;  // Fig 15 needs the designs only
+  config.mcmc.samples = 2500;
+  config.mcmc.burn_in = 1500;
+  const CalibrationCycleResult result = run_calibration_cycle(config);
+
+  const auto& ranges = result.prior_design.ranges;
+  auto column = [](const std::vector<ParamPoint>& points, std::size_t d) {
+    std::vector<double> out;
+    for (const auto& p : points) out.push_back(p[d]);
+    return out;
+  };
+
+  row({"parameter", "prior mean", "prior sd", "post mean", "post sd",
+       "tightening"},
+      13);
+  for (std::size_t d = 0; d < ranges.size(); ++d) {
+    const auto prior = column(result.prior_design.points, d);
+    const auto posterior = column(result.posterior_configs, d);
+    const double prior_sd = stddev(prior);
+    const double post_sd = stddev(posterior);
+    row({ranges[d].name, fmt(mean(prior), 3), fmt(prior_sd, 3),
+         fmt(mean(posterior), 3), fmt(post_sd, 3),
+         fmt(post_sd / prior_sd, 2) + "x"},
+        13);
+  }
+
+  subheading("posterior correlations");
+  const auto tau = column(result.posterior_configs, 0);
+  const auto symp = column(result.posterior_configs, 1);
+  compare("corr(TAU, SYMP) in the posterior", "negative (their VA data)",
+          fmt(correlation(tau, symp), 3));
+  note("  (the sign of the local TAU-SYMP correlation depends on where the");
+  note("  observed data places the posterior mode; the trade-off ridge");
+  note("  exists in our likelihood surface but our synthetic ground truth");
+  note("  need not land on it — see EXPERIMENTS.md)");
+
+  const auto sh = column(result.posterior_configs, 2);
+  const auto prior_sh = column(result.prior_design.points, 2);
+  compare("SH compliance shift (data-dependent)",
+          "toward lower values (their VA data)",
+          fmt(mean(prior_sh), 3) + " -> " + fmt(mean(sh), 3));
+
+  const auto vhi = column(result.posterior_configs, 3);
+  const auto prior_vhi = column(result.prior_design.points, 3);
+  compare("VHI compliance distribution", "seems unchanged",
+          "sd " + fmt(stddev(prior_vhi), 3) + " -> " + fmt(stddev(vhi), 3));
+
+  subheading("shape checks");
+  note("- TAU/SYMP posterior sds < prior sds (the Fig 15 tightening)");
+  note("- weakly identified parameters (VHI) stay close to their prior");
+  return 0;
+}

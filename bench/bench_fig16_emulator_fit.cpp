@@ -1,0 +1,56 @@
+// Fig 16 reproduction: the GPMSA calibration visualization — ground truth
+// (blue marks) against the emulator's 95% uncertainty band (green curves).
+// "The result is good if the ground truth falls between the green curves."
+
+#include <cstdio>
+
+#include "bench_report.hpp"
+#include "util/stats.hpp"
+#include "workflow/calibration_cycle.hpp"
+
+int main() {
+  using namespace epi;
+  using namespace epi::bench;
+
+  heading("Fig 16 — GP emulator 95% band vs ground truth (VA)");
+
+  CalibrationCycleConfig config;
+  config.region = "VA";
+  config.scale = 1.0 / 2000.0;
+  config.seed = 20200411;
+  config.prior_configs = 60;
+  config.posterior_configs = 50;
+  config.calibration_days = 80;
+  config.horizon_days = 14;
+  config.prediction_runs = 0;
+  config.mcmc.samples = 2000;
+  config.mcmc.burn_in = 1500;
+  const CalibrationCycleResult result = run_calibration_cycle(config);
+
+  const auto& calibration = result.calibration;
+  note("log cumulative confirmed cases; weekly samples:");
+  row({"day", "band lo", "band mean", "band hi", "observed", "inside"}, 12);
+  const auto observed_log = log_transform(result.observed_cumulative);
+  for (std::size_t t = 0; t < calibration.band_mean.size(); t += 7) {
+    const bool inside = observed_log[t] >= calibration.band_lo[t] &&
+                        observed_log[t] <= calibration.band_hi[t];
+    row({fmt_int(t), fmt(calibration.band_lo[t], 2),
+         fmt(calibration.band_mean[t], 2), fmt(calibration.band_hi[t], 2),
+         fmt(observed_log[t], 2), inside ? "yes" : "NO"},
+        12);
+  }
+
+  compare("ground truth inside the 95% band",
+          "goodness-of-fit criterion (should be ~all points)",
+          fmt(calibration.coverage95 * 100.0, 1) + "% of days");
+  compare("emulator variance captured by 5 bases", "p_eta = 5 suffices",
+          fmt(calibration.emulator_variance_captured * 100.0, 1) + "%");
+  compare("MCMC acceptance rate", "well-mixed chain",
+          fmt(calibration.acceptance_rate, 2));
+
+  subheading("shape checks");
+  note("- the band envelops the observed curve over most of the horizon;");
+  note("  persistent escapes would trigger another calibration iteration,");
+  note("  exactly as the paper's workflow loop prescribes");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig 17 reproduction: the Virginia forecast — cumulative confirmed cases
+// for the eight weeks after the calibration cutoff (April 11, 2020 in the
+// case study), as the median of the posterior-ensemble simulations with a
+// 95% uncertainty band, plotted against the reported counts.
+
+#include <cstdio>
+
+#include "bench_report.hpp"
+#include "workflow/calibration_cycle.hpp"
+
+int main() {
+  using namespace epi;
+  using namespace epi::bench;
+
+  heading("Fig 17 — VA cumulative-case forecast, 8 weeks past cutoff");
+
+  CalibrationCycleConfig config;
+  config.region = "VA";
+  config.scale = 1.0 / 2000.0;
+  config.seed = 20200411;
+  config.prior_configs = 60;
+  config.posterior_configs = 100;
+  config.calibration_days = 80;   // observed through "April 11"
+  config.horizon_days = 56;       // 8-week forecast
+  config.prediction_runs = 25;
+  config.mcmc.samples = 2000;
+  config.mcmc.burn_in = 1500;
+  const CalibrationCycleResult result = run_calibration_cycle(config);
+
+  note("cumulative confirmed cases (simulated-population units); cutoff at");
+  note("day 80; rows beyond it are forecast:");
+  row({"day", "p2.5", "median", "p97.5", "reported", "phase"}, 12);
+  for (std::size_t t = 0; t < result.forecast.median.size(); t += 7) {
+    row({fmt_int(t), fmt(result.forecast.lo[t], 0),
+         fmt(result.forecast.median[t], 0), fmt(result.forecast.hi[t], 0),
+         fmt(result.truth_extension[t], 0),
+         t < 80 ? "observed" : "FORECAST"},
+        12);
+  }
+
+  compare("reported curve inside the 95% band", "(not quoted in the paper)",
+          fmt(result.forecast_coverage * 100.0, 1) + "% of days");
+  note("  the paper's own Fig 17 band did not contain the later reported");
+  note("  curve either (their forecast ran high; ours runs low at the far");
+  note("  horizon because the small simulated network saturates earlier)");
+  const std::size_t last = result.forecast.median.size() - 1;
+  compare("8-week-ahead relative band width", "uncertainty grows with horizon",
+          fmt((result.forecast.hi[last] - result.forecast.lo[last]) /
+                  std::max(1.0, result.forecast.median[last]),
+              2));
+
+  subheading("shape checks");
+  note("- median tracks the reported curve through the observed window");
+  note("- the band widens with forecast horizon (ensemble spread)");
+  note("- forecast stays within the right order of magnitude 8 weeks out");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig 7 (bottom) reproduction: EpiHiper running time under different
+// intervention stacks. Paper ordering: base (VHI+SC+SH) < +RO, +TA
+// (marginal increase) < +PS, +D1CT (significant) < +D2CT (almost +300%).
+// Each stack runs the real engine on the same network; median of repeated
+// wall-clock measurements.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "epihiper/interventions.hpp"
+#include "epihiper/parallel.hpp"
+#include "synthpop/generator.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace epi;
+  using namespace epi::bench;
+
+  heading("Fig 7 (bottom) — running time by intervention stack");
+
+  SynthPopConfig pop_config;
+  pop_config.region = "VT";
+  pop_config.scale = 1.0 / 150.0;  // ~4.2k persons
+  pop_config.seed = 20200325;
+  const SyntheticRegion region = generate_region(pop_config);
+  note("network: " + fmt_int(region.population.person_count()) + " persons, " +
+       fmt_int(region.network.contact_count()) + " contacts, 90 ticks");
+
+  CovidParams params;
+  params.transmissibility = 0.25;  // sizeable epidemic drives tracing load
+  const DiseaseModel model = covid_model(params);
+  SimulationConfig config;
+  config.num_ticks = 90;
+  config.seed = 5;
+  // Continuous importation: at national production scale the epidemic is
+  // never locally extinct during a run; tiny networks need reseeding so
+  // every stack simulates a live epidemic for all 90 ticks (otherwise a
+  // strongly suppressive stack ends early and looks spuriously cheap).
+  for (Tick t = 0; t < 90; t += 10) {
+    config.seeds.push_back(SeedSpec{0, 5, t});
+    config.seeds.push_back(SeedSpec{1, 3, t});
+  }
+
+  const int repeats = 5;
+  double base_seconds = 0.0;
+  row({"stack", "median time", "vs base", "infections"}, 16);
+  for (const std::string& stack_name : intervention_stack_names()) {
+    std::vector<double> times;
+    std::uint64_t infections = 0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      Timer timer;
+      const SimOutput out = run_simulation(
+          region.network, region.population, model, config,
+          [&] { return make_intervention_stack(stack_name); });
+      times.push_back(timer.elapsed_seconds());
+      infections = out.total_infections;
+    }
+    const double med = median(times);
+    if (stack_name == "base") base_seconds = med;
+    row({stack_name, fmt(med * 1000.0, 1) + "ms",
+         fmt(med / base_seconds, 2) + "x", fmt_int(infections)},
+        16);
+  }
+
+  subheading("paper reference");
+  note("base(VHI,SC,SH) = 1.0x; +RO and +TA marginal; +PS and +D1CT");
+  note("significant; +D2CT almost 4.0x (a ~300% increase)");
+
+  subheading("shape checks");
+  note("- contact-tracing stacks cost the most; D2CT > D1CT > base");
+  note("- RO and TA stay within a small factor of base");
+  return 0;
+}

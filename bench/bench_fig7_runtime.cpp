@@ -1,0 +1,91 @@
+// Fig 7 (top) reproduction: EpiHiper running time vs network size.
+// The paper shows running time increasing linearly with input size at a
+// fixed processing-unit count. We time real serial simulations over
+// networks of increasing size and report the measured time plus the
+// size-normalized rate (flat rate = linear scaling), and a linear fit R^2.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "epihiper/parallel.hpp"
+#include "synthpop/generator.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace epi;
+
+SyntheticRegion make_scaled_region(double scale) {
+  SynthPopConfig config;
+  config.region = "VA";
+  config.scale = scale;
+  config.seed = 20200325;
+  return generate_region(config);
+}
+
+void BM_EpiHiperRuntimeVsSize(benchmark::State& state) {
+  const double scale = static_cast<double>(state.range(0)) / 1e6;
+  const SyntheticRegion region = make_scaled_region(scale);
+  const DiseaseModel model = covid_model();
+  SimulationConfig config;
+  config.num_ticks = 60;
+  config.seed = 7;
+  config.seeds = {SeedSpec{0, 5, 0}, SeedSpec{1, 5, 0}};
+  for (auto _ : state) {
+    const SimOutput out =
+        run_simulation(region.network, region.population, model, config);
+    benchmark::DoNotOptimize(out.total_infections);
+  }
+  state.counters["persons"] =
+      static_cast<double>(region.population.person_count());
+  state.counters["contacts"] =
+      static_cast<double>(region.network.contact_count());
+  state.counters["ns_per_person_tick"] = benchmark::Counter(
+      static_cast<double>(region.population.person_count()) * 60.0,
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+
+BENCHMARK(BM_EpiHiperRuntimeVsSize)
+    ->Arg(125)   // scale 1/8000 of VA ~ 1.1k persons
+    ->Arg(250)   // ~2.1k
+    ->Arg(500)   // ~4.3k
+    ->Arg(1000)  // ~8.5k
+    ->Arg(2000)  // ~17k
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace epi::bench;
+  heading("Fig 7 (top) — EpiHiper running time vs network size");
+  note("paper: running time increases linearly with input size");
+  note("check: Time column grows ~2x per row; ns_per_person_tick stays flat");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // Explicit linearity check outside the google-benchmark loop.
+  subheading("linearity fit (single runs)");
+  std::vector<double> sizes, times;
+  for (const double scale : {1.0 / 8000, 1.0 / 4000, 1.0 / 2000, 1.0 / 1000}) {
+    const epi::SyntheticRegion region = make_scaled_region(scale);
+    const epi::DiseaseModel model = epi::covid_model();
+    epi::SimulationConfig config;
+    config.num_ticks = 60;
+    config.seed = 7;
+    config.seeds = {epi::SeedSpec{0, 5, 0}, epi::SeedSpec{1, 5, 0}};
+    epi::Timer timer;
+    epi::run_simulation(region.network, region.population, model, config);
+    sizes.push_back(static_cast<double>(region.population.person_count()));
+    times.push_back(timer.elapsed_seconds());
+    std::printf("  %8.0f persons  %8.3f s\n", sizes.back(), times.back());
+  }
+  compare("runtime-size correlation", "linear (r ~ 1)",
+          fmt(epi::correlation(sizes, times), 4));
+  return 0;
+}

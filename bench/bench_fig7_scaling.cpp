@@ -1,0 +1,95 @@
+// Fig 7 (middle) reproduction: strong scaling of EpiHiper — performance
+// improves as processing units are added, with diminishing returns (and
+// eventual slowdown) from communication costs, the knee depending on
+// problem size.
+//
+// This machine exposes a single core, so wall-clock speedup cannot
+// materialize here; instead the bench runs the REAL partitioned engine at
+// each rank count and reports the dedicated-core time model:
+//     T(p) = max_rank(work) / throughput + comm_bytes(p) * wire_cost
+// where work is the engine's instrumented per-rank operation count,
+// throughput is measured from the serial run, and the wire cost is an
+// Omnipath-class constant. Communication volume is the engine's actual
+// mpilite traffic, not an estimate.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "epihiper/parallel.hpp"
+#include "synthpop/generator.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace epi;
+  using namespace epi::bench;
+
+  heading("Fig 7 (middle) — strong scaling of EpiHiper");
+  note("modeled dedicated-core time: max-rank work / throughput + comm cost");
+  note("(single-core host; work and comm volumes are measured, see header)");
+
+  const DiseaseModel model = covid_model();
+  // Three medium-to-large networks, as in the paper's three curves.
+  const struct {
+    const char* region;
+    double scale;
+  } networks[] = {{"VT", 1.0 / 100.0}, {"WV", 1.0 / 100.0}, {"KY", 1.0 / 150.0}};
+
+  // Omnipath-class wire model: ~1.5 GB/s effective per-rank bandwidth
+  // plus ~20 us software latency per message round (one infectious-set
+  // exchange per tick per rank).
+  const double wire_seconds_per_byte = 6.7e-10;
+  const double latency_seconds_per_message = 2e-5;
+
+  for (const auto& net : networks) {
+    SynthPopConfig pop_config;
+    pop_config.region = net.region;
+    pop_config.scale = net.scale;
+    const SyntheticRegion region = generate_region(pop_config);
+    SimulationConfig config;
+    config.num_ticks = 60;
+    config.seed = 11;
+    config.seeds = {SeedSpec{0, 8, 0}};
+
+    subheading(std::string(net.region) + " — " +
+               fmt_int(region.population.person_count()) + " persons, " +
+               fmt_int(region.network.contact_count()) + " contacts");
+
+    // Serial baseline: measure throughput (work units per second).
+    Timer timer;
+    const SimOutput serial =
+        run_simulation(region.network, region.population, model, config);
+    const double serial_seconds = timer.elapsed_seconds();
+    const double throughput =
+        static_cast<double>(serial.work_units) / serial_seconds;
+
+    row({"ranks", "max-rank work", "comm MB", "modeled time", "speedup"}, 16);
+    row({"1", fmt_int(serial.work_units), "0.0", fmt(serial_seconds, 3) + "s",
+         "1.00"},
+        16);
+    for (const int ranks : {2, 4, 8, 16, 32, 64}) {
+      const Partitioning parts =
+          partition_network(region.network, static_cast<std::size_t>(ranks));
+      if (parts.size() != static_cast<std::size_t>(ranks)) break;
+      const SimOutput out = run_simulation_parallel(
+          region.network, region.population, model, config, parts, ranks);
+      const double compute_seconds =
+          static_cast<double>(out.max_rank_work_units) / throughput;
+      const double comm_seconds =
+          static_cast<double>(out.communication_bytes) * wire_seconds_per_byte +
+          latency_seconds_per_message * static_cast<double>(ranks) * 60.0;
+      const double modeled = compute_seconds + comm_seconds;
+      row({fmt_int(static_cast<std::uint64_t>(ranks)),
+           fmt_int(out.max_rank_work_units),
+           fmt(static_cast<double>(out.communication_bytes) / 1e6, 2),
+           fmt(modeled, 3) + "s", fmt(serial_seconds / modeled, 2)},
+          16);
+    }
+  }
+
+  subheading("shape checks");
+  note("- speedup grows with ranks, then flattens/reverses as communication");
+  note("  dominates (the paper's diminishing-returns knee)");
+  note("- larger networks sustain scaling to higher rank counts");
+  return 0;
+}

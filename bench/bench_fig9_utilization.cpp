@@ -1,0 +1,140 @@
+// Fig 9 reproduction: CDFs of remote-cluster CPU utilization across
+// workflow days. Paper: 9 all-state days with median 96.698% under
+// FFDT-DC; 24 Virginia-only days with median 95.534%; the initial
+// unordered (next-fit) runs achieved only 44.237%-55.579%.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "cluster/packing.hpp"
+#include "cluster/slurm_sim.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace epi;
+
+// Simulates one workflow day: pack with `policy`, replay through the DES
+// (backfill disabled for the arrival policy, as in the untuned runs).
+// `allocated_nodes` models the Slurm allocation requested for the day:
+// all-state days take the full 720 nodes, single-state days request a
+// right-sized partition (utilization is measured against the allocation,
+// as the paper's CPU-hours metric does).
+double one_day_utilization(const std::vector<SimTask>& tasks,
+                           PackingPolicy policy, Rng& rng,
+                           std::uint32_t allocated_nodes = 720) {
+  ClusterSpec cluster = bridges_cluster();
+  cluster.nodes = allocated_nodes;
+  const PackingPlan plan = pack_tasks(tasks, cluster.nodes, policy);
+  std::map<std::uint64_t, const SimTask*> by_id;
+  for (const auto& task : tasks) by_id.emplace(task.id, &task);
+  std::vector<SimTask> ordered;
+  ordered.reserve(tasks.size());
+  for (const PackingLevel& level : plan.levels) {
+    for (std::uint64_t id : level.task_ids) ordered.push_back(*by_id.at(id));
+  }
+  DesConfig config;
+  config.runtime_sigma = 0.15;
+  config.backfill = policy != PackingPolicy::kNextFitArrival;
+  return simulate_cluster(cluster, ordered, config, rng).utilization;
+}
+
+// The untuned production runs submitted each packing level as one Slurm
+// job array and waited for the whole array before submitting the next —
+// with unsorted tasks, each level's duration is set by its slowest job
+// while short jobs idle their nodes. This level-synchronous execution is
+// what produced the 44-56% utilization of the initial runs.
+double level_synchronous_utilization(const std::vector<SimTask>& tasks,
+                                     PackingPolicy policy, Rng& rng) {
+  const PackingPlan plan = pack_tasks(tasks, bridges_cluster().nodes, policy);
+  std::map<std::uint64_t, const SimTask*> by_id;
+  for (const auto& task : tasks) by_id.emplace(task.id, &task);
+  double busy_node_hours = 0.0;
+  double makespan = 0.0;
+  for (const PackingLevel& level : plan.levels) {
+    double level_duration = 0.0;
+    for (std::uint64_t id : level.task_ids) {
+      const SimTask& task = *by_id.at(id);
+      const double runtime = task.est_hours * std::exp(rng.normal(0.0, 0.15));
+      busy_node_hours += task.nodes_required * runtime;
+      level_duration = std::max(level_duration, runtime);
+    }
+    makespan += level_duration;
+  }
+  return busy_node_hours / (720.0 * makespan);
+}
+
+void print_cdf(const std::vector<double>& utilizations) {
+  const Ecdf cdf = ecdf(utilizations);
+  for (std::size_t i = 0; i < cdf.values.size(); ++i) {
+    std::printf("    %6.2f%%  ->  CDF %.3f\n", cdf.values[i] * 100.0,
+                cdf.probs[i]);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace epi::bench;
+
+  heading("Fig 9 — CPU utilization CDFs across workflow days (FFDT-DC)");
+
+  std::vector<std::string> all_states;
+  for (const StateInfo& s : us_states()) all_states.push_back(s.abbrev);
+
+  // 9 all-state workflow days (alternating design shapes, like production).
+  Rng rng(20200915);
+  std::vector<double> all_state_days;
+  for (int day = 0; day < 9; ++day) {
+    const auto tasks = make_workflow_tasks(all_states, 12, 15,
+                                           day % 2 == 0 ? 1.1 : 1.4);
+    Rng day_rng = rng.derive({1, static_cast<std::uint64_t>(day)});
+    all_state_days.push_back(
+        one_day_utilization(tasks, PackingPolicy::kFirstFitDecreasing, day_rng));
+  }
+  subheading("all 50 states + DC, 9 workflow days");
+  print_cdf(all_state_days);
+  compare("median utilization", "96.698%",
+          fmt(median(all_state_days) * 100.0, 3) + "%");
+
+  // 24 Virginia-only days: many cells for one region.
+  std::vector<double> va_days;
+  for (int day = 0; day < 24; ++day) {
+    const auto tasks =
+        make_workflow_tasks({"VA"}, 40 + (day % 5) * 15, 15, 1.2);
+    Rng day_rng = rng.derive({2, static_cast<std::uint64_t>(day)});
+    // Right-sized allocation: VA's DB bound admits 36 concurrent 4-node
+    // jobs, so the nightly request is a 144-node partition.
+    va_days.push_back(one_day_utilization(
+        tasks, PackingPolicy::kFirstFitDecreasing, day_rng, 144));
+  }
+  subheading("Virginia-only, 24 workflow days");
+  print_cdf(va_days);
+  compare("median utilization", "95.534%",
+          fmt(median(va_days) * 100.0, 3) + "%");
+
+  // The untuned baseline: unsorted next-fit submission, no backfill.
+  std::vector<double> untuned_days;
+  for (int day = 0; day < 9; ++day) {
+    auto tasks = make_workflow_tasks(all_states, 12, 15, 1.1);
+    Rng shuffle_rng = rng.derive({3, static_cast<std::uint64_t>(day)});
+    shuffle_rng.shuffle(tasks.begin(), tasks.end());
+    Rng day_rng = rng.derive({4, static_cast<std::uint64_t>(day)});
+    untuned_days.push_back(level_synchronous_utilization(
+        tasks, PackingPolicy::kNextFitArrival, day_rng));
+  }
+  subheading("initial unordered runs (next-fit job arrays, level-synchronous)");
+  print_cdf(untuned_days);
+  compare("utilization range", "44.237% - 55.579%",
+          fmt(min_value(untuned_days) * 100.0, 1) + "% - " +
+              fmt(max_value(untuned_days) * 100.0, 1) + "%");
+
+  subheading("shape checks");
+  note("- FFDT-DC sits far right of the untuned CDF (the Fig 9 gap)");
+  note("- all-state and VA-only medians land within a few points of each");
+  note("  other, both >> the untuned runs");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared console reporting for the reproduction benches.
+//
+// Every bench prints (a) the rows/series the paper reports, measured from
+// this implementation, and (b) the paper's published reference values next
+// to them, so EXPERIMENTS.md can record paper-vs-measured per figure.
+// Absolute numbers are not expected to match (laptop-scale substrate);
+// the *shape* — orderings, factors, crossovers — is the reproduction
+// target.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace epi::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+/// Prints a row of fixed-width columns.
+inline void row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt(double value, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+inline std::string fmt_int(std::uint64_t value) { return std::to_string(value); }
+
+/// Paper-vs-measured one-liner.
+inline void compare(const std::string& what, const std::string& paper,
+                    const std::string& measured) {
+  std::printf("  %-46s paper: %-18s measured: %s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+}  // namespace epi::bench

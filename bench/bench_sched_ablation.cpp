@@ -1,0 +1,110 @@
+// Scheduling ablations for the design choices DESIGN.md calls out:
+//   1. packing policy (FFDT-DC vs NFDT-DC vs arrival order);
+//   2. DB-access architecture: one database per region (the paper's Step 1
+//      decomposition, a union-of-cliques coloring problem) vs a single
+//      shared database (a dense conflict graph needing r-relaxed coloring);
+//   3. whole-node allocation (the paper's choice) vs per-core packing;
+//   4. the DB connection bound itself.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "cluster/coloring.hpp"
+#include "cluster/packing.hpp"
+#include "cluster/slurm_sim.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace epi;
+  using namespace epi::bench;
+
+  heading("Scheduling ablations (WMP / DB-WMP, paper section V)");
+
+  std::vector<std::string> regions;
+  for (const StateInfo& s : us_states()) regions.push_back(s.abbrev);
+  const auto tasks = make_workflow_tasks(regions, 12, 15, 1.2);
+
+  subheading("1. packing policy (planned level schedule, 720 nodes)");
+  row({"policy", "levels", "makespan", "planned util"}, 16);
+  for (const auto policy :
+       {PackingPolicy::kNextFitArrival, PackingPolicy::kNextFitDecreasing,
+        PackingPolicy::kFirstFitDecreasing}) {
+    const PackingPlan plan = pack_tasks(tasks, 720, policy);
+    row({packing_policy_name(policy), fmt_int(plan.levels.size()),
+         fmt(plan.makespan_hours, 2) + "h",
+         fmt(plan.planned_utilization * 100.0, 1) + "%"},
+        16);
+  }
+  note("paper: FFDT-DC 17/10 worst case beats NFDT-DC's 2; in production");
+  note("the ordered schedule reached ~96.7% vs 44-56% untuned");
+
+  subheading("2. DB architecture as a coloring problem (5 regions x 36 tasks)");
+  // Per-region DBs: conflicts only within a region -> union of cliques.
+  const std::size_t tasks_per_region = 36, num_regions = 5;
+  const std::size_t n = tasks_per_region * num_regions;
+  std::vector<std::vector<std::size_t>> groups(num_regions);
+  for (std::size_t i = 0; i < n; ++i) groups[i / tasks_per_region].push_back(i);
+  const ConflictGraph per_region = ConflictGraph::union_of_cliques(n, groups);
+  // Shared DB: every pair of tasks conflicts -> one big clique.
+  std::vector<std::size_t> everyone(n);
+  for (std::size_t i = 0; i < n; ++i) everyone[i] = i;
+  const ConflictGraph shared = ConflictGraph::union_of_cliques(n, {everyone});
+  row({"architecture", "r", "colors (batches)", "lower bound"}, 20);
+  for (const std::size_t r : {6u, 12u, 24u}) {
+    const auto c1 = relaxed_coloring(per_region, r);
+    row({"per-region DBs", fmt_int(r), fmt_int(c1.colors_used),
+         fmt_int(clique_color_lower_bound(tasks_per_region, r))},
+        20);
+    const auto c2 = relaxed_coloring(shared, r);
+    row({"shared DB", fmt_int(r), fmt_int(c2.colors_used),
+         fmt_int(clique_color_lower_bound(n, r))},
+        20);
+  }
+  note("per-region decomposition needs ~num_regions-x fewer batches: the");
+  note("paper's Step 1 makes the coloring problem easy");
+
+  subheading("3. whole-node vs per-core allocation (DES, economic design)");
+  // Whole-node: tasks sized in nodes on a 720-node machine. Per-core:
+  // the same work expressed in 28-core slices on a 20160-core machine,
+  // with +15% runtime from memory contention between co-located jobs
+  // (the exact failure mode the paper avoided by not sharing nodes).
+  Rng rng1(31415), rng2(31415);
+  DesConfig des_config;
+  const DesResult whole =
+      simulate_cluster(bridges_cluster(), tasks, des_config, rng1);
+  ClusterSpec per_core = bridges_cluster();
+  per_core.nodes = 720 * 28;  // core-granular "nodes"
+  per_core.cpus_per_node = 1;
+  per_core.cores_per_cpu = 1;
+  std::vector<SimTask> core_tasks = tasks;
+  for (auto& task : core_tasks) {
+    task.nodes_required *= 28;
+    task.est_hours *= 1.15;  // contention penalty
+  }
+  const DesResult cores =
+      simulate_cluster(per_core, core_tasks, des_config, rng2);
+  row({"allocation", "makespan", "utilization"}, 18);
+  row({"whole nodes", fmt(whole.makespan_hours, 2) + "h",
+       fmt(whole.utilization * 100.0, 1) + "%"},
+      18);
+  row({"per-core (+15% contention)", fmt(cores.makespan_hours, 2) + "h",
+       fmt(cores.utilization * 100.0, 1) + "%"},
+      18);
+  note("finer allocation buys little once contention is priced in; the");
+  note("paper 'intentionally avoided using partial nodes'");
+
+  subheading("4. DB connection bound sweep (FFDT order through the DES)");
+  row({"bound (conns)", "concurrent/region", "makespan", "utilization"}, 18);
+  for (const std::uint32_t bound : {112u, 280u, 560u, 1008u, 100000u}) {
+    Rng rng(2718);
+    const DesResult result =
+        simulate_cluster(bridges_cluster(), tasks, des_config, rng, bound);
+    row({fmt_int(bound), fmt_int(bound / 28), fmt(result.makespan_hours, 2) + "h",
+         fmt(result.utilization * 100.0, 1) + "%"},
+        18);
+  }
+  note("tight bounds serialize each region's cells and stretch the night;");
+  note("the constraint stops binding near the tuned production value");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Table II reproduction: the two-cluster hardware configuration and the
+// data volumes generated and moved between them — the 2 TB one-time
+// population shipment, daily configuration pushes, raw outputs generated
+// remotely, and summarized outputs returned home.
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench_report.hpp"
+#include "cluster/machine.hpp"
+#include "cluster/transfer.hpp"
+#include "synthpop/generator.hpp"
+#include "util/stats.hpp"
+#include "workflow/nightly.hpp"
+
+int main() {
+  using namespace epi;
+  using namespace epi::bench;
+
+  heading("Table II — cluster configuration and data movement");
+
+  const ClusterSpec remote = bridges_cluster();
+  const ClusterSpec home = rivanna_cluster();
+  row({"", "remote (Bridges)", "home (Rivanna)"}, 26);
+  row({"# allocated nodes", fmt_int(remote.nodes), fmt_int(home.nodes)}, 26);
+  row({"# CPUs/node", fmt_int(remote.cpus_per_node), fmt_int(home.cpus_per_node)},
+      26);
+  row({"# cores/CPU", fmt_int(remote.cores_per_cpu), fmt_int(home.cores_per_cpu)},
+      26);
+  row({"RAM per node (GB)", fmt(remote.ram_gb_per_node, 0),
+       fmt(home.ram_gb_per_node, 0)},
+      26);
+  row({"total cores", fmt_int(remote.total_cores()), fmt_int(home.total_cores())},
+      26);
+  row({"CPU", remote.cpu_model, home.cpu_model}, 26);
+  row({"network", remote.interconnect, home.interconnect}, 26);
+  row({"filesystem", remote.filesystem, home.filesystem}, 26);
+  row({"nightly window (h)", fmt(remote.window_hours, 0), "always-on"}, 26);
+
+  subheading("one-time population/network shipment");
+  // Estimate the full-scale trait + network payload from a generated
+  // sample: the production shipment is CSV text (person-trait file plus
+  // the contact-network edge file), measured here by serializing the
+  // sample and extrapolating bytes-per-person to the 328M-person US.
+  SynthPopConfig pop_config;
+  pop_config.region = "VT";
+  pop_config.scale = 1.0 / 500.0;
+  pop_config.week_long = true;  // the shipped networks are week-long
+  const SyntheticRegion sample = generate_region(pop_config);
+  std::ostringstream network_csv, person_csv;
+  sample.network.write_csv(network_csv);
+  sample.population.write_csv(person_csv);
+  const double bytes_per_person =
+      static_cast<double>(network_csv.str().size() + person_csv.str().size()) /
+      static_cast<double>(sample.population.person_count());
+  const double one_time_bytes =
+      bytes_per_person * static_cast<double>(total_us_population());
+  GlobusTransfer wan;
+  const double one_time_seconds =
+      wan.transfer("populations + networks", static_cast<std::uint64_t>(one_time_bytes),
+                   true);
+  compare("traits + contact networks", "2TB (one time)",
+          format_bytes(one_time_bytes) + " (" +
+              fmt(one_time_seconds / 3600.0, 1) + "h transfer)");
+  note("  week-long CSV networks at ~25 contacts/person, as shipped");
+
+  subheading("daily volumes (from one economic-workflow night)");
+  NightlyConfig config;
+  config.scale = 1.0 / 8000.0;
+  config.sample_executions = 6;
+  config.executed_days = 60;
+  NightlyWorkflow engine(config);
+  const WorkflowReport report = engine.run(economic_design());
+  compare("daily simulation configurations", "100MB-8.7GB",
+          format_bytes(static_cast<double>(report.config_bytes)));
+  compare("raw simulation outputs generated", "20GB-3.5TB",
+          format_bytes(report.raw_bytes_full_scale));
+  compare("summarized outputs returned", "120MB-70GB",
+          format_bytes(report.summary_bytes_full_scale));
+  compare("bytes shipped home -> remote", "(configs)",
+          format_bytes(static_cast<double>(report.bytes_to_remote)));
+  compare("bytes shipped remote -> home", "(summaries)",
+          format_bytes(static_cast<double>(report.bytes_to_home)));
+
+  subheading("shape checks");
+  note("- one-time shipment lands in the TB regime; daily configs far below");
+  note("- raw outputs stay on the remote cluster; only summaries (3-4 orders");
+  note("  of magnitude smaller) cross the WAN, as the paper's split requires");
+  return 0;
+}

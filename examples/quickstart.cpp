@@ -1,0 +1,89 @@
+// Quickstart: generate a synthetic region, run one EpiHiper replicate with
+// the base intervention stack, and print the epicurve plus headline
+// outcomes.
+//
+//   $ ./quickstart [state=VA] [scale_denominator=2000]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analytics/aggregate.hpp"
+#include "analytics/dendrogram.hpp"
+#include "epihiper/interventions.hpp"
+#include "epihiper/parallel.hpp"
+#include "synthpop/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace epi;
+
+  const std::string state = argc > 1 ? argv[1] : "VA";
+  const double denominator = argc > 2 ? std::atof(argv[2]) : 2000.0;
+
+  // 1. Synthesize the population and its Wednesday contact network.
+  SynthPopConfig pop_config;
+  pop_config.region = state;
+  pop_config.scale = 1.0 / denominator;
+  pop_config.seed = 20200325;
+  const SyntheticRegion region = generate_region(pop_config);
+  std::printf("region %s: %u persons, %zu households, %lu contacts\n",
+              state.c_str(), region.population.person_count(),
+              region.population.household_count(),
+              static_cast<unsigned long>(region.network.contact_count()));
+
+  // 2. Configure a 120-day replicate of the CDC COVID model, seeded in the
+  //    three largest counties, under VHI + school closure + stay-at-home.
+  const DiseaseModel model = covid_model();
+  SimulationConfig sim_config;
+  sim_config.num_ticks = 120;
+  sim_config.seed = 42;
+  sim_config.seeds = {SeedSpec{0, 5, 0}, SeedSpec{1, 5, 0}, SeedSpec{2, 5, 0}};
+
+  // 3. Run.
+  const SimOutput output = run_simulation(
+      region.network, region.population, model, sim_config,
+      [] { return make_intervention_stack("base"); });
+
+  // 4. Report: weekly epicurve of daily new infections.
+  std::printf("\nweek  new-infections/day (bar = 2 infections)\n");
+  for (Tick week = 0; week * 7 < sim_config.num_ticks; ++week) {
+    std::uint64_t weekly = 0;
+    for (Tick d = week * 7;
+         d < std::min<Tick>((week + 1) * 7, sim_config.num_ticks); ++d) {
+      weekly += output.new_infections_per_tick[static_cast<std::size_t>(d)];
+    }
+    const auto daily = static_cast<int>(weekly / 7);
+    std::printf("%4d  %5d ", week, daily);
+    for (int i = 0; i < daily / 2 && i < 60; ++i) std::printf("#");
+    std::printf("\n");
+  }
+
+  // 5. Headline outcomes from the analytics layer.
+  const SummaryCube cube = build_summary_cube(output, region.population,
+                                              model, sim_config.num_ticks);
+  const TransmissionForest forest(output.transitions);
+  const Tick last = sim_config.num_ticks - 1;
+  std::printf("\ntotals after %d days:\n", sim_config.num_ticks);
+  std::printf("  infections      %lu (%.1f%% of population)\n",
+              static_cast<unsigned long>(output.total_infections),
+              100.0 * static_cast<double>(output.total_infections) /
+                  region.population.person_count());
+  std::printf("  recovered       %lu\n",
+              static_cast<unsigned long>(
+                  cube.cumulative(last, model.state_id(covid_states::kRecovered))));
+  std::printf("  deaths          %lu\n",
+              static_cast<unsigned long>(
+                  cube.cumulative(last, model.state_id(covid_states::kDeceased))));
+  std::printf("  peak hospital   %lu beds\n",
+              static_cast<unsigned long>([&] {
+                std::uint64_t peak = 0;
+                for (Tick t = 0; t < sim_config.num_ticks; ++t) {
+                  peak = std::max(peak, cube.occupancy(
+                      t, model.state_id(covid_states::kHospitalized)));
+                }
+                return peak;
+              }()));
+  std::printf("  R estimate      %.2f (mean offspring, early cases)\n",
+              forest.mean_offspring());
+  return 0;
+}

@@ -1,0 +1,208 @@
+#include "analytics/aggregate.hpp"
+
+#include "util/error.hpp"
+
+namespace epi {
+
+SummaryCube::SummaryCube(Tick ticks, std::size_t health_states)
+    : ticks_(ticks), health_states_(health_states) {
+  EPI_REQUIRE(ticks > 0 && health_states > 0, "empty summary cube");
+  data_.assign(static_cast<std::size_t>(ticks) * health_states *
+                   kAgeGroupCount,
+               StateCounts{});
+}
+
+StateCounts& SummaryCube::at(Tick t, HealthStateId s, AgeGroup g) {
+  EPI_REQUIRE(t >= 0 && t < ticks_ && s < health_states_, "cube index out of range");
+  return data_[(static_cast<std::size_t>(t) * health_states_ + s) *
+                   kAgeGroupCount +
+               static_cast<std::size_t>(g)];
+}
+
+const StateCounts& SummaryCube::at(Tick t, HealthStateId s, AgeGroup g) const {
+  return const_cast<SummaryCube*>(this)->at(t, s, g);
+}
+
+std::uint64_t SummaryCube::entered(Tick t, HealthStateId s) const {
+  std::uint64_t total = 0;
+  for (int g = 0; g < kAgeGroupCount; ++g) {
+    total += at(t, s, static_cast<AgeGroup>(g)).entered;
+  }
+  return total;
+}
+
+std::uint64_t SummaryCube::occupancy(Tick t, HealthStateId s) const {
+  std::uint64_t total = 0;
+  for (int g = 0; g < kAgeGroupCount; ++g) {
+    total += at(t, s, static_cast<AgeGroup>(g)).occupancy;
+  }
+  return total;
+}
+
+std::uint64_t SummaryCube::cumulative(Tick t, HealthStateId s) const {
+  std::uint64_t total = 0;
+  for (int g = 0; g < kAgeGroupCount; ++g) {
+    total += at(t, s, static_cast<AgeGroup>(g)).cumulative;
+  }
+  return total;
+}
+
+std::uint64_t SummaryCube::byte_size() const {
+  return data_.size() * 3 * sizeof(std::uint64_t);
+}
+
+SummaryCube build_summary_cube(const SimOutput& output,
+                               const Population& population,
+                               const DiseaseModel& model, Tick ticks) {
+  SummaryCube cube(ticks, model.state_count());
+  // Occupancy tracking: per (state, age group) current counts, advanced
+  // tick by tick while consuming the (tick-ordered) transition log.
+  std::vector<std::int64_t> occupancy(model.state_count() * kAgeGroupCount, 0);
+  std::vector<std::uint64_t> cumulative(model.state_count() * kAgeGroupCount,
+                                        0);
+  std::vector<HealthStateId> current(population.person_count(),
+                                     model.initial_state());
+  // Initial occupancy: everyone susceptible.
+  for (PersonId p = 0; p < population.person_count(); ++p) {
+    const auto g = static_cast<std::size_t>(population.age_group(p));
+    ++occupancy[model.initial_state() * kAgeGroupCount + g];
+  }
+
+  std::size_t cursor = 0;
+  for (Tick t = 0; t < ticks; ++t) {
+    while (cursor < output.transitions.size() &&
+           output.transitions[cursor].tick == t) {
+      const TransitionEvent& event = output.transitions[cursor];
+      const auto g = static_cast<std::size_t>(
+          population.age_group(event.person));
+      const HealthStateId old_state = current[event.person];
+      --occupancy[old_state * kAgeGroupCount + g];
+      ++occupancy[event.exit_state * kAgeGroupCount + g];
+      ++cumulative[event.exit_state * kAgeGroupCount + g];
+      current[event.person] = event.exit_state;
+      ++cube.at(t, event.exit_state, static_cast<AgeGroup>(g)).entered;
+      ++cursor;
+    }
+    for (std::size_t s = 0; s < model.state_count(); ++s) {
+      for (int g = 0; g < kAgeGroupCount; ++g) {
+        auto& cell =
+            cube.at(t, static_cast<HealthStateId>(s), static_cast<AgeGroup>(g));
+        cell.occupancy = static_cast<std::uint64_t>(
+            occupancy[s * kAgeGroupCount + static_cast<std::size_t>(g)]);
+        cell.cumulative =
+            cumulative[s * kAgeGroupCount + static_cast<std::size_t>(g)];
+      }
+    }
+  }
+  return cube;
+}
+
+const char* aggregation_target_name(AggregationTarget target) {
+  switch (target) {
+    case AggregationTarget::kNewConfirmed: return "new_confirmed";
+    case AggregationTarget::kHospitalOccupancy: return "hospital_occupancy";
+    case AggregationTarget::kVentilatorOccupancy: return "ventilator_occupancy";
+    case AggregationTarget::kCumulativeDeaths: return "cumulative_deaths";
+    case AggregationTarget::kCumulativeConfirmed: return "cumulative_confirmed";
+  }
+  return "?";
+}
+
+namespace {
+
+// Classifies whether a transition event contributes to a target and
+// whether occupancy semantics (enter +1 / leave -1) apply.
+bool state_matches(const DiseaseModel& model, HealthStateId s,
+                   AggregationTarget target) {
+  const HealthState& state = model.state(s);
+  switch (target) {
+    case AggregationTarget::kNewConfirmed:
+    case AggregationTarget::kCumulativeConfirmed:
+      return state.counts_as_symptomatic;
+    case AggregationTarget::kHospitalOccupancy:
+      return state.counts_as_hospitalized;
+    case AggregationTarget::kVentilatorOccupancy:
+      return state.counts_as_ventilated;
+    case AggregationTarget::kCumulativeDeaths:
+      return state.counts_as_death;
+  }
+  return false;
+}
+
+bool target_is_occupancy(AggregationTarget target) {
+  return target == AggregationTarget::kHospitalOccupancy ||
+         target == AggregationTarget::kVentilatorOccupancy;
+}
+
+bool target_is_cumulative(AggregationTarget target) {
+  return target == AggregationTarget::kCumulativeDeaths ||
+         target == AggregationTarget::kCumulativeConfirmed;
+}
+
+}  // namespace
+
+CountySeries aggregate_by_county(const SimOutput& output,
+                                 const Population& population,
+                                 const DiseaseModel& model, Tick ticks,
+                                 AggregationTarget target) {
+  CountySeries series;
+  series.county_fips = population.county_fips_codes();
+  series.values.assign(population.county_count(),
+                       std::vector<double>(static_cast<std::size_t>(ticks), 0.0));
+
+  // For "new confirmed" we count the FIRST entry of a person into a
+  // symptomatic-class state, not internal moves between symptomatic
+  // states (Symptomatic -> Attended must not double-count).
+  std::vector<HealthStateId> current(population.person_count(),
+                                     model.initial_state());
+  for (const TransitionEvent& event : output.transitions) {
+    if (event.tick >= ticks) break;
+    const HealthStateId old_state = current[event.person];
+    current[event.person] = event.exit_state;
+    const bool was = state_matches(model, old_state, target);
+    const bool is = state_matches(model, event.exit_state, target);
+    const auto county = population.person(event.person).county;
+    auto& row = series.values[county];
+    const auto t = static_cast<std::size_t>(event.tick);
+    if (target_is_occupancy(target)) {
+      // Mark entry/exit deltas; converted to occupancy below.
+      if (!was && is) row[t] += 1.0;
+      if (was && !is) row[t] -= 1.0;
+    } else {
+      if (!was && is) row[t] += 1.0;
+    }
+  }
+  if (target_is_occupancy(target) || target_is_cumulative(target)) {
+    for (auto& row : series.values) {
+      double running = 0.0;
+      for (double& value : row) {
+        running += value;
+        value = running;
+      }
+    }
+  }
+  return series;
+}
+
+std::vector<double> aggregate_state_series(const SimOutput& output,
+                                           const Population& population,
+                                           const DiseaseModel& model,
+                                           Tick ticks,
+                                           AggregationTarget target) {
+  const CountySeries series =
+      aggregate_by_county(output, population, model, ticks, target);
+  std::vector<double> total(static_cast<std::size_t>(ticks), 0.0);
+  for (const auto& row : series.values) {
+    for (std::size_t t = 0; t < row.size(); ++t) total[t] += row[t];
+  }
+  return total;
+}
+
+std::uint64_t raw_output_bytes(const SimOutput& output) {
+  // Production line format: "tick,pid,exitState,contactPid\n" — around 40
+  // bytes per transition at national-scale person-id widths.
+  constexpr std::uint64_t kBytesPerLine = 40;
+  return output.transitions.size() * kBytesPerLine;
+}
+
+}  // namespace epi

@@ -1,0 +1,100 @@
+// Post-simulation aggregation (paper §III "Output data" and Figs 3-5
+// footnotes).
+//
+// EpiHiper emits individual state transitions; the workflow aggregates
+// them into the summary cube the calibration and prediction steps consume:
+// per day x (health state x age group) x 3 counts — newly entered,
+// current occupancy, cumulative entered. The paper's "90 health states"
+// is exactly this state-x-age-group stratification; with our 15-state
+// COVID model and 5 age groups the cube carries 75 stratified states.
+// County-level epicurves (daily counts of symptomatic cases,
+// hospitalizations, ventilations, deaths) are derived the same way.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "epihiper/disease_model.hpp"
+#include "epihiper/simulation.hpp"
+#include "synthpop/population.hpp"
+
+namespace epi {
+
+/// The three counts tracked per stratified state per day.
+struct StateCounts {
+  std::uint64_t entered = 0;     // transitions into the state this day
+  std::uint64_t occupancy = 0;   // persons in the state at end of day
+  std::uint64_t cumulative = 0;  // total transitions into the state so far
+};
+
+/// Summary cube: [tick][state * kAgeGroupCount + age_group] -> StateCounts.
+class SummaryCube {
+ public:
+  SummaryCube(Tick ticks, std::size_t health_states);
+
+  Tick ticks() const { return ticks_; }
+  std::size_t stratified_states() const {
+    return health_states_ * kAgeGroupCount;
+  }
+  std::size_t health_states() const { return health_states_; }
+
+  StateCounts& at(Tick t, HealthStateId s, AgeGroup g);
+  const StateCounts& at(Tick t, HealthStateId s, AgeGroup g) const;
+
+  /// Sum of a count across age groups.
+  std::uint64_t entered(Tick t, HealthStateId s) const;
+  std::uint64_t occupancy(Tick t, HealthStateId s) const;
+  std::uint64_t cumulative(Tick t, HealthStateId s) const;
+
+  /// Serialized size in bytes (Table I summary-output accounting:
+  /// ticks x stratified states x 3 counts x 8 bytes).
+  std::uint64_t byte_size() const;
+
+ private:
+  Tick ticks_;
+  std::size_t health_states_;
+  std::vector<StateCounts> data_;
+};
+
+/// Builds the summary cube from a replicate's transition log. Initial
+/// occupancy is everyone in the model's initial state.
+SummaryCube build_summary_cube(const SimOutput& output,
+                               const Population& population,
+                               const DiseaseModel& model, Tick ticks);
+
+/// County-level daily series of one aggregation target.
+struct CountySeries {
+  /// values[county][tick]
+  std::vector<std::vector<double>> values;
+  std::vector<std::uint32_t> county_fips;
+};
+
+enum class AggregationTarget {
+  kNewConfirmed,     // new symptomatic-class entries per day
+  kHospitalOccupancy,
+  kVentilatorOccupancy,
+  kCumulativeDeaths,
+  kCumulativeConfirmed,
+};
+
+const char* aggregation_target_name(AggregationTarget target);
+
+/// County-resolved aggregation of a replicate.
+CountySeries aggregate_by_county(const SimOutput& output,
+                                 const Population& population,
+                                 const DiseaseModel& model, Tick ticks,
+                                 AggregationTarget target);
+
+/// State-level series (sum over counties).
+std::vector<double> aggregate_state_series(const SimOutput& output,
+                                           const Population& population,
+                                           const DiseaseModel& model,
+                                           Tick ticks,
+                                           AggregationTarget target);
+
+/// Raw-output size in bytes of a replicate's transition log, using the
+/// production line format width (the Table I raw-output accounting).
+std::uint64_t raw_output_bytes(const SimOutput& output);
+
+}  // namespace epi

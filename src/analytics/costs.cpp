@@ -1,0 +1,43 @@
+#include "analytics/costs.hpp"
+
+namespace epi {
+
+MedicalCostBreakdown medical_costs(const SummaryCube& cube,
+                                   const DiseaseModel& model,
+                                   const MedicalCostParams& params) {
+  MedicalCostBreakdown out;
+  for (std::size_t s = 0; s < model.state_count(); ++s) {
+    const HealthState& state = model.state(static_cast<HealthStateId>(s));
+    for (Tick t = 0; t < cube.ticks(); ++t) {
+      const std::uint64_t entered =
+          cube.entered(t, static_cast<HealthStateId>(s));
+      const std::uint64_t occupancy =
+          cube.occupancy(t, static_cast<HealthStateId>(s));
+      // Outpatient attention: every entry into a symptomatic-class state
+      // that is neither hospital nor death is one attended case; to avoid
+      // double counting along Symptomatic -> Attended chains we charge on
+      // the Attended-type states only (symptomatic && !hospitalized).
+      if (state.counts_as_symptomatic && !state.counts_as_hospitalized &&
+          state.name != "Symptomatic") {
+        out.attended_cases += entered;
+      }
+      if (state.counts_as_hospitalized && !state.counts_as_ventilated) {
+        out.hospital_days += occupancy;
+      }
+      if (state.counts_as_ventilated) {
+        out.ventilator_days += occupancy;
+      }
+      if (state.counts_as_death) {
+        out.deaths += entered;
+      }
+    }
+  }
+  out.outpatient = params.outpatient_visit * static_cast<double>(out.attended_cases);
+  out.hospital = params.hospital_day * static_cast<double>(out.hospital_days);
+  out.ventilator =
+      params.ventilator_day * static_cast<double>(out.ventilator_days);
+  out.death = params.death_additional * static_cast<double>(out.deaths);
+  return out;
+}
+
+}  // namespace epi

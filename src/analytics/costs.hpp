@@ -1,0 +1,46 @@
+// Medical-cost model (paper §VII, case study "Medical costs of COVID-19";
+// companion reference [9], Chen et al., "Medical costs of keeping the US
+// economy open during COVID-19").
+//
+// Per-patient costs depend on disease severity: outpatient medical
+// attention is a per-case cost, hospitalization and ventilation are
+// per-day costs. Applied to the aggregated simulation output of each
+// scenario cell to produce the scenario's total medical cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analytics/aggregate.hpp"
+
+namespace epi {
+
+/// 2020-dollar cost parameters (FAIR Health / HCUP-style estimates used by
+/// the companion paper's cost model).
+struct MedicalCostParams {
+  double outpatient_visit = 500.0;        // per medically attended case
+  double hospital_day = 2500.0;           // per inpatient day (non-ICU)
+  double ventilator_day = 5000.0;         // per ventilated ICU day
+  double death_additional = 10000.0;      // end-of-life incremental cost
+};
+
+struct MedicalCostBreakdown {
+  double outpatient = 0.0;
+  double hospital = 0.0;
+  double ventilator = 0.0;
+  double death = 0.0;
+  double total() const {
+    return outpatient + hospital + ventilator + death;
+  }
+  std::uint64_t attended_cases = 0;
+  std::uint64_t hospital_days = 0;
+  std::uint64_t ventilator_days = 0;
+  std::uint64_t deaths = 0;
+};
+
+/// Computes the scenario cost from a replicate's summary cube.
+MedicalCostBreakdown medical_costs(const SummaryCube& cube,
+                                   const DiseaseModel& model,
+                                   const MedicalCostParams& params = {});
+
+}  // namespace epi

@@ -1,0 +1,83 @@
+#include "analytics/dendrogram.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+TransmissionForest::TransmissionForest(
+    const std::vector<TransitionEvent>& transitions) {
+  for (const TransitionEvent& event : transitions) {
+    last_tick_ = std::max(last_tick_, event.tick);
+    // An infection event is the first transition of a person caused by a
+    // contact, or a seeded exposure (no infector). Later transitions of
+    // the same person are within-host progressions.
+    if (infected_at_.count(event.person) != 0) continue;
+    if (event.infector != kNoPerson) {
+      infected_at_[event.person] = event.tick;
+      children_[event.infector].push_back(event.person);
+      ++edges_;
+    } else if (event.exit_state != kNoState) {
+      // A seed: treat the first causeless transition as the root infection
+      // if the person is never attributed to an infector.
+      infected_at_[event.person] = event.tick;
+      roots_.push_back(event.person);
+    }
+  }
+}
+
+const std::vector<PersonId>& TransmissionForest::children(PersonId p) const {
+  const auto it = children_.find(p);
+  return it == children_.end() ? empty_ : it->second;
+}
+
+Tick TransmissionForest::infection_tick(PersonId p) const {
+  const auto it = infected_at_.find(p);
+  return it == infected_at_.end() ? -1 : it->second;
+}
+
+std::size_t TransmissionForest::tree_size(PersonId root) const {
+  std::size_t size = 0;
+  std::vector<PersonId> stack = {root};
+  while (!stack.empty()) {
+    const PersonId node = stack.back();
+    stack.pop_back();
+    ++size;
+    for (PersonId child : children(node)) stack.push_back(child);
+  }
+  return size;
+}
+
+std::size_t TransmissionForest::tree_depth(PersonId root) const {
+  std::size_t max_depth = 0;
+  std::vector<std::pair<PersonId, std::size_t>> stack = {{root, 0}};
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    for (PersonId child : children(node)) stack.emplace_back(child, depth + 1);
+  }
+  return max_depth;
+}
+
+double TransmissionForest::mean_offspring(Tick horizon) const {
+  // Only count persons infected early enough that their offspring are
+  // fully observed; otherwise right-censoring biases the estimate down.
+  std::size_t eligible = 0;
+  std::size_t offspring = 0;
+  for (const auto& [person, tick] : infected_at_) {
+    if (tick + horizon > last_tick_) continue;
+    ++eligible;
+    offspring += children(person).size();
+  }
+  if (eligible == 0) return 0.0;
+  return static_cast<double>(offspring) / static_cast<double>(eligible);
+}
+
+std::uint64_t TransmissionForest::byte_size() const {
+  // "infectorPid,personPid,tick\n" ~ 24 bytes per transmission edge.
+  return (edges_ + roots_.size()) * 24;
+}
+
+}  // namespace epi

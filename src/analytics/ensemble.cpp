@@ -1,0 +1,45 @@
+#include "analytics/ensemble.hpp"
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace epi {
+
+EnsembleBand ensemble_band(const std::vector<std::vector<double>>& curves,
+                           double level) {
+  EPI_REQUIRE(!curves.empty(), "empty ensemble");
+  EPI_REQUIRE(level > 0.0 && level < 1.0, "band level out of (0,1)");
+  const std::size_t length = curves[0].size();
+  for (const auto& curve : curves) {
+    EPI_REQUIRE(curve.size() == length, "ensemble curves differ in length");
+  }
+  const double tail = (1.0 - level) / 2.0;
+  EnsembleBand band;
+  band.median.resize(length);
+  band.lo.resize(length);
+  band.hi.resize(length);
+  band.mean.resize(length);
+  std::vector<double> column(curves.size());
+  for (std::size_t t = 0; t < length; ++t) {
+    for (std::size_t i = 0; i < curves.size(); ++i) column[i] = curves[i][t];
+    band.median[t] = quantile(column, 0.5);
+    band.lo[t] = quantile(column, tail);
+    band.hi[t] = quantile(column, 1.0 - tail);
+    band.mean[t] = mean(column);
+  }
+  return band;
+}
+
+double band_coverage(const EnsembleBand& band,
+                     const std::vector<double>& observed) {
+  EPI_REQUIRE(observed.size() == band.lo.size(),
+              "observed/band length mismatch");
+  if (observed.empty()) return 0.0;
+  std::size_t inside = 0;
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    if (observed[t] >= band.lo[t] && observed[t] <= band.hi[t]) ++inside;
+  }
+  return static_cast<double>(inside) / static_cast<double>(observed.size());
+}
+
+}  // namespace epi

@@ -1,0 +1,28 @@
+// Ensemble summarization: the prediction workflow runs many replicates per
+// cell and reports forecast targets with uncertainty ("the ensemble of the
+// model configurations and the simulation output provides uncertainty
+// quantification on the predictions", Fig 17's median + 95% band).
+#pragma once
+
+#include <vector>
+
+namespace epi {
+
+/// Quantile band of an ensemble of equal-length curves.
+struct EnsembleBand {
+  std::vector<double> median;
+  std::vector<double> lo;   // lower quantile
+  std::vector<double> hi;   // upper quantile
+  std::vector<double> mean;
+};
+
+/// Computes the pointwise band. `level` = 0.95 gives the 2.5/97.5%
+/// envelope.
+EnsembleBand ensemble_band(const std::vector<std::vector<double>>& curves,
+                           double level = 0.95);
+
+/// Fraction of `observed` points falling inside [lo, hi].
+double band_coverage(const EnsembleBand& band,
+                     const std::vector<double>& observed);
+
+}  // namespace epi

@@ -1,0 +1,109 @@
+#include "analytics/forecast.hpp"
+
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace epi {
+
+const std::vector<double>& forecast_quantile_levels() {
+  // The CDC forecast-hub 23-quantile set.
+  static const std::vector<double> levels = {
+      0.01, 0.025, 0.05, 0.1,  0.15, 0.2,  0.25, 0.3,  0.35, 0.4,  0.45, 0.5,
+      0.55, 0.6,   0.65, 0.7,  0.75, 0.8,  0.85, 0.9,  0.95, 0.975, 0.99};
+  return levels;
+}
+
+const ForecastEntry& ForecastProduct::entry(AggregationTarget target,
+                                            int horizon_weeks) const {
+  for (const ForecastEntry& e : entries) {
+    if (e.target == target && e.horizon_weeks == horizon_weeks) return e;
+  }
+  throw ConfigError("forecast entry not found: " +
+                    std::string(aggregation_target_name(target)) + " week " +
+                    std::to_string(horizon_weeks));
+}
+
+void ForecastProduct::write_csv(std::ostream& out) const {
+  out << "region,target,horizon_weeks,quantile_level,value\n";
+  const auto& levels = forecast_quantile_levels();
+  for (const ForecastEntry& e : entries) {
+    for (std::size_t q = 0; q < levels.size(); ++q) {
+      out << region << ',' << aggregation_target_name(e.target) << ','
+          << e.horizon_weeks << ',' << levels[q] << ',' << e.quantiles[q]
+          << '\n';
+    }
+  }
+}
+
+namespace {
+
+bool target_is_cumulative_style(AggregationTarget target) {
+  return target == AggregationTarget::kCumulativeConfirmed ||
+         target == AggregationTarget::kCumulativeDeaths ||
+         target == AggregationTarget::kHospitalOccupancy ||
+         target == AggregationTarget::kVentilatorOccupancy;
+}
+
+}  // namespace
+
+ForecastProduct build_forecast(const std::vector<SimOutput>& ensemble,
+                               const Population& population,
+                               const DiseaseModel& model, Tick forecast_tick,
+                               int max_horizon_weeks,
+                               const std::string& region) {
+  EPI_REQUIRE(!ensemble.empty(), "forecast needs at least one replicate");
+  EPI_REQUIRE(max_horizon_weeks >= 1, "need at least one horizon week");
+  const Tick needed = forecast_tick + 7 * max_horizon_weeks;
+  ForecastProduct product;
+  product.region = region;
+  product.forecast_tick = forecast_tick;
+
+  const AggregationTarget targets[] = {
+      AggregationTarget::kNewConfirmed,
+      AggregationTarget::kCumulativeConfirmed,
+      AggregationTarget::kHospitalOccupancy,
+      AggregationTarget::kCumulativeDeaths,
+  };
+  const auto& levels = forecast_quantile_levels();
+
+  for (const AggregationTarget target : targets) {
+    // Per-replicate full series for this target.
+    std::vector<std::vector<double>> series;
+    series.reserve(ensemble.size());
+    for (const SimOutput& output : ensemble) {
+      series.push_back(
+          aggregate_state_series(output, population, model, needed, target));
+    }
+    for (int week = 1; week <= max_horizon_weeks; ++week) {
+      const Tick week_end = forecast_tick + 7 * week - 1;
+      std::vector<double> values;
+      values.reserve(series.size());
+      for (const auto& replicate : series) {
+        if (target_is_cumulative_style(target)) {
+          values.push_back(replicate[static_cast<std::size_t>(week_end)]);
+        } else {
+          // Weekly incidence: sum over the horizon week.
+          double weekly = 0.0;
+          for (Tick t = week_end - 6; t <= week_end; ++t) {
+            weekly += replicate[static_cast<std::size_t>(t)];
+          }
+          values.push_back(weekly);
+        }
+      }
+      ForecastEntry entry;
+      entry.target = target;
+      entry.horizon_weeks = week;
+      entry.quantiles.reserve(levels.size());
+      for (double level : levels) {
+        entry.quantiles.push_back(quantile(values, level));
+      }
+      entry.point = quantile(values, 0.5);
+      product.entries.push_back(std::move(entry));
+    }
+  }
+  return product;
+}
+
+}  // namespace epi

@@ -1,0 +1,53 @@
+// Forecast products (paper §II, Prediction workflow): "aggregate
+// individual-level output to obtain future counts for various forecasting
+// targets (e.g. confirmed cases, hospitalizations, deaths) at various
+// spatial resolution (state or county level) with different temporal
+// horizons". The group submitted weekly quantile forecasts to the CDC
+// forecast hub; this module assembles exactly that product — per target,
+// per horizon week, the standard quantile set — from an ensemble of
+// simulation replicates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analytics/aggregate.hpp"
+#include "epihiper/simulation.hpp"
+
+namespace epi {
+
+/// The CDC forecast-hub quantile levels.
+const std::vector<double>& forecast_quantile_levels();
+
+struct ForecastEntry {
+  AggregationTarget target = AggregationTarget::kNewConfirmed;
+  int horizon_weeks = 1;        // weeks ahead of the forecast date
+  std::vector<double> quantiles;  // aligned with forecast_quantile_levels()
+  double point = 0.0;             // median point forecast
+};
+
+/// One submission: every (target, horizon) pair for a region.
+struct ForecastProduct {
+  std::string region;
+  Tick forecast_tick = 0;  // the "as of" day within the simulations
+  std::vector<ForecastEntry> entries;
+
+  /// Entry lookup; throws if absent.
+  const ForecastEntry& entry(AggregationTarget target, int horizon_weeks) const;
+
+  /// Serializes in the forecast-hub CSV layout:
+  /// region,target,horizon_weeks,quantile_level,value
+  void write_csv(std::ostream& out) const;
+};
+
+/// Builds the product from ensemble replicate outputs. Each output must
+/// cover at least forecast_tick + 7 * max_horizon_weeks ticks. Weekly
+/// values are the target series at the end of each horizon week
+/// (cumulative targets) or summed over the week (incidence targets).
+ForecastProduct build_forecast(const std::vector<SimOutput>& ensemble,
+                               const Population& population,
+                               const DiseaseModel& model, Tick forecast_tick,
+                               int max_horizon_weeks,
+                               const std::string& region);
+
+}  // namespace epi

@@ -1,0 +1,75 @@
+#include "analytics/output_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace epi {
+
+std::uint64_t write_transitions_csv(std::ostream& out,
+                                    const std::vector<TransitionEvent>& events,
+                                    const DiseaseModel& model) {
+  std::uint64_t bytes = 0;
+  auto emit = [&](const std::string& line) {
+    out << line << '\n';
+    bytes += line.size() + 1;
+  };
+  emit("tick,pid,exitState,contactPid");
+  std::string line;
+  for (const TransitionEvent& event : events) {
+    line.clear();
+    line += std::to_string(event.tick);
+    line += ',';
+    line += std::to_string(event.person);
+    line += ',';
+    line += model.state(event.exit_state).name;
+    line += ',';
+    if (event.infector != kNoPerson) {
+      line += std::to_string(event.infector);
+    }
+    emit(line);
+  }
+  EPI_REQUIRE(out.good(), "short write of transition log");
+  return bytes;
+}
+
+std::vector<TransitionEvent> read_transitions_csv(std::istream& in,
+                                                  const DiseaseModel& model) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const CsvTable table = parse_csv(buffer.str());
+  std::vector<TransitionEvent> events;
+  events.reserve(table.row_count());
+  for (std::size_t row = 0; row < table.row_count(); ++row) {
+    TransitionEvent event;
+    event.tick = static_cast<Tick>(table.cell_int(row, "tick"));
+    event.person = static_cast<PersonId>(table.cell_int(row, "pid"));
+    event.exit_state = model.state_id(table.cell(row, table.column("exitState")));
+    const std::string& contact = table.cell(row, table.column("contactPid"));
+    event.infector = contact.empty()
+                         ? kNoPerson
+                         : static_cast<PersonId>(std::stoul(contact));
+    events.push_back(event);
+  }
+  return events;
+}
+
+std::uint64_t write_transitions_file(const std::string& path,
+                                     const std::vector<TransitionEvent>& events,
+                                     const DiseaseModel& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ConfigError("cannot write transition log: " + path);
+  return write_transitions_csv(out, events, model);
+}
+
+std::vector<TransitionEvent> read_transitions_file(const std::string& path,
+                                                   const DiseaseModel& model) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ConfigError("cannot read transition log: " + path);
+  return read_transitions_csv(in, model);
+}
+
+}  // namespace epi

@@ -1,0 +1,36 @@
+// Metropolis MCMC (Appendix E: "This posterior is explored via MCMC";
+// metapopulation calibration uses "metropolis update in the Markov
+// chain"). Random-walk Metropolis with per-dimension Gaussian proposals
+// and optional scale adaptation during burn-in.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace epi {
+
+struct McmcConfig {
+  std::size_t samples = 2000;       // post-burn-in samples kept
+  std::size_t burn_in = 1000;
+  std::size_t thin = 1;
+  double initial_step = 0.08;       // proposal sd per dimension
+  bool adapt_during_burn_in = true; // tune toward ~30% acceptance
+};
+
+struct McmcResult {
+  std::vector<std::vector<double>> samples;  // samples x dims
+  double acceptance_rate = 0.0;
+  std::vector<double> final_step;            // adapted proposal scales
+  double best_log_density = -1e300;
+  std::vector<double> best_point;
+};
+
+/// Runs random-walk Metropolis on `log_density` starting at `initial`.
+/// The density may return -inf (< -1e299) outside its support.
+McmcResult metropolis(
+    const std::function<double(const std::vector<double>&)>& log_density,
+    std::vector<double> initial, const McmcConfig& config, Rng& rng);
+
+}  // namespace epi

@@ -1,0 +1,111 @@
+#include "cluster/coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+ConflictGraph::ConflictGraph(std::size_t vertices) : adjacency_(vertices) {}
+
+void ConflictGraph::add_edge(std::size_t u, std::size_t v) {
+  EPI_REQUIRE(u < adjacency_.size() && v < adjacency_.size(),
+              "conflict edge endpoint out of range");
+  EPI_REQUIRE(u != v, "self-conflict not allowed");
+  // Idempotent: a duplicate edge is the same conflict (parallel edges
+  // would double-count in the coloring budgets).
+  for (std::size_t existing : adjacency_[u]) {
+    if (existing == v) return;
+  }
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++edges_;
+}
+
+const std::vector<std::size_t>& ConflictGraph::neighbors(std::size_t v) const {
+  EPI_REQUIRE(v < adjacency_.size(), "vertex out of range");
+  return adjacency_[v];
+}
+
+ConflictGraph ConflictGraph::union_of_cliques(
+    std::size_t vertices, const std::vector<std::vector<std::size_t>>& groups) {
+  ConflictGraph graph(vertices);
+  for (const auto& group : groups) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      for (std::size_t j = i + 1; j < group.size(); ++j) {
+        graph.add_edge(group[i], group[j]);
+      }
+    }
+  }
+  return graph;
+}
+
+RelaxedColoring relaxed_coloring(const ConflictGraph& graph, std::size_t r) {
+  const std::size_t n = graph.vertex_count();
+  constexpr std::size_t kUncolored = static_cast<std::size_t>(-1);
+  RelaxedColoring result;
+  result.color.assign(n, kUncolored);
+  if (n == 0) return result;
+
+  // Non-increasing degree order (hard vertices first).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return graph.neighbors(a).size() > graph.neighbors(b).size();
+  });
+
+  // conflict_count[v][c] = how many neighbors of v currently have color c.
+  // Stored sparsely per vertex as a small vector grown on demand.
+  std::vector<std::vector<std::size_t>> conflict_count(n);
+  auto count_of = [&](std::size_t v, std::size_t c) -> std::size_t {
+    return c < conflict_count[v].size() ? conflict_count[v][c] : 0;
+  };
+  auto bump = [&](std::size_t v, std::size_t c) {
+    if (conflict_count[v].size() <= c) conflict_count[v].resize(c + 1, 0);
+    ++conflict_count[v][c];
+  };
+
+  for (std::size_t v : order) {
+    for (std::size_t c = 0;; ++c) {
+      // (a) v itself must tolerate color c: at most r-1 like-colored
+      // neighbors.
+      if (count_of(v, c) + 1 > r) continue;
+      // (b) every neighbor already colored c must stay within budget after
+      // v joins.
+      bool ok = true;
+      for (std::size_t u : graph.neighbors(v)) {
+        if (result.color[u] == c && count_of(u, c) + 2 > r) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      result.color[v] = c;
+      result.colors_used = std::max(result.colors_used, c + 1);
+      for (std::size_t u : graph.neighbors(v)) bump(u, c);
+      break;
+    }
+  }
+  return result;
+}
+
+bool coloring_is_valid(const ConflictGraph& graph,
+                       const std::vector<std::size_t>& color, std::size_t r) {
+  if (color.size() != graph.vertex_count()) return false;
+  for (std::size_t v = 0; v < color.size(); ++v) {
+    std::size_t same = 0;
+    for (std::size_t u : graph.neighbors(v)) {
+      if (color[u] == color[v]) ++same;
+    }
+    if (same + 1 > r) return false;
+  }
+  return true;
+}
+
+std::size_t clique_color_lower_bound(std::size_t clique_size, std::size_t r) {
+  if (clique_size == 0) return 0;
+  return (clique_size + r - 1) / r;
+}
+
+}  // namespace epi

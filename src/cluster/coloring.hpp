@@ -1,0 +1,60 @@
+// The r-relaxed coloring problem (paper §V, "Database Access
+// Constraints").
+//
+// Tasks are vertices; an edge means two tasks conflict (they would
+// overload a shared database if run simultaneously). An r-relaxed
+// coloring assigns each vertex a color such that fewer than r of its
+// neighbors share it (at most r-1); r = 1 degenerates to proper
+// coloring (so the problem is NP-hard) and colors correspond to
+// co-schedulable batches. The paper sidesteps the general problem by
+// splitting one database per region (Step 1), which makes the conflict
+// graph a disjoint union of cliques; both the general greedy heuristic and
+// the clique specialization live here so the ablation bench can compare
+// them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace epi {
+
+/// Undirected conflict graph on vertices 0..n-1.
+class ConflictGraph {
+ public:
+  explicit ConflictGraph(std::size_t vertices);
+
+  void add_edge(std::size_t u, std::size_t v);
+  std::size_t vertex_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edges_; }
+  const std::vector<std::size_t>& neighbors(std::size_t v) const;
+
+  /// Builds the union-of-cliques graph of the per-region decomposition:
+  /// `groups[i]` lists the vertices of clique i.
+  static ConflictGraph union_of_cliques(
+      std::size_t vertices, const std::vector<std::vector<std::size_t>>& groups);
+
+ private:
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::size_t edges_ = 0;
+};
+
+/// Result of an r-relaxed coloring.
+struct RelaxedColoring {
+  std::vector<std::size_t> color;  // per vertex
+  std::size_t colors_used = 0;
+};
+
+/// Greedy r-relaxed coloring: vertices in non-increasing degree order,
+/// each assigned the smallest color that keeps BOTH the vertex and all its
+/// like-colored neighbors within the (r-1)-shared-neighbor budget.
+RelaxedColoring relaxed_coloring(const ConflictGraph& graph, std::size_t r);
+
+/// Validity check: every vertex shares its color with fewer than r neighbors.
+bool coloring_is_valid(const ConflictGraph& graph,
+                       const std::vector<std::size_t>& color, std::size_t r);
+
+/// Lower bound on colors for a clique of size k under r-relaxation:
+/// ceil(k / r) — each color class within a clique has size <= r.
+std::size_t clique_color_lower_bound(std::size_t clique_size, std::size_t r);
+
+}  // namespace epi

@@ -1,0 +1,33 @@
+#include "cluster/machine.hpp"
+
+namespace epi {
+
+ClusterSpec bridges_cluster() {
+  ClusterSpec spec;
+  spec.name = "Bridges (PSC)";
+  spec.nodes = 720;
+  spec.cpus_per_node = 2;
+  spec.cores_per_cpu = 14;
+  spec.ram_gb_per_node = 128.0;
+  spec.cpu_model = "Intel Haswell E5-2695 v3";
+  spec.interconnect = "Intel Omnipath-1";
+  spec.filesystem = "Lustre";
+  spec.window_hours = 10.0;  // 10pm - 8am exclusive access
+  return spec;
+}
+
+ClusterSpec rivanna_cluster() {
+  ClusterSpec spec;
+  spec.name = "Rivanna (UVA)";
+  spec.nodes = 50;
+  spec.cpus_per_node = 2;
+  spec.cores_per_cpu = 20;
+  spec.ram_gb_per_node = 384.0;
+  spec.cpu_model = "Intel Xeon Gold 6148";
+  spec.interconnect = "Mellanox ConnectX-5";
+  spec.filesystem = "Lustre";
+  spec.window_hours = 0.0;  // home cluster: always available
+  return spec;
+}
+
+}  // namespace epi

@@ -1,0 +1,41 @@
+// Cluster hardware models (paper Table II).
+//
+// The production deployment spans two machines: the remote super-computing
+// cluster (Bridges at PSC — 720 allocated nodes, 2x14-core Haswell, 128 GB,
+// available to the project 10pm-8am) and the home cluster (Rivanna at UVA —
+// 50 nodes, 2x20-core Skylake, 384 GB). The discrete-event scheduler and
+// the workflow engine run against these specs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace epi {
+
+struct ClusterSpec {
+  std::string name;
+  std::uint32_t nodes = 0;
+  std::uint32_t cpus_per_node = 0;
+  std::uint32_t cores_per_cpu = 0;
+  double ram_gb_per_node = 0.0;
+  std::string cpu_model;
+  std::string interconnect;
+  std::string filesystem;
+  /// Length of the nightly exclusive-access window in hours (0 = always
+  /// available).
+  double window_hours = 0.0;
+
+  std::uint32_t cores_per_node() const { return cpus_per_node * cores_per_cpu; }
+  std::uint64_t total_cores() const {
+    return static_cast<std::uint64_t>(nodes) * cores_per_node();
+  }
+  double total_ram_gb() const { return nodes * ram_gb_per_node; }
+};
+
+/// The remote super-computing cluster (Bridges @ PSC), Table II column 1.
+ClusterSpec bridges_cluster();
+
+/// The home cluster (Rivanna @ UVA), Table II column 2.
+ClusterSpec rivanna_cluster();
+
+}  // namespace epi

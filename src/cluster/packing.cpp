@@ -1,0 +1,112 @@
+#include "cluster/packing.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+const char* packing_policy_name(PackingPolicy policy) {
+  switch (policy) {
+    case PackingPolicy::kNextFitArrival: return "NF-arrival";
+    case PackingPolicy::kNextFitDecreasing: return "NFDT-DC";
+    case PackingPolicy::kFirstFitDecreasing: return "FFDT-DC";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Mutable level state during packing.
+struct LevelState {
+  double duration = 0.0;
+  std::uint32_t nodes_used = 0;
+  std::map<std::string, std::uint32_t> db_usage;  // region -> connections
+  std::vector<const SimTask*> tasks;
+
+  bool fits(const SimTask& task, std::uint32_t total_nodes,
+            std::uint32_t db_bound) const {
+    if (nodes_used + task.nodes_required > total_nodes) return false;
+    const auto it = db_usage.find(task.region);
+    const std::uint32_t used = it == db_usage.end() ? 0 : it->second;
+    return used + task.db_connections <= db_bound;
+  }
+
+  void place(const SimTask& task) {
+    nodes_used += task.nodes_required;
+    db_usage[task.region] += task.db_connections;
+    duration = std::max(duration, task.est_hours);
+    tasks.push_back(&task);
+  }
+};
+
+}  // namespace
+
+PackingPlan pack_tasks(std::vector<SimTask> tasks, std::uint32_t total_nodes,
+                       PackingPolicy policy, std::uint32_t db_bound) {
+  EPI_REQUIRE(total_nodes > 0, "cluster has no nodes");
+  for (const SimTask& task : tasks) {
+    EPI_REQUIRE(task.nodes_required > 0 && task.nodes_required <= total_nodes,
+                "task " << task.id << " needs " << task.nodes_required
+                        << " nodes on a " << total_nodes << "-node cluster");
+    EPI_REQUIRE(task.db_connections <= db_bound,
+                "task " << task.id << " alone exceeds the DB bound");
+    EPI_REQUIRE(task.est_hours > 0.0, "task with non-positive runtime");
+  }
+
+  if (policy != PackingPolicy::kNextFitArrival) {
+    std::stable_sort(tasks.begin(), tasks.end(),
+                     [](const SimTask& a, const SimTask& b) {
+                       return a.est_hours > b.est_hours;
+                     });
+  }
+
+  std::vector<LevelState> levels;
+  for (const SimTask& task : tasks) {
+    bool placed = false;
+    if (policy == PackingPolicy::kFirstFitDecreasing) {
+      // First fit: earliest level that can take the task.
+      for (LevelState& level : levels) {
+        if (level.fits(task, total_nodes, db_bound)) {
+          level.place(task);
+          placed = true;
+          break;
+        }
+      }
+    } else if (!levels.empty() &&
+               levels.back().fits(task, total_nodes, db_bound)) {
+      // Next fit: only the currently open (= last) level.
+      levels.back().place(task);
+      placed = true;
+    }
+    if (!placed) {
+      levels.emplace_back();
+      levels.back().place(task);
+    }
+  }
+
+  PackingPlan plan;
+  double clock = 0.0;
+  double busy_node_hours = 0.0;
+  for (const LevelState& level : levels) {
+    PackingLevel out;
+    out.start_hours = clock;
+    out.duration_hours = level.duration;
+    out.nodes_used = level.nodes_used;
+    for (const SimTask* task : level.tasks) {
+      out.task_ids.push_back(task->id);
+      plan.start_hours[task->id] = clock;
+      busy_node_hours += task->nodes_required * task->est_hours;
+    }
+    plan.levels.push_back(std::move(out));
+    clock += level.duration;
+  }
+  plan.makespan_hours = clock;
+  plan.planned_utilization =
+      clock > 0.0
+          ? busy_node_hours / (static_cast<double>(total_nodes) * clock)
+          : 1.0;
+  return plan;
+}
+
+}  // namespace epi

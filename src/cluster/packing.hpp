@@ -1,0 +1,62 @@
+// Level-oriented 2D-packing job mapping (paper §V, "Our Mapping heuristic
+// (MAP)").
+//
+// Nodes on the X axis, time on the Y axis; tasks are rectangles
+// (nodes_required x est_hours). Tasks are placed left-to-right into rows
+// ("levels"); a new level starts at the completion time of the slowest
+// task of the previous level. Two orderings from the paper:
+//   * NFDT-DC — Next-Fit Decreasing Time with DB constraints: the current
+//     level is closed as soon as a task does not fit;
+//   * FFDT-DC — First-Fit Decreasing Time with DB constraints: a task is
+//     placed on the FIRST level that can take it (existing levels stay
+//     open), falling back to a new level.
+// Without DB constraints their worst-case guarantees are 2 and 17/10.
+// A third policy, kNextFitArrival, models the paper's initial unsorted
+// production runs, whose utilization was only 44-56%.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/task_model.hpp"
+
+namespace epi {
+
+enum class PackingPolicy {
+  kNextFitArrival,     // next-fit, submission order (initial prod. runs)
+  kNextFitDecreasing,  // NFDT-DC
+  kFirstFitDecreasing, // FFDT-DC
+};
+
+const char* packing_policy_name(PackingPolicy policy);
+
+/// One packing level: tasks starting together at `start_hours`.
+struct PackingLevel {
+  double start_hours = 0.0;
+  double duration_hours = 0.0;  // slowest task on the level
+  std::uint32_t nodes_used = 0;
+  std::vector<std::uint64_t> task_ids;
+};
+
+struct PackingPlan {
+  std::vector<PackingLevel> levels;
+  double makespan_hours = 0.0;
+  /// Planned efficiency EC = sum(task nodes x task hours) /
+  /// (total nodes x makespan) — the paper's utilization metric applied to
+  /// the estimated schedule.
+  double planned_utilization = 0.0;
+  /// Task start times by id (for the DES to replay as release order).
+  std::map<std::uint64_t, double> start_hours;
+};
+
+/// Packs `tasks` onto `total_nodes` nodes under per-region simultaneous
+/// DB-connection bounds (`db_bound` per region; tasks of one region on the
+/// same level must not exceed it). Tasks wider than total_nodes are
+/// rejected.
+PackingPlan pack_tasks(std::vector<SimTask> tasks, std::uint32_t total_nodes,
+                       PackingPolicy policy,
+                       std::uint32_t db_bound = db_connection_bound());
+
+}  // namespace epi

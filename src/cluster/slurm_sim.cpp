@@ -1,0 +1,127 @@
+#include "cluster/slurm_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+DesResult simulate_cluster(const ClusterSpec& cluster,
+                           const std::vector<SimTask>& queue,
+                           const DesConfig& config, Rng& rng,
+                           std::uint32_t db_bound) {
+  EPI_REQUIRE(cluster.nodes > 0, "cluster has no nodes");
+
+  struct Running {
+    double end;
+    std::uint64_t task_id;
+    std::uint32_t nodes;
+    std::string region;
+    std::uint32_t db;
+    bool operator>(const Running& other) const { return end > other.end; }
+  };
+
+  std::deque<const SimTask*> pending;
+  for (const SimTask& task : queue) {
+    EPI_REQUIRE(task.nodes_required <= cluster.nodes,
+                "task " << task.id << " wider than the cluster");
+    pending.push_back(&task);
+  }
+
+  std::priority_queue<Running, std::vector<Running>, std::greater<Running>>
+      running;
+  std::map<std::string, std::uint32_t> db_usage;
+  std::uint32_t free_nodes = cluster.nodes;
+  double clock = 0.0;
+  DesResult result;
+
+  auto actual_runtime = [&](const SimTask& task) {
+    const double noise = std::exp(rng.normal(0.0, config.runtime_sigma));
+    return task.est_hours * noise;
+  };
+
+  auto can_start = [&](const SimTask& task) {
+    if (task.nodes_required > free_nodes) return false;
+    const auto it = db_usage.find(task.region);
+    const std::uint32_t used = it == db_usage.end() ? 0 : it->second;
+    return used + task.db_connections <= db_bound;
+  };
+
+  auto start_task = [&](const SimTask& task) {
+    const double runtime = actual_runtime(task);
+    const double end = clock + runtime;
+    free_nodes -= task.nodes_required;
+    db_usage[task.region] += task.db_connections;
+    running.push(Running{end, task.id, task.nodes_required, task.region,
+                         task.db_connections});
+    result.jobs.push_back(
+        JobRecord{task.id, clock, end, task.nodes_required});
+    result.busy_node_hours += task.nodes_required * runtime;
+  };
+
+  auto within_window = [&](const SimTask& task) {
+    if (config.window_hours <= 0.0) return true;
+    // Conservative admission: expected completion must fit the window.
+    return clock + task.est_hours <= config.window_hours;
+  };
+
+  auto dispatch = [&] {
+    if (config.backfill) {
+      // Scan the whole queue in order; start everything that fits now.
+      for (auto it = pending.begin(); it != pending.end();) {
+        const SimTask& task = **it;
+        if (!within_window(task)) {
+          ++result.unfinished;
+          it = pending.erase(it);
+          continue;
+        }
+        if (can_start(task)) {
+          start_task(task);
+          it = pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    } else {
+      // Strict in-order dispatch: stop at the first job that does not fit.
+      while (!pending.empty()) {
+        const SimTask& task = *pending.front();
+        if (!within_window(task)) {
+          ++result.unfinished;
+          pending.pop_front();
+          continue;
+        }
+        if (!can_start(task)) break;
+        start_task(task);
+        pending.pop_front();
+      }
+    }
+  };
+
+  dispatch();
+  while (!running.empty()) {
+    const Running done = running.top();
+    running.pop();
+    clock = done.end;
+    free_nodes += done.nodes;
+    auto it = db_usage.find(done.region);
+    EPI_ASSERT(it != db_usage.end() && it->second >= done.db,
+               "DB usage accounting underflow");
+    it->second -= done.db;
+    dispatch();
+  }
+  result.unfinished += pending.size();
+
+  result.makespan_hours = clock;
+  result.utilization =
+      clock > 0.0 ? result.busy_node_hours /
+                        (static_cast<double>(cluster.nodes) * clock)
+                  : 1.0;
+  return result;
+}
+
+}  // namespace epi

@@ -1,0 +1,61 @@
+// Discrete-event simulator of the remote cluster's Slurm execution
+// (paper §IV "scripts are used to submit Slurm job arrays, which are
+// scheduled to run using the heuristic scheduling strategy", §VI Fig 9).
+//
+// The mapper hands Slurm an *ordered* task list; Slurm then does a
+// certain amount of real-time optimization. The DES models exactly that:
+// whole-node allocations, an in-order queue with optional backfill (a
+// later job may start if the head job cannot), per-region simultaneous
+// database-connection bounds, actual runtimes sampled around the
+// estimates, and the 10-hour nightly window. It reports the paper's
+// utilization metric EC = busy node-hours / (total nodes x time of last
+// completion).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "cluster/task_model.hpp"
+#include "util/rng.hpp"
+
+namespace epi {
+
+struct JobRecord {
+  std::uint64_t task_id = 0;
+  double start_hours = 0.0;
+  double end_hours = 0.0;
+  std::uint32_t nodes = 0;
+};
+
+struct DesResult {
+  std::vector<JobRecord> jobs;   // completed jobs
+  std::size_t unfinished = 0;    // did not fit in the window
+  double makespan_hours = 0.0;   // last completion
+  /// EC: busy node-hours within [0, makespan] / (nodes x makespan).
+  double utilization = 0.0;
+  double busy_node_hours = 0.0;
+};
+
+struct DesConfig {
+  /// Runtime noise: actual = estimate x LogNormal(0, sigma). The paper's
+  /// Fig 8 shows substantial per-state runtime variance.
+  double runtime_sigma = 0.15;
+  /// Whether the scheduler may start a later queued job when the head of
+  /// the queue does not fit (Slurm backfill). Disabling this makes the
+  /// queue strictly next-fit.
+  bool backfill = true;
+  /// Stop dispatching jobs that could not finish by the window end
+  /// (0 = no window).
+  double window_hours = 0.0;
+};
+
+/// Simulates the ordered `queue` on `cluster`. Task order IS the schedule
+/// policy: feed it the FFDT-DC or NFDT-DC order from pack_tasks, or raw
+/// submission order.
+DesResult simulate_cluster(const ClusterSpec& cluster,
+                           const std::vector<SimTask>& queue,
+                           const DesConfig& config, Rng& rng,
+                           std::uint32_t db_bound = db_connection_bound());
+
+}  // namespace epi

@@ -1,0 +1,63 @@
+#include "cluster/task_model.hpp"
+
+#include "util/error.hpp"
+
+namespace epi {
+
+std::uint32_t region_node_category(const StateInfo& state) {
+  // Thresholds chosen so the big-ten states land in the large category and
+  // roughly half of the regions are small (matching the production split).
+  if (state.population < 3'000'000) return 2;
+  if (state.population < 9'500'000) return 4;
+  return 6;
+}
+
+double estimate_task_hours(const StateInfo& state,
+                           double intervention_cost_factor) {
+  EPI_REQUIRE(intervention_cost_factor > 0.0, "cost factor must be > 0");
+  // Affine in population (network size tracks population linearly): a WY
+  // replicate takes ~3 minutes, a California replicate ~14 minutes at base
+  // intervention complexity — the paper's "100 to 300 time steps of about
+  // 3 seconds each for a network the size of California".
+  const double base_hours = 0.05;
+  const double hours_per_person = 0.18 / 40'000'000.0;
+  return (base_hours + hours_per_person * static_cast<double>(state.population)) *
+         intervention_cost_factor;
+}
+
+std::vector<SimTask> make_workflow_tasks(const std::vector<std::string>& regions,
+                                         std::uint32_t cells,
+                                         std::uint32_t replicates,
+                                         double cost_factor) {
+  EPI_REQUIRE(cells > 0 && replicates > 0, "empty workflow design");
+  std::vector<SimTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(regions.size()) * cells * replicates);
+  std::uint64_t next_id = 0;
+  for (const std::string& region : regions) {
+    const StateInfo& state = state_by_abbrev(region);
+    const std::uint32_t nodes = region_node_category(state);
+    const double hours = estimate_task_hours(state, cost_factor);
+    for (std::uint32_t cell = 0; cell < cells; ++cell) {
+      for (std::uint32_t rep = 0; rep < replicates; ++rep) {
+        SimTask task;
+        task.id = next_id++;
+        task.region = region;
+        task.cell = cell;
+        task.replicate = rep;
+        task.nodes_required = nodes;
+        task.est_hours = hours;
+        task.db_connections = 28;  // one per core of the lead node
+        tasks.push_back(std::move(task));
+      }
+    }
+  }
+  return tasks;
+}
+
+// A per-region PostgreSQL server tuned for the nightly runs accepts ~1000
+// simultaneous connections (36 concurrent 28-core jobs). Tight enough that
+// the largest workflows still feel it (the DB-WMP constraint of §V), loose
+// enough that a night's design fits the 10-hour window.
+std::uint32_t db_connection_bound() { return 1008; }
+
+}  // namespace epi

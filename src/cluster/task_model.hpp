@@ -1,0 +1,52 @@
+// The workflow mapping problem's task model (paper §V).
+//
+// A workflow is a 3-level hierarchy regions -> cells -> replicates; the
+// atomic schedulable job is <cell, region> (T[c, r]). Per the paper's
+// simplifying assumptions: all cells of a region take the same estimated
+// time t(T[c,r]) (empirical mean, correlated with network size), require
+// the same processor count, and regions fall into three whole-node
+// categories — small (2 nodes), medium (4), large (6) — chosen so even the
+// most complex intervention scenarios fit in memory. Each running task
+// holds database connections against the region's bound B(T[r]).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synthpop/us_states.hpp"
+
+namespace epi {
+
+struct SimTask {
+  std::uint64_t id = 0;
+  std::string region;
+  std::uint32_t cell = 0;
+  std::uint32_t replicate = 0;
+  std::uint32_t nodes_required = 2;   // whole nodes (2/4/6 category)
+  double est_hours = 0.5;             // empirical mean running time
+  std::uint32_t db_connections = 28;  // held while running
+};
+
+/// Node category per region (paper §VI): small = 2, medium = 4, large = 6,
+/// by synthetic-population size.
+std::uint32_t region_node_category(const StateInfo& state);
+
+/// Estimated runtime (hours) for one <cell, region> job: affine in network
+/// size over the region's assigned nodes, matching Fig 7 (top) linearity
+/// and Fig 8's strong correlation between runtime and state size.
+double estimate_task_hours(const StateInfo& state,
+                           double intervention_cost_factor = 1.0);
+
+/// Expands a workflow design (cells x replicates over a region list) into
+/// the flat task list handed to the mapper. `cost_factor` models the
+/// intervention complexity of this workflow's scenarios.
+std::vector<SimTask> make_workflow_tasks(const std::vector<std::string>& regions,
+                                         std::uint32_t cells,
+                                         std::uint32_t replicates,
+                                         double cost_factor = 1.0);
+
+/// Per-region database connection bound B(T[r]).
+std::uint32_t db_connection_bound();
+
+}  // namespace epi

@@ -1,0 +1,39 @@
+#include "cluster/transfer.hpp"
+
+#include "util/error.hpp"
+
+namespace epi {
+
+double GlobusTransfer::transfer(const std::string& description,
+                                std::uint64_t bytes, bool to_remote) {
+  EPI_REQUIRE(link_.bandwidth_mbytes_per_s > 0.0, "zero-bandwidth link");
+  const double seconds =
+      link_.per_transfer_overhead_s +
+      static_cast<double>(bytes) / (link_.bandwidth_mbytes_per_s * 1e6);
+  ledger_.push_back(TransferRecord{description, bytes, seconds, to_remote});
+  return seconds;
+}
+
+std::uint64_t GlobusTransfer::total_bytes_to_remote() const {
+  std::uint64_t total = 0;
+  for (const auto& record : ledger_) {
+    if (record.to_remote) total += record.bytes;
+  }
+  return total;
+}
+
+std::uint64_t GlobusTransfer::total_bytes_to_home() const {
+  std::uint64_t total = 0;
+  for (const auto& record : ledger_) {
+    if (!record.to_remote) total += record.bytes;
+  }
+  return total;
+}
+
+double GlobusTransfer::total_seconds() const {
+  double total = 0.0;
+  for (const auto& record : ledger_) total += record.seconds;
+  return total;
+}
+
+}  // namespace epi

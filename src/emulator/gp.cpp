@@ -1,0 +1,111 @@
+#include "emulator/gp.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+double gp_correlation(const Vec& a, const Vec& b, const Vec& rho) {
+  EPI_REQUIRE(a.size() == b.size() && a.size() == rho.size(),
+              "gp_correlation dimension mismatch");
+  double log_corr = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const double d = a[k] - b[k];
+    // rho^{4 d^2} computed in log space for stability.
+    log_corr += 4.0 * d * d * std::log(rho[k]);
+  }
+  return std::exp(log_corr);
+}
+
+double GpHyperparams::log_prior() const {
+  double lp = 0.0;
+  for (double r : rho) {
+    if (r <= 0.0 || r >= 1.0) return -1e300;
+    // Beta(1, 0.1) density up to a constant: (1-r)^(0.1-1).
+    lp += (0.1 - 1.0) * std::log(1.0 - r);
+  }
+  // Gamma(a=5, b=5) on lambda_w (mode near 1 for standardized outputs).
+  if (lambda_w <= 0.0 || lambda_nugget <= 0.0) return -1e300;
+  lp += (5.0 - 1.0) * std::log(lambda_w) - 5.0 * lambda_w;
+  // Gamma(a=3, b=0.003) on the nugget precision (large nugget precision =
+  // small nugget variance favored).
+  lp += (3.0 - 1.0) * std::log(lambda_nugget) - 0.003 * lambda_nugget;
+  return lp;
+}
+
+GaussianProcess::GaussianProcess(Mat inputs, Vec outputs, GpHyperparams params)
+    : inputs_(std::move(inputs)),
+      outputs_(std::move(outputs)),
+      params_(std::move(params)) {
+  const std::size_t n = inputs_.rows();
+  EPI_REQUIRE(n == outputs_.size(), "GP inputs/outputs length mismatch");
+  EPI_REQUIRE(params_.rho.size() == inputs_.cols(),
+              "GP rho dimension mismatch");
+  EPI_REQUIRE(params_.lambda_w > 0.0 && params_.lambda_nugget > 0.0,
+              "GP precisions must be positive");
+  Mat k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec xi = inputs_.row(i);
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double c =
+          gp_correlation(xi, inputs_.row(j), params_.rho) / params_.lambda_w;
+      k.at(i, j) = c;
+      k.at(j, i) = c;
+    }
+    k.at(i, i) += 1.0 / params_.lambda_nugget + 1e-10;
+  }
+  chol_ = cholesky(k);
+  alpha_ = cholesky_solve(chol_, outputs_);
+}
+
+GaussianProcess::Prediction GaussianProcess::predict(const Vec& x) const {
+  const std::size_t n = inputs_.rows();
+  Vec k_star(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k_star[i] =
+        gp_correlation(x, inputs_.row(i), params_.rho) / params_.lambda_w;
+  }
+  Prediction p;
+  p.mean = dot(k_star, alpha_);
+  const Vec v = solve_lower(chol_, k_star);
+  const double prior_var = 1.0 / params_.lambda_w + 1.0 / params_.lambda_nugget;
+  p.variance = std::max(1e-12, prior_var - dot(v, v));
+  return p;
+}
+
+double GaussianProcess::log_marginal_likelihood() const {
+  const auto n = static_cast<double>(outputs_.size());
+  return -0.5 * dot(outputs_, alpha_) - 0.5 * log_det_from_cholesky(chol_) -
+         0.5 * n * std::log(2.0 * 3.14159265358979323846);
+}
+
+GpHyperparams fit_gp_hyperparams(const Mat& inputs, const Vec& outputs,
+                                 Rng& rng, std::size_t trials) {
+  EPI_REQUIRE(trials > 0, "need at least one hyperparameter trial");
+  GpHyperparams best;
+  best.rho.assign(inputs.cols(), 0.5);
+  double best_score = -1e300;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    GpHyperparams candidate;
+    candidate.rho.resize(inputs.cols());
+    for (double& r : candidate.rho) r = rng.uniform(0.05, 0.98);
+    candidate.lambda_w = std::exp(rng.uniform(-1.5, 1.5));
+    candidate.lambda_nugget = std::exp(rng.uniform(3.0, 9.0));
+    double score;
+    try {
+      const GaussianProcess gp(inputs, outputs, candidate);
+      score = gp.log_marginal_likelihood() + candidate.log_prior();
+    } catch (const NumericError&) {
+      continue;  // non-PD covariance at extreme hyperparameters
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = candidate;
+    }
+  }
+  EPI_REQUIRE(best_score > -1e299, "GP hyperparameter search found no valid fit");
+  return best;
+}
+
+}  // namespace epi

@@ -1,0 +1,64 @@
+// Gaussian-process regression with the paper's correlation function.
+//
+// Appendix E: each basis coefficient w_i(theta) gets a zero-mean GP prior
+// with marginal precision lambda_w and correlation
+//     R(theta, theta'; rho) = prod_k rho_k^{4 (theta_k - theta'_k)^2},
+// (the GPMSA parameterization of the squared-exponential kernel: rho_k in
+// (0,1) is the correlation at half-range distance), plus a nugget so
+// interpolation is not enforced.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "emulator/linalg.hpp"
+#include "util/rng.hpp"
+
+namespace epi {
+
+struct GpHyperparams {
+  Vec rho;               // one per input dimension, each in (0, 1)
+  double lambda_w = 1.0; // marginal precision of the process
+  double lambda_nugget = 1e4;  // precision of the nugget term
+
+  /// Log prior: beta(1, 0.1)-like on rho (favoring smoothness), gamma on
+  /// the precisions — the Appendix E hyperprior choices.
+  double log_prior() const;
+};
+
+/// The paper's correlation function.
+double gp_correlation(const Vec& a, const Vec& b, const Vec& rho);
+
+class GaussianProcess {
+ public:
+  /// Fits (factorizes) the GP at the given inputs/outputs. Inputs should
+  /// be scaled to the unit cube; outputs should be centered.
+  GaussianProcess(Mat inputs, Vec outputs, GpHyperparams params);
+
+  struct Prediction {
+    double mean = 0.0;
+    double variance = 0.0;
+  };
+
+  Prediction predict(const Vec& x) const;
+
+  /// Log marginal likelihood of the training outputs under the GP.
+  double log_marginal_likelihood() const;
+
+  const GpHyperparams& hyperparams() const { return params_; }
+
+ private:
+  Mat inputs_;
+  Vec outputs_;
+  GpHyperparams params_;
+  Mat chol_;       // Cholesky factor of the covariance
+  Vec alpha_;      // K^{-1} y
+};
+
+/// MAP-estimates hyperparameters by random search over (rho, lambda_w,
+/// lambda_nugget), scoring log marginal likelihood + log prior. Cheap and
+/// robust for ~100-point designs.
+GpHyperparams fit_gp_hyperparams(const Mat& inputs, const Vec& outputs,
+                                 Rng& rng, std::size_t trials = 60);
+
+}  // namespace epi

@@ -1,0 +1,193 @@
+#include "emulator/linalg.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+Vec Mat::row(std::size_t r) const {
+  EPI_REQUIRE(r < rows_, "row out of range");
+  return Vec(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+             data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+Vec Mat::col(std::size_t c) const {
+  EPI_REQUIRE(c < cols_, "column out of range");
+  Vec out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = at(r, c);
+  return out;
+}
+
+void Mat::set_row(std::size_t r, const Vec& values) {
+  EPI_REQUIRE(r < rows_ && values.size() == cols_, "set_row shape mismatch");
+  for (std::size_t c = 0; c < cols_; ++c) at(r, c) = values[c];
+}
+
+Mat Mat::transposed() const {
+  Mat out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+Mat Mat::identity(std::size_t n) {
+  Mat out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out.at(i, i) = 1.0;
+  return out;
+}
+
+Mat matmul(const Mat& a, const Mat& b) {
+  EPI_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch: "
+                                        << a.rows() << "x" << a.cols() << " * "
+                                        << b.rows() << "x" << b.cols());
+  Mat out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vec matvec(const Mat& a, const Vec& x) {
+  EPI_REQUIRE(a.cols() == x.size(), "matvec shape mismatch");
+  Vec out(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) sum += a.at(i, j) * x[j];
+    out[i] = sum;
+  }
+  return out;
+}
+
+double dot(const Vec& a, const Vec& b) {
+  EPI_REQUIRE(a.size() == b.size(), "dot shape mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+Vec vec_add(const Vec& a, const Vec& b) {
+  EPI_REQUIRE(a.size() == b.size(), "vec_add shape mismatch");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec vec_sub(const Vec& a, const Vec& b) {
+  EPI_REQUIRE(a.size() == b.size(), "vec_sub shape mismatch");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec vec_scale(const Vec& a, double s) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+Mat cholesky(const Mat& k) {
+  EPI_REQUIRE(k.rows() == k.cols(), "cholesky needs a square matrix");
+  const std::size_t n = k.rows();
+  Mat l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = k.at(i, j);
+      for (std::size_t m = 0; m < j; ++m) sum -= l.at(i, m) * l.at(j, m);
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw NumericError("cholesky: matrix not positive definite at pivot " +
+                             std::to_string(i));
+        }
+        l.at(i, i) = std::sqrt(sum);
+      } else {
+        l.at(i, j) = sum / l.at(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Vec solve_lower(const Mat& l, const Vec& b) {
+  EPI_REQUIRE(l.rows() == b.size(), "solve_lower shape mismatch");
+  const std::size_t n = b.size();
+  Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= l.at(i, j) * y[j];
+    y[i] = sum / l.at(i, i);
+  }
+  return y;
+}
+
+Vec solve_lower_transpose(const Mat& l, const Vec& y) {
+  EPI_REQUIRE(l.rows() == y.size(), "solve_lower_transpose shape mismatch");
+  const std::size_t n = y.size();
+  Vec x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= l.at(j, i) * x[j];
+    x[i] = sum / l.at(i, i);
+  }
+  return x;
+}
+
+Vec cholesky_solve(const Mat& l, const Vec& b) {
+  return solve_lower_transpose(l, solve_lower(l, b));
+}
+
+double log_det_from_cholesky(const Mat& l) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) sum += std::log(l.at(i, i));
+  return 2.0 * sum;
+}
+
+EigenPairs top_eigenpairs(const Mat& symmetric, std::size_t count,
+                          std::size_t iterations) {
+  EPI_REQUIRE(symmetric.rows() == symmetric.cols(),
+              "eigenpairs need a square matrix");
+  const std::size_t n = symmetric.rows();
+  count = std::min(count, n);
+  Mat deflated = symmetric;
+  EigenPairs result;
+  result.vectors = Mat(n, count);
+  for (std::size_t k = 0; k < count; ++k) {
+    // Deterministic start vector, orthogonalized against found vectors.
+    Vec v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = 1.0 + 0.01 * static_cast<double>((i * 37 + k * 17) % 101);
+    }
+    double eigenvalue = 0.0;
+    for (std::size_t it = 0; it < iterations; ++it) {
+      Vec w = matvec(deflated, v);
+      const double norm = std::sqrt(dot(w, w));
+      if (norm < 1e-300) {
+        w.assign(n, 0.0);
+        eigenvalue = 0.0;
+        v = w;
+        break;
+      }
+      v = vec_scale(w, 1.0 / norm);
+      eigenvalue = norm;
+    }
+    result.values.push_back(eigenvalue);
+    for (std::size_t i = 0; i < n; ++i) result.vectors.at(i, k) = v[i];
+    // Deflate: A <- A - lambda v v^T.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        deflated.at(i, j) -= eigenvalue * v[i] * v[j];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace epi

@@ -1,0 +1,76 @@
+// Dense linear algebra for the Gaussian-process emulator.
+//
+// Sized for calibration workloads: design matrices of ~100 points, output
+// series of ~100-400 days. Cholesky-based solves; no external BLAS.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace epi {
+
+using Vec = std::vector<double>;
+
+/// Row-major dense matrix.
+class Mat {
+ public:
+  Mat() = default;
+  Mat(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  Vec row(std::size_t r) const;
+  Vec col(std::size_t c) const;
+  void set_row(std::size_t r, const Vec& values);
+
+  Mat transposed() const;
+
+  const std::vector<double>& data() const { return data_; }
+
+  static Mat identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Mat matmul(const Mat& a, const Mat& b);
+Vec matvec(const Mat& a, const Vec& x);
+double dot(const Vec& a, const Vec& b);
+Vec vec_add(const Vec& a, const Vec& b);
+Vec vec_sub(const Vec& a, const Vec& b);
+Vec vec_scale(const Vec& a, double s);
+
+/// Cholesky factor L (lower-triangular, K = L Lᵀ). Throws NumericError if
+/// K is not positive definite. A tiny jitter can be added by the caller.
+Mat cholesky(const Mat& k);
+
+/// Solves L y = b (forward substitution), L lower-triangular.
+Vec solve_lower(const Mat& l, const Vec& b);
+
+/// Solves Lᵀ x = y (back substitution), L lower-triangular.
+Vec solve_lower_transpose(const Mat& l, const Vec& y);
+
+/// Solves K x = b given the Cholesky factor of K.
+Vec cholesky_solve(const Mat& l, const Vec& b);
+
+/// log(det(K)) from its Cholesky factor.
+double log_det_from_cholesky(const Mat& l);
+
+/// Top `count` eigenpairs of a symmetric PSD matrix via power iteration
+/// with deflation. Eigenvectors are returned as matrix columns, unit norm;
+/// eigenvalues in decreasing order.
+struct EigenPairs {
+  Vec values;
+  Mat vectors;  // n x count, column k = k-th eigenvector
+};
+EigenPairs top_eigenpairs(const Mat& symmetric, std::size_t count,
+                          std::size_t iterations = 500);
+
+}  // namespace epi

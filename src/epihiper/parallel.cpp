@@ -1,0 +1,80 @@
+#include "epihiper/parallel.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+SimOutput run_simulation(const ContactNetwork& network,
+                         const Population& population,
+                         const DiseaseModel& model,
+                         const SimulationConfig& config,
+                         const InterventionFactory& interventions) {
+  Simulation sim(network, population, model, config);
+  if (interventions) {
+    for (auto& intervention : interventions()) {
+      sim.add_intervention(std::move(intervention));
+    }
+  }
+  return sim.run();
+}
+
+SimOutput run_simulation_parallel(const ContactNetwork& network,
+                                  const Population& population,
+                                  const DiseaseModel& model,
+                                  const SimulationConfig& config,
+                                  const Partitioning& partitioning,
+                                  int num_ranks,
+                                  const InterventionFactory& interventions) {
+  EPI_REQUIRE(num_ranks > 0, "need at least one rank");
+  EPI_REQUIRE(partitioning.size() == static_cast<std::size_t>(num_ranks),
+              "partitioning has " << partitioning.size() << " parts for "
+                                  << num_ranks << " ranks");
+  std::vector<SimOutput> per_rank(static_cast<std::size_t>(num_ranks));
+  mpilite::Runtime::run(num_ranks, [&](mpilite::Comm& comm) {
+    Simulation sim(network, population, model, config, &comm, &partitioning);
+    if (interventions) {
+      for (auto& intervention : interventions()) {
+        sim.add_intervention(std::move(intervention));
+      }
+    }
+    per_rank[static_cast<std::size_t>(comm.rank())] = sim.run();
+  });
+
+  // Merge rank outputs into the serial-equivalent view.
+  SimOutput merged;
+  const auto ticks = static_cast<std::size_t>(config.num_ticks);
+  merged.new_infections_per_tick.assign(ticks, 0);
+  merged.memory_bytes_per_tick.assign(ticks, 0);
+  merged.seconds_per_tick.assign(ticks, 0.0);
+  merged.final_states.reserve(network.node_count());
+  for (const SimOutput& out : per_rank) {
+    EPI_ASSERT(out.new_infections_per_tick.size() == ticks,
+               "rank output tick-count mismatch");
+    for (std::size_t t = 0; t < ticks; ++t) {
+      merged.new_infections_per_tick[t] += out.new_infections_per_tick[t];
+      merged.memory_bytes_per_tick[t] += out.memory_bytes_per_tick[t];
+      merged.seconds_per_tick[t] =
+          std::max(merged.seconds_per_tick[t], out.seconds_per_tick[t]);
+    }
+    merged.transitions.insert(merged.transitions.end(),
+                              out.transitions.begin(), out.transitions.end());
+    merged.final_states.insert(merged.final_states.end(),
+                               out.final_states.begin(),
+                               out.final_states.end());
+    merged.total_infections += out.total_infections;
+    merged.communication_bytes += out.communication_bytes;
+    merged.work_units += out.work_units;
+    merged.max_rank_work_units =
+        std::max(merged.max_rank_work_units, out.work_units);
+  }
+  std::sort(merged.transitions.begin(), merged.transitions.end(),
+            [](const TransitionEvent& a, const TransitionEvent& b) {
+              return a.tick < b.tick ||
+                     (a.tick == b.tick && a.person < b.person);
+            });
+  return merged;
+}
+
+}  // namespace epi

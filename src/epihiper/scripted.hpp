@@ -1,0 +1,98 @@
+// JSON-scripted interventions: the generic trigger + action-ensemble
+// machinery of Appendix D.
+//
+// "An intervention comprises of a trigger and an action ensemble. The
+// action ensemble is only applied if the trigger evaluates to true. ...
+// An action ensemble operates on a target set which may contain either
+// nodes or edges. Operations may be performed: (i) once per intervention
+// (typically to update variables), (ii) for each element within the
+// target set, and (iii) for a sampled subset, as well as for the remaining
+// non-sampled elements ... it is possible to delay the operation to a
+// later point in the simulation."
+//
+// The accessible state values follow Table V: system.time, node.id /
+// healthState / infectivity / susceptibility / nodeTrait[...], edge
+// endpoints / activities / active / weight, and user-defined variables.
+//
+// Example (a triggered partial closure):
+//   {
+//     "type": "scripted",
+//     "name": "surge-closure",
+//     "once": true,
+//     "trigger": {"op": ">=",
+//                 "left": {"var": "stateCount", "state": "Symptomatic"},
+//                 "right": {"value": 50}},
+//     "actions": [
+//       {"target": "edges",
+//        "filter": {"context": "work"},
+//        "sampling": {"type": "fraction", "value": 0.5},
+//        "operations": [{"set": "active", "value": false}],
+//        "nonsampledOperations": [{"scale": "weight", "factor": 0.5}]},
+//       {"target": "nodes",
+//        "filter": {"healthState": "Symptomatic"},
+//        "delay": 2,
+//        "operations": [{"isolate": 14},
+//                       {"setTrait": "flagged", "value": 1}]},
+//       {"target": "once",
+//        "operations": [{"setVariable": "closures", "add": 1}]}
+//     ]
+//   }
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "epihiper/simulation.hpp"
+#include "util/json.hpp"
+
+namespace epi {
+
+/// A scripted intervention parsed from JSON. Deterministic and
+/// partition-invariant: element sampling is keyed on person/edge-pair
+/// identity, never on iteration order.
+class ScriptedIntervention : public Intervention {
+ public:
+  /// Parses the spec; throws ConfigError on malformed scripts. `spec` is
+  /// the object documented above (the "type" member is optional here).
+  explicit ScriptedIntervention(const Json& spec);
+  ~ScriptedIntervention() override;  // defined where ActionBlock is complete
+
+  std::string name() const override { return name_; }
+  void apply(Simulation& sim) override;
+
+  /// How many times the trigger has fired.
+  std::uint64_t fired_count() const { return fired_; }
+
+ private:
+  struct Operation;
+  struct ActionBlock;
+  struct DelayedBlock;
+
+  bool evaluate_trigger(Simulation& sim) const;
+  double evaluate_value(const Json& value, Simulation& sim) const;
+  bool evaluate_predicate(const Json& predicate, Simulation& sim) const;
+  void execute_block(const ActionBlock& block, Simulation& sim) const;
+  void execute_node_ops(const std::vector<Operation>& ops, PersonId p,
+                        Simulation& sim) const;
+  void execute_edge_ops(const std::vector<Operation>& ops, EdgeIndex e,
+                        Simulation& sim) const;
+  void execute_once_ops(const std::vector<Operation>& ops,
+                        Simulation& sim) const;
+
+  std::string name_;
+  bool once_ = false;
+  Json trigger_;
+  std::vector<ActionBlock> blocks_;
+  std::vector<DelayedBlock> pending_;
+  std::uint64_t fired_ = 0;
+  bool exhausted_ = false;
+};
+
+/// Initialization is "a special case of an intervention where the trigger
+/// is omitted" (Appendix D): builds a scripted intervention whose actions
+/// run exactly once at tick `when`.
+std::shared_ptr<ScriptedIntervention> make_initialization(
+    const Json& actions, Tick when = 0, const std::string& name = "init");
+
+}  // namespace epi

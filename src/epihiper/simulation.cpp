@@ -1,0 +1,502 @@
+#include "epihiper/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace epi {
+
+namespace {
+// RNG purpose labels: distinct streams per decision kind.
+constexpr std::uint64_t kPurposeTransmission = 0x5452414eULL;  // "TRAN"
+constexpr std::uint64_t kPurposeProgression = 0x50524f47ULL;   // "PROG"
+constexpr std::uint64_t kPurposeSeed = 0x53454544ULL;          // "SEED"
+constexpr std::uint64_t kPurposeCoin = 0x434f494eULL;          // "COIN"
+constexpr int kTagIsolation = 7;
+}  // namespace
+
+Simulation::Simulation(const ContactNetwork& network,
+                       const Population& population, const DiseaseModel& model,
+                       SimulationConfig config, mpilite::Comm* comm,
+                       const Partitioning* partitioning)
+    : network_(network),
+      population_(population),
+      model_(model),
+      config_(std::move(config)),
+      comm_(comm) {
+  EPI_REQUIRE(network_.node_count() == population_.person_count(),
+              "network and population disagree on person count");
+  model_.validate();
+  EPI_REQUIRE(config_.num_ticks > 0, "simulation needs at least one tick");
+  EPI_REQUIRE((comm_ == nullptr) == (partitioning == nullptr),
+              "parallel runs need both a communicator and a partitioning");
+
+  if (comm_ != nullptr) {
+    EPI_REQUIRE(partitioning->size() == static_cast<std::size_t>(comm_->size()),
+                "partition count must equal rank count");
+    const Partition& mine =
+        partitioning->part(static_cast<std::size_t>(comm_->rank()));
+    local_begin_ = mine.node_begin;
+    local_end_ = mine.node_end;
+    partitioning_ = partitioning;
+    edge_offset_ = mine.edge_begin;
+    edge_active_.assign(mine.edge_count(), 1);
+  } else {
+    local_begin_ = 0;
+    local_end_ = network_.node_count();
+    edge_offset_ = 0;
+    edge_active_.assign(network_.edge_count(), 1);
+  }
+
+  const std::size_t local_count = local_end_ - local_begin_;
+  nodes_.resize(local_count);
+  for (auto& node : nodes_) {
+    node.health = model_.initial_state();
+  }
+  isolated_until_.assign(local_count, -1);
+  stay_home_.assign(local_count, 0);
+  infectious_lookup_.assign(network_.node_count(), 0);
+  entered_by_state_.resize(model_.state_count());
+  local_state_counts_.assign(model_.state_count(), 0);
+  local_state_counts_[model_.initial_state()] =
+      static_cast<std::int64_t>(local_count);
+
+  // Dense (from-state, source-state) -> transmission lookup for the hot
+  // propensity loop.
+  const std::size_t s = model_.state_count();
+  transmission_to_.assign(s * s, kNoState);
+  transmission_omega_.assign(s * s, 0.0);
+  for (const Transmission& t : model_.transmissions()) {
+    transmission_to_[t.from * s + t.source] = t.to;
+    transmission_omega_[t.from * s + t.source] = t.omega;
+  }
+}
+
+void Simulation::add_intervention(std::shared_ptr<Intervention> intervention) {
+  EPI_REQUIRE(intervention != nullptr, "null intervention");
+  interventions_.push_back(std::move(intervention));
+}
+
+Rng Simulation::person_rng(PersonId p) const {
+  return Rng(config_.seed)
+      .derive({config_.replicate, p, static_cast<std::uint64_t>(tick_)});
+}
+
+bool Simulation::person_coin(PersonId p, std::uint64_t purpose,
+                             double probability) const {
+  Rng rng =
+      Rng(config_.seed).derive({kPurposeCoin, config_.replicate, p, purpose});
+  return rng.bernoulli(probability);
+}
+
+HealthStateId Simulation::health(PersonId p) const {
+  EPI_REQUIRE(is_local(p), "health() is local-only; person " << p);
+  return nodes_[p - local_begin_].health;
+}
+
+const std::vector<PersonId>& Simulation::entered_this_tick(
+    HealthStateId state) const {
+  EPI_REQUIRE(state < entered_by_state_.size(), "unknown state " << state);
+  return entered_by_state_[state];
+}
+
+std::int64_t Simulation::global_state_count(HealthStateId state) {
+  EPI_REQUIRE(state < model_.state_count(), "unknown state " << state);
+  if (!cached_global_counts_.has_value()) {
+    if (comm_ == nullptr) {
+      cached_global_counts_ = local_state_counts_;
+    } else {
+      std::vector<double> as_double(local_state_counts_.begin(),
+                                    local_state_counts_.end());
+      const auto reduced = comm_->allreduce(
+          std::span<const double>(as_double), mpilite::ReduceOp::kSum);
+      cached_global_counts_ = std::vector<std::int64_t>(reduced.begin(),
+                                                        reduced.end());
+    }
+  }
+  return (*cached_global_counts_)[state];
+}
+
+void Simulation::set_edge_active(EdgeIndex e, bool active) {
+  EPI_REQUIRE(e >= edge_offset_ && e - edge_offset_ < edge_active_.size(),
+              "edge " << e << " not owned by this rank");
+  edge_active_[e - edge_offset_] = active ? 1 : 0;
+  intervention_log_bytes_ += sizeof(EdgeIndex) + 1;  // scheduled-change log
+}
+
+void Simulation::scale_edge_weight(EdgeIndex e, double factor) {
+  EPI_REQUIRE(e >= edge_offset_ && e - edge_offset_ < edge_active_.size(),
+              "edge " << e << " not owned by this rank");
+  if (edge_weight_scale_.empty()) {
+    edge_weight_scale_.assign(edge_active_.size(), 1.0f);
+  }
+  edge_weight_scale_[e - edge_offset_] *= static_cast<float>(factor);
+  intervention_log_bytes_ += sizeof(EdgeIndex) + sizeof(float);
+}
+
+double Simulation::edge_weight_scale(EdgeIndex e) const {
+  EPI_REQUIRE(e >= edge_offset_ && e - edge_offset_ < edge_active_.size(),
+              "edge " << e << " not owned by this rank");
+  return edge_weight_scale_.empty()
+             ? 1.0
+             : edge_weight_scale_[e - edge_offset_];
+}
+
+void Simulation::force_transition(PersonId p, HealthStateId new_state) {
+  EPI_REQUIRE(is_local(p), "force_transition is local-only; person " << p);
+  EPI_REQUIRE(new_state < model_.state_count(), "unknown state " << new_state);
+  if (nodes_[p - local_begin_].health == new_state) return;
+  transition_person(p, new_state, kNoPerson);
+}
+
+void Simulation::set_context_closed(ActivityType context, bool closed) {
+  context_closed_[static_cast<std::size_t>(context)] = closed;
+}
+
+bool Simulation::context_closed(ActivityType context) const {
+  return context_closed_[static_cast<std::size_t>(context)];
+}
+
+void Simulation::isolate(PersonId p, Tick until) {
+  if (is_local(p)) {
+    Tick& slot = isolated_until_[p - local_begin_];
+    slot = std::max(slot, until);
+    // Scheduled-change accounting: an isolation schedules a deactivation
+    // and a reactivation record for each of the person's contacts (the
+    // deferred action lists that make intervention-heavy runs grow in
+    // memory, Fig 10).
+    intervention_log_bytes_ +=
+        2 * (network_.in_end(p) - network_.in_begin(p)) *
+        (sizeof(EdgeIndex) + sizeof(Tick));
+  } else {
+    pending_remote_isolations_.emplace_back(p, until);
+  }
+}
+
+bool Simulation::is_isolated(PersonId p) const {
+  EPI_REQUIRE(is_local(p), "is_isolated() is local-only; person " << p);
+  return isolated_until_[p - local_begin_] >= tick_;
+}
+
+void Simulation::set_stay_home_compliant(PersonId p, bool compliant) {
+  EPI_REQUIRE(is_local(p), "stay-home compliance is local-only");
+  stay_home_[p - local_begin_] = compliant ? 1 : 0;
+}
+
+void Simulation::set_stay_home_active(bool active) {
+  stay_home_active_ = active;
+}
+
+void Simulation::scale_infectivity(PersonId p, double factor) {
+  EPI_REQUIRE(is_local(p), "scale_infectivity is local-only");
+  nodes_[p - local_begin_].infectivity_scale *= static_cast<float>(factor);
+}
+
+void Simulation::scale_susceptibility(PersonId p, double factor) {
+  EPI_REQUIRE(is_local(p), "scale_susceptibility is local-only");
+  nodes_[p - local_begin_].susceptibility_scale *= static_cast<float>(factor);
+}
+
+void Simulation::set_node_trait(const std::string& trait, PersonId p,
+                                std::uint8_t v) {
+  EPI_REQUIRE(is_local(p), "node traits are local-only");
+  auto [it, inserted] = node_traits_.try_emplace(trait);
+  if (inserted) it->second.assign(local_end_ - local_begin_, 0);
+  it->second[p - local_begin_] = v;
+}
+
+std::uint8_t Simulation::node_trait(const std::string& trait,
+                                    PersonId p) const {
+  EPI_REQUIRE(is_local(p), "node traits are local-only");
+  const auto it = node_traits_.find(trait);
+  if (it == node_traits_.end()) return 0;
+  return it->second[p - local_begin_];
+}
+
+void Simulation::set_variable(const std::string& name, double value) {
+  variables_[name] = value;
+}
+
+double Simulation::variable(const std::string& name) const {
+  const auto it = variables_.find(name);
+  return it == variables_.end() ? 0.0 : it->second;
+}
+
+std::pair<EdgeIndex, EdgeIndex> Simulation::in_edges(PersonId p) const {
+  EPI_REQUIRE(is_local(p), "in_edges is local-only; person " << p);
+  return {network_.in_begin(p), network_.in_end(p)};
+}
+
+bool Simulation::edge_transmissible(EdgeIndex e, PersonId target,
+                                    bool source_isolated,
+                                    bool source_stay_home) const {
+  if (edge_active_[e - edge_offset_] == 0) return false;
+  const Contact& c = network_.contact(e);
+  const auto target_context = static_cast<ActivityType>(c.target_activity);
+  const auto source_context = static_cast<ActivityType>(c.source_activity);
+  if (context_closed(target_context) || context_closed(source_context)) {
+    return false;
+  }
+  const bool home_edge = target_context == ActivityType::kHome &&
+                         source_context == ActivityType::kHome;
+  if (home_edge) return true;
+  if (is_isolated(target) || source_isolated) return false;
+  if (stay_home_active_ &&
+      (stay_home_[target - local_begin_] != 0 || source_stay_home)) {
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t Simulation::memory_footprint_bytes() const {
+  std::uint64_t bytes = 0;
+  bytes += nodes_.capacity() * sizeof(NodeState);
+  bytes += edge_active_.capacity();
+  bytes += edge_weight_scale_.capacity() * sizeof(float);
+  bytes += isolated_until_.capacity() * sizeof(Tick);
+  bytes += stay_home_.capacity();
+  bytes += infectious_lookup_.capacity() * sizeof(std::uint32_t);
+  bytes += global_infectious_.capacity() * sizeof(InfectiousInfo);
+  for (const auto& [name, values] : node_traits_) {
+    bytes += values.capacity();
+  }
+  // The transition log is NOT counted: production EpiHiper streams state
+  // transitions to the (Lustre) output file as they happen, so resident
+  // memory is the network-proportional base plus the scheduled
+  // intervention changes — exactly the Fig 10 decomposition.
+  bytes += intervention_log_bytes_;
+  return bytes;
+}
+
+void Simulation::transition_person(PersonId p, HealthStateId new_state,
+                                   PersonId cause) {
+  NodeState& node = nodes_[p - local_begin_];
+  const HealthStateId old_state = node.health;
+  --local_state_counts_[old_state];
+  ++local_state_counts_[new_state];
+  node.health = new_state;
+  node.next_transition_tick = -1;
+  node.next_state = kNoState;
+  entered_by_state_[new_state].push_back(p);
+  if (config_.record_transitions) {
+    output_.transitions.push_back(TransitionEvent{tick_, p, new_state, cause});
+  }
+  if (cause != kNoPerson) {
+    ++output_.total_infections;
+    ++output_.new_infections_per_tick.back();
+  }
+  // Schedule the within-host progression out of the new state.
+  Rng rng = person_rng(p).derive({kPurposeProgression});
+  HealthStateId next = kNoState;
+  Tick dwell = 0;
+  if (model_.sample_progression(new_state, population_.age_group(p), rng,
+                                &next, &dwell)) {
+    node.next_transition_tick = tick_ + dwell;
+    node.next_state = next;
+  }
+}
+
+void Simulation::seed_infections() {
+  for (const SeedSpec& spec : config_.seeds) {
+    if (spec.tick != tick_ || spec.count == 0) continue;
+    // Rank local candidates by a per-person hash so the global selection is
+    // identical for any partitioning.
+    std::vector<std::pair<std::uint64_t, PersonId>> candidates;
+    for (PersonId p = local_begin_; p < local_end_; ++p) {
+      if (population_.person(p).county != spec.county) continue;
+      if (nodes_[p - local_begin_].health != model_.initial_state()) continue;
+      const std::uint64_t h = mix_labels(
+          config_.seed, {kPurposeSeed, config_.replicate, spec.county, p,
+                         static_cast<std::uint64_t>(tick_)});
+      candidates.emplace_back(h, p);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    if (candidates.size() > spec.count) candidates.resize(spec.count);
+    if (comm_ != nullptr) {
+      // Merge the per-rank shortlists and keep the global top `count`.
+      std::vector<std::uint64_t> flat;
+      flat.reserve(candidates.size() * 2);
+      for (const auto& [h, p] : candidates) {
+        flat.push_back(h);
+        flat.push_back(p);
+      }
+      const auto merged = comm_->allgatherv(flat);
+      candidates.clear();
+      for (std::size_t i = 0; i + 1 < merged.size(); i += 2) {
+        candidates.emplace_back(merged[i],
+                                static_cast<PersonId>(merged[i + 1]));
+      }
+      std::sort(candidates.begin(), candidates.end());
+      if (candidates.size() > spec.count) candidates.resize(spec.count);
+    }
+    for (const auto& [h, p] : candidates) {
+      if (is_local(p)) transition_person(p, model_.seed_state(), kNoPerson);
+    }
+  }
+}
+
+void Simulation::exchange_remote_isolation_requests() {
+  if (comm_ == nullptr) {
+    EPI_ASSERT(pending_remote_isolations_.empty(),
+               "remote isolation queued in a serial run");
+    return;
+  }
+  // Route each request to the owner rank; POD pairs of (person, until).
+  std::vector<std::vector<std::uint64_t>> outbox(
+      static_cast<std::size_t>(comm_->size()));
+  for (const auto& [person, until] : pending_remote_isolations_) {
+    const std::size_t owner = partitioning_->partition_of(person);
+    outbox[owner].push_back(person);
+    outbox[owner].push_back(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(until)));
+  }
+  pending_remote_isolations_.clear();
+  const auto inbox = comm_->alltoallv(outbox);
+  for (const auto& messages : inbox) {
+    for (std::size_t i = 0; i + 1 < messages.size(); i += 2) {
+      const auto person = static_cast<PersonId>(messages[i]);
+      const auto until = static_cast<Tick>(
+          static_cast<std::int64_t>(messages[i + 1]));
+      EPI_ASSERT(is_local(person), "misrouted isolation request");
+      isolate(person, until);
+    }
+  }
+}
+
+void Simulation::step_transmissions() {
+  // Snapshot the global infectious set (state at tick start).
+  std::vector<InfectiousInfo> local_infectious;
+  for (PersonId p = local_begin_; p < local_end_; ++p) {
+    const NodeState& node = nodes_[p - local_begin_];
+    if (!model_.state(node.health).infectious()) continue;
+    InfectiousInfo info;
+    info.person = p;
+    info.state = node.health;
+    info.infectivity_scale = node.infectivity_scale;
+    info.isolated = is_isolated(p) ? 1 : 0;
+    info.stay_home = stay_home_[p - local_begin_];
+    local_infectious.push_back(info);
+  }
+  // Clear the previous tick's lookup entries before installing new ones.
+  for (const InfectiousInfo& info : global_infectious_) {
+    infectious_lookup_[info.person] = 0;
+  }
+  if (comm_ != nullptr) {
+    global_infectious_ = comm_->allgatherv(local_infectious);
+  } else {
+    global_infectious_ = std::move(local_infectious);
+  }
+  for (std::size_t i = 0; i < global_infectious_.size(); ++i) {
+    infectious_lookup_[global_infectious_[i].person] =
+        static_cast<std::uint32_t>(i + 1);
+  }
+  if (global_infectious_.empty()) return;
+
+  const double tau = model_.transmissibility();
+  const std::size_t state_count = model_.state_count();
+  std::uint64_t work = 0;
+  std::vector<EdgeIndex> candidate_edges;
+  std::vector<double> candidate_rho;
+  for (PersonId p = local_begin_; p < local_end_; ++p) {
+    const NodeState& node = nodes_[p - local_begin_];
+    const HealthState& state = model_.state(node.health);
+    ++work;
+    if (!state.susceptible()) continue;
+    work += network_.in_end(p) - network_.in_begin(p);
+    candidate_edges.clear();
+    candidate_rho.clear();
+    double rate_sum = 0.0;
+    for (EdgeIndex e = network_.in_begin(p); e < network_.in_end(p); ++e) {
+      const Contact& c = network_.contact(e);
+      const std::uint32_t slot = infectious_lookup_[c.source];
+      if (slot == 0) continue;
+      const InfectiousInfo& source = global_infectious_[slot - 1];
+      const double omega =
+          transmission_omega_[node.health * state_count + source.state];
+      if (omega <= 0.0) continue;
+      if (!edge_transmissible(e, p, source.isolated != 0,
+                              source.stay_home != 0)) {
+        continue;
+      }
+      // Eq (1): rho = T * w_e * sigma(Ps) * iota(Pi) * omega, with contact
+      // duration T expressed as a fraction of the one-day tick and w_e the
+      // static weight times any dynamic scaling.
+      const double duration_fraction = c.duration_minutes / 1440.0;
+      const double weight =
+          edge_weight_scale_.empty()
+              ? c.weight
+              : c.weight * edge_weight_scale_[e - edge_offset_];
+      const double sigma =
+          state.susceptibility * node.susceptibility_scale;
+      const double iota = model_.state(source.state).infectivity *
+                          source.infectivity_scale;
+      const double rho =
+          duration_fraction * weight * sigma * iota * omega;
+      if (rho <= 0.0) continue;
+      rate_sum += rho;
+      candidate_edges.push_back(e);
+      candidate_rho.push_back(rho);
+    }
+    const double rate = tau * rate_sum;
+    if (rate <= 0.0) continue;
+    // Gillespie: exponential waiting time against the one-tick interval;
+    // the causing contact is drawn proportionally to its propensity.
+    Rng rng = person_rng(p).derive({kPurposeTransmission});
+    if (rng.exponential(rate) >= 1.0) continue;
+    const std::size_t cause_index = rng.discrete(candidate_rho);
+    const Contact& cause = network_.contact(candidate_edges[cause_index]);
+    const std::uint32_t slot = infectious_lookup_[cause.source];
+    const InfectiousInfo& source = global_infectious_[slot - 1];
+    const HealthStateId to =
+        transmission_to_[node.health * state_count + source.state];
+    transition_person(p, to, cause.source);
+  }
+  output_.work_units += work;
+}
+
+void Simulation::step_progressions() {
+  output_.work_units += local_end_ - local_begin_;
+  for (PersonId p = local_begin_; p < local_end_; ++p) {
+    NodeState& node = nodes_[p - local_begin_];
+    if (node.next_transition_tick == tick_ && node.next_state != kNoState) {
+      transition_person(p, node.next_state, kNoPerson);
+    }
+  }
+}
+
+void Simulation::apply_interventions() {
+  for (const auto& intervention : interventions_) {
+    intervention->apply(*this);
+  }
+}
+
+SimOutput Simulation::run() {
+  for (tick_ = 0; tick_ < config_.num_ticks; ++tick_) {
+    Timer tick_timer;
+    cached_global_counts_.reset();
+    for (auto& bucket : entered_by_state_) bucket.clear();
+    output_.new_infections_per_tick.push_back(0);
+
+    exchange_remote_isolation_requests();
+    seed_infections();
+    step_transmissions();
+    step_progressions();
+    apply_interventions();
+
+    output_.memory_bytes_per_tick.push_back(memory_footprint_bytes());
+    output_.seconds_per_tick.push_back(tick_timer.elapsed_seconds());
+  }
+  output_.final_states.resize(local_end_ - local_begin_);
+  for (PersonId p = local_begin_; p < local_end_; ++p) {
+    output_.final_states[p - local_begin_] = nodes_[p - local_begin_].health;
+  }
+  if (comm_ != nullptr) {
+    output_.communication_bytes = comm_->bytes_sent();
+  }
+  output_.max_rank_work_units = output_.work_units;
+  return output_;
+}
+
+}  // namespace epi

@@ -1,0 +1,272 @@
+// EpiHiper simulation engine.
+//
+// An agent-based discrete-time simulator of disease spread over a contact
+// network (paper §III): per tick (= one day) it computes probabilistic
+// transmissions across active contacts via the propensity law of Eq (1)
+// with Gillespie sampling, advances within-host disease progressions, and
+// applies interventions. It records every state transition — "each line
+// ... includes the tick of the transition event, the identifier of the
+// person, their exit state, and the identifier of the person causing the
+// state transition" — from which dendrograms (transmission trees) and
+// county-level aggregates are derived.
+//
+// The engine is partition-parallel over mpilite: each rank owns one
+// partition of the network (all in-edges of its nodes) and ranks exchange
+// the global infectious set each tick. All randomness is keyed by
+// (seed, replicate, person, tick), which makes results *identical for any
+// rank count* — a property the tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "epihiper/disease_model.hpp"
+#include "mpilite/comm.hpp"
+#include "network/contact_network.hpp"
+#include "network/partition.hpp"
+#include "synthpop/population.hpp"
+
+namespace epi {
+
+inline constexpr PersonId kNoPerson = 0xFFFFFFFF;
+
+/// One recorded state transition (the EpiHiper output-file line).
+struct TransitionEvent {
+  Tick tick = 0;
+  PersonId person = kNoPerson;
+  HealthStateId exit_state = kNoState;  // the state entered at `tick`
+  PersonId infector = kNoPerson;        // set for transmission events only
+};
+
+/// Per-county seeding instruction: expose `count` susceptible persons of
+/// county index `county` at tick `tick`.
+struct SeedSpec {
+  std::uint16_t county = 0;
+  std::uint32_t count = 0;
+  Tick tick = 0;
+};
+
+struct SimulationConfig {
+  Tick num_ticks = 120;
+  std::uint64_t seed = 1;
+  std::uint32_t replicate = 0;
+  std::vector<SeedSpec> seeds;
+  /// Record individual transition events (raw output). Aggregates are
+  /// always recorded.
+  bool record_transitions = true;
+};
+
+/// Simulation output for one replicate.
+struct SimOutput {
+  std::vector<TransitionEvent> transitions;  // ordered by tick
+  /// Per-tick count of new transmissions (the incidence curve).
+  std::vector<std::uint64_t> new_infections_per_tick;
+  /// Per-tick engine memory footprint in bytes (Fig 10 instrumentation).
+  std::vector<std::uint64_t> memory_bytes_per_tick;
+  /// Per-tick wall-clock seconds (Fig 7/8 instrumentation).
+  std::vector<double> seconds_per_tick;
+  /// Final health state of every person.
+  std::vector<HealthStateId> final_states;
+  std::uint64_t total_infections = 0;
+  std::uint64_t communication_bytes = 0;  // mpilite traffic (scaling model)
+  /// Computational work performed by this rank: edge propensity
+  /// evaluations plus per-node scans. On a dedicated-core machine,
+  /// per-tick compute time is proportional to this (the strong-scaling
+  /// model's numerator).
+  std::uint64_t work_units = 0;
+  /// After a parallel merge: the largest single rank's work_units — the
+  /// compute-bound critical path.
+  std::uint64_t max_rank_work_units = 0;
+};
+
+class Simulation;
+
+/// An intervention: external modification of simulation state (paper
+/// Appendix D: trigger + action ensemble). `apply` runs once per tick on
+/// every rank after transmissions and progressions; implementations read
+/// and mutate state through the Simulation's intervention API and must be
+/// SPMD-deterministic (same control flow on all ranks; collective calls
+/// allowed).
+class Intervention {
+ public:
+  virtual ~Intervention() = default;
+  virtual std::string name() const = 0;
+  virtual void apply(Simulation& sim) = 0;
+};
+
+/// The simulator. Construct once per replicate and call run().
+///
+/// Serial use: pass comm == nullptr (the engine owns the whole network).
+/// Parallel use: construct inside an mpilite rank body with the shared
+/// Partitioning; the engine owns partition comm->rank().
+class Simulation {
+ public:
+  Simulation(const ContactNetwork& network, const Population& population,
+             const DiseaseModel& model, SimulationConfig config,
+             mpilite::Comm* comm = nullptr,
+             const Partitioning* partitioning = nullptr);
+
+  void add_intervention(std::shared_ptr<Intervention> intervention);
+
+  /// Runs all ticks; returns this rank's output (global output on rank 0
+  /// after merge — see parallel.hpp — or the full output when serial).
+  SimOutput run();
+
+  // --- Intervention / inspection API -------------------------------------
+  // (public so interventions and tests can drive the runtime; everything
+  // here operates on the local partition unless stated otherwise).
+
+  Tick tick() const { return tick_; }
+  const SimulationConfig& config() const { return config_; }
+  const ContactNetwork& network() const { return network_; }
+  const Population& population() const { return population_; }
+  const DiseaseModel& model() const { return model_; }
+
+  PersonId local_begin() const { return local_begin_; }
+  PersonId local_end() const { return local_end_; }
+  bool is_local(PersonId p) const {
+    return p >= local_begin_ && p < local_end_;
+  }
+
+  HealthStateId health(PersonId p) const;
+  /// Persons (local) that entered `state` during the current tick.
+  const std::vector<PersonId>& entered_this_tick(HealthStateId state) const;
+
+  /// Global occupancy count of a state (collective in parallel runs).
+  std::int64_t global_state_count(HealthStateId state);
+
+  /// Per-edge dynamic active flag (Table V: edge.active rw).
+  bool edge_active(EdgeIndex e) const { return edge_active_[e] != 0; }
+  void set_edge_active(EdgeIndex e, bool active);
+
+  /// Per-edge dynamic weight scaling (Table V: edge.weight rw); the
+  /// effective propensity weight is contact.weight x this factor.
+  /// Allocated lazily on first write.
+  void scale_edge_weight(EdgeIndex e, double factor);
+  double edge_weight_scale(EdgeIndex e) const;
+
+  /// Forces a health-state transition (Appendix D: initialization and
+  /// scripted actions may set node.healthState directly). The within-host
+  /// progression out of the new state is scheduled as usual. Local only.
+  void force_transition(PersonId p, HealthStateId new_state);
+
+  /// Closes or reopens an entire activity context (SC closes school +
+  /// college; global, must be called on all ranks).
+  void set_context_closed(ActivityType context, bool closed);
+  bool context_closed(ActivityType context) const;
+
+  /// Isolates person p (all non-home contacts inactive) through tick
+  /// `until`. Works for remote persons too: the request is routed to the
+  /// owner at the next tick boundary.
+  void isolate(PersonId p, Tick until);
+  bool is_isolated(PersonId p) const;  // local persons only
+
+  /// Marks person p stay-at-home compliant; while stay-at-home is active,
+  /// compliant persons keep only home contacts. Local persons only.
+  void set_stay_home_compliant(PersonId p, bool compliant);
+  void set_stay_home_active(bool active);
+  bool stay_home_active() const { return stay_home_active_; }
+
+  /// Node infectivity / susceptibility scaling (Table V rw attributes).
+  void scale_infectivity(PersonId p, double factor);
+  void scale_susceptibility(PersonId p, double factor);
+
+  /// Named node traits (Table V nodeTrait[...]); local persons only.
+  void set_node_trait(const std::string& trait, PersonId p, std::uint8_t v);
+  std::uint8_t node_trait(const std::string& trait, PersonId p) const;
+
+  /// User-defined variables (Table V); process-local, rank-replicated.
+  void set_variable(const std::string& name, double value);
+  double variable(const std::string& name) const;
+
+  /// Deterministic per-(person, purpose) coin flip, identical on every
+  /// rank count; `purpose` distinguishes independent decisions.
+  bool person_coin(PersonId p, std::uint64_t purpose, double probability) const;
+
+  /// In-edges of a local person (for contact tracing); the returned edge
+  /// indices index network().contact().
+  std::pair<EdgeIndex, EdgeIndex> in_edges(PersonId p) const;
+
+  /// Whether edge e is currently transmissible given all dynamic state
+  /// (edge flag, context closures, isolation and stay-home of both ends).
+  /// Source-side flags must be supplied for remote sources.
+  bool edge_transmissible(EdgeIndex e, PersonId target, bool source_isolated,
+                          bool source_stay_home) const;
+
+  /// Total bytes of dynamic engine state (Fig 10 memory accounting).
+  std::uint64_t memory_footprint_bytes() const;
+
+  mpilite::Comm* comm() { return comm_; }
+
+ private:
+  struct NodeState {
+    HealthStateId health;
+    float infectivity_scale = 1.0f;
+    float susceptibility_scale = 1.0f;
+    Tick next_transition_tick = -1;
+    HealthStateId next_state = kNoState;
+  };
+
+  void seed_infections();
+  void step_transmissions();
+  void step_progressions();
+  void apply_interventions();
+  void exchange_remote_isolation_requests();
+  void transition_person(PersonId p, HealthStateId new_state, PersonId cause);
+  Rng person_rng(PersonId p) const;
+
+  const ContactNetwork& network_;
+  const Population& population_;
+  const DiseaseModel& model_;
+  SimulationConfig config_;
+  mpilite::Comm* comm_;
+  const Partitioning* partitioning_ = nullptr;
+
+  PersonId local_begin_ = 0;
+  PersonId local_end_ = 0;
+  EdgeIndex edge_offset_ = 0;
+
+  // Dense (from * state_count + source) lookups built from the model's
+  // transmission list for the propensity hot loop.
+  std::vector<HealthStateId> transmission_to_;
+  std::vector<double> transmission_omega_;
+
+  Tick tick_ = 0;
+  std::vector<NodeState> nodes_;  // indexed by (p - local_begin_)
+  std::vector<std::uint8_t> edge_active_;
+  std::vector<float> edge_weight_scale_;  // lazy; empty = all 1.0
+  std::vector<Tick> isolated_until_;          // local persons
+  std::vector<std::uint8_t> stay_home_;       // local persons
+  bool stay_home_active_ = false;
+  std::array<bool, kActivityTypeCount> context_closed_{};
+  std::map<std::string, std::vector<std::uint8_t>> node_traits_;
+  std::map<std::string, double> variables_;
+
+  // Infectious-set exchange record: effective infectivity of each currently
+  // infectious person (global view, rebuilt per tick).
+  struct InfectiousInfo {
+    PersonId person;
+    HealthStateId state;
+    float infectivity_scale;
+    std::uint8_t isolated;
+    std::uint8_t stay_home;
+  };
+  std::vector<InfectiousInfo> global_infectious_;
+  std::vector<std::uint32_t> infectious_lookup_;  // person -> index+1, 0=none
+
+  std::vector<std::vector<PersonId>> entered_by_state_;
+  std::vector<std::pair<PersonId, Tick>> pending_remote_isolations_;
+  std::vector<std::int64_t> local_state_counts_;
+  std::optional<std::vector<std::int64_t>> cached_global_counts_;
+
+  std::vector<std::shared_ptr<Intervention>> interventions_;
+  SimOutput output_;
+  std::uint64_t intervention_log_bytes_ = 0;  // grows with scheduled changes
+};
+
+}  // namespace epi

@@ -1,0 +1,174 @@
+#include "metapop/metapop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+std::vector<double> MetapopOutput::cumulative_confirmed_total() const {
+  std::vector<double> out;
+  if (new_confirmed.empty()) return out;
+  out.assign(new_confirmed[0].size(), 0.0);
+  for (const auto& county : new_confirmed) {
+    for (std::size_t d = 0; d < county.size(); ++d) out[d] += county[d];
+  }
+  double running = 0.0;
+  for (double& x : out) {
+    running += x;
+    x = running;
+  }
+  return out;
+}
+
+std::vector<double> MetapopOutput::cumulative_confirmed_county(
+    std::size_t c) const {
+  EPI_REQUIRE(c < new_confirmed.size(), "county out of range");
+  std::vector<double> out = new_confirmed[c];
+  double running = 0.0;
+  for (double& x : out) {
+    running += x;
+    x = running;
+  }
+  return out;
+}
+
+MetapopModel::MetapopModel(std::vector<double> county_populations,
+                           std::vector<std::vector<double>> coupling)
+    : populations_(std::move(county_populations)),
+      coupling_(std::move(coupling)) {
+  EPI_REQUIRE(!populations_.empty(), "metapop model needs counties");
+  EPI_REQUIRE(coupling_.size() == populations_.size(),
+              "coupling matrix row count mismatch");
+  for (std::size_t c = 0; c < coupling_.size(); ++c) {
+    EPI_REQUIRE(coupling_[c].size() == populations_.size(),
+                "coupling matrix must be square");
+    double row_sum = 0.0;
+    for (double x : coupling_[c]) {
+      EPI_REQUIRE(x >= 0.0, "coupling entries must be >= 0");
+      row_sum += x;
+    }
+    EPI_REQUIRE(std::abs(row_sum - 1.0) < 1e-6,
+                "coupling row " << c << " sums to " << row_sum << ", not 1");
+    EPI_REQUIRE(populations_[c] > 0.0, "county population must be > 0");
+  }
+}
+
+MetapopModel MetapopModel::with_gravity_coupling(
+    std::vector<double> county_populations, double home_mixing) {
+  EPI_REQUIRE(home_mixing > 0.0 && home_mixing <= 1.0,
+              "home mixing fraction out of (0,1]");
+  const std::size_t n = county_populations.size();
+  EPI_REQUIRE(n > 0, "need at least one county");
+  double total = 0.0;
+  for (double p : county_populations) total += p;
+  std::vector<std::vector<double>> coupling(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (n == 1) {
+      coupling[i][i] = 1.0;
+      continue;
+    }
+    const double away = 1.0 - home_mixing;
+    const double other_total = total - county_populations[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      coupling[i][j] = (i == j)
+                           ? home_mixing
+                           : away * county_populations[j] / other_total;
+    }
+  }
+  return MetapopModel(std::move(county_populations), std::move(coupling));
+}
+
+template <typename StepDraw>
+MetapopOutput MetapopModel::run_impl(const MetapopParams& params, int days,
+                                     const std::vector<MetapopSeed>& seeds,
+                                     StepDraw&& draw) const {
+  EPI_REQUIRE(days > 0, "need at least one day");
+  EPI_REQUIRE(params.latent_days > 0 && params.infectious_days > 0,
+              "durations must be positive");
+  const std::size_t n = populations_.size();
+  std::vector<double> S(populations_), E(n, 0.0), I(n, 0.0), R(n, 0.0);
+  for (const MetapopSeed& seed : seeds) {
+    EPI_REQUIRE(seed.county < n, "seed county out of range");
+    const double count = std::min(seed.infectious, S[seed.county]);
+    S[seed.county] -= count;
+    I[seed.county] += count;
+  }
+
+  // Reporting pipeline: new symptomatic infections enter a delay queue and
+  // emerge as confirmed cases reporting_delay_days later.
+  const int delay = std::max(0, static_cast<int>(
+                                    std::llround(params.reporting_delay_days)));
+  std::vector<std::vector<double>> report_queue(
+      n, std::vector<double>(static_cast<std::size_t>(days + delay + 1), 0.0));
+
+  MetapopOutput out;
+  out.new_confirmed.assign(n, std::vector<double>(static_cast<std::size_t>(days), 0.0));
+  const double sigma = 1.0 / params.latent_days;
+  const double gamma = 1.0 / params.infectious_days;
+
+  for (int day = 0; day < days; ++day) {
+    double beta = params.beta;
+    if (day >= params.intervention_start_day &&
+        day < params.intervention_end_day) {
+      beta *= params.intervention_effect;
+    }
+    // Force of infection per county via the coupling matrix.
+    std::vector<double> lambda(n, 0.0);
+    for (std::size_t c = 0; c < n; ++c) {
+      double pressure = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (coupling_[c][j] == 0.0) continue;
+        pressure += coupling_[c][j] * I[j] / populations_[j];
+      }
+      lambda[c] = beta * pressure;
+    }
+    double s_total = 0, e_total = 0, i_total = 0, r_total = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      const double p_infect = 1.0 - std::exp(-lambda[c]);
+      const double p_progress = 1.0 - std::exp(-sigma);
+      const double p_recover = 1.0 - std::exp(-gamma);
+      const double new_exposed = draw(S[c], p_infect);
+      const double new_infectious = draw(E[c], p_progress);
+      const double new_recovered = draw(I[c], p_recover);
+      S[c] -= new_exposed;
+      E[c] += new_exposed - new_infectious;
+      I[c] += new_infectious - new_recovered;
+      R[c] += new_recovered;
+      // Reported with rate + delay.
+      const std::size_t report_day = static_cast<std::size_t>(day + delay);
+      report_queue[c][report_day] += new_infectious * params.reporting_rate;
+      out.new_confirmed[c][static_cast<std::size_t>(day)] =
+          report_queue[c][static_cast<std::size_t>(day)];
+      s_total += S[c];
+      e_total += E[c];
+      i_total += I[c];
+      r_total += R[c];
+    }
+    out.susceptible.push_back(s_total);
+    out.exposed.push_back(e_total);
+    out.infectious.push_back(i_total);
+    out.recovered.push_back(r_total);
+  }
+  return out;
+}
+
+MetapopOutput MetapopModel::run_deterministic(
+    const MetapopParams& params, int days,
+    const std::vector<MetapopSeed>& seeds) const {
+  return run_impl(params, days, seeds,
+                  [](double pool, double p) { return pool * p; });
+}
+
+MetapopOutput MetapopModel::run_stochastic(const MetapopParams& params,
+                                           int days,
+                                           const std::vector<MetapopSeed>& seeds,
+                                           Rng& rng) const {
+  return run_impl(params, days, seeds, [&rng](double pool, double p) {
+    const auto n = static_cast<std::uint64_t>(std::max(0.0, pool));
+    return static_cast<double>(rng.binomial(n, p));
+  });
+}
+
+}  // namespace epi

@@ -1,0 +1,252 @@
+#include "mpilite/comm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace epi::mpilite {
+
+namespace detail {
+
+namespace {
+// Tags at or above this value are reserved for collectives.
+constexpr int kSystemTagBase = 1 << 30;
+constexpr int kTagAllgather = kSystemTagBase + 1;
+constexpr int kTagAlltoall = kSystemTagBase + 2;
+constexpr int kTagBroadcast = kSystemTagBase + 3;
+constexpr int kTagReduce = kSystemTagBase + 4;
+}  // namespace
+
+struct Hub {
+  explicit Hub(int n) : size(n), barrier(n) {
+    mailboxes.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) mailboxes.push_back(std::make_unique<Mailbox>());
+  }
+
+  int size;
+  std::atomic<bool> aborted{false};
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  Barrier barrier;
+
+  void abort();
+};
+
+void Mailbox::put(int source, int tag, Bytes payload) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queues_[{source, tag}].push_back(std::move(payload));
+  }
+  cv_.notify_all();
+}
+
+Bytes Mailbox::take(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto key = std::make_pair(source, tag);
+  cv_.wait(lock, [&] {
+    if (aborted_ != nullptr && aborted_->load()) return true;
+    const auto it = queues_.find(key);
+    return it != queues_.end() && !it->second.empty();
+  });
+  if (aborted_ != nullptr && aborted_->load()) {
+    throw Error("mpilite: communicator aborted while waiting for message");
+  }
+  auto& queue = queues_[key];
+  Bytes payload = std::move(queue.front());
+  queue.pop_front();
+  return payload;
+}
+
+void Mailbox::set_abort_flag(const std::atomic<bool>* flag) { aborted_ = flag; }
+
+void Mailbox::wake_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cv_.notify_all();
+}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (aborted_ != nullptr && aborted_->load()) {
+    throw Error("mpilite: communicator aborted at barrier");
+  }
+  const std::uint64_t my_generation = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] {
+    return generation_ != my_generation ||
+           (aborted_ != nullptr && aborted_->load());
+  });
+  if (generation_ == my_generation && aborted_ != nullptr && aborted_->load()) {
+    throw Error("mpilite: communicator aborted at barrier");
+  }
+}
+
+void Barrier::set_abort_flag(const std::atomic<bool>* flag) { aborted_ = flag; }
+
+void Barrier::wake_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cv_.notify_all();
+}
+
+void Hub::abort() {
+  aborted.store(true);
+  for (auto& mailbox : mailboxes) mailbox->wake_all();
+  barrier.wake_all();
+}
+
+}  // namespace detail
+
+int Comm::size() const { return hub_->size; }
+
+void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) {
+  EPI_REQUIRE(dest >= 0 && dest < size(), "send to invalid rank " << dest);
+  EPI_REQUIRE(tag >= 0 && tag < detail::kSystemTagBase,
+              "user tags must be in [0, 2^30)");
+  bytes_sent_ += data.size();
+  hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
+      rank_, tag, Bytes(data.begin(), data.end()));
+}
+
+Bytes Comm::recv_bytes(int source, int tag) {
+  EPI_REQUIRE(source >= 0 && source < size(), "recv from invalid rank " << source);
+  return hub_->mailboxes[static_cast<std::size_t>(rank_)]->take(source, tag);
+}
+
+void Comm::barrier() { hub_->barrier.arrive_and_wait(); }
+
+Bytes Comm::allgatherv_bytes(Bytes mine) {
+  // Ring-free naive implementation: everyone posts to everyone. Message
+  // counts are tiny (one per rank pair) and correctness is what matters.
+  for (int dest = 0; dest < size(); ++dest) {
+    if (dest == rank_) continue;
+    bytes_sent_ += mine.size();
+    hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
+        rank_, detail::kTagAllgather, mine);
+  }
+  Bytes result;
+  for (int source = 0; source < size(); ++source) {
+    if (source == rank_) {
+      result.insert(result.end(), mine.begin(), mine.end());
+    } else {
+      Bytes part = hub_->mailboxes[static_cast<std::size_t>(rank_)]->take(
+          source, detail::kTagAllgather);
+      result.insert(result.end(), part.begin(), part.end());
+    }
+  }
+  return result;
+}
+
+std::vector<Bytes> Comm::alltoallv_bytes(const std::vector<Bytes>& outbox) {
+  for (int dest = 0; dest < size(); ++dest) {
+    if (dest == rank_) continue;
+    bytes_sent_ += outbox[static_cast<std::size_t>(dest)].size();
+    hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
+        rank_, detail::kTagAlltoall, outbox[static_cast<std::size_t>(dest)]);
+  }
+  std::vector<Bytes> inbox(static_cast<std::size_t>(size()));
+  inbox[static_cast<std::size_t>(rank_)] = outbox[static_cast<std::size_t>(rank_)];
+  for (int source = 0; source < size(); ++source) {
+    if (source == rank_) continue;
+    inbox[static_cast<std::size_t>(source)] =
+        hub_->mailboxes[static_cast<std::size_t>(rank_)]->take(
+            source, detail::kTagAlltoall);
+  }
+  return inbox;
+}
+
+std::vector<double> Comm::allreduce(std::span<const double> values,
+                                    ReduceOp op) {
+  // Gather everyone's vector, reduce locally. O(P^2) messages — fine for
+  // the rank counts we run (<= 64).
+  std::vector<double> mine(values.begin(), values.end());
+  Bytes raw = allgatherv_bytes(
+      Bytes(reinterpret_cast<const std::byte*>(mine.data()),
+            reinterpret_cast<const std::byte*>(mine.data()) +
+                mine.size() * sizeof(double)));
+  const std::size_t n = values.size();
+  EPI_REQUIRE(raw.size() == n * sizeof(double) * static_cast<std::size_t>(size()),
+              "allreduce: ranks contributed different lengths");
+  std::vector<double> all(raw.size() / sizeof(double));
+  std::memcpy(all.data(), raw.data(), raw.size());
+  std::vector<double> result(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = all[i];
+    for (int r = 1; r < size(); ++r) {
+      const double x = all[static_cast<std::size_t>(r) * n + i];
+      switch (op) {
+        case ReduceOp::kSum: acc += x; break;
+        case ReduceOp::kMin: acc = std::min(acc, x); break;
+        case ReduceOp::kMax: acc = std::max(acc, x); break;
+        case ReduceOp::kLogicalOr: acc = (acc != 0.0 || x != 0.0) ? 1.0 : 0.0; break;
+      }
+    }
+    result[i] = acc;
+  }
+  return result;
+}
+
+double Comm::allreduce(double value, ReduceOp op) {
+  return allreduce(std::span<const double>(&value, 1), op)[0];
+}
+
+std::int64_t Comm::allreduce(std::int64_t value, ReduceOp op) {
+  // Doubles hold integers exactly up to 2^53; our counters stay far below.
+  return static_cast<std::int64_t>(allreduce(static_cast<double>(value), op));
+}
+
+std::vector<double> Comm::broadcast(std::vector<double> value, int root) {
+  EPI_REQUIRE(root >= 0 && root < size(), "broadcast from invalid root");
+  if (rank_ == root) {
+    Bytes raw(reinterpret_cast<const std::byte*>(value.data()),
+              reinterpret_cast<const std::byte*>(value.data()) +
+                  value.size() * sizeof(double));
+    for (int dest = 0; dest < size(); ++dest) {
+      if (dest == root) continue;
+      bytes_sent_ += raw.size();
+      hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
+          rank_, detail::kTagBroadcast, raw);
+    }
+    return value;
+  }
+  Bytes raw = hub_->mailboxes[static_cast<std::size_t>(rank_)]->take(
+      root, detail::kTagBroadcast);
+  std::vector<double> out(raw.size() / sizeof(double));
+  std::memcpy(out.data(), raw.data(), raw.size());
+  return out;
+}
+
+std::int64_t Comm::broadcast(std::int64_t value, int root) {
+  auto v = broadcast(std::vector<double>{static_cast<double>(value)}, root);
+  return static_cast<std::int64_t>(v[0]);
+}
+
+void Runtime::run(int num_ranks, const std::function<void(Comm&)>& body) {
+  EPI_REQUIRE(num_ranks > 0, "mpilite needs at least one rank");
+  auto hub = std::make_shared<detail::Hub>(num_ranks);
+  for (auto& mailbox : hub->mailboxes) mailbox->set_abort_flag(&hub->aborted);
+  hub->barrier.set_abort_flag(&hub->aborted);
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_ranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(hub, r);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        hub->abort();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace epi::mpilite

@@ -1,0 +1,196 @@
+// mpilite — a thread-backed message-passing runtime.
+//
+// The paper's EpiHiper is "a parallel codeset in C++/MPI" (§III): the
+// contact network is partitioned across MPI processes and infection events
+// crossing partition boundaries are exchanged each tick. This environment
+// has no MPI implementation installed, so mpilite provides the same
+// programming model — SPMD ranks, matched point-to-point sends/receives,
+// and the collectives EpiHiper needs (barrier, broadcast, allreduce,
+// allgatherv, alltoallv) — with ranks running as threads of one process.
+//
+// The abstraction boundary is faithful: simulator code addresses peers only
+// by rank and moves data only through Comm, so swapping in real MPI would
+// be a reimplementation of this header, not of the simulator. All
+// operations are collective-or-matched exactly as in MPI; there is no
+// shared-memory back door.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace epi::mpilite {
+
+using Bytes = std::vector<std::byte>;
+
+namespace detail {
+
+/// One rank's inbound mailbox: messages keyed by (source, tag), delivered
+/// in FIFO order per key (MPI's non-overtaking guarantee).
+class Mailbox {
+ public:
+  void put(int source, int tag, Bytes payload);
+  Bytes take(int source, int tag);
+
+  /// Installs the group abort flag; a set flag turns blocked takes into
+  /// exceptions so one failing rank cannot deadlock the others.
+  void set_abort_flag(const std::atomic<bool>* flag);
+  void wake_all();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::pair<int, int>, std::deque<Bytes>> queues_;
+  const std::atomic<bool>* aborted_ = nullptr;
+};
+
+/// Reusable generation-counting barrier.
+class Barrier {
+ public:
+  explicit Barrier(int parties) : parties_(parties) {}
+  void arrive_and_wait();
+
+  void set_abort_flag(const std::atomic<bool>* flag);
+  void wake_all();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int parties_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  const std::atomic<bool>* aborted_ = nullptr;
+};
+
+struct Hub;  // shared state for one communicator group
+
+}  // namespace detail
+
+/// Reduction operators for allreduce.
+enum class ReduceOp { kSum, kMin, kMax, kLogicalOr };
+
+/// A communicator handle owned by one rank. All methods are safe to call
+/// concurrently from the owning rank's thread only (as with MPI).
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  // --- Point-to-point (blocking, buffered) ------------------------------
+
+  void send_bytes(int dest, int tag, std::span<const std::byte> data);
+  Bytes recv_bytes(int source, int tag);
+
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag,
+               std::span<const std::byte>(
+                   reinterpret_cast<const std::byte*>(data.data()),
+                   data.size() * sizeof(T)));
+  }
+
+  template <typename T>
+  void send(int dest, int tag, const std::vector<T>& data) {
+    send<T>(dest, tag, std::span<const T>(data));
+  }
+
+  template <typename T>
+  std::vector<T> recv(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Bytes raw = recv_bytes(source, tag);
+    EPI_REQUIRE(raw.size() % sizeof(T) == 0,
+                "received payload not a multiple of element size");
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  // --- Collectives (must be called by all ranks) ------------------------
+
+  void barrier();
+
+  /// Element-wise reduction of a double vector across ranks; every rank
+  /// receives the result.
+  std::vector<double> allreduce(std::span<const double> values, ReduceOp op);
+  double allreduce(double value, ReduceOp op);
+  std::int64_t allreduce(std::int64_t value, ReduceOp op);
+
+  /// Concatenation of every rank's (variable-length) contribution, in rank
+  /// order; every rank receives the full concatenation.
+  template <typename T>
+  std::vector<T> allgatherv(const std::vector<T>& mine) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Bytes raw = allgatherv_bytes(
+        Bytes(reinterpret_cast<const std::byte*>(mine.data()),
+              reinterpret_cast<const std::byte*>(mine.data()) + mine.size() * sizeof(T)));
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  /// Personalized all-to-all: outbox[d] goes to rank d; returns inbox where
+  /// inbox[s] came from rank s. Outbox must have exactly size() entries.
+  template <typename T>
+  std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& outbox) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    EPI_REQUIRE(static_cast<int>(outbox.size()) == size(),
+                "alltoallv outbox must have one entry per rank");
+    std::vector<Bytes> raw_out(outbox.size());
+    for (std::size_t d = 0; d < outbox.size(); ++d) {
+      const auto* begin = reinterpret_cast<const std::byte*>(outbox[d].data());
+      raw_out[d].assign(begin, begin + outbox[d].size() * sizeof(T));
+    }
+    std::vector<Bytes> raw_in = alltoallv_bytes(raw_out);
+    std::vector<std::vector<T>> inbox(raw_in.size());
+    for (std::size_t s = 0; s < raw_in.size(); ++s) {
+      EPI_REQUIRE(raw_in[s].size() % sizeof(T) == 0,
+                  "alltoallv payload not a multiple of element size");
+      inbox[s].resize(raw_in[s].size() / sizeof(T));
+      std::memcpy(inbox[s].data(), raw_in[s].data(), raw_in[s].size());
+    }
+    return inbox;
+  }
+
+  /// Broadcast from `root`: root's `value` is returned on every rank.
+  std::vector<double> broadcast(std::vector<double> value, int root);
+  std::int64_t broadcast(std::int64_t value, int root);
+
+  /// Total bytes this rank has sent through point-to-point and alltoallv
+  /// (communication-volume accounting for the strong-scaling model).
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  friend class Runtime;
+  Comm(std::shared_ptr<detail::Hub> hub, int rank)
+      : hub_(std::move(hub)), rank_(rank) {}
+
+  Bytes allgatherv_bytes(Bytes mine);
+  std::vector<Bytes> alltoallv_bytes(const std::vector<Bytes>& outbox);
+
+  std::shared_ptr<detail::Hub> hub_;
+  int rank_;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// SPMD launcher: runs `body` on `num_ranks` threads, each with its own
+/// Comm. Exceptions thrown by any rank are captured; the first one (by
+/// rank order) is rethrown after all threads join.
+class Runtime {
+ public:
+  static void run(int num_ranks, const std::function<void(Comm&)>& body);
+};
+
+}  // namespace epi::mpilite

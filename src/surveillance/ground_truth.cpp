@@ -1,0 +1,149 @@
+#include "surveillance/ground_truth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+std::vector<double> StateGroundTruth::cumulative_county(
+    std::size_t county) const {
+  EPI_REQUIRE(county < new_confirmed.size(), "county out of range");
+  std::vector<double> out = new_confirmed[county];
+  double running = 0.0;
+  for (double& x : out) {
+    running += x;
+    x = running;
+  }
+  return out;
+}
+
+std::vector<double> StateGroundTruth::daily_state() const {
+  EPI_REQUIRE(!new_confirmed.empty(), "empty ground truth");
+  std::vector<double> out(new_confirmed[0].size(), 0.0);
+  for (const auto& county : new_confirmed) {
+    for (std::size_t d = 0; d < county.size(); ++d) out[d] += county[d];
+  }
+  return out;
+}
+
+std::vector<double> StateGroundTruth::cumulative_state() const {
+  std::vector<double> out = daily_state();
+  double running = 0.0;
+  for (double& x : out) {
+    running += x;
+    x = running;
+  }
+  return out;
+}
+
+StateGroundTruth generate_state_ground_truth(const StateInfo& state,
+                                             const CountyLayout& layout,
+                                             const GroundTruthConfig& config) {
+  EPI_REQUIRE(config.days > 0, "ground truth needs at least one day");
+  Rng rng = Rng(config.seed).derive({0x4754ULL, state.fips});  // "GT"
+
+  // Hidden epidemic: stochastic metapopulation SEIR over the county layout.
+  std::vector<double> county_pops;
+  county_pops.reserve(layout.fips.size());
+  for (double share : layout.population_share) {
+    county_pops.push_back(
+        std::max(100.0, share * static_cast<double>(state.population)));
+  }
+  const MetapopModel model =
+      MetapopModel::with_gravity_coupling(county_pops, 0.85);
+
+  MetapopParams params;
+  params.beta = config.beta;
+  params.latent_days = 4.0;
+  params.infectious_days = 6.0;
+  params.reporting_rate = config.reporting_rate;
+  params.reporting_delay_days = 5.0;
+  params.intervention_start_day = config.distancing_start_day;
+  params.intervention_end_day = config.distancing_end_day;
+  params.intervention_effect = config.distancing_effect;
+
+  // Seed the largest counties at staggered dates: big metros imported
+  // cases first. Model by seeding at day 0 in the top counties with
+  // population-scaled counts (the largest states saw the earliest spread).
+  std::vector<MetapopSeed> seeds;
+  const std::size_t metros = std::min<std::size_t>(3, county_pops.size());
+  for (std::size_t c = 0; c < metros; ++c) {
+    seeds.push_back(MetapopSeed{
+        c, std::max(1.0, county_pops[c] / 2'000'000.0)});
+  }
+
+  const MetapopOutput out =
+      model.run_stochastic(params, config.days, seeds, rng);
+
+  StateGroundTruth truth;
+  truth.region = state.abbrev;
+  truth.county_fips.assign(layout.fips.begin(), layout.fips.end());
+  truth.new_confirmed.assign(layout.fips.size(),
+                             std::vector<double>(static_cast<std::size_t>(config.days), 0.0));
+  // Reporting model on top of the epidemic: day-of-week dips plus
+  // multiplicative noise — the "highly noisy and often time-delayed"
+  // character of Fig 14.
+  for (std::size_t c = 0; c < layout.fips.size(); ++c) {
+    for (int d = 0; d < config.days; ++d) {
+      double reported = out.new_confirmed[c][static_cast<std::size_t>(d)];
+      const int weekday = (d + 2) % 7;  // Jan 21, 2020 was a Tuesday
+      if (weekday >= 5) reported *= config.weekend_reporting_factor;
+      reported *= std::exp(rng.normal(0.0, 0.15));
+      truth.new_confirmed[c][static_cast<std::size_t>(d)] =
+          std::floor(std::max(0.0, reported));
+    }
+  }
+  return truth;
+}
+
+StateGroundTruth generate_state_ground_truth(const std::string& abbrev,
+                                             const GroundTruthConfig& config) {
+  const StateInfo& state = state_by_abbrev(abbrev);
+  // Same layout construction (and same seed derivation) as the population
+  // generator, so ground truth and synthetic population share geography.
+  Rng layout_rng = Rng(config.seed).derive({0x5359'4e50ULL, state.fips});
+  const CountyLayout layout = make_county_layout(state, layout_rng);
+  return generate_state_ground_truth(state, layout, config);
+}
+
+std::vector<StateGroundTruth> generate_national_ground_truth(
+    const GroundTruthConfig& config) {
+  std::vector<StateGroundTruth> truths;
+  truths.reserve(us_state_count());
+  for (const StateInfo& state : us_states()) {
+    truths.push_back(generate_state_ground_truth(state.abbrev, config));
+  }
+  return truths;
+}
+
+void write_ground_truth_csv(std::ostream& out, const StateGroundTruth& truth) {
+  out << "day,fips,new_cases,cum_cases\n";
+  for (std::size_t c = 0; c < truth.county_fips.size(); ++c) {
+    double cumulative = 0.0;
+    for (std::size_t d = 0; d < truth.new_confirmed[c].size(); ++d) {
+      cumulative += truth.new_confirmed[c][d];
+      out << d << ',' << truth.county_fips[c] << ','
+          << truth.new_confirmed[c][d] << ',' << cumulative << '\n';
+    }
+  }
+}
+
+std::size_t counties_with_cases(const std::vector<StateGroundTruth>& truths) {
+  std::size_t count = 0;
+  for (const auto& truth : truths) {
+    for (const auto& county : truth.new_confirmed) {
+      for (double x : county) {
+        if (x > 0.0) {
+          ++count;
+          break;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace epi

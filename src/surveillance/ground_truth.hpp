@@ -1,0 +1,73 @@
+// Synthetic surveillance ground truth (the NYT / JHU / UVA dashboard
+// substitute).
+//
+// Calibration consumes "county-level daily confirmed case counts starting
+// from January 21, 2020, for over 3000 counties" (paper §III). Those
+// feeds cannot ship here, so this module generates statistically similar
+// data: a hidden stochastic metapopulation epidemic per state (seeded in
+// the largest counties at staggered dates, with an intense-social-
+// distancing bend in the spring), pushed through a noisy reporting model
+// (under-reporting, delay, day-of-week effects). Figures 13-14 plot
+// exactly these curves.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metapop/metapop.hpp"
+#include "synthpop/locations.hpp"
+#include "synthpop/us_states.hpp"
+
+namespace epi {
+
+struct GroundTruthConfig {
+  std::uint64_t seed = 20200121;  // data starts January 21, 2020
+  int days = 200;
+  /// Transmission rate of the hidden epidemic (R0 ~ beta * infectious
+  /// duration; 0.42 with 6 infectious days gives the pandemic's R0 ~ 2.5).
+  double beta = 0.42;
+  /// Day (from Jan 21) intense social distancing begins (Mar 15 = day 54).
+  int distancing_start_day = 54;
+  /// Day it ends (Jun 10 = day 141).
+  int distancing_end_day = 141;
+  double distancing_effect = 0.45;  // transmissibility multiplier while on
+  double reporting_rate = 0.25;
+  double weekend_reporting_factor = 0.6;  // day-of-week reporting dip
+};
+
+/// One state's observed county-level series.
+struct StateGroundTruth {
+  std::string region;
+  std::vector<std::uint32_t> county_fips;
+  /// new_confirmed[county][day]
+  std::vector<std::vector<double>> new_confirmed;
+
+  std::vector<double> cumulative_county(std::size_t county) const;
+  std::vector<double> cumulative_state() const;
+  std::vector<double> daily_state() const;
+};
+
+/// Generates one state's ground truth using its county layout.
+StateGroundTruth generate_state_ground_truth(const StateInfo& state,
+                                             const CountyLayout& layout,
+                                             const GroundTruthConfig& config);
+
+/// Convenience: generates the layout internally (same construction as the
+/// population generator) and returns the truth.
+StateGroundTruth generate_state_ground_truth(const std::string& abbrev,
+                                             const GroundTruthConfig& config);
+
+/// All 51 regions. Total county count matches the national county table.
+std::vector<StateGroundTruth> generate_national_ground_truth(
+    const GroundTruthConfig& config);
+
+/// Writes the NYT-style CSV: date_index,fips,new_cases,cum_cases rows.
+void write_ground_truth_csv(std::ostream& out, const StateGroundTruth& truth);
+
+/// Counties (across a set of states) with at least one reported case —
+/// the paper's "2772 counties with case counts greater than zero" check.
+std::size_t counties_with_cases(const std::vector<StateGroundTruth>& truths);
+
+}  // namespace epi

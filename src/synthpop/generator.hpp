@@ -1,0 +1,81 @@
+// End-to-end synthetic population + contact network generator (paper
+// Appendix C pipeline).
+//
+// Steps, mirroring the paper: (i) construct people and places — households
+// sampled from an IPF-fitted (age-group x household-size) joint
+// distribution per county; (ii) assign week-long activity sequences;
+// (iii) map every activity to a spatially embedded location (work via a
+// commute-flow model, school/college in-county, errands anchored near
+// home); (iv) derive the contact network from co-occupancy with a
+// sub-location contact model, projected to the "typical day" (Wednesday).
+//
+// Everything is deterministic in (region, scale, seed).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "network/contact_network.hpp"
+#include "synthpop/activity.hpp"
+#include "synthpop/locations.hpp"
+#include "synthpop/population.hpp"
+#include "synthpop/us_states.hpp"
+
+namespace epi {
+
+struct SynthPopConfig {
+  std::string region = "VA";  // state abbreviation
+  /// Fraction of the real state population to generate. The nightly
+  /// production runs used scale 1 (300M persons nationally); default here
+  /// is laptop-scale.
+  double scale = 1.0 / 2000.0;
+  std::uint64_t seed = 20200325;  // first production run: March 25, 2020
+  /// Day of week (0 = Monday) the network is projected to; the paper uses
+  /// Wednesday. Ignored when week_long is set.
+  int projection_day = kWednesday;
+  /// Build the week-long network G instead of the one-day projection
+  /// G_Wednesday: contacts of all seven days, each annotated with its
+  /// interaction time. This is the network whose size Fig 6 reports
+  /// (~26 contacts/person); simulations in the paper (and here) run on
+  /// the Wednesday projection.
+  bool week_long = false;
+  /// Fraction of workers commuting outside their home county.
+  double commute_out_fraction = 0.25;
+};
+
+/// A generated region: the population and its contact network, plus the
+/// location model (retained for interventions that need venue structure).
+struct SyntheticRegion {
+  Population population;
+  ContactNetwork network;
+  CountyLayout counties;
+};
+
+/// National age distribution used for person synthesis (shares by
+/// AgeGroup, summing to 1).
+std::array<double, kAgeGroupCount> us_age_distribution();
+
+/// Household-size distribution template (sizes 1..7), later IPF-adjusted
+/// per county to hit the state's average household size.
+std::array<double, 7> us_household_size_distribution();
+
+/// Generates a region's population and Wednesday contact network.
+SyntheticRegion generate_region(const SynthPopConfig& config);
+
+/// Convenience: per-state network size row for Fig 6.
+struct RegionSizeRow {
+  std::string region;
+  std::uint64_t persons = 0;
+  std::uint64_t contacts = 0;  // undirected
+};
+
+/// Generates all 51 regions (at config.scale, config.seed) and returns
+/// their node/contact counts ordered by ascending population — the Fig 6
+/// series. Expensive at large scales. `week_long` selects the full
+/// seven-day network (the Fig 6 convention) vs the Wednesday projection.
+std::vector<RegionSizeRow> national_network_sizes(double scale,
+                                                  std::uint64_t seed,
+                                                  bool week_long = false);
+
+}  // namespace epi

@@ -1,0 +1,96 @@
+#include "synthpop/ipf.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+double Matrix2D::row_sum(std::size_t r) const {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) sum += at(r, c);
+  return sum;
+}
+
+double Matrix2D::col_sum(std::size_t c) const {
+  double sum = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) sum += at(r, c);
+  return sum;
+}
+
+double Matrix2D::total() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x;
+  return sum;
+}
+
+IpfResult iterative_proportional_fit(const Matrix2D& seed,
+                                     const std::vector<double>& row_targets,
+                                     const std::vector<double>& col_targets,
+                                     double tolerance,
+                                     std::size_t max_iterations) {
+  EPI_REQUIRE(seed.rows() == row_targets.size(),
+              "IPF row target length mismatch");
+  EPI_REQUIRE(seed.cols() == col_targets.size(),
+              "IPF column target length mismatch");
+  double row_total = 0.0, col_total = 0.0;
+  for (double t : row_targets) {
+    EPI_REQUIRE(t >= 0.0, "IPF row target must be >= 0");
+    row_total += t;
+  }
+  for (double t : col_targets) {
+    EPI_REQUIRE(t >= 0.0, "IPF column target must be >= 0");
+    col_total += t;
+  }
+  EPI_REQUIRE(row_total > 0.0, "IPF targets sum to zero");
+  EPI_REQUIRE(std::abs(row_total - col_total) <=
+                  1e-6 * std::max(row_total, col_total),
+              "IPF row and column totals disagree: " << row_total << " vs "
+                                                     << col_total);
+  for (std::size_t r = 0; r < seed.rows(); ++r) {
+    for (std::size_t c = 0; c < seed.cols(); ++c) {
+      EPI_REQUIRE(seed.at(r, c) >= 0.0, "IPF seed must be non-negative");
+    }
+    EPI_REQUIRE(!(row_targets[r] > 0.0 && seed.row_sum(r) == 0.0),
+                "IPF seed row " << r << " is all-zero with nonzero target");
+  }
+  for (std::size_t c = 0; c < seed.cols(); ++c) {
+    EPI_REQUIRE(!(col_targets[c] > 0.0 && seed.col_sum(c) == 0.0),
+                "IPF seed column " << c << " is all-zero with nonzero target");
+  }
+
+  IpfResult result;
+  result.fitted = seed;
+  Matrix2D& m = result.fitted;
+  for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    // Row scaling pass.
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      const double current = m.row_sum(r);
+      const double factor = current > 0.0 ? row_targets[r] / current : 0.0;
+      for (std::size_t c = 0; c < m.cols(); ++c) m.at(r, c) *= factor;
+    }
+    // Column scaling pass.
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const double current = m.col_sum(c);
+      const double factor = current > 0.0 ? col_targets[c] / current : 0.0;
+      for (std::size_t r = 0; r < m.rows(); ++r) m.at(r, c) *= factor;
+    }
+    // Convergence: worst marginal deviation after the column pass.
+    double error = 0.0;
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      error = std::max(error, std::abs(m.row_sum(r) - row_targets[r]));
+    }
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      error = std::max(error, std::abs(m.col_sum(c) - col_targets[c]));
+    }
+    result.iterations = iteration + 1;
+    result.max_marginal_error = error;
+    if (error <= tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace epi

@@ -1,0 +1,57 @@
+// Iterative proportional fitting (Deming & Stephan 1940 — the paper's
+// reference [13], used via Beckman, Baggerly & McKay [4] to build the base
+// population).
+//
+// Given a seed contingency table and target row/column marginals, IPF
+// rescales rows and columns alternately until the table matches both
+// marginal vectors. The population generator uses it to fit the joint
+// (age group x household size) distribution of each county to
+// census-style marginals before sampling households.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace epi {
+
+/// A dense row-major matrix just big enough for IPF work.
+class Matrix2D {
+ public:
+  Matrix2D() = default;
+  Matrix2D(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  double row_sum(std::size_t r) const;
+  double col_sum(std::size_t c) const;
+  double total() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+struct IpfResult {
+  Matrix2D fitted;
+  std::size_t iterations = 0;
+  double max_marginal_error = 0.0;  // worst absolute marginal deviation
+  bool converged = false;
+};
+
+/// Runs IPF. `seed` must be non-negative with no all-zero row/column that
+/// has a nonzero target. Row and column marginal totals must agree (within
+/// a relative tolerance of 1e-6); the result table has those marginals up
+/// to `tolerance`.
+IpfResult iterative_proportional_fit(const Matrix2D& seed,
+                                     const std::vector<double>& row_targets,
+                                     const std::vector<double>& col_targets,
+                                     double tolerance = 1e-9,
+                                     std::size_t max_iterations = 1000);
+
+}  // namespace epi

@@ -1,0 +1,117 @@
+#include "synthpop/locations.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+CountyLayout make_county_layout(const StateInfo& state, Rng& rng) {
+  CountyLayout layout;
+  const std::size_t n = state.counties;
+  EPI_REQUIRE(n > 0, "state must have at least one county");
+  layout.fips.reserve(n);
+  layout.population_share.reserve(n);
+  layout.lat.reserve(n);
+  layout.lon.reserve(n);
+
+  // Zipf(s = 0.9) shares: the largest county of a populous state holds a
+  // metro-sized fraction, matching real county-size skew.
+  double normalizer = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    normalizer += 1.0 / std::pow(static_cast<double>(i + 1), 0.9);
+  }
+  // Spatial extent grows with county count; jitter keeps layouts distinct
+  // across seeds while remaining centred on the state.
+  const double extent = 0.5 + 0.08 * std::sqrt(static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    // County FIPS codes are odd multiples offset from the state code, as
+    // in the real FIPS scheme (e.g. 51001, 51003, ...).
+    layout.fips.push_back(state.fips * 1000 + static_cast<std::uint32_t>(i) * 2 + 1);
+    layout.population_share.push_back(
+        (1.0 / std::pow(static_cast<double>(i + 1), 0.9)) / normalizer);
+    layout.lat.push_back(static_cast<float>(
+        state.centroid_lat + rng.uniform(-extent, extent)));
+    layout.lon.push_back(static_cast<float>(
+        state.centroid_lon + rng.uniform(-extent, extent)));
+  }
+  return layout;
+}
+
+std::uint64_t persons_per_location(ActivityType type) {
+  switch (type) {
+    case ActivityType::kHome: return 1;        // households are locations
+    case ActivityType::kWork: return 20;       // mean workplace size
+    case ActivityType::kShopping: return 150;  // persons per store
+    case ActivityType::kOther: return 120;     // persons per venue
+    case ActivityType::kSchool: return 450;    // persons per school
+    case ActivityType::kCollege: return 1200;  // persons per campus
+    case ActivityType::kReligion: return 250;  // persons per congregation
+  }
+  return 100;
+}
+
+std::uint16_t sublocation_capacity(ActivityType type) {
+  switch (type) {
+    case ActivityType::kHome: return 16;
+    case ActivityType::kWork: return 20;      // office suite / crew
+    case ActivityType::kShopping: return 15;  // aisle / checkout area
+    case ActivityType::kOther: return 18;
+    case ActivityType::kSchool: return 25;    // classroom
+    case ActivityType::kCollege: return 30;   // lecture section
+    case ActivityType::kReligion: return 40;  // service seating block
+  }
+  return 20;
+}
+
+LocationModel::LocationModel(
+    const CountyLayout& layout,
+    const std::vector<std::array<std::uint64_t, kActivityTypeCount>>& demand,
+    Rng& rng) {
+  EPI_REQUIRE(demand.size() == layout.fips.size(),
+              "demand table must have one row per county");
+  pools_.resize(layout.fips.size());
+  for (std::size_t county = 0; county < layout.fips.size(); ++county) {
+    for (int t = 0; t < kActivityTypeCount; ++t) {
+      const auto type = static_cast<ActivityType>(t);
+      if (type == ActivityType::kHome) continue;  // homes are households
+      const std::uint64_t persons = demand[county][static_cast<std::size_t>(t)];
+      if (persons == 0) continue;
+      const std::uint64_t count =
+          std::max<std::uint64_t>(1, persons / persons_per_location(type));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        Location loc;
+        loc.type = type;
+        loc.county = static_cast<std::uint16_t>(county);
+        loc.lat = layout.lat[county] + static_cast<float>(rng.uniform(-0.2, 0.2));
+        loc.lon = layout.lon[county] + static_cast<float>(rng.uniform(-0.2, 0.2));
+        loc.sublocation_capacity = sublocation_capacity(type);
+        const auto id = static_cast<LocationId>(locations_.size());
+        locations_.push_back(loc);
+        pools_[county][static_cast<std::size_t>(t)].push_back(id);
+        global_pools_[static_cast<std::size_t>(t)].push_back(id);
+      }
+    }
+  }
+}
+
+const std::vector<LocationId>& LocationModel::pool(std::size_t county,
+                                                   ActivityType type) const {
+  EPI_REQUIRE(county < pools_.size(), "county index out of range");
+  return pools_[county][static_cast<std::size_t>(type)];
+}
+
+LocationId LocationModel::assign(std::size_t county, ActivityType type,
+                                 Rng& rng) const {
+  const auto& local = pool(county, type);
+  if (!local.empty()) {
+    return local[rng.uniform_index(local.size())];
+  }
+  const auto& global = global_pools_[static_cast<std::size_t>(type)];
+  EPI_REQUIRE(!global.empty(),
+              "no locations of type " << activity_name(type) << " anywhere");
+  return global[rng.uniform_index(global.size())];
+}
+
+}  // namespace epi

@@ -1,0 +1,89 @@
+// Spatially embedded location model (paper Appendix C).
+//
+// The paper's location model builds residence and activity locations from
+// MS Building footprints, HERE/NAVTEQ POIs, NCES school data, LandScan and
+// OpenStreetMap. None of those datasets ship here; this model generates
+// the same *structure* — a set of activity locations per county, sized by
+// the population they serve, spatially scattered around county centroids —
+// which is what the co-occupancy contact inference consumes.
+//
+// County geography itself is synthetic: counties of a region receive
+// Zipf-distributed population shares (large metro counties exist, as in
+// reality) and centroids jittered around the state centroid.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "network/contact_network.hpp"  // ActivityType
+#include "synthpop/us_states.hpp"
+#include "util/rng.hpp"
+
+namespace epi {
+
+using LocationId = std::uint32_t;
+
+struct Location {
+  ActivityType type = ActivityType::kOther;
+  std::uint16_t county = 0;
+  float lat = 0.0f;
+  float lon = 0.0f;
+  /// Maximum simultaneous occupants of one sub-location (classroom, shop
+  /// floor section, office suite); drives the contact model.
+  std::uint16_t sublocation_capacity = 0;
+};
+
+/// Synthetic county geography for one region.
+struct CountyLayout {
+  std::vector<std::uint32_t> fips;      // per-county FIPS (state*1000 + i*2+1)
+  std::vector<double> population_share; // Zipf shares, sums to 1
+  std::vector<float> lat;
+  std::vector<float> lon;
+};
+
+/// Builds county layout for a state: Zipf(0.9) population shares over the
+/// state's county count, centroids jittered around the state centroid.
+CountyLayout make_county_layout(const StateInfo& state, Rng& rng);
+
+/// All activity locations of one region, grouped by (county, type).
+class LocationModel {
+ public:
+  /// Sizes location pools from per-county demand (person counts needing
+  /// each activity type in that county).
+  ///
+  /// `demand[c][t]` = number of persons in county c whose schedules use
+  /// activity type t. Pool sizes follow fixed persons-per-location ratios
+  /// (workplace ~20, school ~450, college ~1200, store ~150, venue ~120,
+  /// congregation ~250), always at least 1 where demand exists.
+  LocationModel(const CountyLayout& layout,
+                const std::vector<std::array<std::uint64_t, kActivityTypeCount>>& demand,
+                Rng& rng);
+
+  std::size_t location_count() const { return locations_.size(); }
+  const Location& location(LocationId id) const { return locations_[id]; }
+
+  /// Locations of `type` in county `c` (possibly empty for kHome).
+  const std::vector<LocationId>& pool(std::size_t county,
+                                      ActivityType type) const;
+
+  /// Picks a location of `type` for a resident of `county`, uniformly from
+  /// the county pool; falls back to any county's pool if local pool empty.
+  LocationId assign(std::size_t county, ActivityType type, Rng& rng) const;
+
+ private:
+  std::vector<Location> locations_;
+  // pools_[county][type] -> location ids
+  std::vector<std::array<std::vector<LocationId>, kActivityTypeCount>> pools_;
+  std::array<std::vector<LocationId>, kActivityTypeCount> global_pools_;
+  std::vector<LocationId> empty_;
+};
+
+/// Persons served per location, by activity type (tuning constants shared
+/// with tests).
+std::uint64_t persons_per_location(ActivityType type);
+
+/// Sub-location capacity by activity type (classroom 25, office 20, ...).
+std::uint16_t sublocation_capacity(ActivityType type);
+
+}  // namespace epi

@@ -1,0 +1,133 @@
+#include "synthpop/population.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace epi {
+
+AgeGroup age_group_of(int age) {
+  EPI_REQUIRE(age >= 0 && age <= 120, "implausible age " << age);
+  if (age <= 4) return AgeGroup::kPreschool;
+  if (age <= 17) return AgeGroup::kSchool;
+  if (age <= 49) return AgeGroup::kAdult;
+  if (age <= 64) return AgeGroup::kOlderAdult;
+  return AgeGroup::kSenior;
+}
+
+const char* age_group_name(AgeGroup g) {
+  switch (g) {
+    case AgeGroup::kPreschool: return "0-4";
+    case AgeGroup::kSchool: return "5-17";
+    case AgeGroup::kAdult: return "18-49";
+    case AgeGroup::kOlderAdult: return "50-64";
+    case AgeGroup::kSenior: return "65+";
+  }
+  return "?";
+}
+
+Population::Population(std::string region,
+                       std::vector<std::uint32_t> county_fips,
+                       std::vector<PersonTraits> persons,
+                       std::vector<Household> households)
+    : region_(std::move(region)),
+      county_fips_(std::move(county_fips)),
+      persons_(std::move(persons)),
+      households_(std::move(households)) {
+  for (std::size_t h = 0; h < households_.size(); ++h) {
+    const Household& hh = households_[h];
+    EPI_REQUIRE(hh.first_person + hh.size <= persons_.size(),
+                "household " << h << " members out of range");
+    for (PersonId p = hh.first_person; p < hh.first_person + hh.size; ++p) {
+      EPI_REQUIRE(persons_[p].household == h,
+                  "person " << p << " household back-reference mismatch");
+    }
+  }
+  for (const auto& person : persons_) {
+    EPI_REQUIRE(person.county < county_fips_.size(),
+                "person county index out of range");
+  }
+  recompute_county_population();
+}
+
+void Population::recompute_county_population() {
+  county_population_.assign(county_fips_.size(), 0);
+  for (const auto& person : persons_) {
+    ++county_population_[person.county];
+  }
+}
+
+std::uint64_t Population::county_population(std::size_t c) const {
+  EPI_REQUIRE(c < county_population_.size(), "county index out of range");
+  return county_population_[c];
+}
+
+void Population::write_csv(std::ostream& out) const {
+  out << "pid,hid,age,age_group,gender,occupation,county_fips,home_lat,home_lon\n";
+  for (PersonId p = 0; p < person_count(); ++p) {
+    const PersonTraits& t = persons_[p];
+    out << p << ',' << t.household << ',' << int(t.age) << ','
+        << int(t.age_group) << ',' << int(t.gender) << ',' << int(t.occupation)
+        << ',' << county_fips_[t.county] << ',' << t.home_lat << ','
+        << t.home_lon << '\n';
+  }
+}
+
+Population Population::read_csv(std::istream& in, std::string region) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const CsvTable table = parse_csv(buffer.str());
+
+  // County FIPS values are remapped to dense indices in first-seen order.
+  std::vector<std::uint32_t> county_fips;
+  std::map<std::uint32_t, std::uint16_t> fips_to_index;
+  std::vector<PersonTraits> persons;
+  persons.reserve(table.row_count());
+  for (std::size_t row = 0; row < table.row_count(); ++row) {
+    PersonTraits t;
+    t.household = static_cast<std::uint32_t>(table.cell_int(row, "hid"));
+    t.age = static_cast<std::uint8_t>(table.cell_int(row, "age"));
+    t.age_group = static_cast<std::uint8_t>(table.cell_int(row, "age_group"));
+    t.gender = static_cast<std::uint8_t>(table.cell_int(row, "gender"));
+    t.occupation =
+        static_cast<std::uint8_t>(table.cell_int(row, "occupation"));
+    const auto fips =
+        static_cast<std::uint32_t>(table.cell_int(row, "county_fips"));
+    auto [it, inserted] = fips_to_index.emplace(
+        fips, static_cast<std::uint16_t>(county_fips.size()));
+    if (inserted) county_fips.push_back(fips);
+    t.county = it->second;
+    t.home_lat = static_cast<float>(table.cell_double(row, "home_lat"));
+    t.home_lon = static_cast<float>(table.cell_double(row, "home_lon"));
+    persons.push_back(t);
+  }
+
+  // Rebuild the household table from person back-references.
+  std::uint32_t household_count = 0;
+  for (const auto& person : persons) {
+    household_count = std::max(household_count, person.household + 1);
+  }
+  std::vector<Household> households(household_count);
+  std::vector<bool> seen(household_count, false);
+  for (PersonId p = 0; p < persons.size(); ++p) {
+    const auto h = persons[p].household;
+    if (!seen[h]) {
+      households[h].first_person = p;
+      households[h].county = persons[p].county;
+      households[h].lat = persons[p].home_lat;
+      households[h].lon = persons[p].home_lon;
+      seen[h] = true;
+    }
+    EPI_REQUIRE(p == households[h].first_person + households[h].size,
+                "household members must be contiguous in the person CSV");
+    ++households[h].size;
+  }
+  return Population(std::move(region), std::move(county_fips),
+                    std::move(persons), std::move(households));
+}
+
+}  // namespace epi

@@ -1,0 +1,112 @@
+// Synthetic population container.
+//
+// Mirrors the paper's person-trait CSV (§III): "household ID, age and age
+// group, gender, county code, and the latitude and longitude of home
+// locations". Persons are contiguous and identified by index (PersonId),
+// grouped by household, which lets the contact-network builder emit
+// household cliques cheaply and lets the person database snapshot the
+// whole table as one block.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "network/contact_network.hpp"  // PersonId
+
+namespace epi {
+
+/// Coarse age bands used by the CDC disease-parameter tables (Table III).
+enum class AgeGroup : std::uint8_t {
+  kPreschool = 0,   // 0-4
+  kSchool = 1,      // 5-17
+  kAdult = 2,       // 18-49
+  kOlderAdult = 3,  // 50-64
+  kSenior = 4,      // 65+
+};
+inline constexpr int kAgeGroupCount = 5;
+
+AgeGroup age_group_of(int age);
+const char* age_group_name(AgeGroup g);
+
+/// What a person does on weekdays; drives activity-sequence assignment.
+enum class Occupation : std::uint8_t {
+  kPreschooler = 0,
+  kStudent = 1,        // K-12
+  kCollegeStudent = 2,
+  kWorker = 3,
+  kHomeOrRetired = 4,  // not in labor force / retired / unemployed
+};
+inline constexpr int kOccupationCount = 5;
+
+struct PersonTraits {
+  std::uint32_t household = 0;   // index into Population::households()
+  std::uint8_t age = 0;
+  std::uint8_t age_group = 0;    // AgeGroup
+  std::uint8_t gender = 0;       // 0 female, 1 male
+  std::uint8_t occupation = 0;   // Occupation
+  std::uint16_t county = 0;      // index into Population::county_fips()
+  float home_lat = 0.0f;
+  float home_lon = 0.0f;
+};
+
+struct Household {
+  PersonId first_person = 0;  // members are [first_person, first_person+size)
+  std::uint16_t size = 0;
+  std::uint16_t county = 0;
+  float lat = 0.0f;
+  float lon = 0.0f;
+};
+
+/// The synthetic population of one region.
+class Population {
+ public:
+  Population() = default;
+  Population(std::string region, std::vector<std::uint32_t> county_fips,
+             std::vector<PersonTraits> persons, std::vector<Household> households);
+
+  const std::string& region() const { return region_; }
+  PersonId person_count() const {
+    return static_cast<PersonId>(persons_.size());
+  }
+  std::size_t household_count() const { return households_.size(); }
+  std::size_t county_count() const { return county_fips_.size(); }
+
+  const PersonTraits& person(PersonId p) const { return persons_[p]; }
+  const Household& household(std::size_t h) const { return households_[h]; }
+  const std::vector<PersonTraits>& persons() const { return persons_; }
+  const std::vector<Household>& households() const { return households_; }
+
+  /// FIPS code of county index c.
+  std::uint32_t county_fips(std::size_t c) const { return county_fips_[c]; }
+  const std::vector<std::uint32_t>& county_fips_codes() const {
+    return county_fips_;
+  }
+
+  /// Number of persons living in county index c.
+  std::uint64_t county_population(std::size_t c) const;
+
+  AgeGroup age_group(PersonId p) const {
+    return static_cast<AgeGroup>(persons_[p].age_group);
+  }
+  Occupation occupation(PersonId p) const {
+    return static_cast<Occupation>(persons_[p].occupation);
+  }
+
+  /// Person-trait CSV as in the paper:
+  /// pid,hid,age,age_group,gender,occupation,county_fips,home_lat,home_lon
+  void write_csv(std::ostream& out) const;
+  static Population read_csv(std::istream& in, std::string region);
+
+ private:
+  std::string region_;
+  std::vector<std::uint32_t> county_fips_;
+  std::vector<PersonTraits> persons_;
+  std::vector<Household> households_;
+  std::vector<std::uint64_t> county_population_;
+
+  void recompute_county_population();
+};
+
+}  // namespace epi

@@ -1,0 +1,101 @@
+#include "synthpop/us_states.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+namespace {
+
+// 2019 census population estimates, county-equivalent counts, ACS average
+// household sizes, and rough geographic centroids. Ordered by FIPS.
+constexpr std::array<StateInfo, 51> kStates = {{
+    {"AL", "Alabama", 1, 4903185, 67, 2.55, 32.8, -86.8},
+    {"AK", "Alaska", 2, 731545, 29, 2.80, 64.0, -152.0},
+    {"AZ", "Arizona", 4, 7278717, 15, 2.67, 34.2, -111.6},
+    {"AR", "Arkansas", 5, 3017804, 75, 2.52, 34.8, -92.4},
+    {"CA", "California", 6, 39512223, 58, 2.95, 37.2, -119.3},
+    {"CO", "Colorado", 8, 5758736, 64, 2.56, 39.0, -105.5},
+    {"CT", "Connecticut", 9, 3565287, 8, 2.53, 41.6, -72.7},
+    {"DE", "Delaware", 10, 973764, 3, 2.57, 39.0, -75.5},
+    {"DC", "District of Columbia", 11, 705749, 1, 2.30, 38.9, -77.0},
+    {"FL", "Florida", 12, 21477737, 67, 2.65, 28.6, -82.4},
+    {"GA", "Georgia", 13, 10617423, 159, 2.70, 32.6, -83.4},
+    {"HI", "Hawaii", 15, 1415872, 5, 3.01, 20.3, -156.4},
+    {"ID", "Idaho", 16, 1787065, 44, 2.69, 44.4, -114.6},
+    {"IL", "Illinois", 17, 12671821, 102, 2.59, 40.0, -89.2},
+    {"IN", "Indiana", 18, 6732219, 92, 2.55, 39.9, -86.3},
+    {"IA", "Iowa", 19, 3155070, 99, 2.41, 42.0, -93.5},
+    {"KS", "Kansas", 20, 2913314, 105, 2.51, 38.5, -98.4},
+    {"KY", "Kentucky", 21, 4467673, 120, 2.48, 37.5, -85.3},
+    {"LA", "Louisiana", 22, 4648794, 64, 2.62, 31.1, -92.0},
+    {"ME", "Maine", 23, 1344212, 16, 2.32, 45.4, -69.2},
+    {"MD", "Maryland", 24, 6045680, 24, 2.67, 39.0, -76.8},
+    {"MA", "Massachusetts", 25, 6892503, 14, 2.51, 42.3, -71.8},
+    {"MI", "Michigan", 26, 9986857, 83, 2.47, 44.3, -85.4},
+    {"MN", "Minnesota", 27, 5639632, 87, 2.48, 46.3, -94.3},
+    {"MS", "Mississippi", 28, 2976149, 82, 2.60, 32.7, -89.7},
+    {"MO", "Missouri", 29, 6137428, 115, 2.47, 38.4, -92.5},
+    {"MT", "Montana", 30, 1068778, 56, 2.39, 47.0, -109.6},
+    {"NE", "Nebraska", 31, 1934408, 93, 2.45, 41.5, -99.8},
+    {"NV", "Nevada", 32, 3080156, 17, 2.67, 39.3, -116.6},
+    {"NH", "New Hampshire", 33, 1359711, 10, 2.44, 43.7, -71.6},
+    {"NJ", "New Jersey", 34, 8882190, 21, 2.71, 40.1, -74.7},
+    {"NM", "New Mexico", 35, 2096829, 33, 2.61, 34.4, -106.1},
+    {"NY", "New York", 36, 19453561, 62, 2.57, 42.9, -75.6},
+    {"NC", "North Carolina", 37, 10488084, 100, 2.51, 35.5, -79.4},
+    {"ND", "North Dakota", 38, 762062, 53, 2.33, 47.4, -100.5},
+    {"OH", "Ohio", 39, 11689100, 88, 2.45, 40.3, -82.8},
+    {"OK", "Oklahoma", 40, 3956971, 77, 2.55, 35.6, -97.5},
+    {"OR", "Oregon", 41, 4217737, 36, 2.50, 44.0, -120.5},
+    {"PA", "Pennsylvania", 42, 12801989, 67, 2.46, 40.9, -77.8},
+    {"RI", "Rhode Island", 44, 1059361, 5, 2.45, 41.7, -71.6},
+    {"SC", "South Carolina", 45, 5148714, 46, 2.53, 33.9, -80.9},
+    {"SD", "South Dakota", 46, 884659, 66, 2.44, 44.4, -100.2},
+    {"TN", "Tennessee", 47, 6829174, 95, 2.52, 35.8, -86.3},
+    {"TX", "Texas", 48, 28995881, 254, 2.85, 31.5, -99.3},
+    {"UT", "Utah", 49, 3205958, 29, 3.12, 39.3, -111.7},
+    {"VT", "Vermont", 50, 623989, 14, 2.31, 44.1, -72.7},
+    {"VA", "Virginia", 51, 8535519, 133, 2.61, 37.5, -78.9},
+    {"WA", "Washington", 53, 7614893, 39, 2.55, 47.4, -120.4},
+    {"WV", "West Virginia", 54, 1792147, 55, 2.42, 38.6, -80.6},
+    {"WI", "Wisconsin", 55, 5822434, 72, 2.44, 44.6, -89.9},
+    {"WY", "Wyoming", 56, 578759, 23, 2.44, 43.0, -107.5},
+}};
+
+}  // namespace
+
+std::span<const StateInfo> us_states() {
+  return std::span<const StateInfo>(kStates.data(), kStates.size());
+}
+
+std::size_t us_state_count() { return kStates.size(); }
+
+const StateInfo& state_by_abbrev(const std::string& abbrev) {
+  for (const auto& state : kStates) {
+    if (abbrev == state.abbrev) return state;
+  }
+  throw ConfigError("unknown state abbreviation: " + abbrev);
+}
+
+std::size_t state_index(const std::string& abbrev) {
+  for (std::size_t i = 0; i < kStates.size(); ++i) {
+    if (abbrev == kStates[i].abbrev) return i;
+  }
+  throw ConfigError("unknown state abbreviation: " + abbrev);
+}
+
+std::uint64_t total_us_counties() {
+  std::uint64_t total = 0;
+  for (const auto& state : kStates) total += state.counties;
+  return total;
+}
+
+std::uint64_t total_us_population() {
+  std::uint64_t total = 0;
+  for (const auto& state : kStates) total += state.population;
+  return total;
+}
+
+}  // namespace epi

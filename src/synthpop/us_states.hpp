@@ -1,0 +1,49 @@
+// Embedded US state reference data.
+//
+// The paper's populations are built from proprietary/licensed inputs (ACS
+// PUMS, HERE/NAVTEQ, NCES, NHTS/ATUS/MTUS). Those cannot ship here, so the
+// generator is driven by this compact public-statistics table: 2019 census
+// population estimates, county-equivalent counts, average household sizes
+// and a coarse geographic centroid per region. Synthetic populations are
+// generated at `scale` * population, so state-to-state ratios — the shape
+// of Fig 6 — are preserved exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace epi {
+
+struct StateInfo {
+  const char* abbrev;     // e.g. "VA"
+  const char* name;       // e.g. "Virginia"
+  std::uint32_t fips;     // state FIPS code
+  std::uint64_t population;  // 2019 census estimate
+  std::uint32_t counties;    // county equivalents
+  double avg_household_size;
+  double centroid_lat;
+  double centroid_lon;
+};
+
+/// All 50 states plus DC (51 regions), ordered by FIPS code.
+std::span<const StateInfo> us_states();
+
+/// Number of regions (always 51).
+std::size_t us_state_count();
+
+/// Lookup by postal abbreviation; throws ConfigError if unknown.
+const StateInfo& state_by_abbrev(const std::string& abbrev);
+
+/// Index (into us_states()) by abbreviation.
+std::size_t state_index(const std::string& abbrev);
+
+/// Total county equivalents across all regions (the paper quotes 3140;
+/// the canonical census count we embed sums to 3142).
+std::uint64_t total_us_counties();
+
+/// Total 2019 population across all regions (~328M; the paper's network
+/// has "about 300 million nodes").
+std::uint64_t total_us_population();
+
+}  // namespace epi

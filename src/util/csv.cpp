@@ -1,0 +1,177 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+CsvTable::CsvTable(std::vector<std::string> header,
+                   std::vector<std::vector<std::string>> rows)
+    : header_(std::move(header)), rows_(std::move(rows)) {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    column_index_.emplace(header_[i], i);
+  }
+  for (const auto& row : rows_) {
+    EPI_REQUIRE(row.size() == header_.size(),
+                "ragged CSV row: expected " << header_.size() << " fields, got "
+                                            << row.size());
+  }
+}
+
+std::size_t CsvTable::column(std::string_view name) const {
+  const auto it = column_index_.find(std::string(name));
+  if (it == column_index_.end()) {
+    throw ConfigError("CSV column not found: " + std::string(name));
+  }
+  return it->second;
+}
+
+bool CsvTable::has_column(std::string_view name) const {
+  return column_index_.count(std::string(name)) != 0;
+}
+
+const std::string& CsvTable::cell(std::size_t row, std::size_t col) const {
+  EPI_REQUIRE(row < rows_.size(), "CSV row out of range: " << row);
+  EPI_REQUIRE(col < header_.size(), "CSV column out of range: " << col);
+  return rows_[row][col];
+}
+
+const std::string& CsvTable::cell(std::size_t row, std::string_view col) const {
+  return cell(row, column(col));
+}
+
+double CsvTable::cell_double(std::size_t row, std::string_view col) const {
+  const std::string& text = cell(row, col);
+  try {
+    return std::stod(text);
+  } catch (const std::exception&) {
+    throw ConfigError("CSV cell is not a number: '" + text + "' in column " +
+                      std::string(col));
+  }
+}
+
+std::int64_t CsvTable::cell_int(std::size_t row, std::string_view col) const {
+  const std::string& text = cell(row, col);
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw ConfigError("CSV cell is not an integer: '" + text + "' in column " +
+                      std::string(col));
+  }
+  return value;
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    throw ConfigError("unterminated quote in CSV line");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+CsvTable parse_csv(std::string_view text) {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  std::size_t start = 0;
+  bool have_header = false;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || (line.size() == 1 && line[0] == '\r')) {
+      if (start > text.size()) break;
+      continue;
+    }
+    auto fields = parse_csv_line(line);
+    if (!have_header) {
+      header = std::move(fields);
+      have_header = true;
+    } else {
+      rows.push_back(std::move(fields));
+    }
+    if (end == text.size()) break;
+  }
+  EPI_REQUIRE(have_header, "CSV text has no header row");
+  return CsvTable(std::move(header), std::move(rows));
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ConfigError("cannot open CSV file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::format(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string CsvWriter::format(std::int64_t value) {
+  return std::to_string(value);
+}
+
+std::string CsvWriter::format(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+}  // namespace epi

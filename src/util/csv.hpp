@@ -1,0 +1,77 @@
+// CSV reading and writing.
+//
+// The paper's data plane is CSV-heavy: synthetic person files, contact
+// network files, county-level incidence feeds, and per-tick summary outputs
+// all move as CSV between the home and remote clusters. This is a small,
+// strict RFC-4180-ish implementation (quoted fields, embedded commas and
+// quotes; no embedded newlines, which none of our formats use).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace epi {
+
+/// A parsed CSV table: a header row plus data rows of equal width.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  CsvTable(std::vector<std::string> header,
+           std::vector<std::vector<std::string>> rows);
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return header_.size(); }
+
+  /// Index of a named column; throws ConfigError if absent.
+  std::size_t column(std::string_view name) const;
+
+  /// True if the header contains `name`.
+  bool has_column(std::string_view name) const;
+
+  const std::string& cell(std::size_t row, std::size_t col) const;
+  const std::string& cell(std::size_t row, std::string_view col) const;
+
+  double cell_double(std::size_t row, std::string_view col) const;
+  std::int64_t cell_int(std::size_t row, std::string_view col) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::unordered_map<std::string, std::size_t> column_index_;
+};
+
+/// Splits one CSV line into fields, honouring double-quote escaping.
+std::vector<std::string> parse_csv_line(std::string_view line);
+
+/// Parses full CSV text (first line = header). Throws ConfigError on
+/// ragged rows.
+CsvTable parse_csv(std::string_view text);
+
+/// Reads and parses a CSV file. Throws ConfigError if unreadable.
+CsvTable read_csv_file(const std::string& path);
+
+/// Streaming CSV writer with minimal quoting (quotes only when needed).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with enough precision to round-trip.
+  static std::string format(double value);
+  static std::string format(std::int64_t value);
+  static std::string format(std::uint64_t value);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Escapes a single field per RFC 4180 if it contains a comma or quote.
+std::string csv_escape(std::string_view field);
+
+}  // namespace epi

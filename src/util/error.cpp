@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+namespace epi::detail {
+
+void throw_requirement_failed(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream oss;
+  oss << "requirement failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    oss << " — " << msg;
+  }
+  throw Error(oss.str());
+}
+
+}  // namespace epi::detail

@@ -1,0 +1,53 @@
+// Error handling primitives for EpiScale.
+//
+// All precondition violations throw epi::Error with a formatted message;
+// EPI_REQUIRE is used at public API boundaries, EPI_ASSERT for internal
+// invariants (compiled in all build types: epidemic runs are long and a
+// corrupted state is worse than an abort).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace epi {
+
+/// Base exception for all EpiScale errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input file or configuration is malformed.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numeric routine fails (e.g. Cholesky of a non-PD matrix).
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_requirement_failed(const char* expr, const char* file,
+                                           int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace epi
+
+// Precondition check at a public API boundary. `msg` is streamed, so
+// EPI_REQUIRE(n > 0, "n was " << n) works.
+#define EPI_REQUIRE(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream epi_require_oss_;                                 \
+      epi_require_oss_ << msg;                                             \
+      ::epi::detail::throw_requirement_failed(#expr, __FILE__, __LINE__,   \
+                                              epi_require_oss_.str());     \
+    }                                                                      \
+  } while (false)
+
+// Internal invariant; same behaviour, different spelling for readers.
+#define EPI_ASSERT(expr, msg) EPI_REQUIRE(expr, msg)

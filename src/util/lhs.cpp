@@ -1,0 +1,59 @@
+#include "util/lhs.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+std::vector<ParamPoint> latin_hypercube_unit(std::size_t n, std::size_t dims,
+                                             Rng& rng) {
+  EPI_REQUIRE(n > 0, "LHS needs at least one sample");
+  EPI_REQUIRE(dims > 0, "LHS needs at least one dimension");
+  std::vector<ParamPoint> points(n, ParamPoint(dims, 0.0));
+  std::vector<std::size_t> perm(n);
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    rng.shuffle(perm.begin(), perm.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      // One point per stratum, jittered uniformly within it.
+      points[i][d] =
+          (static_cast<double>(perm[i]) + rng.uniform()) / static_cast<double>(n);
+    }
+  }
+  return points;
+}
+
+ParamPoint scale_to_ranges(const ParamPoint& unit,
+                           const std::vector<ParamRange>& ranges) {
+  EPI_REQUIRE(unit.size() == ranges.size(), "parameter dimension mismatch");
+  ParamPoint out(unit.size());
+  for (std::size_t d = 0; d < unit.size(); ++d) {
+    out[d] = ranges[d].lo + unit[d] * (ranges[d].hi - ranges[d].lo);
+  }
+  return out;
+}
+
+ParamPoint scale_to_unit(const ParamPoint& point,
+                         const std::vector<ParamRange>& ranges) {
+  EPI_REQUIRE(point.size() == ranges.size(), "parameter dimension mismatch");
+  ParamPoint out(point.size());
+  for (std::size_t d = 0; d < point.size(); ++d) {
+    const double span = ranges[d].hi - ranges[d].lo;
+    EPI_REQUIRE(span > 0.0, "degenerate parameter range: " << ranges[d].name);
+    out[d] = (point[d] - ranges[d].lo) / span;
+  }
+  return out;
+}
+
+std::vector<ParamPoint> latin_hypercube(std::size_t n,
+                                        const std::vector<ParamRange>& ranges,
+                                        Rng& rng) {
+  auto unit = latin_hypercube_unit(n, ranges.size(), rng);
+  std::vector<ParamPoint> out;
+  out.reserve(n);
+  for (const auto& point : unit) out.push_back(scale_to_ranges(point, ranges));
+  return out;
+}
+
+}  // namespace epi

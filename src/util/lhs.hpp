@@ -1,0 +1,41 @@
+// Latin hypercube sampling (McKay, Beckman & Conover 1979 — the paper's
+// reference [35]). The calibration workflow seeds its 100-configuration
+// prior design with LHS over the parameter box (case study 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace epi {
+
+/// A named, bounded calibration parameter (e.g. TAU in [0.1, 0.5]).
+struct ParamRange {
+  std::string name;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// A point in parameter space, aligned with a ParamRange vector.
+using ParamPoint = std::vector<double>;
+
+/// Generates `n` Latin-hypercube points over the unit cube [0,1)^d:
+/// each dimension's n strata each contain exactly one point.
+std::vector<ParamPoint> latin_hypercube_unit(std::size_t n, std::size_t dims,
+                                             Rng& rng);
+
+/// Generates `n` LHS points scaled into the given ranges.
+std::vector<ParamPoint> latin_hypercube(std::size_t n,
+                                        const std::vector<ParamRange>& ranges,
+                                        Rng& rng);
+
+/// Maps a unit-cube point into the ranges (affine per dimension).
+ParamPoint scale_to_ranges(const ParamPoint& unit,
+                           const std::vector<ParamRange>& ranges);
+
+/// Maps a point in the ranges back to the unit cube.
+ParamPoint scale_to_unit(const ParamPoint& point,
+                         const std::vector<ParamRange>& ranges);
+
+}  // namespace epi

@@ -1,0 +1,39 @@
+// Leveled logging. The nightly workflow runs unattended for hours; the
+// orchestration layer logs phase transitions at Info, per-job events at
+// Debug. Output is a single stream (stderr by default) with a monotonic
+// timestamp so interleaved module logs stay ordered.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace epi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded cheaply.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one log line (thread-safe).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+bool log_enabled(LogLevel level);
+}
+
+}  // namespace epi
+
+#define EPI_LOG(level, msg)                                   \
+  do {                                                        \
+    if (::epi::detail::log_enabled(level)) {                  \
+      std::ostringstream epi_log_oss_;                        \
+      epi_log_oss_ << msg;                                    \
+      ::epi::log_message(level, epi_log_oss_.str());          \
+    }                                                         \
+  } while (false)
+
+#define EPI_DEBUG(msg) EPI_LOG(::epi::LogLevel::kDebug, msg)
+#define EPI_INFO(msg) EPI_LOG(::epi::LogLevel::kInfo, msg)
+#define EPI_WARN(msg) EPI_LOG(::epi::LogLevel::kWarn, msg)
+#define EPI_ERROR(msg) EPI_LOG(::epi::LogLevel::kError, msg)

@@ -1,0 +1,142 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sum_sq = 0.0;
+  for (double x : xs) sum_sq += (x - m) * (x - m);
+  return sum_sq / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min_value(std::span<const double> xs) {
+  EPI_REQUIRE(!xs.empty(), "min of empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  EPI_REQUIRE(!xs.empty(), "max of empty sample");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::vector<double> xs, double q) {
+  EPI_REQUIRE(!xs.empty(), "quantile of empty sample");
+  EPI_REQUIRE(q >= 0.0 && q <= 1.0, "quantile level out of [0,1]: " << q);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double position = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(position);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = position - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  EPI_REQUIRE(xs.size() == ys.size(), "correlation length mismatch");
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Ecdf::at(double x) const {
+  const auto it = std::upper_bound(values.begin(), values.end(), x);
+  const auto rank = static_cast<std::size_t>(it - values.begin());
+  if (rank == 0) return 0.0;
+  return probs[rank - 1];
+}
+
+Ecdf ecdf(std::vector<double> xs) {
+  EPI_REQUIRE(!xs.empty(), "ecdf of empty sample");
+  std::sort(xs.begin(), xs.end());
+  Ecdf result;
+  result.probs.resize(xs.size());
+  const auto n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    result.probs[i] = static_cast<double>(i + 1) / n;
+  }
+  result.values = std::move(xs);
+  return result;
+}
+
+Summary summarize(std::vector<double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  auto sorted_quantile = [&xs](double q) {
+    const double position = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(position);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = position - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  };
+  s.q25 = sorted_quantile(0.25);
+  s.median = sorted_quantile(0.5);
+  s.q75 = sorted_quantile(0.75);
+  return s;
+}
+
+std::string format_bytes(double bytes) {
+  static const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int unit = 0;
+  double value = bytes;
+  while (value >= 1000.0 && unit < 5) {
+    value /= 1000.0;  // decimal units, matching the paper's GB/TB figures
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%s", value, units[unit]);
+  return buf;
+}
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+  EPI_REQUIRE(a.size() == b.size(), "rmse length mismatch");
+  EPI_REQUIRE(!a.empty(), "rmse of empty series");
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum_sq += d * d;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(a.size()));
+}
+
+std::vector<double> log_transform(std::span<const double> xs, double floor) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(std::log(std::max(x, floor)));
+  return out;
+}
+
+}  // namespace epi

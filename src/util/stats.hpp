@@ -1,0 +1,69 @@
+// Descriptive statistics used across calibration, scheduling analysis and
+// benchmark reporting (quantiles for forecast bands, CDFs for Fig 9
+// utilization plots, correlation for Fig 15 posterior diagnostics).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace epi {
+
+double mean(std::span<const double> xs);
+
+/// Sample variance (n-1 denominator); 0 for fewer than two samples.
+double variance(std::span<const double> xs);
+
+double stddev(std::span<const double> xs);
+
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Linear-interpolated quantile of an UNSORTED sample, q in [0, 1].
+double quantile(std::vector<double> xs, double q);
+
+/// Median shorthand.
+double median(std::vector<double> xs);
+
+/// Pearson correlation; 0 if either side is constant.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Empirical CDF evaluated on a copy of the sample: returns the sorted
+/// sample values paired with cumulative probabilities (i+1)/n.
+struct Ecdf {
+  std::vector<double> values;  // sorted
+  std::vector<double> probs;   // same length, increasing in (0, 1]
+
+  /// P(X <= x) under the empirical distribution.
+  double at(double x) const;
+};
+
+Ecdf ecdf(std::vector<double> xs);
+
+/// Five-number + mean summary for report tables.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::vector<double> xs);
+
+/// Formats a byte count as a human-readable string ("3.0TB", "200MB") —
+/// used when printing Table I/II style data-volume rows.
+std::string format_bytes(double bytes);
+
+/// Root mean squared error between two equal-length series.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// log(x) safeguarded for incidence series (log(max(x, floor))).
+std::vector<double> log_transform(std::span<const double> xs,
+                                  double floor = 1.0);
+
+}  // namespace epi

@@ -1,0 +1,25 @@
+// Wall-clock timing helper for benchmark harnesses and the partitioner's
+// "cache saves over an hour" measurements.
+#pragma once
+
+#include <chrono>
+
+namespace epi {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds since construction or the last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace epi

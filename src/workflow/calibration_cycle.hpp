@@ -1,0 +1,75 @@
+// The calibration-prediction cycle (paper Figs 4-5, case study 3,
+// Appendix F).
+//
+// End to end: generate the region, take the observed county-level
+// confirmed-case series (synthetic surveillance), simulate a 100-point
+// Latin-hypercube prior design over (TAU, SYMP, SH compliance, VHI
+// compliance), fit the GPMSA emulator, run Bayesian calibration, resample
+// 100 posterior configurations, simulate them forward, and produce the
+// Fig 17 forecast band. Fig 15's prior/posterior scatter and Fig 16's
+// emulator band come from the same result object.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analytics/ensemble.hpp"
+#include "calibration/calibrate.hpp"
+#include "surveillance/ground_truth.hpp"
+#include "synthpop/generator.hpp"
+#include "workflow/designs.hpp"
+
+namespace epi {
+
+struct CalibrationCycleConfig {
+  std::string region = "VA";
+  double scale = 1.0 / 2000.0;
+  std::uint64_t seed = 20200411;  // case study: data through April 11, 2020
+  std::size_t prior_configs = 100;
+  std::size_t posterior_configs = 100;
+  /// Days of observed data used for calibration.
+  Tick calibration_days = 80;
+  /// Forecast horizon beyond the observed window (8 weeks in Fig 17).
+  Tick horizon_days = 56;
+  /// Posterior configurations actually simulated for the forecast band.
+  std::size_t prediction_runs = 30;
+  McmcConfig mcmc;
+
+  /// Surveillance-truth epidemic intensity. At small population scales the
+  /// observed counts must be large enough to be meaningful once scaled
+  /// down, so the default truth is a hot wave (see calibration_cycle.cpp's
+  /// takeoff alignment).
+  double truth_beta = 0.42;
+  double truth_distancing_effect = 0.52;
+  /// The synthetic surveillance reports (nearly all) symptomatic cases so
+  /// that observed counts and the simulator's symptomatic-entry counts
+  /// share units; the center of the SYMP calibration range keeps the two
+  /// consistent.
+  double truth_reporting_rate = 0.575;
+  /// Days of surveillance history searched for the takeoff point.
+  int takeoff_search_days = 150;
+};
+
+struct CalibrationCycleResult {
+  CalibrationDesign prior_design;
+  AgentCalibrationResult calibration;
+  /// Posterior configurations in original units (TAU, SYMP, SH, VHI).
+  std::vector<ParamPoint> posterior_configs;
+
+  /// Observed cumulative confirmed cases (scaled to the simulated
+  /// population) for the calibration window.
+  std::vector<double> observed_cumulative;
+  /// Hidden-truth continuation over the forecast horizon (for scoring).
+  std::vector<double> truth_extension;
+
+  /// Fig 17: ensemble forecast of cumulative confirmed cases over
+  /// calibration_days + horizon_days.
+  EnsembleBand forecast;
+  /// Fraction of truth-extension points inside the forecast band.
+  double forecast_coverage = 0.0;
+};
+
+CalibrationCycleResult run_calibration_cycle(
+    const CalibrationCycleConfig& config);
+
+}  // namespace epi

@@ -1,0 +1,46 @@
+// Simulation configurations — "cells" (paper §III: "both calibration and
+// prediction workflows start by generating simulation configurations,
+// also known as cells"). A cell binds a region, the disease-parameter
+// overrides, the intervention set, seeding, replicate count and horizon.
+// Cells are JSON documents, as all EpiHiper inputs are, and their
+// serialized size feeds the Table II "daily simulation configurations"
+// accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "epihiper/disease_model.hpp"
+#include "epihiper/interventions.hpp"
+#include "epihiper/simulation.hpp"
+#include "util/json.hpp"
+
+namespace epi {
+
+struct CellConfig {
+  std::string region = "VA";
+  std::uint32_t cell = 0;
+  std::uint32_t replicates = 1;
+  Tick num_days = 365;
+  std::uint64_t seed = 1;
+  CovidParams disease;
+  /// Intervention specs consumed by intervention_from_json.
+  std::vector<Json> interventions;
+  /// Seeding: per-county exposure counts at given ticks.
+  std::vector<SeedSpec> seeds;
+
+  Json to_json() const;
+  static CellConfig from_json(const Json& j);
+
+  /// Serialized size in bytes (config-transfer accounting).
+  std::uint64_t byte_size() const;
+
+  /// Materializes the interventions for one replicate run.
+  std::vector<std::shared_ptr<Intervention>> make_interventions() const;
+
+  /// Builds the per-replicate SimulationConfig.
+  SimulationConfig make_sim_config(std::uint32_t replicate) const;
+};
+
+}  // namespace epi

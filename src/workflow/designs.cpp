@@ -1,0 +1,205 @@
+#include "workflow/designs.hpp"
+
+#include "synthpop/us_states.hpp"
+#include "util/error.hpp"
+
+namespace epi {
+
+std::vector<std::string> all_regions() {
+  std::vector<std::string> regions;
+  regions.reserve(us_state_count());
+  for (const StateInfo& state : us_states()) regions.push_back(state.abbrev);
+  return regions;
+}
+
+WorkflowDesign economic_design() {
+  WorkflowDesign d;
+  d.name = "economic";
+  d.cells = 12;  // 2 VHI x 3 durations x 2 compliances
+  d.replicates = 15;
+  d.regions = all_regions();
+  d.cost_factor = 1.1;  // NPI bookkeeping on top of the base stack
+  d.num_days = 365;
+  return d;
+}
+
+WorkflowDesign prediction_design() {
+  WorkflowDesign d;
+  d.name = "prediction";
+  d.cells = 12;  // 3 reopening levels x 4 contact-tracing compliances
+  d.replicates = 15;
+  d.regions = all_regions();
+  d.cost_factor = 1.6;  // contact tracing is the expensive intervention
+  d.num_days = 365;
+  return d;
+}
+
+WorkflowDesign calibration_design() {
+  WorkflowDesign d;
+  d.name = "calibration";
+  d.cells = 300;
+  d.replicates = 1;
+  d.regions = all_regions();
+  d.cost_factor = 1.0;
+  d.num_days = 365;
+  return d;
+}
+
+std::vector<ParamRange> calibration_parameter_ranges() {
+  return {
+      ParamRange{"TAU", 0.10, 0.30},             // transmissibility
+      ParamRange{"SYMP", 0.35, 0.80},            // symptomatic fraction
+      ParamRange{"SH_compliance", 0.20, 0.90},   // stay-at-home compliance
+      ParamRange{"VHI_compliance", 0.30, 0.95},  // home-isolation compliance
+  };
+}
+
+namespace {
+
+// Seeding shared by all designs: expose persons in the three biggest
+// counties at tick 0 (county indices 0-2 are the largest by construction
+// of the Zipf layout).
+std::vector<SeedSpec> default_seeds(const std::string& region) {
+  const StateInfo& state = state_by_abbrev(region);
+  std::vector<SeedSpec> seeds;
+  const std::uint16_t counties =
+      static_cast<std::uint16_t>(std::min<std::uint32_t>(3, state.counties));
+  for (std::uint16_t c = 0; c < counties; ++c) {
+    seeds.push_back(SeedSpec{c, 5, 0});
+  }
+  return seeds;
+}
+
+Json sc_spec() {
+  JsonObject o;
+  o["type"] = "SC";
+  o["start"] = 10;
+  return Json(std::move(o));
+}
+
+Json vhi_spec(double compliance) {
+  JsonObject o;
+  o["type"] = "VHI";
+  o["compliance"] = compliance;
+  return Json(std::move(o));
+}
+
+Json sh_spec(Tick start, Tick end, double compliance) {
+  JsonObject o;
+  o["type"] = "SH";
+  o["start"] = static_cast<std::int64_t>(start);
+  o["end"] = static_cast<std::int64_t>(end);
+  o["compliance"] = compliance;
+  return Json(std::move(o));
+}
+
+Json ro_spec(Tick reopen, double level) {
+  JsonObject o;
+  o["type"] = "RO";
+  o["reopenTick"] = static_cast<std::int64_t>(reopen);
+  o["level"] = level;
+  return Json(std::move(o));
+}
+
+Json ct_spec(double trace_compliance) {
+  JsonObject o;
+  o["type"] = "D1CT";
+  o["start"] = 15;
+  o["indexCompliance"] = 0.5;
+  o["traceCompliance"] = trace_compliance;
+  return Json(std::move(o));
+}
+
+}  // namespace
+
+CellConfig cell_from_calibration_point(const std::string& region,
+                                       std::uint32_t cell_index,
+                                       const ParamPoint& point,
+                                       std::uint32_t replicates, Tick num_days,
+                                       std::uint64_t seed) {
+  EPI_REQUIRE(point.size() == 4,
+              "calibration point must be (TAU, SYMP, SH, VHI)");
+  CellConfig config;
+  config.region = region;
+  config.cell = cell_index;
+  config.replicates = replicates;
+  config.num_days = num_days;
+  config.seed = mix_labels(seed, {0x43454cULL, cell_index});  // "CEL"
+  config.disease.transmissibility = point[0];
+  config.disease.symptomatic_fraction = point[1];
+  config.interventions = {vhi_spec(point[3]), sc_spec(),
+                          sh_spec(20, 81, point[2])};
+  config.seeds = default_seeds(region);
+  return config;
+}
+
+std::vector<CellConfig> make_cell_configs(const WorkflowDesign& design,
+                                          const std::string& region,
+                                          std::uint64_t seed) {
+  std::vector<CellConfig> configs;
+  configs.reserve(design.cells);
+  if (design.name == "economic") {
+    // Factorial: 2 VHI compliances x 3 lockdown durations x 2 compliances.
+    const double vhi_levels[] = {0.5, 0.8};
+    const Tick durations[] = {30, 60, 90};
+    const double sh_levels[] = {0.5, 0.8};
+    std::uint32_t cell = 0;
+    for (double vhi : vhi_levels) {
+      for (Tick duration : durations) {
+        for (double sh : sh_levels) {
+          CellConfig config;
+          config.region = region;
+          config.cell = cell;
+          config.replicates = design.replicates;
+          config.num_days = design.num_days;
+          config.seed = mix_labels(seed, {0x45434fULL, cell});  // "ECO"
+          config.disease = CovidParams{};  // calibrated toward R0 = 2.5
+          config.interventions = {vhi_spec(vhi), sc_spec(),
+                                  sh_spec(20, 20 + duration, sh)};
+          config.seeds = default_seeds(region);
+          configs.push_back(std::move(config));
+          ++cell;
+        }
+      }
+    }
+  } else if (design.name == "prediction") {
+    // Factorial: 3 partial-reopening levels x 4 tracing compliances.
+    const double reopen_levels[] = {0.25, 0.5, 0.75};
+    const double trace_levels[] = {0.2, 0.4, 0.6, 0.8};
+    std::uint32_t cell = 0;
+    for (double reopen : reopen_levels) {
+      for (double trace : trace_levels) {
+        CellConfig config;
+        config.region = region;
+        config.cell = cell;
+        config.replicates = design.replicates;
+        config.num_days = design.num_days;
+        config.seed = mix_labels(seed, {0x505244ULL, cell});  // "PRD"
+        config.disease = CovidParams{};
+        config.interventions = {vhi_spec(0.75), sc_spec(),
+                                sh_spec(20, 81, 0.6), ro_spec(81, reopen),
+                                ct_spec(trace)};
+        config.seeds = default_seeds(region);
+        configs.push_back(std::move(config));
+        ++cell;
+      }
+    }
+  } else if (design.name == "calibration") {
+    Rng rng = Rng(seed).derive({0x4c4853ULL, state_by_abbrev(region).fips});
+    const auto points =
+        latin_hypercube(design.cells, calibration_parameter_ranges(), rng);
+    for (std::uint32_t cell = 0; cell < design.cells; ++cell) {
+      configs.push_back(cell_from_calibration_point(
+          region, cell, points[cell], design.replicates, design.num_days,
+          seed));
+    }
+  } else {
+    throw ConfigError("unknown workflow design: " + design.name);
+  }
+  EPI_ASSERT(configs.size() == design.cells,
+             "design " << design.name << " produced " << configs.size()
+                       << " cells, expected " << design.cells);
+  return configs;
+}
+
+}  // namespace epi

@@ -1,0 +1,62 @@
+// The paper's workflow designs (Table I and Figs 3-5).
+//
+//   Economic    — factorial (2 VHI compliances x 3 lockdown durations x
+//                 2 lockdown compliances) = 12 cells x 51 regions x 15
+//                 replicates = 9180 simulations;
+//   Prediction  — (3 partial-reopening levels x 4 contact-tracing
+//                 compliances) = 12 cells x 51 x 15 = 9180;
+//   Calibration — 300 LHS cells x 51 x 1 replicate = 15300, exploring
+//                 (TAU, SYMP, SH compliance, VHI compliance), the Fig 15
+//                 parameter set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/lhs.hpp"
+#include "workflow/cell_config.hpp"
+
+namespace epi {
+
+struct WorkflowDesign {
+  std::string name;
+  std::uint32_t cells = 1;
+  std::uint32_t replicates = 1;
+  std::vector<std::string> regions;
+  /// Intervention complexity multiplier for the task-time model.
+  double cost_factor = 1.0;
+  Tick num_days = 365;
+
+  std::uint64_t simulations() const {
+    return static_cast<std::uint64_t>(cells) * replicates * regions.size();
+  }
+};
+
+/// All 51 region abbreviations.
+std::vector<std::string> all_regions();
+
+WorkflowDesign economic_design();
+WorkflowDesign prediction_design();
+WorkflowDesign calibration_design();
+
+/// The calibration parameter space of case study 3 / Fig 15.
+std::vector<ParamRange> calibration_parameter_ranges();
+
+/// Generates the concrete cell configurations of a design for one region.
+/// Factorial designs enumerate their factor grid; the calibration design
+/// draws an LHS over calibration_parameter_ranges().
+std::vector<CellConfig> make_cell_configs(const WorkflowDesign& design,
+                                          const std::string& region,
+                                          std::uint64_t seed);
+
+/// Builds a CellConfig for one point of the calibration parameter space
+/// (TAU, SYMP, SH compliance, VHI compliance), shared by the calibration
+/// design and the posterior-resampling step of the prediction workflow.
+CellConfig cell_from_calibration_point(const std::string& region,
+                                       std::uint32_t cell_index,
+                                       const ParamPoint& point,
+                                       std::uint32_t replicates, Tick num_days,
+                                       std::uint64_t seed);
+
+}  // namespace epi

@@ -1,0 +1,191 @@
+#include "workflow/nightly.hpp"
+
+#include <algorithm>
+
+#include "analytics/aggregate.hpp"
+#include "epihiper/parallel.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace epi {
+
+NightlyWorkflow::NightlyWorkflow(NightlyConfig config)
+    : config_(std::move(config)),
+      remote_(bridges_cluster()),
+      home_(rivanna_cluster()) {
+  EPI_REQUIRE(config_.scale > 0.0 && config_.scale <= 1.0,
+              "scale out of (0, 1]");
+}
+
+const SyntheticRegion& NightlyWorkflow::region(const std::string& abbrev) {
+  auto it = regions_.find(abbrev);
+  if (it == regions_.end()) {
+    SynthPopConfig pop_config;
+    pop_config.region = abbrev;
+    pop_config.scale = config_.scale;
+    pop_config.seed = config_.seed;
+    auto generated =
+        std::make_unique<SyntheticRegion>(generate_region(pop_config));
+    it = regions_.emplace(abbrev, std::move(generated)).first;
+    // One person-database server per region (section V step 1); the
+    // production bound of ~1000 connections applies.
+    databases_.start(it->second->population, db_connection_bound());
+  }
+  return *it->second;
+}
+
+WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
+  WorkflowReport report;
+  report.name = design.name;
+  report.planned_simulations = design.simulations();
+  GlobusTransfer wan;
+  double clock_hours = 0.0;
+  auto phase = [&](const std::string& name, const std::string& site,
+                   double duration_hours) {
+    report.timeline.push_back(PhaseRecord{name, site, clock_hours,
+                                          duration_hours});
+    clock_hours += duration_hours;
+  };
+
+  // ---- Phase 1 (home): generate cell configurations ----------------------
+  Timer config_timer;
+  std::map<std::string, std::vector<CellConfig>> configs_by_region;
+  for (const std::string& abbrev : design.regions) {
+    auto configs = make_cell_configs(design, abbrev, config_.seed);
+    for (const CellConfig& config : configs) {
+      report.config_bytes += config.byte_size();
+    }
+    configs_by_region.emplace(abbrev, std::move(configs));
+  }
+  phase("generate configurations", "home",
+        std::max(0.25, config_timer.elapsed_seconds() / 3600.0));
+
+  // ---- Phase 2 (WAN): configs to the remote site --------------------------
+  const double config_transfer_s =
+      wan.transfer("cell configurations", report.config_bytes, true);
+  phase("transfer configurations", "wan", config_transfer_s / 3600.0);
+
+  // ---- Phase 3 (remote): instantiate population database snapshots -------
+  // Snapshot instantiation is modeled: ~30 s fixed + 10 s per million
+  // full-scale persons, all regions starting in parallel.
+  double db_start_hours = 0.0;
+  for (const std::string& abbrev : design.regions) {
+    const StateInfo& state = state_by_abbrev(abbrev);
+    const double seconds =
+        30.0 + 10.0 * static_cast<double>(state.population) / 1e6;
+    db_start_hours = std::max(db_start_hours, seconds / 3600.0);
+  }
+  phase("start population databases", "remote", db_start_hours);
+
+  // ---- Phase 4 (remote): map and execute the job array -------------------
+  const std::vector<SimTask> tasks = make_workflow_tasks(
+      design.regions, design.cells, design.replicates, design.cost_factor);
+  const PackingPlan plan =
+      pack_tasks(tasks, remote_.nodes, config_.policy);
+  // Replay the packed order through the Slurm DES.
+  std::map<std::uint64_t, const SimTask*> by_id;
+  for (const SimTask& task : tasks) by_id.emplace(task.id, &task);
+  std::vector<SimTask> ordered;
+  ordered.reserve(tasks.size());
+  for (const PackingLevel& level : plan.levels) {
+    for (std::uint64_t id : level.task_ids) ordered.push_back(*by_id.at(id));
+  }
+  DesConfig des_config;
+  des_config.window_hours = remote_.window_hours;
+  des_config.backfill = config_.policy != PackingPolicy::kNextFitArrival;
+  Rng des_rng = Rng(config_.seed).derive({0x444553ULL});  // "DES"
+  const DesResult des = simulate_cluster(remote_, ordered, des_config, des_rng);
+  report.schedule_makespan_hours = des.makespan_hours;
+  report.utilization = des.utilization;
+  report.unfinished_jobs = des.unfinished;
+  phase("simulate (job array)", "remote", des.makespan_hours);
+
+  // ---- Phase 4b: really execute a sample of the jobs ----------------------
+  const std::vector<std::string>& sample_pool =
+      config_.sample_regions.empty() ? design.regions : config_.sample_regions;
+  double raw_bytes_per_person = 0.0;
+  std::uint64_t sampled_persons = 0;
+  std::uint64_t cube_bytes = 0;
+  Timer execute_timer;
+  for (std::size_t i = 0; i < config_.sample_executions; ++i) {
+    const std::string& abbrev = sample_pool[i % sample_pool.size()];
+    const SyntheticRegion& reg = region(abbrev);
+    // Each running job holds connections against the region's database
+    // (the DB-WMP constraint made concrete).
+    auto connection = databases_.get(abbrev).connect();
+    EPI_REQUIRE(connection.has_value(),
+                "database connection pool exhausted for " << abbrev);
+    // Touch the traits through the server as the simulator does at start.
+    connection->persons_in_county(0);
+    const auto& configs = configs_by_region.at(abbrev);
+    const CellConfig& cell = configs[i % configs.size()];
+    SimulationConfig sim_config =
+        cell.make_sim_config(static_cast<std::uint32_t>(i) % cell.replicates);
+    sim_config.num_ticks = std::min(config_.executed_days, cell.num_days);
+    const DiseaseModel model = covid_model(cell.disease);
+    const SimOutput output =
+        run_simulation(reg.network, reg.population, model, sim_config,
+                       [&] { return cell.make_interventions(); });
+    const SummaryCube cube = build_summary_cube(
+        output, reg.population, model, sim_config.num_ticks);
+    report.raw_bytes_measured += raw_output_bytes(output);
+    report.summary_bytes_measured += cube.byte_size();
+    sampled_persons += reg.population.person_count();
+    cube_bytes = cube.byte_size();
+    ++report.executed_simulations;
+  }
+  if (sampled_persons > 0) {
+    raw_bytes_per_person = static_cast<double>(report.raw_bytes_measured) /
+                           static_cast<double>(sampled_persons);
+  }
+  // Extrapolate: raw output scales with persons simulated; it does NOT
+  // scale with the remaining horizon, because transitions concentrate in
+  // the epidemic wave, which the executed window covers. Summaries are
+  // population-independent per simulation but grow with the horizon.
+  std::uint64_t design_population = 0;
+  for (const std::string& abbrev : design.regions) {
+    design_population += state_by_abbrev(abbrev).population;
+  }
+  const double horizon_factor =
+      static_cast<double>(design.num_days) /
+      static_cast<double>(std::max<Tick>(1, std::min(config_.executed_days,
+                                                     design.num_days)));
+  report.raw_bytes_full_scale =
+      raw_bytes_per_person * static_cast<double>(design_population) *
+      design.cells * design.replicates;
+  const double full_cube_bytes =
+      static_cast<double>(cube_bytes) * horizon_factor;
+  report.summary_bytes_full_scale =
+      full_cube_bytes * static_cast<double>(report.planned_simulations);
+  phase("aggregate outputs", "remote",
+        std::max(0.3, execute_timer.elapsed_seconds() / 3600.0));
+
+  // ---- Phase 5 (WAN): summaries home --------------------------------------
+  const double summary_transfer_s = wan.transfer(
+      "summary outputs",
+      static_cast<std::uint64_t>(report.summary_bytes_full_scale), false);
+  phase("transfer summaries", "wan", summary_transfer_s / 3600.0);
+
+  // ---- Phase 6 (home): analysis -------------------------------------------
+  phase("analyze / brief stakeholders", "home", 2.0);
+
+  report.db_servers_started = databases_.running_count();
+  for (const std::string& abbrev : design.regions) {
+    if (databases_.is_running(abbrev)) {
+      report.db_peak_connections = std::max(
+          report.db_peak_connections,
+          databases_.get(abbrev).peak_connections());
+    }
+  }
+  report.bytes_to_remote = wan.total_bytes_to_remote();
+  report.bytes_to_home = wan.total_bytes_to_home();
+  report.total_elapsed_hours = clock_hours;
+  EPI_INFO("workflow " << design.name << ": " << report.planned_simulations
+                       << " sims planned, utilization " << report.utilization
+                       << ", makespan " << report.schedule_makespan_hours
+                       << "h");
+  return report;
+}
+
+}  // namespace epi

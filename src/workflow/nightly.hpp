@@ -1,0 +1,111 @@
+// The nightly combined workflow engine (paper Figs 1-2, §IV).
+//
+// Orchestrates one workflow across the two-cluster infrastructure model:
+//   home:   generate cell configurations            (day)
+//   WAN:    ship configurations to the remote site  (Globus model)
+//   remote: instantiate population DB snapshots, map the <cell, region>
+//           job set with FFDT-DC, execute the job array in the 10pm-8am
+//           window (Slurm DES), aggregate outputs
+//   WAN:    ship summaries home
+//   home:   post-analysis
+//
+// Simulation physics run for real: a configurable sample of <cell, region>
+// jobs is executed with the actual EpiHiper engine at the configured
+// population scale; measured per-person output volumes extrapolate to the
+// full design at scale 1 (who-runs-what and the schedule itself are exact,
+// only the volume figures are extrapolated — see DESIGN.md).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "persondb/person_db.hpp"
+#include "cluster/packing.hpp"
+#include "cluster/slurm_sim.hpp"
+#include "cluster/transfer.hpp"
+#include "synthpop/generator.hpp"
+#include "workflow/designs.hpp"
+
+namespace epi {
+
+struct NightlyConfig {
+  double scale = 1.0 / 8000.0;  // synthetic-population scale for real sims
+  std::uint64_t seed = 20200325;
+  /// How many <cell, region> jobs to execute with the real engine; the
+  /// rest are covered by the schedule simulation + extrapolation.
+  std::size_t sample_executions = 12;
+  /// Regions eligible for real execution (empty = all; pick small states
+  /// to keep bench runtime bounded).
+  std::vector<std::string> sample_regions = {"WY", "VT", "DC", "AK"};
+  /// Ticks actually executed in sampled runs (the full design's 365-day
+  /// horizon is extrapolated linearly from this).
+  Tick executed_days = 120;
+  PackingPolicy policy = PackingPolicy::kFirstFitDecreasing;
+};
+
+struct PhaseRecord {
+  std::string phase;
+  std::string site;  // "home", "remote", "wan"
+  double start_hours = 0.0;
+  double duration_hours = 0.0;
+};
+
+struct WorkflowReport {
+  std::string name;
+  std::uint64_t planned_simulations = 0;
+  std::uint64_t executed_simulations = 0;
+
+  // Data accounting.
+  std::uint64_t config_bytes = 0;
+  std::uint64_t raw_bytes_measured = 0;      // at NightlyConfig::scale
+  std::uint64_t summary_bytes_measured = 0;
+  double raw_bytes_full_scale = 0.0;         // extrapolated to scale 1
+  double summary_bytes_full_scale = 0.0;
+
+  // Remote schedule.
+  double schedule_makespan_hours = 0.0;
+  double utilization = 0.0;
+  std::size_t unfinished_jobs = 0;
+
+  // Transfers.
+  std::uint64_t bytes_to_remote = 0;
+  std::uint64_t bytes_to_home = 0;
+
+  std::vector<PhaseRecord> timeline;
+  double total_elapsed_hours = 0.0;
+
+  // Person-database accounting (the per-region servers the simulations
+  // query at run time).
+  std::size_t db_servers_started = 0;
+  std::size_t db_peak_connections = 0;
+  std::uint64_t db_queries_served = 0;
+};
+
+class NightlyWorkflow {
+ public:
+  explicit NightlyWorkflow(NightlyConfig config);
+
+  /// Runs one workflow end to end and reports.
+  WorkflowReport run(const WorkflowDesign& design);
+
+  /// Region cache (also used by benches that want the same populations).
+  const SyntheticRegion& region(const std::string& abbrev);
+
+  /// The per-region person-database registry ("one database per region",
+  /// paper section V step 1); servers start lazily with their regions.
+  PersonDbRegistry& databases() { return databases_; }
+
+  const NightlyConfig& config() const { return config_; }
+
+ private:
+  NightlyConfig config_;
+  ClusterSpec remote_;
+  ClusterSpec home_;
+  std::map<std::string, std::unique_ptr<SyntheticRegion>> regions_;
+  PersonDbRegistry databases_;
+};
+
+}  // namespace epi

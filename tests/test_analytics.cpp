@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analytics/aggregate.hpp"
+#include "analytics/costs.hpp"
+#include "analytics/dendrogram.hpp"
+#include "analytics/ensemble.hpp"
+#include "epihiper/parallel.hpp"
+#include "synthpop/generator.hpp"
+#include "util/error.hpp"
+
+namespace epi {
+namespace {
+
+struct SimFixture {
+  SyntheticRegion region;
+  DiseaseModel model = covid_model();
+  SimOutput output;
+  Tick ticks = 80;
+
+  SimFixture() {
+    SynthPopConfig config;
+    config.region = "DC";
+    config.scale = 1.0 / 300.0;
+    config.seed = 99;
+    region = generate_region(config);
+    SimulationConfig sim_config;
+    sim_config.num_ticks = ticks;
+    sim_config.seed = 777;
+    sim_config.seeds = {SeedSpec{0, 10, 0}};
+    CovidParams params;
+    params.transmissibility = 0.3;  // big outbreak so all states appear
+    model = covid_model(params);
+    output = run_simulation(region.network, region.population, model,
+                            sim_config);
+  }
+};
+
+const SimFixture& fixture() {
+  static const SimFixture instance;
+  return instance;
+}
+
+// ----------------------------------------------------------- summary cube -
+
+TEST(SummaryCube, OccupancyConservedEachTick) {
+  const auto& f = fixture();
+  const SummaryCube cube =
+      build_summary_cube(f.output, f.region.population, f.model, f.ticks);
+  for (Tick t = 0; t < f.ticks; t += 7) {
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < f.model.state_count(); ++s) {
+      total += cube.occupancy(t, static_cast<HealthStateId>(s));
+    }
+    EXPECT_EQ(total, f.region.population.person_count()) << "tick " << t;
+  }
+}
+
+TEST(SummaryCube, CumulativeMonotone) {
+  const auto& f = fixture();
+  const SummaryCube cube =
+      build_summary_cube(f.output, f.region.population, f.model, f.ticks);
+  const HealthStateId exposed = f.model.state_id(covid_states::kExposed);
+  for (Tick t = 1; t < f.ticks; ++t) {
+    EXPECT_GE(cube.cumulative(t, exposed), cube.cumulative(t - 1, exposed));
+  }
+}
+
+TEST(SummaryCube, EnteredSumsToCumulative) {
+  const auto& f = fixture();
+  const SummaryCube cube =
+      build_summary_cube(f.output, f.region.population, f.model, f.ticks);
+  const HealthStateId recovered = f.model.state_id(covid_states::kRecovered);
+  std::uint64_t entered_total = 0;
+  for (Tick t = 0; t < f.ticks; ++t) {
+    entered_total += cube.entered(t, recovered);
+  }
+  EXPECT_EQ(entered_total, cube.cumulative(f.ticks - 1, recovered));
+}
+
+TEST(SummaryCube, SusceptibleOccupancyDecreases) {
+  const auto& f = fixture();
+  const SummaryCube cube =
+      build_summary_cube(f.output, f.region.population, f.model, f.ticks);
+  const HealthStateId s = f.model.state_id(covid_states::kSusceptible);
+  EXPECT_LT(cube.occupancy(f.ticks - 1, s), cube.occupancy(0, s));
+}
+
+TEST(SummaryCube, ByteSizeMatchesDimensions) {
+  const SummaryCube cube(365, 15);
+  // ticks x (states x age groups) x 3 counts x 8 bytes — the Table I
+  // summary-size accounting unit.
+  EXPECT_EQ(cube.byte_size(), 365ull * 15 * kAgeGroupCount * 3 * 8);
+}
+
+TEST(SummaryCube, IndexBoundsChecked) {
+  SummaryCube cube(10, 5);
+  EXPECT_THROW(cube.at(10, 0, AgeGroup::kAdult), Error);
+  EXPECT_THROW(cube.at(0, 5, AgeGroup::kAdult), Error);
+}
+
+// ------------------------------------------------------ county aggregation -
+
+TEST(Aggregate, CountySeriesCoverAllCounties) {
+  const auto& f = fixture();
+  const CountySeries series =
+      aggregate_by_county(f.output, f.region.population, f.model, f.ticks,
+                          AggregationTarget::kNewConfirmed);
+  EXPECT_EQ(series.values.size(), f.region.population.county_count());
+  EXPECT_EQ(series.county_fips.size(), series.values.size());
+}
+
+TEST(Aggregate, NewConfirmedCountsFirstSymptomaticEntryOnly) {
+  const auto& f = fixture();
+  const auto state_series =
+      aggregate_state_series(f.output, f.region.population, f.model, f.ticks,
+                             AggregationTarget::kNewConfirmed);
+  double total = 0.0;
+  for (double x : state_series) total += x;
+  // Replay: count entries into the symptomatic class. Persons who recover
+  // via RX failure can be reinfected, so entries may exceed distinct
+  // persons — each entry is a new confirmed case.
+  std::size_t entries = 0;
+  std::set<PersonId> distinct;
+  std::vector<HealthStateId> current(f.region.population.person_count(),
+                                     f.model.initial_state());
+  for (const auto& event : f.output.transitions) {
+    const bool was =
+        f.model.state(current[event.person]).counts_as_symptomatic;
+    const bool is = f.model.state(event.exit_state).counts_as_symptomatic;
+    if (!was && is) {
+      ++entries;
+      distinct.insert(event.person);
+    }
+    current[event.person] = event.exit_state;
+  }
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(entries));
+  EXPECT_GE(entries, distinct.size());
+}
+
+TEST(Aggregate, CumulativeConfirmedMonotone) {
+  const auto& f = fixture();
+  const auto series =
+      aggregate_state_series(f.output, f.region.population, f.model, f.ticks,
+                             AggregationTarget::kCumulativeConfirmed);
+  for (std::size_t t = 1; t < series.size(); ++t) {
+    EXPECT_GE(series[t], series[t - 1]);
+  }
+  EXPECT_GT(series.back(), 0.0);
+}
+
+TEST(Aggregate, HospitalOccupancyNonNegativeAndPeaks) {
+  const auto& f = fixture();
+  const auto series =
+      aggregate_state_series(f.output, f.region.population, f.model, f.ticks,
+                             AggregationTarget::kHospitalOccupancy);
+  double peak = 0.0;
+  for (double x : series) {
+    EXPECT_GE(x, 0.0);
+    peak = std::max(peak, x);
+  }
+  EXPECT_GT(peak, 0.0);  // outbreak large enough to hospitalize
+}
+
+TEST(Aggregate, DeathsMonotoneAndBelowInfections) {
+  const auto& f = fixture();
+  const auto deaths =
+      aggregate_state_series(f.output, f.region.population, f.model, f.ticks,
+                             AggregationTarget::kCumulativeDeaths);
+  for (std::size_t t = 1; t < deaths.size(); ++t) {
+    EXPECT_GE(deaths[t], deaths[t - 1]);
+  }
+  EXPECT_LT(deaths.back(), static_cast<double>(f.output.total_infections));
+}
+
+TEST(Aggregate, StateSeriesIsCountySum) {
+  const auto& f = fixture();
+  const CountySeries county =
+      aggregate_by_county(f.output, f.region.population, f.model, f.ticks,
+                          AggregationTarget::kCumulativeConfirmed);
+  const auto state =
+      aggregate_state_series(f.output, f.region.population, f.model, f.ticks,
+                             AggregationTarget::kCumulativeConfirmed);
+  for (Tick t = 0; t < f.ticks; t += 13) {
+    double sum = 0.0;
+    for (const auto& row : county.values) sum += row[t];
+    EXPECT_DOUBLE_EQ(sum, state[t]);
+  }
+}
+
+TEST(Aggregate, RawOutputBytesProportionalToTransitions) {
+  const auto& f = fixture();
+  EXPECT_EQ(raw_output_bytes(f.output), f.output.transitions.size() * 40);
+}
+
+// ----------------------------------------------------------- dendrogram ---
+
+TEST(Dendrogram, ForestAccountsForEveryFirstInfection) {
+  const auto& f = fixture();
+  const TransmissionForest forest(f.output.transitions);
+  // The forest tracks FIRST infections: persons reinfected after RX
+  // failure do not appear twice, so the edge count equals the number of
+  // distinct persons ever infected by a contact.
+  std::set<PersonId> infected_by_contact;
+  for (const auto& event : f.output.transitions) {
+    if (event.infector != kNoPerson) infected_by_contact.insert(event.person);
+  }
+  EXPECT_EQ(forest.infection_count(), infected_by_contact.size());
+  EXPECT_LE(forest.infection_count(), f.output.total_infections);
+  EXPECT_EQ(forest.tree_count(), 10u);  // the 10 seeds
+}
+
+TEST(Dendrogram, TreeSizesSumToInfectedPopulation) {
+  const auto& f = fixture();
+  const TransmissionForest forest(f.output.transitions);
+  std::size_t total = 0;
+  for (PersonId root : forest.roots()) total += forest.tree_size(root);
+  EXPECT_EQ(total, forest.infection_count() + forest.tree_count());
+}
+
+TEST(Dendrogram, DepthPositiveForSpreadingTrees) {
+  const auto& f = fixture();
+  const TransmissionForest forest(f.output.transitions);
+  std::size_t max_depth = 0;
+  for (PersonId root : forest.roots()) {
+    max_depth = std::max(max_depth, forest.tree_depth(root));
+  }
+  EXPECT_GT(max_depth, 2u);  // multi-generation chains exist
+}
+
+TEST(Dendrogram, InfectionTicksIncreaseDownTree) {
+  const auto& f = fixture();
+  const TransmissionForest forest(f.output.transitions);
+  for (PersonId root : forest.roots()) {
+    std::vector<PersonId> stack = {root};
+    while (!stack.empty()) {
+      const PersonId node = stack.back();
+      stack.pop_back();
+      for (PersonId child : forest.children(node)) {
+        EXPECT_GT(forest.infection_tick(child), forest.infection_tick(node));
+        stack.push_back(child);
+      }
+    }
+  }
+}
+
+TEST(Dendrogram, MeanOffspringInPlausibleRange) {
+  const auto& f = fixture();
+  const TransmissionForest forest(f.output.transitions);
+  const double r_estimate = forest.mean_offspring();
+  EXPECT_GT(r_estimate, 0.3);
+  EXPECT_LT(r_estimate, 6.0);
+}
+
+TEST(Dendrogram, EmptyLogYieldsEmptyForest) {
+  const TransmissionForest forest({});
+  EXPECT_EQ(forest.tree_count(), 0u);
+  EXPECT_EQ(forest.infection_count(), 0u);
+  EXPECT_EQ(forest.infection_tick(42), -1);
+}
+
+// ------------------------------------------------------------- ensemble ---
+
+TEST(Ensemble, BandOrderingAndCoverage) {
+  std::vector<std::vector<double>> curves;
+  for (int i = 0; i < 50; ++i) {
+    curves.push_back({static_cast<double>(i), static_cast<double>(2 * i)});
+  }
+  const EnsembleBand band = ensemble_band(curves, 0.9);
+  EXPECT_LE(band.lo[0], band.median[0]);
+  EXPECT_LE(band.median[0], band.hi[0]);
+  EXPECT_NEAR(band.median[0], 24.5, 0.01);
+  EXPECT_NEAR(band.median[1], 49.0, 0.5);
+  // An interior observation is covered; an extreme one is not.
+  EXPECT_DOUBLE_EQ(band_coverage(band, {25.0, 50.0}), 1.0);
+  EXPECT_DOUBLE_EQ(band_coverage(band, {-10.0, 500.0}), 0.0);
+}
+
+TEST(Ensemble, MismatchedLengthsRejected) {
+  EXPECT_THROW(ensemble_band({{1.0, 2.0}, {1.0}}), Error);
+  const EnsembleBand band = ensemble_band({{1.0, 2.0}});
+  EXPECT_THROW(band_coverage(band, {1.0}), Error);
+}
+
+// ----------------------------------------------------------------- costs --
+
+TEST(Costs, BreakdownConsistentWithCube) {
+  const auto& f = fixture();
+  const SummaryCube cube =
+      build_summary_cube(f.output, f.region.population, f.model, f.ticks);
+  const MedicalCostBreakdown costs = medical_costs(cube, f.model);
+  EXPECT_GT(costs.attended_cases, 0u);
+  EXPECT_GT(costs.hospital_days, 0u);
+  EXPECT_GT(costs.total(), 0.0);
+  EXPECT_DOUBLE_EQ(costs.total(), costs.outpatient + costs.hospital +
+                                      costs.ventilator + costs.death);
+  // Ventilator days are a subset of ICU time; far fewer than hospital days.
+  EXPECT_LT(costs.ventilator_days, costs.hospital_days);
+}
+
+TEST(Costs, ScalesWithParameters) {
+  const auto& f = fixture();
+  const SummaryCube cube =
+      build_summary_cube(f.output, f.region.population, f.model, f.ticks);
+  MedicalCostParams expensive;
+  expensive.hospital_day = 25000.0;
+  const auto base = medical_costs(cube, f.model);
+  const auto high = medical_costs(cube, f.model, expensive);
+  EXPECT_DOUBLE_EQ(high.hospital, base.hospital * 10.0);
+  EXPECT_EQ(high.hospital_days, base.hospital_days);
+}
+
+}  // namespace
+}  // namespace epi

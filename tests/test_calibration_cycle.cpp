@@ -1,0 +1,112 @@
+#include "workflow/calibration_cycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace epi {
+namespace {
+
+// One shared cycle run (it simulates dozens of replicates).
+const CalibrationCycleResult& cycle() {
+  static const CalibrationCycleResult result = [] {
+    CalibrationCycleConfig config;
+    config.region = "VT";        // small state keeps the test quick
+    config.scale = 1.0 / 400.0;  // ~1560 persons
+    config.seed = 20200411;
+    config.prior_configs = 36;
+    config.posterior_configs = 60;
+    config.calibration_days = 70;
+    config.horizon_days = 28;
+    config.prediction_runs = 12;
+    config.mcmc.samples = 1200;
+    config.mcmc.burn_in = 800;
+    return run_calibration_cycle(config);
+  }();
+  return result;
+}
+
+TEST(CalibrationCycle, PriorDesignIsLhsOverPaperRanges) {
+  const auto& design = cycle().prior_design;
+  EXPECT_EQ(design.points.size(), 36u);
+  ASSERT_EQ(design.ranges.size(), 4u);
+  EXPECT_EQ(design.ranges[0].name, "TAU");
+  EXPECT_EQ(design.ranges[1].name, "SYMP");
+  for (const auto& point : design.points) {
+    for (std::size_t d = 0; d < 4; ++d) {
+      EXPECT_GE(point[d], design.ranges[d].lo);
+      EXPECT_LE(point[d], design.ranges[d].hi);
+    }
+  }
+}
+
+TEST(CalibrationCycle, PosteriorWithinPriorSupport) {
+  const auto& result = cycle();
+  EXPECT_EQ(result.posterior_configs.size(), 60u);
+  const auto& ranges = result.prior_design.ranges;
+  for (const auto& config : result.posterior_configs) {
+    for (std::size_t d = 0; d < 4; ++d) {
+      EXPECT_GE(config[d], ranges[d].lo - 1e-9);
+      EXPECT_LE(config[d], ranges[d].hi + 1e-9);
+    }
+  }
+}
+
+TEST(CalibrationCycle, PosteriorTightensRelativeToPrior) {
+  // Fig 15: the calibrated parameters' distributions tighten. At least one
+  // of TAU/SYMP should have materially lower spread than the uniform
+  // prior (sd of U[lo,hi] = range/sqrt(12)).
+  const auto& result = cycle();
+  const auto& ranges = result.prior_design.ranges;
+  int tightened = 0;
+  for (std::size_t d = 0; d < 2; ++d) {  // TAU, SYMP
+    std::vector<double> values;
+    for (const auto& config : result.posterior_configs) {
+      values.push_back(config[d]);
+    }
+    const double prior_sd = (ranges[d].hi - ranges[d].lo) / std::sqrt(12.0);
+    if (stddev(values) < 0.8 * prior_sd) ++tightened;
+  }
+  EXPECT_GE(tightened, 1);
+}
+
+TEST(CalibrationCycle, EmulatorBandMostlyCoversObserved) {
+  // Fig 16's goodness-of-fit rule: ground truth inside the 95% band.
+  EXPECT_GT(cycle().calibration.coverage95, 0.6);
+  EXPECT_GT(cycle().calibration.emulator_variance_captured, 0.8);
+}
+
+TEST(CalibrationCycle, ForecastBandShapes) {
+  const auto& forecast = cycle().forecast;
+  const std::size_t total_days = 70 + 28;
+  ASSERT_EQ(forecast.median.size(), total_days);
+  for (std::size_t t = 0; t < total_days; ++t) {
+    EXPECT_LE(forecast.lo[t], forecast.median[t]);
+    EXPECT_LE(forecast.median[t], forecast.hi[t]);
+  }
+  // Cumulative forecasts are monotone in the median.
+  for (std::size_t t = 1; t < total_days; ++t) {
+    EXPECT_GE(forecast.median[t], forecast.median[t - 1] - 1e-9);
+  }
+}
+
+TEST(CalibrationCycle, ObservedSeriesConsistent) {
+  const auto& result = cycle();
+  EXPECT_EQ(result.observed_cumulative.size(), 70u);
+  EXPECT_EQ(result.truth_extension.size(), 98u);
+  // Truth extension starts with the observed window.
+  for (std::size_t t = 0; t < 70; ++t) {
+    EXPECT_DOUBLE_EQ(result.truth_extension[t], result.observed_cumulative[t]);
+  }
+  EXPECT_GT(result.observed_cumulative.back(), 0.0);
+}
+
+TEST(CalibrationCycle, McmcMixed) {
+  EXPECT_GT(cycle().calibration.acceptance_rate, 0.05);
+  EXPECT_LT(cycle().calibration.acceptance_rate, 0.95);
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cluster/coloring.hpp"
+#include "cluster/machine.hpp"
+#include "cluster/packing.hpp"
+#include "cluster/slurm_sim.hpp"
+#include "cluster/task_model.hpp"
+#include "cluster/transfer.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace epi {
+namespace {
+
+// ------------------------------------------------------------- machine ----
+
+TEST(Machine, TableIIBridgesSpec) {
+  const ClusterSpec spec = bridges_cluster();
+  EXPECT_EQ(spec.nodes, 720u);
+  EXPECT_EQ(spec.cores_per_node(), 28u);
+  EXPECT_EQ(spec.total_cores(), 20160u);  // "over 20,000 cores"
+  EXPECT_DOUBLE_EQ(spec.ram_gb_per_node, 128.0);
+  EXPECT_DOUBLE_EQ(spec.window_hours, 10.0);  // 10pm - 8am
+}
+
+TEST(Machine, TableIIRivannaSpec) {
+  const ClusterSpec spec = rivanna_cluster();
+  EXPECT_EQ(spec.nodes, 50u);
+  EXPECT_EQ(spec.cores_per_node(), 40u);
+  EXPECT_DOUBLE_EQ(spec.ram_gb_per_node, 384.0);
+  EXPECT_DOUBLE_EQ(spec.window_hours, 0.0);
+}
+
+// ---------------------------------------------------------- task model ----
+
+TEST(TaskModel, NodeCategoriesSmallMediumLarge) {
+  EXPECT_EQ(region_node_category(state_by_abbrev("WY")), 2u);
+  EXPECT_EQ(region_node_category(state_by_abbrev("VA")), 4u);
+  EXPECT_EQ(region_node_category(state_by_abbrev("CA")), 6u);
+  EXPECT_EQ(region_node_category(state_by_abbrev("TX")), 6u);
+}
+
+TEST(TaskModel, RuntimeGrowsWithPopulationAndCost) {
+  const double wy = estimate_task_hours(state_by_abbrev("WY"));
+  const double ca = estimate_task_hours(state_by_abbrev("CA"));
+  EXPECT_GT(ca, wy * 3.0);
+  EXPECT_NEAR(estimate_task_hours(state_by_abbrev("CA"), 2.0), 2.0 * ca, 1e-12);
+  // California replicate in the sub-hour band (paper: 100-300 steps at
+  // ~3 s/step).
+  EXPECT_GT(ca, 0.1);
+  EXPECT_LT(ca, 1.2);
+}
+
+TEST(TaskModel, WorkflowExpansion) {
+  const auto tasks = make_workflow_tasks({"VA", "WY"}, 3, 5);
+  EXPECT_EQ(tasks.size(), 30u);
+  // ids unique, regions correct.
+  std::set<std::uint64_t> ids;
+  for (const auto& task : tasks) {
+    ids.insert(task.id);
+    EXPECT_TRUE(task.region == "VA" || task.region == "WY");
+    EXPECT_GT(task.est_hours, 0.0);
+  }
+  EXPECT_EQ(ids.size(), 30u);
+}
+
+TEST(TaskModel, TableISimulationCounts) {
+  // Table I: economic/prediction 9180 sims; calibration 15300.
+  std::vector<std::string> regions;
+  for (const StateInfo& s : us_states()) regions.push_back(s.abbrev);
+  EXPECT_EQ(make_workflow_tasks(regions, 12, 15).size(), 9180u);
+  EXPECT_EQ(make_workflow_tasks(regions, 300, 1).size(), 15300u);
+}
+
+// ------------------------------------------------------------ coloring ----
+
+TEST(Coloring, CliqueNeedsCeilKOverR) {
+  std::vector<std::size_t> clique(6);
+  for (std::size_t i = 0; i < 6; ++i) clique[i] = i;
+  const ConflictGraph graph = ConflictGraph::union_of_cliques(6, {clique});
+  for (std::size_t r : {1u, 2u, 3u, 6u}) {
+    const RelaxedColoring coloring = relaxed_coloring(graph, r);
+    EXPECT_TRUE(coloring_is_valid(graph, coloring.color, r)) << "r=" << r;
+    EXPECT_EQ(coloring.colors_used, clique_color_lower_bound(6, r))
+        << "r=" << r;
+  }
+}
+
+TEST(Coloring, ROneIsProperColoring) {
+  // Triangle: r = 1 needs 3 colors.
+  ConflictGraph graph(3);
+  graph.add_edge(0, 1);
+  graph.add_edge(1, 2);
+  graph.add_edge(0, 2);
+  const RelaxedColoring coloring = relaxed_coloring(graph, 1);
+  EXPECT_TRUE(coloring_is_valid(graph, coloring.color, 1));
+  EXPECT_EQ(coloring.colors_used, 3u);
+}
+
+TEST(Coloring, LargeRCollapsesToOneColor) {
+  ConflictGraph graph(5);
+  graph.add_edge(0, 1);
+  graph.add_edge(2, 3);
+  const RelaxedColoring coloring = relaxed_coloring(graph, 10);
+  EXPECT_EQ(coloring.colors_used, 1u);
+  EXPECT_TRUE(coloring_is_valid(graph, coloring.color, 10));
+}
+
+TEST(Coloring, UnionOfCliquesDecomposition) {
+  // Paper Step 1: per-region DBs make the conflict graph a union of
+  // cliques; each clique colors independently.
+  const ConflictGraph graph = ConflictGraph::union_of_cliques(
+      9, {{0, 1, 2, 3}, {4, 5, 6}, {7, 8}});
+  const RelaxedColoring coloring = relaxed_coloring(graph, 2);
+  EXPECT_TRUE(coloring_is_valid(graph, coloring.color, 2));
+  EXPECT_EQ(coloring.colors_used, clique_color_lower_bound(4, 2));
+}
+
+TEST(Coloring, ValidityCheckerCatchesViolations) {
+  ConflictGraph graph(3);
+  graph.add_edge(0, 1);
+  graph.add_edge(0, 2);
+  // All the same color: vertex 0 shares with 2 neighbors -> invalid at r=2.
+  EXPECT_FALSE(coloring_is_valid(graph, {0, 0, 0}, 2));
+  EXPECT_TRUE(coloring_is_valid(graph, {0, 0, 0}, 3));
+  EXPECT_FALSE(coloring_is_valid(graph, {0, 0}, 3));  // wrong length
+}
+
+TEST(Coloring, InvalidEdgesRejected) {
+  ConflictGraph graph(2);
+  EXPECT_THROW(graph.add_edge(0, 0), Error);
+  EXPECT_THROW(graph.add_edge(0, 5), Error);
+}
+
+// Property sweep: random graphs, several r values — coloring always valid.
+class ColoringSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ColoringSweep, GreedyAlwaysValid) {
+  const std::size_t r = GetParam();
+  Rng rng(80 + r);
+  ConflictGraph graph(60);
+  for (int e = 0; e < 300; ++e) {
+    const auto u = static_cast<std::size_t>(rng.uniform_index(60));
+    const auto v = static_cast<std::size_t>(rng.uniform_index(60));
+    if (u != v) graph.add_edge(u, v);
+  }
+  const RelaxedColoring coloring = relaxed_coloring(graph, r);
+  EXPECT_TRUE(coloring_is_valid(graph, coloring.color, r));
+  EXPECT_GE(coloring.colors_used, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RValues, ColoringSweep,
+                         ::testing::Values(1, 2, 3, 5, 10));
+
+// ------------------------------------------------------------- packing ----
+
+std::vector<SimTask> national_tasks() {
+  std::vector<std::string> regions;
+  for (const StateInfo& s : us_states()) regions.push_back(s.abbrev);
+  return make_workflow_tasks(regions, 12, 15);
+}
+
+TEST(Packing, AllTasksPlacedExactlyOnce) {
+  const auto tasks = national_tasks();
+  for (const auto policy :
+       {PackingPolicy::kNextFitArrival, PackingPolicy::kNextFitDecreasing,
+        PackingPolicy::kFirstFitDecreasing}) {
+    const PackingPlan plan = pack_tasks(tasks, 720, policy);
+    std::size_t placed = 0;
+    for (const auto& level : plan.levels) placed += level.task_ids.size();
+    EXPECT_EQ(placed, tasks.size()) << packing_policy_name(policy);
+    EXPECT_EQ(plan.start_hours.size(), tasks.size());
+  }
+}
+
+TEST(Packing, LevelsRespectNodeCapacity) {
+  const auto tasks = national_tasks();
+  const PackingPlan plan =
+      pack_tasks(tasks, 720, PackingPolicy::kFirstFitDecreasing);
+  for (const auto& level : plan.levels) {
+    EXPECT_LE(level.nodes_used, 720u);
+    EXPECT_GT(level.duration_hours, 0.0);
+  }
+}
+
+TEST(Packing, LevelsRespectDbBound) {
+  const auto tasks = national_tasks();
+  const std::uint32_t bound = db_connection_bound();
+  const PackingPlan plan =
+      pack_tasks(tasks, 720, PackingPolicy::kFirstFitDecreasing, bound);
+  std::map<std::uint64_t, const SimTask*> by_id;
+  for (const auto& task : tasks) by_id[task.id] = &task;
+  for (const auto& level : plan.levels) {
+    std::map<std::string, std::uint32_t> usage;
+    for (std::uint64_t id : level.task_ids) {
+      usage[by_id[id]->region] += by_id[id]->db_connections;
+    }
+    for (const auto& [region, used] : usage) {
+      EXPECT_LE(used, bound) << region;
+    }
+  }
+}
+
+TEST(Packing, DecreasingOrderWithinPlan) {
+  const auto tasks = national_tasks();
+  const PackingPlan plan =
+      pack_tasks(tasks, 720, PackingPolicy::kNextFitDecreasing);
+  // Level durations are non-increasing under decreasing-time next fit.
+  for (std::size_t i = 1; i < plan.levels.size(); ++i) {
+    EXPECT_LE(plan.levels[i].duration_hours,
+              plan.levels[i - 1].duration_hours + 1e-12);
+  }
+}
+
+TEST(Packing, FirstFitBeatsNextFitArrival) {
+  // The paper's headline scheduling result, in planned-utilization form.
+  const auto tasks = national_tasks();
+  const PackingPlan ffdt =
+      pack_tasks(tasks, 720, PackingPolicy::kFirstFitDecreasing);
+  const PackingPlan arrival =
+      pack_tasks(tasks, 720, PackingPolicy::kNextFitArrival);
+  EXPECT_GT(ffdt.planned_utilization, arrival.planned_utilization);
+  EXPECT_LE(ffdt.makespan_hours, arrival.makespan_hours + 1e-9);
+  EXPECT_GT(ffdt.planned_utilization, 0.85);
+}
+
+TEST(Packing, SingleTaskPlan) {
+  std::vector<SimTask> tasks = {SimTask{0, "VA", 0, 0, 4, 1.5, 28}};
+  const PackingPlan plan =
+      pack_tasks(tasks, 10, PackingPolicy::kFirstFitDecreasing);
+  EXPECT_EQ(plan.levels.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.makespan_hours, 1.5);
+  EXPECT_NEAR(plan.planned_utilization, 4.0 * 1.5 / (10.0 * 1.5), 1e-12);
+}
+
+TEST(Packing, OversizedTaskRejected) {
+  std::vector<SimTask> tasks = {SimTask{0, "VA", 0, 0, 100, 1.0, 28}};
+  EXPECT_THROW(pack_tasks(tasks, 10, PackingPolicy::kFirstFitDecreasing),
+               Error);
+}
+
+// ------------------------------------------------------------ slurm DES ---
+
+TEST(SlurmSim, CompletesAllJobsWithoutWindow) {
+  Rng rng(81);
+  const auto tasks = make_workflow_tasks({"VA", "WY", "CA"}, 4, 3);
+  DesConfig config;
+  config.runtime_sigma = 0.0;  // deterministic runtimes
+  const DesResult result =
+      simulate_cluster(bridges_cluster(), tasks, config, rng);
+  EXPECT_EQ(result.jobs.size(), tasks.size());
+  EXPECT_EQ(result.unfinished, 0u);
+  EXPECT_GT(result.utilization, 0.0);
+  EXPECT_LE(result.utilization, 1.0 + 1e-9);
+}
+
+TEST(SlurmSim, NodeCapacityNeverExceeded) {
+  Rng rng(82);
+  const auto tasks = national_tasks();
+  DesConfig config;
+  const DesResult result =
+      simulate_cluster(bridges_cluster(), tasks, config, rng);
+  // Sweep events and check instantaneous node usage.
+  std::vector<std::pair<double, std::int64_t>> events;
+  for (const auto& job : result.jobs) {
+    events.emplace_back(job.start_hours, job.nodes);
+    events.emplace_back(job.end_hours, -static_cast<std::int64_t>(job.nodes));
+  }
+  std::sort(events.begin(), events.end());
+  std::int64_t in_use = 0;
+  for (const auto& [time, delta] : events) {
+    in_use += delta;
+    EXPECT_LE(in_use, 720);
+    EXPECT_GE(in_use, 0);
+  }
+}
+
+TEST(SlurmSim, WindowCutsOffLateJobs) {
+  Rng rng(83);
+  // Far more work than a 10-hour window can hold on a small cluster.
+  ClusterSpec tiny = bridges_cluster();
+  tiny.nodes = 12;
+  const auto tasks = national_tasks();
+  DesConfig config;
+  config.window_hours = 10.0;
+  const DesResult result = simulate_cluster(tiny, tasks, config, rng);
+  EXPECT_GT(result.unfinished, 0u);
+  EXPECT_LT(result.jobs.size(), tasks.size());
+}
+
+TEST(SlurmSim, BackfillImprovesUtilizationUnderDbPressure) {
+  // With a binding DB bound (4 concurrent tasks per region), a strictly
+  // in-order queue stalls whenever the head's region is saturated even
+  // though nodes are idle; backfill skips past it (the paper's initial
+  // unsorted runs vs the tuned schedule).
+  Rng rng1(84), rng2(84);
+  const auto tasks = national_tasks();
+  std::vector<SimTask> shuffled = tasks;
+  Rng shuffle_rng(85);
+  shuffle_rng.shuffle(shuffled.begin(), shuffled.end());
+  DesConfig with_backfill;
+  with_backfill.backfill = true;
+  DesConfig without_backfill;
+  without_backfill.backfill = false;
+  const std::uint32_t tight_bound = 4 * 28;
+  const DesResult a = simulate_cluster(bridges_cluster(), shuffled,
+                                       with_backfill, rng1, tight_bound);
+  const DesResult b = simulate_cluster(bridges_cluster(), shuffled,
+                                       without_backfill, rng2, tight_bound);
+  EXPECT_GT(a.utilization, b.utilization);
+}
+
+TEST(SlurmSim, DbBoundThrottlesRegionConcurrency) {
+  Rng rng(86);
+  // Many single-region tasks; with a bound of 2 tasks' worth of
+  // connections, at most 2 run at once despite ample nodes.
+  std::vector<SimTask> tasks;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    tasks.push_back(SimTask{i, "VA", static_cast<std::uint32_t>(i), 0, 2, 1.0,
+                            28});
+  }
+  DesConfig config;
+  config.runtime_sigma = 0.0;
+  const DesResult result =
+      simulate_cluster(bridges_cluster(), tasks, config, rng, 56);
+  // 10 jobs, 2 at a time, 1 hour each -> makespan ~5 hours.
+  EXPECT_NEAR(result.makespan_hours, 5.0, 0.01);
+}
+
+TEST(SlurmSim, RuntimeNoiseProducesVariance) {
+  Rng rng(87);
+  std::vector<SimTask> tasks;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    tasks.push_back(SimTask{i, "VA", static_cast<std::uint32_t>(i), 0, 2, 1.0,
+                            28});
+  }
+  DesConfig config;
+  config.runtime_sigma = 0.3;
+  const DesResult result =
+      simulate_cluster(bridges_cluster(), tasks, config, rng, 1 << 20);
+  std::vector<double> durations;
+  for (const auto& job : result.jobs) {
+    durations.push_back(job.end_hours - job.start_hours);
+  }
+  EXPECT_GT(stddev(durations), 0.1);
+  EXPECT_NEAR(mean(durations), 1.05, 0.12);  // lognormal mean e^{sigma^2/2}
+}
+
+// ------------------------------------------------------------ transfer ----
+
+TEST(Transfer, DurationScalesWithSize) {
+  GlobusTransfer wan;
+  const double small = wan.transfer("configs", 100'000'000, true);  // 100 MB
+  const double large = wan.transfer("raw", 10'000'000'000, false);  // 10 GB
+  EXPECT_GT(large, small);
+  EXPECT_GT(small, 0.0);
+}
+
+TEST(Transfer, LedgerTracksDirections) {
+  GlobusTransfer wan;
+  wan.transfer("a", 1000, true);
+  wan.transfer("b", 2000, true);
+  wan.transfer("c", 500, false);
+  EXPECT_EQ(wan.total_bytes_to_remote(), 3000u);
+  EXPECT_EQ(wan.total_bytes_to_home(), 500u);
+  EXPECT_EQ(wan.ledger().size(), 3u);
+  EXPECT_GT(wan.total_seconds(), 0.0);
+}
+
+TEST(Transfer, TwoTbOneTimeTransferTakesHours) {
+  // Table II: 2 TB one-time population shipment. At ~400 MB/s this is
+  // roughly 1.4 hours — plausible for the one-time Globus push.
+  GlobusTransfer wan;
+  const double seconds = wan.transfer("populations", 2'000'000'000'000ULL, true);
+  EXPECT_GT(seconds / 3600.0, 1.0);
+  EXPECT_LT(seconds / 3600.0, 3.0);
+}
+
+}  // namespace
+}  // namespace epi

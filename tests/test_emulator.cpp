@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "emulator/gp.hpp"
+#include "emulator/gpmsa.hpp"
+#include "emulator/linalg.hpp"
+#include "util/error.hpp"
+
+namespace epi {
+namespace {
+
+// -------------------------------------------------------------- linalg ----
+
+TEST(Linalg, MatmulKnownProduct) {
+  Mat a(2, 3);
+  a.set_row(0, {1, 2, 3});
+  a.set_row(1, {4, 5, 6});
+  Mat b(3, 2);
+  b.set_row(0, {7, 8});
+  b.set_row(1, {9, 10});
+  b.set_row(2, {11, 12});
+  const Mat c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(Linalg, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Mat(2, 3), Mat(2, 3)), Error);
+}
+
+TEST(Linalg, TransposeRoundTrip) {
+  Mat a(2, 3);
+  a.set_row(0, {1, 2, 3});
+  a.set_row(1, {4, 5, 6});
+  const Mat at = a.transposed();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_DOUBLE_EQ(at.at(2, 1), 6.0);
+  const Mat back = at.transposed();
+  EXPECT_DOUBLE_EQ(back.at(1, 2), 6.0);
+}
+
+TEST(Linalg, CholeskyReconstructs) {
+  // K = L0 L0^T for a known lower-triangular L0.
+  Mat k(3, 3);
+  k.set_row(0, {4, 2, 2});
+  k.set_row(1, {2, 5, 3});
+  k.set_row(2, {2, 3, 6});
+  const Mat l = cholesky(k);
+  const Mat reconstructed = matmul(l, l.transposed());
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(reconstructed.at(i, j), k.at(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Linalg, CholeskyRejectsNonPd) {
+  Mat k(2, 2);
+  k.set_row(0, {1, 2});
+  k.set_row(1, {2, 1});  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(k), NumericError);
+}
+
+TEST(Linalg, CholeskySolveMatchesDirect) {
+  Mat k(3, 3);
+  k.set_row(0, {4, 1, 0});
+  k.set_row(1, {1, 3, 1});
+  k.set_row(2, {0, 1, 2});
+  const Vec b = {1, 2, 3};
+  const Vec x = cholesky_solve(cholesky(k), b);
+  const Vec kx = matvec(k, x);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(kx[i], b[i], 1e-10);
+}
+
+TEST(Linalg, LogDetMatchesKnownValue) {
+  Mat k(2, 2);
+  k.set_row(0, {2, 0});
+  k.set_row(1, {0, 8});
+  EXPECT_NEAR(log_det_from_cholesky(cholesky(k)), std::log(16.0), 1e-12);
+}
+
+TEST(Linalg, TopEigenpairsDiagonal) {
+  Mat a(3, 3);
+  a.at(0, 0) = 5.0;
+  a.at(1, 1) = 3.0;
+  a.at(2, 2) = 1.0;
+  const EigenPairs eig = top_eigenpairs(a, 2);
+  ASSERT_EQ(eig.values.size(), 2u);
+  EXPECT_NEAR(eig.values[0], 5.0, 1e-6);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-6);
+  EXPECT_NEAR(std::abs(eig.vectors.at(0, 0)), 1.0, 1e-6);
+  EXPECT_NEAR(std::abs(eig.vectors.at(1, 1)), 1.0, 1e-6);
+}
+
+TEST(Linalg, EigenvectorsOrthonormal) {
+  Mat a(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      a.at(i, j) = 1.0 / (1.0 + static_cast<double>(i + j));  // Hilbert-ish, PSD
+    }
+  }
+  const EigenPairs eig = top_eigenpairs(a, 3);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(dot(eig.vectors.col(k), eig.vectors.col(k)), 1.0, 1e-6);
+    for (std::size_t m = k + 1; m < 3; ++m) {
+      EXPECT_NEAR(dot(eig.vectors.col(k), eig.vectors.col(m)), 0.0, 1e-5);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ GP ----
+
+TEST(Gp, CorrelationIsOneAtZeroDistance) {
+  const Vec rho = {0.5, 0.8};
+  EXPECT_DOUBLE_EQ(gp_correlation({0.3, 0.7}, {0.3, 0.7}, rho), 1.0);
+}
+
+TEST(Gp, CorrelationDecaysWithDistance) {
+  const Vec rho = {0.5};
+  const double near = gp_correlation({0.1}, {0.2}, rho);
+  const double far = gp_correlation({0.1}, {0.9}, rho);
+  EXPECT_GT(near, far);
+  // Paper form: rho^{4 d^2}, so d = 0.5 gives exactly rho.
+  EXPECT_NEAR(gp_correlation({0.0}, {0.5}, rho), 0.5, 1e-12);
+}
+
+TEST(Gp, InterpolatesTrainingDataWithTinyNugget) {
+  Mat x(5, 1);
+  Vec y(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    x.at(i, 0) = static_cast<double>(i) / 4.0;
+    y[i] = std::sin(3.0 * x.at(i, 0));
+  }
+  GpHyperparams params;
+  params.rho = {0.5};
+  params.lambda_w = 1.0;
+  params.lambda_nugget = 1e8;
+  const GaussianProcess gp(x, y, params);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto p = gp.predict({x.at(i, 0)});
+    EXPECT_NEAR(p.mean, y[i], 1e-3);
+  }
+}
+
+TEST(Gp, PredictionVarianceGrowsAwayFromData) {
+  Mat x(3, 1);
+  x.at(0, 0) = 0.1;
+  x.at(1, 0) = 0.2;
+  x.at(2, 0) = 0.3;
+  const Vec y = {1.0, 2.0, 1.5};
+  GpHyperparams params;
+  params.rho = {0.3};
+  params.lambda_w = 1.0;
+  params.lambda_nugget = 1e6;
+  const GaussianProcess gp(x, y, params);
+  EXPECT_LT(gp.predict({0.2}).variance, gp.predict({0.95}).variance);
+}
+
+TEST(Gp, HyperparamSearchFindsReasonableFit) {
+  Rng rng(61);
+  Mat x(20, 1);
+  Vec y(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    x.at(i, 0) = static_cast<double>(i) / 19.0;
+    y[i] = std::cos(4.0 * x.at(i, 0));
+  }
+  const GpHyperparams params = fit_gp_hyperparams(x, y, rng);
+  const GaussianProcess gp(x, y, params);
+  // Interior prediction should track the smooth function.
+  EXPECT_NEAR(gp.predict({0.5}).mean, std::cos(2.0), 0.15);
+}
+
+TEST(Gp, RejectsBadShapesAndParams) {
+  Mat x(3, 1);
+  GpHyperparams params;
+  params.rho = {0.5, 0.5};  // wrong dimension
+  EXPECT_THROW(GaussianProcess(x, Vec(3, 0.0), params), Error);
+  params.rho = {0.5};
+  params.lambda_w = -1.0;
+  EXPECT_THROW(GaussianProcess(x, Vec(3, 0.0), params), Error);
+}
+
+// --------------------------------------------------------------- GPMSA ----
+
+// A cheap synthetic "simulator": logistic curve whose rate and plateau are
+// the two parameters; outputs a 60-day log-cumulative curve.
+Vec toy_simulator(double rate, double plateau) {
+  Vec out(60);
+  for (std::size_t t = 0; t < 60; ++t) {
+    const double x =
+        plateau / (1.0 + std::exp(-rate * (static_cast<double>(t) - 30.0)));
+    out[t] = std::log(1.0 + x);
+  }
+  return out;
+}
+
+Mat toy_design(std::size_t n, Rng& rng) {
+  Mat design(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    design.at(i, 0) = rng.uniform();
+    design.at(i, 1) = rng.uniform();
+  }
+  return design;
+}
+
+Mat toy_outputs(const Mat& design) {
+  Mat outputs(design.rows(), 60);
+  for (std::size_t i = 0; i < design.rows(); ++i) {
+    outputs.set_row(i, toy_simulator(0.05 + 0.3 * design.at(i, 0),
+                                     500.0 + 4500.0 * design.at(i, 1)));
+  }
+  return outputs;
+}
+
+TEST(Gpmsa, EmulatorReproducesTrainingCurves) {
+  Rng rng(62);
+  const Mat design = toy_design(40, rng);
+  const Mat outputs = toy_outputs(design);
+  MultivariateEmulator emulator(design, outputs, 5, rng);
+  EXPECT_EQ(emulator.output_length(), 60u);
+  EXPECT_EQ(emulator.basis_count(), 5u);
+  EXPECT_GT(emulator.variance_captured(), 0.95);
+  // Training-point prediction close to truth.
+  double worst = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto pred = emulator.predict(design.row(i));
+    const Vec truth = outputs.row(i);
+    for (std::size_t t = 0; t < 60; ++t) {
+      worst = std::max(worst, std::abs(pred.mean[t] - truth[t]));
+    }
+  }
+  EXPECT_LT(worst, 0.5);  // log scale: within ~65% everywhere, usually much closer
+}
+
+TEST(Gpmsa, EmulatorGeneralizesToHeldOutPoints) {
+  Rng rng(63);
+  const Mat design = toy_design(50, rng);
+  const Mat outputs = toy_outputs(design);
+  MultivariateEmulator emulator(design, outputs, 5, rng);
+  double rmse_sum = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec theta = {rng.uniform(0.2, 0.8), rng.uniform(0.2, 0.8)};
+    const Vec truth = toy_simulator(0.05 + 0.3 * theta[0],
+                                    500.0 + 4500.0 * theta[1]);
+    const auto pred = emulator.predict(theta);
+    double err = 0.0;
+    for (std::size_t t = 0; t < 60; ++t) {
+      err += (pred.mean[t] - truth[t]) * (pred.mean[t] - truth[t]);
+    }
+    rmse_sum += std::sqrt(err / 60.0);
+  }
+  EXPECT_LT(rmse_sum / 10.0, 0.25);
+}
+
+TEST(Gpmsa, DiscrepancyBasisShape) {
+  const Mat d = discrepancy_basis(100, 15.0, 10.0, 7);
+  EXPECT_EQ(d.rows(), 100u);
+  EXPECT_EQ(d.cols(), 7u);
+  // Every kernel peaks somewhere strictly inside and is positive.
+  for (std::size_t k = 0; k < 7; ++k) {
+    double peak = 0.0;
+    for (std::size_t t = 0; t < 100; ++t) {
+      EXPECT_GT(d.at(t, k), 0.0);
+      peak = std::max(peak, d.at(t, k));
+    }
+    EXPECT_NEAR(peak, 1.0, 0.01);
+  }
+}
+
+TEST(Gpmsa, CalibrationModelPrefersTruth) {
+  Rng rng(64);
+  const Mat design = toy_design(40, rng);
+  const Mat outputs = toy_outputs(design);
+  MultivariateEmulator emulator(design, outputs, 5, rng);
+  const Vec truth_theta = {0.6, 0.4};
+  Vec observed = toy_simulator(0.05 + 0.3 * truth_theta[0],
+                               500.0 + 4500.0 * truth_theta[1]);
+  // Small observation noise.
+  for (double& x : observed) x += rng.normal(0.0, 0.02);
+  const GpmsaCalibrationModel model(emulator, observed);
+  const double at_truth = model.log_posterior(truth_theta, 10.0, 400.0);
+  const double far_away = model.log_posterior({0.05, 0.95}, 10.0, 400.0);
+  EXPECT_GT(at_truth, far_away);
+}
+
+TEST(Gpmsa, LogPosteriorRejectsOutOfSupport) {
+  Rng rng(65);
+  const Mat design = toy_design(20, rng);
+  const Mat outputs = toy_outputs(design);
+  MultivariateEmulator emulator(design, outputs, 3, rng);
+  const GpmsaCalibrationModel model(emulator, outputs.row(0));
+  EXPECT_LT(model.log_posterior({-0.1, 0.5}, 1.0, 1.0), -1e200);
+  EXPECT_LT(model.log_posterior({0.5, 0.5}, -1.0, 1.0), -1e200);
+}
+
+TEST(Gpmsa, PredictiveBandCoversObserved) {
+  Rng rng(66);
+  const Mat design = toy_design(40, rng);
+  const Mat outputs = toy_outputs(design);
+  MultivariateEmulator emulator(design, outputs, 5, rng);
+  const Vec observed = toy_simulator(0.2, 2000.0);
+  const GpmsaCalibrationModel model(emulator, observed);
+  // Bands at a generous noise level must cover the observation (Fig 16's
+  // goodness-of-fit criterion).
+  const auto band = model.predictive_band({0.5, 0.33}, 1.0, 25.0);
+  std::size_t inside = 0;
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    if (observed[t] >= band.mean[t] - 1.96 * band.sd[t] &&
+        observed[t] <= band.mean[t] + 1.96 * band.sd[t]) {
+      ++inside;
+    }
+  }
+  EXPECT_GT(static_cast<double>(inside) / observed.size(), 0.8);
+}
+
+TEST(Gpmsa, ObservedLengthMismatchThrows) {
+  Rng rng(67);
+  const Mat design = toy_design(10, rng);
+  const Mat outputs = toy_outputs(design);
+  MultivariateEmulator emulator(design, outputs, 3, rng);
+  EXPECT_THROW(GpmsaCalibrationModel(emulator, Vec(10, 0.0)), Error);
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,208 @@
+#include "mpilite/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace epi::mpilite {
+namespace {
+
+TEST(Mpilite, SingleRankRuns) {
+  std::atomic<int> calls{0};
+  Runtime::run(1, [&](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Mpilite, RanksGetDistinctIds) {
+  std::vector<int> seen(4, -1);
+  Runtime::run(4, [&](Comm& comm) { seen[comm.rank()] = comm.rank(); });
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(seen[r], r);
+}
+
+TEST(Mpilite, PointToPointDelivers) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 5, std::vector<int>{1, 2, 3});
+    } else {
+      const auto received = comm.recv<int>(0, 5);
+      EXPECT_EQ(received, (std::vector<int>{1, 2, 3}));
+    }
+  });
+}
+
+TEST(Mpilite, MessagesNonOvertakingPerTag) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 20; ++i) {
+        comm.send<int>(1, 7, std::vector<int>{i});
+      }
+    } else {
+      for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(comm.recv<int>(0, 7)[0], i);
+      }
+    }
+  });
+}
+
+TEST(Mpilite, TagsKeepStreamsSeparate) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 1, std::vector<int>{111});
+      comm.send<int>(1, 2, std::vector<int>{222});
+    } else {
+      // Receive in reverse tag order: must still match by tag.
+      EXPECT_EQ(comm.recv<int>(0, 2)[0], 222);
+      EXPECT_EQ(comm.recv<int>(0, 1)[0], 111);
+    }
+  });
+}
+
+TEST(Mpilite, EmptyMessageDelivered) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<double>(1, 3, std::vector<double>{});
+    } else {
+      EXPECT_TRUE(comm.recv<double>(0, 3).empty());
+    }
+  });
+}
+
+TEST(Mpilite, BarrierSynchronizes) {
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  Runtime::run(4, [&](Comm& comm) {
+    ++before;
+    comm.barrier();
+    if (before.load() != 4) violated = true;
+    comm.barrier();  // reusable
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Mpilite, AllreduceSum) {
+  Runtime::run(3, [](Comm& comm) {
+    const double result = comm.allreduce(static_cast<double>(comm.rank() + 1),
+                                         ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(result, 6.0);  // 1 + 2 + 3
+  });
+}
+
+TEST(Mpilite, AllreduceMinMax) {
+  Runtime::run(4, [](Comm& comm) {
+    const double value = static_cast<double>(comm.rank());
+    EXPECT_DOUBLE_EQ(comm.allreduce(value, ReduceOp::kMin), 0.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(value, ReduceOp::kMax), 3.0);
+  });
+}
+
+TEST(Mpilite, AllreduceLogicalOr) {
+  Runtime::run(3, [](Comm& comm) {
+    const double mine = comm.rank() == 1 ? 1.0 : 0.0;
+    EXPECT_DOUBLE_EQ(comm.allreduce(mine, ReduceOp::kLogicalOr), 1.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(0.0, ReduceOp::kLogicalOr), 0.0);
+  });
+}
+
+TEST(Mpilite, AllreduceVectorElementwise) {
+  Runtime::run(2, [](Comm& comm) {
+    const std::vector<double> mine = {static_cast<double>(comm.rank()), 10.0};
+    const auto out = comm.allreduce(std::span<const double>(mine),
+                                    ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(out[0], 1.0);
+    EXPECT_DOUBLE_EQ(out[1], 20.0);
+  });
+}
+
+TEST(Mpilite, AllgathervConcatenatesInRankOrder) {
+  Runtime::run(3, [](Comm& comm) {
+    // Rank r contributes r+1 copies of its rank id.
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank() + 1),
+                          comm.rank());
+    const auto all = comm.allgatherv(mine);
+    const std::vector<int> expected = {0, 1, 1, 2, 2, 2};
+    EXPECT_EQ(all, expected);
+  });
+}
+
+TEST(Mpilite, AlltoallvRoutesPersonalizedMessages) {
+  Runtime::run(3, [](Comm& comm) {
+    std::vector<std::vector<int>> outbox(3);
+    for (int dest = 0; dest < 3; ++dest) {
+      outbox[dest] = {comm.rank() * 10 + dest};
+    }
+    const auto inbox = comm.alltoallv(outbox);
+    for (int src = 0; src < 3; ++src) {
+      ASSERT_EQ(inbox[src].size(), 1u);
+      EXPECT_EQ(inbox[src][0], src * 10 + comm.rank());
+    }
+  });
+}
+
+TEST(Mpilite, BroadcastFromEveryRoot) {
+  for (int root = 0; root < 3; ++root) {
+    Runtime::run(3, [root](Comm& comm) {
+      std::vector<double> value;
+      if (comm.rank() == root) value = {42.0, static_cast<double>(root)};
+      const auto out = comm.broadcast(value, root);
+      ASSERT_EQ(out.size(), 2u);
+      EXPECT_DOUBLE_EQ(out[0], 42.0);
+      EXPECT_DOUBLE_EQ(out[1], static_cast<double>(root));
+    });
+  }
+}
+
+TEST(Mpilite, ExceptionOnOneRankPropagatesWithoutDeadlock) {
+  EXPECT_THROW(
+      Runtime::run(3,
+                   [](Comm& comm) {
+                     if (comm.rank() == 1) {
+                       throw Error("rank 1 failed");
+                     }
+                     // Other ranks block; the abort must wake them.
+                     comm.barrier();
+                     comm.recv<int>(1, 0);
+                   }),
+      Error);
+}
+
+TEST(Mpilite, BytesSentAccounted) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<std::uint64_t>(1, 0, std::vector<std::uint64_t>{1, 2, 3, 4});
+      EXPECT_EQ(comm.bytes_sent(), 32u);
+    } else {
+      comm.recv<std::uint64_t>(0, 0);
+      EXPECT_EQ(comm.bytes_sent(), 0u);
+    }
+  });
+}
+
+TEST(Mpilite, InvalidRankOrTagThrows) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.send<int>(5, 0, std::vector<int>{1}), Error);
+      EXPECT_THROW(comm.send<int>(1, -1, std::vector<int>{1}), Error);
+      comm.send<int>(1, 0, std::vector<int>{1});
+    } else {
+      comm.recv<int>(0, 0);
+    }
+  });
+}
+
+TEST(Mpilite, ManyRanksStress) {
+  // Ring pass with 16 ranks exercises mailbox contention.
+  Runtime::run(16, [](Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    comm.send<int>(next, 9, std::vector<int>{comm.rank()});
+    EXPECT_EQ(comm.recv<int>(prev, 9)[0], prev);
+  });
+}
+
+}  // namespace
+}  // namespace epi::mpilite

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "analytics/forecast.hpp"
+#include "analytics/output_io.hpp"
+#include "epihiper/parallel.hpp"
+#include "synthpop/generator.hpp"
+#include "util/error.hpp"
+
+namespace epi {
+namespace {
+
+struct Fixture {
+  SyntheticRegion region;
+  DiseaseModel model;
+  std::vector<SimOutput> ensemble;
+  Tick ticks = 70;
+
+  Fixture() : model(covid_model()) {
+    SynthPopConfig config;
+    config.region = "DC";
+    config.scale = 1.0 / 300.0;
+    config.seed = 99;
+    region = generate_region(config);
+    CovidParams params;
+    params.transmissibility = 0.28;
+    model = covid_model(params);
+    for (std::uint32_t rep = 0; rep < 5; ++rep) {
+      SimulationConfig sim_config;
+      sim_config.num_ticks = ticks;
+      sim_config.seed = 31337;
+      sim_config.replicate = rep;
+      sim_config.seeds = {SeedSpec{0, 10, 0}};
+      ensemble.push_back(run_simulation(region.network, region.population,
+                                        model, sim_config));
+    }
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture instance;
+  return instance;
+}
+
+// ----------------------------------------------------------- output I/O ---
+
+TEST(OutputIo, RoundTripsTransitionLog) {
+  const auto& f = fixture();
+  const auto& events = f.ensemble[0].transitions;
+  std::stringstream buffer;
+  const std::uint64_t bytes =
+      write_transitions_csv(buffer, events, f.model);
+  EXPECT_EQ(bytes, buffer.str().size());
+  const auto restored = read_transitions_csv(buffer, f.model);
+  ASSERT_EQ(restored.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); i += 7) {
+    EXPECT_EQ(restored[i].tick, events[i].tick);
+    EXPECT_EQ(restored[i].person, events[i].person);
+    EXPECT_EQ(restored[i].exit_state, events[i].exit_state);
+    EXPECT_EQ(restored[i].infector, events[i].infector);
+  }
+}
+
+TEST(OutputIo, LineFormatMatchesPaperDescription) {
+  // "tick of the transition event, the identifier of the person, their
+  // exit state, and the identifier of the person causing the transition".
+  std::vector<TransitionEvent> events = {
+      TransitionEvent{3, 17, fixture().model.state_id(covid_states::kExposed),
+                      42},
+      TransitionEvent{5, 17,
+                      fixture().model.state_id(covid_states::kPresymptomatic),
+                      kNoPerson}};
+  std::stringstream buffer;
+  write_transitions_csv(buffer, events, fixture().model);
+  std::string line;
+  std::getline(buffer, line);
+  EXPECT_EQ(line, "tick,pid,exitState,contactPid");
+  std::getline(buffer, line);
+  EXPECT_EQ(line, "3,17,Exposed,42");
+  std::getline(buffer, line);
+  EXPECT_EQ(line, "5,17,Presymptomatic,");  // no cause for progressions
+}
+
+TEST(OutputIo, FileRoundTrip) {
+  const auto& f = fixture();
+  const std::string path = "/tmp/episcale_test_transitions.csv";
+  write_transitions_file(path, f.ensemble[1].transitions, f.model);
+  const auto restored = read_transitions_file(path, f.model);
+  EXPECT_EQ(restored.size(), f.ensemble[1].transitions.size());
+  std::filesystem::remove(path);
+}
+
+TEST(OutputIo, UnknownStateRejected) {
+  std::stringstream buffer("tick,pid,exitState,contactPid\n1,2,Zombie,\n");
+  EXPECT_THROW(read_transitions_csv(buffer, fixture().model), ConfigError);
+}
+
+TEST(OutputIo, MeasuredBytesNearAccountingEstimate) {
+  // raw_output_bytes() assumes ~40 bytes/line at production id widths; the
+  // real serialization of a small-scale log should be within 2x.
+  const auto& f = fixture();
+  std::stringstream buffer;
+  const std::uint64_t bytes =
+      write_transitions_csv(buffer, f.ensemble[0].transitions, f.model);
+  const std::uint64_t estimate = raw_output_bytes(f.ensemble[0]);
+  EXPECT_GT(bytes, estimate / 3);
+  EXPECT_LT(bytes, estimate * 2);
+}
+
+// ------------------------------------------------------------- forecast ---
+
+TEST(Forecast, QuantileLevelsAreTheHubSet) {
+  const auto& levels = forecast_quantile_levels();
+  EXPECT_EQ(levels.size(), 23u);
+  EXPECT_DOUBLE_EQ(levels.front(), 0.01);
+  EXPECT_DOUBLE_EQ(levels.back(), 0.99);
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_GT(levels[i], levels[i - 1]);
+  }
+}
+
+TEST(Forecast, ProductCoversTargetsAndHorizons) {
+  const auto& f = fixture();
+  const ForecastProduct product = build_forecast(
+      f.ensemble, f.region.population, f.model, /*forecast_tick=*/28,
+      /*max_horizon_weeks=*/4, "DC");
+  EXPECT_EQ(product.entries.size(), 4u * 4u);  // 4 targets x 4 weeks
+  for (const ForecastEntry& entry : product.entries) {
+    EXPECT_EQ(entry.quantiles.size(), forecast_quantile_levels().size());
+    // Quantiles are monotone.
+    for (std::size_t q = 1; q < entry.quantiles.size(); ++q) {
+      EXPECT_GE(entry.quantiles[q], entry.quantiles[q - 1] - 1e-9);
+    }
+    EXPECT_DOUBLE_EQ(entry.point, entry.quantiles[11]);  // the median level
+  }
+}
+
+TEST(Forecast, CumulativeTargetsGrowWithHorizon) {
+  const auto& f = fixture();
+  const ForecastProduct product = build_forecast(
+      f.ensemble, f.region.population, f.model, 28, 4, "DC");
+  const auto& week1 =
+      product.entry(AggregationTarget::kCumulativeConfirmed, 1);
+  const auto& week4 =
+      product.entry(AggregationTarget::kCumulativeConfirmed, 4);
+  EXPECT_GE(week4.point, week1.point);
+  EXPECT_GT(week4.point, 0.0);
+}
+
+TEST(Forecast, CsvSerialization) {
+  const auto& f = fixture();
+  const ForecastProduct product = build_forecast(
+      f.ensemble, f.region.population, f.model, 28, 2, "DC");
+  std::ostringstream out;
+  product.write_csv(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("region,target,horizon_weeks,quantile_level,value"),
+            std::string::npos);
+  EXPECT_NE(text.find("DC,new_confirmed,1,0.5,"), std::string::npos);
+  // header + 8 entries x 23 quantiles.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1 + 8 * 23);
+}
+
+TEST(Forecast, ValidationErrors) {
+  const auto& f = fixture();
+  EXPECT_THROW(build_forecast({}, f.region.population, f.model, 10, 2, "DC"),
+               Error);
+  EXPECT_THROW(build_forecast(f.ensemble, f.region.population, f.model, 10, 0,
+                              "DC"),
+               Error);
+  const ForecastProduct product =
+      build_forecast(f.ensemble, f.region.population, f.model, 28, 2, "DC");
+  EXPECT_THROW(product.entry(AggregationTarget::kNewConfirmed, 9), Error);
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,157 @@
+#include "persondb/person_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "synthpop/generator.hpp"
+#include "util/error.hpp"
+
+namespace epi {
+namespace {
+
+const Population& test_population() {
+  static const SyntheticRegion region = [] {
+    SynthPopConfig config;
+    config.region = "DC";
+    config.scale = 1.0 / 1000.0;
+    config.seed = 11;
+    return generate_region(config);
+  }();
+  return region.population;
+}
+
+TEST(PersonDb, TraitsMatchPopulation) {
+  PersonDbServer server(test_population(), 4);
+  auto conn = server.connect();
+  ASSERT_TRUE(conn.has_value());
+  for (PersonId p = 0; p < server.person_count(); p += 31) {
+    const PersonTraits& expected = test_population().person(p);
+    const PersonTraits& actual = conn->traits(p);
+    EXPECT_EQ(actual.age, expected.age);
+    EXPECT_EQ(actual.household, expected.household);
+    EXPECT_EQ(actual.county, expected.county);
+  }
+  EXPECT_THROW(conn->traits(server.person_count()), Error);
+}
+
+TEST(PersonDb, CountyIndexComplete) {
+  PersonDbServer server(test_population(), 2);
+  auto conn = server.connect();
+  ASSERT_TRUE(conn.has_value());
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < conn->county_count(); ++c) {
+    const auto persons = conn->persons_in_county(static_cast<std::uint16_t>(c));
+    total += persons.size();
+    for (PersonId p : persons) {
+      EXPECT_EQ(conn->traits(p).county, c);
+    }
+  }
+  EXPECT_EQ(total, server.person_count());
+}
+
+TEST(PersonDb, HouseholdMembersContiguous) {
+  PersonDbServer server(test_population(), 2);
+  auto conn = server.connect();
+  const auto members = conn->household_members(0);
+  ASSERT_FALSE(members.empty());
+  for (PersonId p : members) {
+    EXPECT_EQ(conn->traits(p).household, 0u);
+  }
+}
+
+TEST(PersonDb, AgeGroupScan) {
+  PersonDbServer server(test_population(), 2);
+  auto conn = server.connect();
+  const auto seniors = conn->persons_in_age_group(AgeGroup::kSenior);
+  for (PersonId p : seniors) {
+    EXPECT_GE(conn->traits(p).age, 65);
+  }
+  EXPECT_GT(seniors.size(), 0u);
+}
+
+TEST(PersonDb, ConnectionLimitEnforced) {
+  PersonDbServer server(test_population(), 2);
+  auto c1 = server.connect();
+  auto c2 = server.connect();
+  ASSERT_TRUE(c1.has_value());
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_EQ(server.active_connections(), 2u);
+  auto c3 = server.connect();
+  EXPECT_FALSE(c3.has_value());  // pool exhausted, as Postgres would refuse
+}
+
+TEST(PersonDb, ConnectionReleaseFreesSlot) {
+  PersonDbServer server(test_population(), 1);
+  {
+    auto conn = server.connect();
+    ASSERT_TRUE(conn.has_value());
+    EXPECT_FALSE(server.connect().has_value());
+  }
+  EXPECT_EQ(server.active_connections(), 0u);
+  EXPECT_TRUE(server.connect().has_value());
+  EXPECT_EQ(server.peak_connections(), 1u);
+}
+
+TEST(PersonDb, MovedConnectionDoesNotDoubleRelease) {
+  PersonDbServer server(test_population(), 1);
+  auto conn = server.connect();
+  ASSERT_TRUE(conn.has_value());
+  DbConnection moved = std::move(*conn);
+  EXPECT_EQ(server.active_connections(), 1u);
+  EXPECT_EQ(moved.person_count(), server.person_count());
+}
+
+TEST(PersonDb, QueriesServedAccounting) {
+  PersonDbServer server(test_population(), 1);
+  auto conn = server.connect();
+  conn->traits(0);
+  conn->traits(1);
+  const auto county0 = conn->persons_in_county(0);
+  EXPECT_EQ(conn->queries_served(), 2 + county0.size());
+}
+
+TEST(PersonDb, SnapshotRoundTrip) {
+  const std::string path = "/tmp/episcale_test_snapshot.bin";
+  {
+    PersonDbServer server(test_population(), 4);
+    server.save_snapshot(path);
+  }
+  auto restored = PersonDbServer::from_snapshot(path, 4);
+  EXPECT_EQ(restored->region(), "DC");
+  EXPECT_EQ(restored->person_count(), test_population().person_count());
+  auto conn = restored->connect();
+  ASSERT_TRUE(conn.has_value());
+  EXPECT_EQ(conn->traits(5).age, test_population().person(5).age);
+  std::filesystem::remove(path);
+}
+
+TEST(PersonDb, SnapshotRejectsGarbage) {
+  const std::string path = "/tmp/episcale_test_bad_snapshot.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_THROW(PersonDbServer::from_snapshot(path, 2), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(PersonDb, RegistryStartsOnePerRegion) {
+  PersonDbRegistry registry;
+  EXPECT_FALSE(registry.is_running("DC"));
+  registry.start(test_population(), 8);
+  EXPECT_TRUE(registry.is_running("DC"));
+  EXPECT_EQ(registry.running_count(), 1u);
+  EXPECT_EQ(registry.get("DC").max_connections(), 8u);
+  EXPECT_THROW(registry.get("VA"), Error);
+  registry.stop("DC");
+  EXPECT_FALSE(registry.is_running("DC"));
+}
+
+TEST(PersonDb, ZeroConnectionsRejected) {
+  EXPECT_THROW(PersonDbServer(test_population(), 0), Error);
+}
+
+}  // namespace
+}  // namespace epi

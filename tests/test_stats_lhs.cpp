@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/lhs.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace epi {
+namespace {
+
+// -------------------------------------------------------------- stats ----
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 4.571428571, 1e-9);
+  EXPECT_NEAR(stddev(xs), std::sqrt(4.571428571), 1e-9);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> xs = {3.0, 1.0, 2.0, 4.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, QuantileBoundsChecked) {
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), Error);
+  EXPECT_THROW(quantile(std::vector<double>{1.0}, 1.5), Error);
+}
+
+TEST(Stats, CorrelationSigns) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  std::vector<double> y_neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(x, y_neg), -1.0, 1e-12);
+}
+
+TEST(Stats, CorrelationConstantSeriesIsZero) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> c = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(correlation(x, c), 0.0);
+}
+
+TEST(Stats, EcdfMonotoneAndBounded) {
+  const Ecdf e = ecdf({3.0, 1.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(e.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(e.at(10.0), 1.0);
+  for (std::size_t i = 1; i < e.probs.size(); ++i) {
+    EXPECT_GE(e.probs[i], e.probs[i - 1]);
+    EXPECT_GE(e.values[i], e.values[i - 1]);
+  }
+}
+
+TEST(Stats, SummaryFiveNumbers) {
+  const Summary s = summarize({1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_EQ(s.count, 9u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.q25, 3.0);
+  EXPECT_DOUBLE_EQ(s.q75, 7.0);
+}
+
+TEST(Stats, FormatBytesDecimalUnits) {
+  EXPECT_EQ(format_bytes(500), "500.0B");
+  EXPECT_EQ(format_bytes(3.0e12), "3.0TB");
+  EXPECT_EQ(format_bytes(2.5e9), "2.5GB");
+  EXPECT_EQ(format_bytes(200e6), "200.0MB");
+}
+
+TEST(Stats, Rmse) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {1, 2, 5};
+  EXPECT_NEAR(rmse(a, b), std::sqrt(4.0 / 3.0), 1e-12);
+  EXPECT_THROW(rmse(a, std::vector<double>{1.0}), Error);
+}
+
+TEST(Stats, LogTransformFloors) {
+  const auto logged = log_transform(std::vector<double>{0.0, 1.0, std::exp(2.0)});
+  EXPECT_DOUBLE_EQ(logged[0], 0.0);  // floored at 1
+  EXPECT_DOUBLE_EQ(logged[1], 0.0);
+  EXPECT_NEAR(logged[2], 2.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- LHS ----
+
+TEST(Lhs, StratificationProperty) {
+  Rng rng(31);
+  const std::size_t n = 40;
+  const auto points = latin_hypercube_unit(n, 3, rng);
+  ASSERT_EQ(points.size(), n);
+  // Exactly one point per stratum per dimension.
+  for (std::size_t d = 0; d < 3; ++d) {
+    std::set<std::size_t> strata;
+    for (const auto& p : points) {
+      EXPECT_GE(p[d], 0.0);
+      EXPECT_LT(p[d], 1.0);
+      strata.insert(static_cast<std::size_t>(p[d] * static_cast<double>(n)));
+    }
+    EXPECT_EQ(strata.size(), n);
+  }
+}
+
+TEST(Lhs, ScaledRangesRespected) {
+  Rng rng(32);
+  const std::vector<ParamRange> ranges = {{"a", -1.0, 1.0}, {"b", 10.0, 20.0}};
+  const auto points = latin_hypercube(25, ranges, rng);
+  for (const auto& p : points) {
+    EXPECT_GE(p[0], -1.0);
+    EXPECT_LT(p[0], 1.0);
+    EXPECT_GE(p[1], 10.0);
+    EXPECT_LT(p[1], 20.0);
+  }
+}
+
+TEST(Lhs, UnitRoundTrip) {
+  const std::vector<ParamRange> ranges = {{"a", 2.0, 6.0}};
+  const ParamPoint original = {3.0};
+  const ParamPoint unit = scale_to_unit(original, ranges);
+  EXPECT_DOUBLE_EQ(unit[0], 0.25);
+  const ParamPoint back = scale_to_ranges(unit, ranges);
+  EXPECT_DOUBLE_EQ(back[0], 3.0);
+}
+
+TEST(Lhs, DegenerateRangeThrows) {
+  const std::vector<ParamRange> ranges = {{"a", 5.0, 5.0}};
+  EXPECT_THROW(scale_to_unit(ParamPoint{5.0}, ranges), Error);
+}
+
+TEST(Lhs, InvalidSizesThrow) {
+  Rng rng(33);
+  EXPECT_THROW(latin_hypercube_unit(0, 2, rng), Error);
+  EXPECT_THROW(latin_hypercube_unit(5, 0, rng), Error);
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "metapop/metapop.hpp"
+#include "surveillance/ground_truth.hpp"
+#include "util/error.hpp"
+
+namespace epi {
+namespace {
+
+// -------------------------------------------------------------- metapop ---
+
+TEST(Metapop, GravityCouplingRowStochastic) {
+  const MetapopModel model =
+      MetapopModel::with_gravity_coupling({10000, 5000, 2000}, 0.8);
+  EXPECT_EQ(model.county_count(), 3u);
+}
+
+TEST(Metapop, SingleCountyDegenerateCoupling) {
+  const MetapopModel model = MetapopModel::with_gravity_coupling({5000});
+  MetapopParams params;
+  const auto out =
+      model.run_deterministic(params, 30, {MetapopSeed{0, 5.0}});
+  EXPECT_EQ(out.new_confirmed.size(), 1u);
+}
+
+TEST(Metapop, EpidemicGrowsThenDecays) {
+  const MetapopModel model =
+      MetapopModel::with_gravity_coupling({100000, 50000});
+  MetapopParams params;
+  params.beta = 0.5;
+  const auto out =
+      model.run_deterministic(params, 300, {MetapopSeed{0, 10.0}});
+  // Infectious curve rises then falls (epidemic peak).
+  const auto& inf = out.infectious;
+  const auto peak =
+      std::max_element(inf.begin(), inf.end()) - inf.begin();
+  EXPECT_GT(peak, 10);
+  EXPECT_LT(peak, 250);
+  EXPECT_LT(inf.back(), inf[static_cast<std::size_t>(peak)] / 4.0);
+}
+
+TEST(Metapop, PopulationConserved) {
+  const MetapopModel model =
+      MetapopModel::with_gravity_coupling({40000, 20000, 10000});
+  MetapopParams params;
+  const auto out =
+      model.run_deterministic(params, 120, {MetapopSeed{0, 10.0}});
+  const double total_pop = 70000.0;
+  for (std::size_t d = 0; d < out.susceptible.size(); d += 17) {
+    EXPECT_NEAR(out.susceptible[d] + out.exposed[d] + out.infectious[d] +
+                    out.recovered[d],
+                total_pop, 1e-6);
+  }
+}
+
+TEST(Metapop, HigherBetaFasterLargerEpidemic) {
+  const MetapopModel model = MetapopModel::with_gravity_coupling({100000});
+  MetapopParams lo, hi;
+  lo.beta = 0.25;
+  hi.beta = 0.55;
+  const auto out_lo = model.run_deterministic(lo, 200, {MetapopSeed{0, 5.0}});
+  const auto out_hi = model.run_deterministic(hi, 200, {MetapopSeed{0, 5.0}});
+  EXPECT_GT(out_hi.cumulative_confirmed_total().back(),
+            out_lo.cumulative_confirmed_total().back());
+}
+
+TEST(Metapop, CommutingSpreadsAcrossCounties) {
+  // Seed only county 0; coupling must ignite county 1.
+  const MetapopModel model =
+      MetapopModel::with_gravity_coupling({50000, 50000}, 0.85);
+  MetapopParams params;
+  params.beta = 0.5;
+  const auto out = model.run_deterministic(params, 150, {MetapopSeed{0, 10.0}});
+  EXPECT_GT(out.cumulative_confirmed_county(1).back(), 100.0);
+}
+
+TEST(Metapop, InterventionWindowSuppresses) {
+  const MetapopModel model = MetapopModel::with_gravity_coupling({200000});
+  MetapopParams open, closed;
+  open.beta = closed.beta = 0.5;
+  closed.intervention_start_day = 20;
+  closed.intervention_end_day = 120;
+  closed.intervention_effect = 0.4;
+  const auto out_open =
+      model.run_deterministic(open, 150, {MetapopSeed{0, 10.0}});
+  const auto out_closed =
+      model.run_deterministic(closed, 150, {MetapopSeed{0, 10.0}});
+  EXPECT_LT(out_closed.cumulative_confirmed_total().back(),
+            out_open.cumulative_confirmed_total().back() * 0.8);
+}
+
+TEST(Metapop, ReportingDelayShiftsConfirmations) {
+  const MetapopModel model = MetapopModel::with_gravity_coupling({100000});
+  MetapopParams immediate, delayed;
+  immediate.reporting_delay_days = 0.0;
+  delayed.reporting_delay_days = 10.0;
+  const auto out_now =
+      model.run_deterministic(immediate, 100, {MetapopSeed{0, 10.0}});
+  const auto out_late =
+      model.run_deterministic(delayed, 100, {MetapopSeed{0, 10.0}});
+  // First day with >= 1 reported case arrives later under delay.
+  auto first_case = [](const MetapopOutput& out) {
+    const auto total = out.cumulative_confirmed_total();
+    for (std::size_t d = 0; d < total.size(); ++d) {
+      if (total[d] >= 1.0) return d;
+    }
+    return total.size();
+  };
+  EXPECT_GT(first_case(out_late), first_case(out_now));
+}
+
+TEST(Metapop, StochasticMatchesDeterministicInExpectation) {
+  const MetapopModel model = MetapopModel::with_gravity_coupling({500000});
+  MetapopParams params;
+  params.beta = 0.45;
+  const auto det =
+      model.run_deterministic(params, 120, {MetapopSeed{0, 50.0}});
+  Rng rng(91);
+  double stochastic_sum = 0.0;
+  const int replicates = 10;
+  for (int i = 0; i < replicates; ++i) {
+    const auto stoch =
+        model.run_stochastic(params, 120, {MetapopSeed{0, 50.0}}, rng);
+    stochastic_sum += stoch.cumulative_confirmed_total().back();
+  }
+  const double det_total = det.cumulative_confirmed_total().back();
+  EXPECT_NEAR(stochastic_sum / replicates, det_total, det_total * 0.15);
+}
+
+TEST(Metapop, InvalidConstructionRejected) {
+  EXPECT_THROW(MetapopModel({}, {}), Error);
+  // Non-stochastic rows.
+  EXPECT_THROW(MetapopModel({100.0}, {{0.5}}), Error);
+  EXPECT_THROW(MetapopModel({100.0, 100.0}, {{1.0, 0.0}}), Error);
+}
+
+// ---------------------------------------------------------- ground truth --
+
+TEST(GroundTruth, CountyStructureMatchesState) {
+  GroundTruthConfig config;
+  config.days = 120;
+  const StateGroundTruth truth = generate_state_ground_truth("VA", config);
+  EXPECT_EQ(truth.county_fips.size(), 133u);
+  EXPECT_EQ(truth.new_confirmed.size(), 133u);
+  for (const auto& county : truth.new_confirmed) {
+    EXPECT_EQ(county.size(), 120u);
+    for (double x : county) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_DOUBLE_EQ(x, std::floor(x));  // integer case counts
+    }
+  }
+}
+
+TEST(GroundTruth, CumulativeCurvesMonotone) {
+  GroundTruthConfig config;
+  config.days = 150;
+  const StateGroundTruth truth = generate_state_ground_truth("CA", config);
+  const auto state = truth.cumulative_state();
+  for (std::size_t d = 1; d < state.size(); ++d) {
+    EXPECT_GE(state[d], state[d - 1]);
+  }
+  EXPECT_GT(state.back(), 1000.0);  // CA sees a real outbreak
+  // State curve is the sum of county curves (Fig 13's caption).
+  double county_sum = 0.0;
+  for (std::size_t c = 0; c < truth.county_fips.size(); ++c) {
+    county_sum += truth.cumulative_county(c).back();
+  }
+  EXPECT_NEAR(county_sum, state.back(), 1e-6);
+}
+
+TEST(GroundTruth, DistancingBendsTheCurve) {
+  GroundTruthConfig with, without;
+  with.days = without.days = 160;
+  without.distancing_start_day = 1 << 20;  // never
+  const auto bent = generate_state_ground_truth("NY", with);
+  const auto unbent = generate_state_ground_truth("NY", without);
+  EXPECT_LT(bent.cumulative_state().back(),
+            unbent.cumulative_state().back());
+}
+
+TEST(GroundTruth, WeekendReportingDip) {
+  GroundTruthConfig config;
+  config.days = 150;
+  config.weekend_reporting_factor = 0.3;
+  const auto truth = generate_state_ground_truth("TX", config);
+  const auto daily = truth.daily_state();
+  // Average weekday vs weekend reporting over the active period.
+  double weekday = 0.0, weekend = 0.0;
+  int weekday_n = 0, weekend_n = 0;
+  for (int d = 60; d < 150; ++d) {
+    const int dow = (d + 2) % 7;
+    if (dow >= 5) {
+      weekend += daily[static_cast<std::size_t>(d)];
+      ++weekend_n;
+    } else {
+      weekday += daily[static_cast<std::size_t>(d)];
+      ++weekday_n;
+    }
+  }
+  EXPECT_LT(weekend / weekend_n, weekday / weekday_n);
+}
+
+TEST(GroundTruth, DeterministicPerSeed) {
+  GroundTruthConfig config;
+  config.days = 60;
+  const auto a = generate_state_ground_truth("WY", config);
+  const auto b = generate_state_ground_truth("WY", config);
+  EXPECT_EQ(a.new_confirmed, b.new_confirmed);
+  config.seed = 999;
+  const auto c = generate_state_ground_truth("WY", config);
+  EXPECT_NE(a.new_confirmed, c.new_confirmed);
+}
+
+TEST(GroundTruth, CsvWellFormed) {
+  GroundTruthConfig config;
+  config.days = 10;
+  const auto truth = generate_state_ground_truth("DE", config);
+  std::ostringstream out;
+  write_ground_truth_csv(out, truth);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("day,fips,new_cases,cum_cases"), std::string::npos);
+  // 3 counties x 10 days + header = 31 lines.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 31);
+}
+
+TEST(GroundTruth, MostCountiesSeeCasesNationally) {
+  // Paper (April 2020): 2772 of ~3140 counties with nonzero counts. Over a
+  // 200-day horizon virtually all counties report cases; require > 85%.
+  GroundTruthConfig config;
+  config.days = 200;
+  const auto truths = generate_national_ground_truth(config);
+  ASSERT_EQ(truths.size(), 51u);
+  std::size_t total_counties = 0;
+  for (const auto& t : truths) total_counties += t.county_fips.size();
+  EXPECT_NEAR(static_cast<double>(total_counties), 3140.0, 5.0);
+  const std::size_t with_cases = counties_with_cases(truths);
+  EXPECT_GT(with_cases, total_counties * 85 / 100);
+}
+
+}  // namespace
+}  // namespace epi

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workflow/cell_config.hpp"
+#include "workflow/designs.hpp"
+#include "workflow/nightly.hpp"
+#include "util/error.hpp"
+
+namespace epi {
+namespace {
+
+// ---------------------------------------------------------- cell config ---
+
+CellConfig sample_cell() {
+  CellConfig config;
+  config.region = "VA";
+  config.cell = 7;
+  config.replicates = 5;
+  config.num_days = 200;
+  config.seed = 42;
+  config.disease.transmissibility = 0.21;
+  config.disease.symptomatic_fraction = 0.6;
+  config.interventions = {
+      parse_json(R"({"type": "VHI", "compliance": 0.8})"),
+      parse_json(R"({"type": "SH", "start": 20, "end": 80})")};
+  config.seeds = {SeedSpec{0, 5, 0}, SeedSpec{1, 3, 2}};
+  return config;
+}
+
+TEST(CellConfig, JsonRoundTrip) {
+  const CellConfig original = sample_cell();
+  const CellConfig restored = CellConfig::from_json(original.to_json());
+  EXPECT_EQ(restored.region, original.region);
+  EXPECT_EQ(restored.cell, original.cell);
+  EXPECT_EQ(restored.replicates, original.replicates);
+  EXPECT_EQ(restored.num_days, original.num_days);
+  EXPECT_EQ(restored.seed, original.seed);
+  EXPECT_DOUBLE_EQ(restored.disease.transmissibility, 0.21);
+  EXPECT_DOUBLE_EQ(restored.disease.symptomatic_fraction, 0.6);
+  EXPECT_EQ(restored.interventions.size(), 2u);
+  ASSERT_EQ(restored.seeds.size(), 2u);
+  EXPECT_EQ(restored.seeds[1].county, 1);
+  EXPECT_EQ(restored.seeds[1].tick, 2);
+}
+
+TEST(CellConfig, ByteSizePositiveAndStable) {
+  const CellConfig config = sample_cell();
+  EXPECT_GT(config.byte_size(), 100u);
+  EXPECT_EQ(config.byte_size(), config.byte_size());
+}
+
+TEST(CellConfig, MakeInterventionsMaterializes) {
+  const CellConfig config = sample_cell();
+  const auto interventions = config.make_interventions();
+  ASSERT_EQ(interventions.size(), 2u);
+  EXPECT_EQ(interventions[0]->name(), "VHI");
+  EXPECT_EQ(interventions[1]->name(), "SH");
+}
+
+TEST(CellConfig, SimConfigPerReplicate) {
+  const CellConfig config = sample_cell();
+  const SimulationConfig sim0 = config.make_sim_config(0);
+  const SimulationConfig sim4 = config.make_sim_config(4);
+  EXPECT_EQ(sim0.seed, sim4.seed);          // shared stream root
+  EXPECT_NE(sim0.replicate, sim4.replicate);  // distinguished by replicate
+  EXPECT_EQ(sim0.num_ticks, 200);
+  EXPECT_THROW(config.make_sim_config(5), Error);
+}
+
+// -------------------------------------------------------------- designs ---
+
+TEST(Designs, TableIScale) {
+  EXPECT_EQ(economic_design().simulations(), 9180u);
+  EXPECT_EQ(prediction_design().simulations(), 9180u);
+  EXPECT_EQ(calibration_design().simulations(), 15300u);
+  EXPECT_EQ(all_regions().size(), 51u);
+}
+
+TEST(Designs, EconomicFactorialTwelveCells) {
+  const auto configs = make_cell_configs(economic_design(), "VA", 1);
+  EXPECT_EQ(configs.size(), 12u);
+  // All cells distinct in their intervention parameterization.
+  std::set<std::string> serialized;
+  for (const auto& config : configs) {
+    serialized.insert(config.to_json().dump());
+    EXPECT_EQ(config.replicates, 15u);
+    EXPECT_EQ(config.interventions.size(), 3u);  // VHI + SC + SH
+  }
+  EXPECT_EQ(serialized.size(), 12u);
+}
+
+TEST(Designs, PredictionCellsIncludeReopeningAndTracing) {
+  const auto configs = make_cell_configs(prediction_design(), "WY", 1);
+  EXPECT_EQ(configs.size(), 12u);
+  for (const auto& config : configs) {
+    bool has_ro = false, has_ct = false;
+    for (const Json& spec : config.interventions) {
+      const std::string type = spec.at("type").as_string();
+      has_ro |= type == "RO";
+      has_ct |= type == "D1CT";
+    }
+    EXPECT_TRUE(has_ro);
+    EXPECT_TRUE(has_ct);
+  }
+}
+
+TEST(Designs, CalibrationCellsSpanParameterSpace) {
+  WorkflowDesign design = calibration_design();
+  design.cells = 50;  // keep the test quick
+  const auto configs = make_cell_configs(design, "VT", 7);
+  EXPECT_EQ(configs.size(), 50u);
+  const auto ranges = calibration_parameter_ranges();
+  double min_tau = 1e9, max_tau = -1e9;
+  for (const auto& config : configs) {
+    min_tau = std::min(min_tau, config.disease.transmissibility);
+    max_tau = std::max(max_tau, config.disease.transmissibility);
+    EXPECT_GE(config.disease.transmissibility, ranges[0].lo);
+    EXPECT_LE(config.disease.transmissibility, ranges[0].hi);
+  }
+  // LHS covers most of the TAU range.
+  EXPECT_LT(min_tau, ranges[0].lo + 0.03);
+  EXPECT_GT(max_tau, ranges[0].hi - 0.03);
+}
+
+TEST(Designs, CellSeedsDifferByCell) {
+  const auto configs = make_cell_configs(economic_design(), "VA", 1);
+  std::set<std::uint64_t> seeds;
+  for (const auto& config : configs) seeds.insert(config.seed);
+  EXPECT_EQ(seeds.size(), configs.size());
+}
+
+TEST(Designs, CalibrationPointValidation) {
+  EXPECT_THROW(
+      cell_from_calibration_point("VA", 0, {0.2, 0.5}, 1, 100, 1),
+      Error);  // needs 4 parameters
+  const CellConfig config = cell_from_calibration_point(
+      "VA", 3, {0.2, 0.5, 0.6, 0.7}, 2, 100, 1);
+  EXPECT_DOUBLE_EQ(config.disease.transmissibility, 0.2);
+  EXPECT_DOUBLE_EQ(config.disease.symptomatic_fraction, 0.5);
+  EXPECT_EQ(config.interventions.size(), 3u);
+}
+
+TEST(Designs, UnknownDesignRejected) {
+  WorkflowDesign design;
+  design.name = "mystery";
+  design.cells = 1;
+  EXPECT_THROW(make_cell_configs(design, "VA", 1), ConfigError);
+}
+
+// -------------------------------------------------------------- nightly ---
+
+TEST(Nightly, EconomicWorkflowEndToEnd) {
+  NightlyConfig config;
+  config.scale = 1.0 / 8000.0;
+  config.sample_executions = 4;
+  config.executed_days = 60;
+  NightlyWorkflow workflow(config);
+  const WorkflowReport report = workflow.run(economic_design());
+
+  EXPECT_EQ(report.planned_simulations, 9180u);
+  EXPECT_EQ(report.executed_simulations, 4u);
+  EXPECT_GT(report.config_bytes, 100'000u);  // 51 regions x 12 cells of JSON
+  EXPECT_GT(report.raw_bytes_measured, 0u);
+  EXPECT_GT(report.summary_bytes_measured, 0u);
+
+  // Schedule lands inside the nightly window with high utilization.
+  EXPECT_LE(report.schedule_makespan_hours, 10.0);
+  EXPECT_GT(report.utilization, 0.7);
+  EXPECT_EQ(report.unfinished_jobs, 0u);
+
+  // Full-scale extrapolations in the paper's Table I regime: raw output
+  // O(TB), summaries O(GB).
+  EXPECT_GT(report.raw_bytes_full_scale, 1e11);   // > 100 GB
+  EXPECT_LT(report.raw_bytes_full_scale, 1e14);   // < 100 TB
+  EXPECT_GT(report.summary_bytes_full_scale, 1e8);  // > 100 MB
+  EXPECT_LT(report.summary_bytes_full_scale, 1e11); // < 100 GB
+
+  // Timeline covers all phases in order.
+  ASSERT_GE(report.timeline.size(), 6u);
+  for (std::size_t i = 1; i < report.timeline.size(); ++i) {
+    EXPECT_GE(report.timeline[i].start_hours,
+              report.timeline[i - 1].start_hours);
+  }
+  EXPECT_GT(report.total_elapsed_hours, 0.0);
+  EXPECT_GT(report.bytes_to_remote, 0u);
+  EXPECT_GT(report.bytes_to_home, 0u);
+}
+
+TEST(Nightly, RegionCacheReturnsSameInstance) {
+  NightlyConfig config;
+  config.scale = 1.0 / 8000.0;
+  NightlyWorkflow workflow(config);
+  const SyntheticRegion& a = workflow.region("WY");
+  const SyntheticRegion& b = workflow.region("WY");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Nightly, InvalidScaleRejected) {
+  NightlyConfig config;
+  config.scale = 0.0;
+  EXPECT_THROW(NightlyWorkflow{config}, Error);
+}
+
+}  // namespace
+}  // namespace epi
