@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_county_projections.dir/bench_case_county_projections.cpp.o"
+  "CMakeFiles/bench_case_county_projections.dir/bench_case_county_projections.cpp.o.d"
+  "bench_case_county_projections"
+  "bench_case_county_projections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_county_projections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

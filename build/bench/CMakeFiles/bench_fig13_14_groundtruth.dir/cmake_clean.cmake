@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_14_groundtruth.dir/bench_fig13_14_groundtruth.cpp.o"
+  "CMakeFiles/bench_fig13_14_groundtruth.dir/bench_fig13_14_groundtruth.cpp.o.d"
+  "bench_fig13_14_groundtruth"
+  "bench_fig13_14_groundtruth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_14_groundtruth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig16_emulator_fit.cpp" "bench/CMakeFiles/bench_fig16_emulator_fit.dir/bench_fig16_emulator_fit.cpp.o" "gcc" "bench/CMakeFiles/bench_fig16_emulator_fit.dir/bench_fig16_emulator_fit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/epi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpilite/CMakeFiles/epi_mpilite.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/epi_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/synthpop/CMakeFiles/epi_synthpop.dir/DependInfo.cmake"
+  "/root/repo/build/src/persondb/CMakeFiles/epi_persondb.dir/DependInfo.cmake"
+  "/root/repo/build/src/epihiper/CMakeFiles/epi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metapop/CMakeFiles/epi_metapop.dir/DependInfo.cmake"
+  "/root/repo/build/src/emulator/CMakeFiles/epi_emulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/calibration/CMakeFiles/epi_calibration.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/epi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/epi_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/surveillance/CMakeFiles/epi_surveillance.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/epi_workflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_interventions.dir/bench_fig7_interventions.cpp.o"
+  "CMakeFiles/bench_fig7_interventions.dir/bench_fig7_interventions.cpp.o.d"
+  "bench_fig7_interventions"
+  "bench_fig7_interventions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_interventions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_workflows.dir/bench_table1_workflows.cpp.o"
+  "CMakeFiles/bench_table1_workflows.dir/bench_table1_workflows.cpp.o.d"
+  "bench_table1_workflows"
+  "bench_table1_workflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_workflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

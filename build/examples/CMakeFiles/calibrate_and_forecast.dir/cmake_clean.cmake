@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_and_forecast.dir/calibrate_and_forecast.cpp.o"
+  "CMakeFiles/calibrate_and_forecast.dir/calibrate_and_forecast.cpp.o.d"
+  "calibrate_and_forecast"
+  "calibrate_and_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_and_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

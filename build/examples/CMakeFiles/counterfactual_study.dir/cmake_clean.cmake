@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counterfactual_study.dir/counterfactual_study.cpp.o"
+  "CMakeFiles/counterfactual_study.dir/counterfactual_study.cpp.o.d"
+  "counterfactual_study"
+  "counterfactual_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counterfactual_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

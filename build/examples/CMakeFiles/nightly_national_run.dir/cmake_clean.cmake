@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nightly_national_run.dir/nightly_national_run.cpp.o"
+  "CMakeFiles/nightly_national_run.dir/nightly_national_run.cpp.o.d"
+  "nightly_national_run"
+  "nightly_national_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nightly_national_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nightly_national_run.
+# This may be replaced when dependencies are built.

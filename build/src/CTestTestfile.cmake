@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("mpilite")
+subdirs("synthpop")
+subdirs("network")
+subdirs("persondb")
+subdirs("epihiper")
+subdirs("metapop")
+subdirs("emulator")
+subdirs("calibration")
+subdirs("cluster")
+subdirs("workflow")
+subdirs("analytics")
+subdirs("surveillance")

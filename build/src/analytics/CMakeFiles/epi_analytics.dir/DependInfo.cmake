@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/aggregate.cpp" "src/analytics/CMakeFiles/epi_analytics.dir/aggregate.cpp.o" "gcc" "src/analytics/CMakeFiles/epi_analytics.dir/aggregate.cpp.o.d"
+  "/root/repo/src/analytics/costs.cpp" "src/analytics/CMakeFiles/epi_analytics.dir/costs.cpp.o" "gcc" "src/analytics/CMakeFiles/epi_analytics.dir/costs.cpp.o.d"
+  "/root/repo/src/analytics/dendrogram.cpp" "src/analytics/CMakeFiles/epi_analytics.dir/dendrogram.cpp.o" "gcc" "src/analytics/CMakeFiles/epi_analytics.dir/dendrogram.cpp.o.d"
+  "/root/repo/src/analytics/ensemble.cpp" "src/analytics/CMakeFiles/epi_analytics.dir/ensemble.cpp.o" "gcc" "src/analytics/CMakeFiles/epi_analytics.dir/ensemble.cpp.o.d"
+  "/root/repo/src/analytics/forecast.cpp" "src/analytics/CMakeFiles/epi_analytics.dir/forecast.cpp.o" "gcc" "src/analytics/CMakeFiles/epi_analytics.dir/forecast.cpp.o.d"
+  "/root/repo/src/analytics/output_io.cpp" "src/analytics/CMakeFiles/epi_analytics.dir/output_io.cpp.o" "gcc" "src/analytics/CMakeFiles/epi_analytics.dir/output_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/epi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/epihiper/CMakeFiles/epi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synthpop/CMakeFiles/epi_synthpop.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/epi_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpilite/CMakeFiles/epi_mpilite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

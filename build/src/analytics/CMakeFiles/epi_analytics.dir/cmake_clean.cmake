@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_analytics.dir/aggregate.cpp.o"
+  "CMakeFiles/epi_analytics.dir/aggregate.cpp.o.d"
+  "CMakeFiles/epi_analytics.dir/costs.cpp.o"
+  "CMakeFiles/epi_analytics.dir/costs.cpp.o.d"
+  "CMakeFiles/epi_analytics.dir/dendrogram.cpp.o"
+  "CMakeFiles/epi_analytics.dir/dendrogram.cpp.o.d"
+  "CMakeFiles/epi_analytics.dir/ensemble.cpp.o"
+  "CMakeFiles/epi_analytics.dir/ensemble.cpp.o.d"
+  "CMakeFiles/epi_analytics.dir/forecast.cpp.o"
+  "CMakeFiles/epi_analytics.dir/forecast.cpp.o.d"
+  "CMakeFiles/epi_analytics.dir/output_io.cpp.o"
+  "CMakeFiles/epi_analytics.dir/output_io.cpp.o.d"
+  "libepi_analytics.a"
+  "libepi_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

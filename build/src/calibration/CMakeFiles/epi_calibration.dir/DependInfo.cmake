@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calibration/calibrate.cpp" "src/calibration/CMakeFiles/epi_calibration.dir/calibrate.cpp.o" "gcc" "src/calibration/CMakeFiles/epi_calibration.dir/calibrate.cpp.o.d"
+  "/root/repo/src/calibration/mcmc.cpp" "src/calibration/CMakeFiles/epi_calibration.dir/mcmc.cpp.o" "gcc" "src/calibration/CMakeFiles/epi_calibration.dir/mcmc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/epi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/emulator/CMakeFiles/epi_emulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/metapop/CMakeFiles/epi_metapop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

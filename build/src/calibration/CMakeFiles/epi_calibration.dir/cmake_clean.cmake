@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_calibration.dir/calibrate.cpp.o"
+  "CMakeFiles/epi_calibration.dir/calibrate.cpp.o.d"
+  "CMakeFiles/epi_calibration.dir/mcmc.cpp.o"
+  "CMakeFiles/epi_calibration.dir/mcmc.cpp.o.d"
+  "libepi_calibration.a"
+  "libepi_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

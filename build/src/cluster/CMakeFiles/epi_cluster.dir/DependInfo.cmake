@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/coloring.cpp" "src/cluster/CMakeFiles/epi_cluster.dir/coloring.cpp.o" "gcc" "src/cluster/CMakeFiles/epi_cluster.dir/coloring.cpp.o.d"
+  "/root/repo/src/cluster/machine.cpp" "src/cluster/CMakeFiles/epi_cluster.dir/machine.cpp.o" "gcc" "src/cluster/CMakeFiles/epi_cluster.dir/machine.cpp.o.d"
+  "/root/repo/src/cluster/packing.cpp" "src/cluster/CMakeFiles/epi_cluster.dir/packing.cpp.o" "gcc" "src/cluster/CMakeFiles/epi_cluster.dir/packing.cpp.o.d"
+  "/root/repo/src/cluster/slurm_sim.cpp" "src/cluster/CMakeFiles/epi_cluster.dir/slurm_sim.cpp.o" "gcc" "src/cluster/CMakeFiles/epi_cluster.dir/slurm_sim.cpp.o.d"
+  "/root/repo/src/cluster/task_model.cpp" "src/cluster/CMakeFiles/epi_cluster.dir/task_model.cpp.o" "gcc" "src/cluster/CMakeFiles/epi_cluster.dir/task_model.cpp.o.d"
+  "/root/repo/src/cluster/transfer.cpp" "src/cluster/CMakeFiles/epi_cluster.dir/transfer.cpp.o" "gcc" "src/cluster/CMakeFiles/epi_cluster.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/epi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/synthpop/CMakeFiles/epi_synthpop.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/epi_network.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

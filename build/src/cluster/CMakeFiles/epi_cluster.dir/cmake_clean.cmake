@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_cluster.dir/coloring.cpp.o"
+  "CMakeFiles/epi_cluster.dir/coloring.cpp.o.d"
+  "CMakeFiles/epi_cluster.dir/machine.cpp.o"
+  "CMakeFiles/epi_cluster.dir/machine.cpp.o.d"
+  "CMakeFiles/epi_cluster.dir/packing.cpp.o"
+  "CMakeFiles/epi_cluster.dir/packing.cpp.o.d"
+  "CMakeFiles/epi_cluster.dir/slurm_sim.cpp.o"
+  "CMakeFiles/epi_cluster.dir/slurm_sim.cpp.o.d"
+  "CMakeFiles/epi_cluster.dir/task_model.cpp.o"
+  "CMakeFiles/epi_cluster.dir/task_model.cpp.o.d"
+  "CMakeFiles/epi_cluster.dir/transfer.cpp.o"
+  "CMakeFiles/epi_cluster.dir/transfer.cpp.o.d"
+  "libepi_cluster.a"
+  "libepi_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

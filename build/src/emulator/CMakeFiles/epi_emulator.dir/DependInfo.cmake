@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emulator/gp.cpp" "src/emulator/CMakeFiles/epi_emulator.dir/gp.cpp.o" "gcc" "src/emulator/CMakeFiles/epi_emulator.dir/gp.cpp.o.d"
+  "/root/repo/src/emulator/gpmsa.cpp" "src/emulator/CMakeFiles/epi_emulator.dir/gpmsa.cpp.o" "gcc" "src/emulator/CMakeFiles/epi_emulator.dir/gpmsa.cpp.o.d"
+  "/root/repo/src/emulator/linalg.cpp" "src/emulator/CMakeFiles/epi_emulator.dir/linalg.cpp.o" "gcc" "src/emulator/CMakeFiles/epi_emulator.dir/linalg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/epi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_emulator.dir/gp.cpp.o"
+  "CMakeFiles/epi_emulator.dir/gp.cpp.o.d"
+  "CMakeFiles/epi_emulator.dir/gpmsa.cpp.o"
+  "CMakeFiles/epi_emulator.dir/gpmsa.cpp.o.d"
+  "CMakeFiles/epi_emulator.dir/linalg.cpp.o"
+  "CMakeFiles/epi_emulator.dir/linalg.cpp.o.d"
+  "libepi_emulator.a"
+  "libepi_emulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_emulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/epihiper/disease_model.cpp" "src/epihiper/CMakeFiles/epi_core.dir/disease_model.cpp.o" "gcc" "src/epihiper/CMakeFiles/epi_core.dir/disease_model.cpp.o.d"
+  "/root/repo/src/epihiper/interventions.cpp" "src/epihiper/CMakeFiles/epi_core.dir/interventions.cpp.o" "gcc" "src/epihiper/CMakeFiles/epi_core.dir/interventions.cpp.o.d"
+  "/root/repo/src/epihiper/parallel.cpp" "src/epihiper/CMakeFiles/epi_core.dir/parallel.cpp.o" "gcc" "src/epihiper/CMakeFiles/epi_core.dir/parallel.cpp.o.d"
+  "/root/repo/src/epihiper/scripted.cpp" "src/epihiper/CMakeFiles/epi_core.dir/scripted.cpp.o" "gcc" "src/epihiper/CMakeFiles/epi_core.dir/scripted.cpp.o.d"
+  "/root/repo/src/epihiper/simulation.cpp" "src/epihiper/CMakeFiles/epi_core.dir/simulation.cpp.o" "gcc" "src/epihiper/CMakeFiles/epi_core.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/epi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/epi_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/synthpop/CMakeFiles/epi_synthpop.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpilite/CMakeFiles/epi_mpilite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_core.dir/disease_model.cpp.o"
+  "CMakeFiles/epi_core.dir/disease_model.cpp.o.d"
+  "CMakeFiles/epi_core.dir/interventions.cpp.o"
+  "CMakeFiles/epi_core.dir/interventions.cpp.o.d"
+  "CMakeFiles/epi_core.dir/parallel.cpp.o"
+  "CMakeFiles/epi_core.dir/parallel.cpp.o.d"
+  "CMakeFiles/epi_core.dir/scripted.cpp.o"
+  "CMakeFiles/epi_core.dir/scripted.cpp.o.d"
+  "CMakeFiles/epi_core.dir/simulation.cpp.o"
+  "CMakeFiles/epi_core.dir/simulation.cpp.o.d"
+  "libepi_core.a"
+  "libepi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

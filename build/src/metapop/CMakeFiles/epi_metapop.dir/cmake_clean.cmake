@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_metapop.dir/metapop.cpp.o"
+  "CMakeFiles/epi_metapop.dir/metapop.cpp.o.d"
+  "libepi_metapop.a"
+  "libepi_metapop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_metapop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_mpilite.dir/comm.cpp.o"
+  "CMakeFiles/epi_mpilite.dir/comm.cpp.o.d"
+  "libepi_mpilite.a"
+  "libepi_mpilite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_mpilite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_network.dir/contact_network.cpp.o"
+  "CMakeFiles/epi_network.dir/contact_network.cpp.o.d"
+  "CMakeFiles/epi_network.dir/partition.cpp.o"
+  "CMakeFiles/epi_network.dir/partition.cpp.o.d"
+  "libepi_network.a"
+  "libepi_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

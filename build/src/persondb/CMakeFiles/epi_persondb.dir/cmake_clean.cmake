@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_persondb.dir/person_db.cpp.o"
+  "CMakeFiles/epi_persondb.dir/person_db.cpp.o.d"
+  "libepi_persondb.a"
+  "libepi_persondb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_persondb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

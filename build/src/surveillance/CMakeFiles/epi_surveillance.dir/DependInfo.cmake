@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/surveillance/ground_truth.cpp" "src/surveillance/CMakeFiles/epi_surveillance.dir/ground_truth.cpp.o" "gcc" "src/surveillance/CMakeFiles/epi_surveillance.dir/ground_truth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/epi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/metapop/CMakeFiles/epi_metapop.dir/DependInfo.cmake"
+  "/root/repo/build/src/synthpop/CMakeFiles/epi_synthpop.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/epi_network.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_surveillance.dir/ground_truth.cpp.o"
+  "CMakeFiles/epi_surveillance.dir/ground_truth.cpp.o.d"
+  "libepi_surveillance.a"
+  "libepi_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

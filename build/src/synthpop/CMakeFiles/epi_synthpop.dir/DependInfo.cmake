@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synthpop/activity.cpp" "src/synthpop/CMakeFiles/epi_synthpop.dir/activity.cpp.o" "gcc" "src/synthpop/CMakeFiles/epi_synthpop.dir/activity.cpp.o.d"
+  "/root/repo/src/synthpop/generator.cpp" "src/synthpop/CMakeFiles/epi_synthpop.dir/generator.cpp.o" "gcc" "src/synthpop/CMakeFiles/epi_synthpop.dir/generator.cpp.o.d"
+  "/root/repo/src/synthpop/ipf.cpp" "src/synthpop/CMakeFiles/epi_synthpop.dir/ipf.cpp.o" "gcc" "src/synthpop/CMakeFiles/epi_synthpop.dir/ipf.cpp.o.d"
+  "/root/repo/src/synthpop/locations.cpp" "src/synthpop/CMakeFiles/epi_synthpop.dir/locations.cpp.o" "gcc" "src/synthpop/CMakeFiles/epi_synthpop.dir/locations.cpp.o.d"
+  "/root/repo/src/synthpop/population.cpp" "src/synthpop/CMakeFiles/epi_synthpop.dir/population.cpp.o" "gcc" "src/synthpop/CMakeFiles/epi_synthpop.dir/population.cpp.o.d"
+  "/root/repo/src/synthpop/us_states.cpp" "src/synthpop/CMakeFiles/epi_synthpop.dir/us_states.cpp.o" "gcc" "src/synthpop/CMakeFiles/epi_synthpop.dir/us_states.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/epi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/epi_network.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_synthpop.dir/activity.cpp.o"
+  "CMakeFiles/epi_synthpop.dir/activity.cpp.o.d"
+  "CMakeFiles/epi_synthpop.dir/generator.cpp.o"
+  "CMakeFiles/epi_synthpop.dir/generator.cpp.o.d"
+  "CMakeFiles/epi_synthpop.dir/ipf.cpp.o"
+  "CMakeFiles/epi_synthpop.dir/ipf.cpp.o.d"
+  "CMakeFiles/epi_synthpop.dir/locations.cpp.o"
+  "CMakeFiles/epi_synthpop.dir/locations.cpp.o.d"
+  "CMakeFiles/epi_synthpop.dir/population.cpp.o"
+  "CMakeFiles/epi_synthpop.dir/population.cpp.o.d"
+  "CMakeFiles/epi_synthpop.dir/us_states.cpp.o"
+  "CMakeFiles/epi_synthpop.dir/us_states.cpp.o.d"
+  "libepi_synthpop.a"
+  "libepi_synthpop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_synthpop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for epi_synthpop.
+# This may be replaced when dependencies are built.

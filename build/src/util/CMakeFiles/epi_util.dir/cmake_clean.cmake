@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_util.dir/csv.cpp.o"
+  "CMakeFiles/epi_util.dir/csv.cpp.o.d"
+  "CMakeFiles/epi_util.dir/error.cpp.o"
+  "CMakeFiles/epi_util.dir/error.cpp.o.d"
+  "CMakeFiles/epi_util.dir/json.cpp.o"
+  "CMakeFiles/epi_util.dir/json.cpp.o.d"
+  "CMakeFiles/epi_util.dir/lhs.cpp.o"
+  "CMakeFiles/epi_util.dir/lhs.cpp.o.d"
+  "CMakeFiles/epi_util.dir/log.cpp.o"
+  "CMakeFiles/epi_util.dir/log.cpp.o.d"
+  "CMakeFiles/epi_util.dir/rng.cpp.o"
+  "CMakeFiles/epi_util.dir/rng.cpp.o.d"
+  "CMakeFiles/epi_util.dir/stats.cpp.o"
+  "CMakeFiles/epi_util.dir/stats.cpp.o.d"
+  "libepi_util.a"
+  "libepi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_workflow.dir/calibration_cycle.cpp.o"
+  "CMakeFiles/epi_workflow.dir/calibration_cycle.cpp.o.d"
+  "CMakeFiles/epi_workflow.dir/cell_config.cpp.o"
+  "CMakeFiles/epi_workflow.dir/cell_config.cpp.o.d"
+  "CMakeFiles/epi_workflow.dir/designs.cpp.o"
+  "CMakeFiles/epi_workflow.dir/designs.cpp.o.d"
+  "CMakeFiles/epi_workflow.dir/nightly.cpp.o"
+  "CMakeFiles/epi_workflow.dir/nightly.cpp.o.d"
+  "libepi_workflow.a"
+  "libepi_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

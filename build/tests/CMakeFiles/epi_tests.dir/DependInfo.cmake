@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analytics.cpp" "tests/CMakeFiles/epi_tests.dir/test_analytics.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_analytics.cpp.o.d"
+  "/root/repo/tests/test_calibration.cpp" "tests/CMakeFiles/epi_tests.dir/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_calibration.cpp.o.d"
+  "/root/repo/tests/test_calibration_cycle.cpp" "tests/CMakeFiles/epi_tests.dir/test_calibration_cycle.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_calibration_cycle.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/epi_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_csv_json.cpp" "tests/CMakeFiles/epi_tests.dir/test_csv_json.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_csv_json.cpp.o.d"
+  "/root/repo/tests/test_disease_model.cpp" "tests/CMakeFiles/epi_tests.dir/test_disease_model.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_disease_model.cpp.o.d"
+  "/root/repo/tests/test_emulator.cpp" "tests/CMakeFiles/epi_tests.dir/test_emulator.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_emulator.cpp.o.d"
+  "/root/repo/tests/test_interventions.cpp" "tests/CMakeFiles/epi_tests.dir/test_interventions.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_interventions.cpp.o.d"
+  "/root/repo/tests/test_mpilite.cpp" "tests/CMakeFiles/epi_tests.dir/test_mpilite.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_mpilite.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/epi_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_output_forecast.cpp" "tests/CMakeFiles/epi_tests.dir/test_output_forecast.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_output_forecast.cpp.o.d"
+  "/root/repo/tests/test_persondb.cpp" "tests/CMakeFiles/epi_tests.dir/test_persondb.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_persondb.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/epi_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_runtime_extensions.cpp" "tests/CMakeFiles/epi_tests.dir/test_runtime_extensions.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_runtime_extensions.cpp.o.d"
+  "/root/repo/tests/test_scripted.cpp" "tests/CMakeFiles/epi_tests.dir/test_scripted.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_scripted.cpp.o.d"
+  "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/epi_tests.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_simulation.cpp.o.d"
+  "/root/repo/tests/test_stats_lhs.cpp" "tests/CMakeFiles/epi_tests.dir/test_stats_lhs.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_stats_lhs.cpp.o.d"
+  "/root/repo/tests/test_surveillance_metapop.cpp" "tests/CMakeFiles/epi_tests.dir/test_surveillance_metapop.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_surveillance_metapop.cpp.o.d"
+  "/root/repo/tests/test_synthpop.cpp" "tests/CMakeFiles/epi_tests.dir/test_synthpop.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_synthpop.cpp.o.d"
+  "/root/repo/tests/test_workflow.cpp" "tests/CMakeFiles/epi_tests.dir/test_workflow.cpp.o" "gcc" "tests/CMakeFiles/epi_tests.dir/test_workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/epi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpilite/CMakeFiles/epi_mpilite.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/epi_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/synthpop/CMakeFiles/epi_synthpop.dir/DependInfo.cmake"
+  "/root/repo/build/src/persondb/CMakeFiles/epi_persondb.dir/DependInfo.cmake"
+  "/root/repo/build/src/epihiper/CMakeFiles/epi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metapop/CMakeFiles/epi_metapop.dir/DependInfo.cmake"
+  "/root/repo/build/src/emulator/CMakeFiles/epi_emulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/calibration/CMakeFiles/epi_calibration.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/epi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/epi_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/surveillance/CMakeFiles/epi_surveillance.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/epi_workflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
