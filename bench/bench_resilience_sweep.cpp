@@ -1,0 +1,128 @@
+// Resilience sweep: node MTBF x checkpoint interval over the nightly
+// all-state job array.
+//
+// The paper's production system had to make an 8am deadline every night;
+// this bench asks what that deadline guarantee costs when hardware
+// fails. For each (node MTBF, checkpoint interval) cell it replays the
+// FFDT-DC schedule through the Slurm DES under seeded fault injection
+// across several fault seeds and reports:
+//   * deadline-miss probability (any job unfinished at window end),
+//   * mean wasted node-hours (execution lost to kills),
+//   * mean checkpoint overhead node-hours (write + restore I/O),
+//   * mean kill/requeue count and makespan.
+// Fully deterministic under the fixed seed set: rerunning this binary
+// reproduces every number bit for bit.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "cluster/packing.hpp"
+#include "cluster/slurm_sim.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace epi;
+
+struct CellStats {
+  double miss_prob = 0.0;
+  double mean_wasted = 0.0;
+  double mean_ckpt = 0.0;
+  double mean_requeues = 0.0;
+  double mean_makespan = 0.0;
+};
+
+std::vector<SimTask> ordered_national_tasks(std::uint32_t nodes) {
+  std::vector<std::string> regions;
+  for (const StateInfo& s : us_states()) regions.push_back(s.abbrev);
+  const std::vector<SimTask> tasks = make_workflow_tasks(regions, 12, 15, 1.2);
+  const PackingPlan plan =
+      pack_tasks(tasks, nodes, PackingPolicy::kFirstFitDecreasing);
+  std::map<std::uint64_t, const SimTask*> by_id;
+  for (const SimTask& task : tasks) by_id.emplace(task.id, &task);
+  std::vector<SimTask> ordered;
+  ordered.reserve(tasks.size());
+  for (const PackingLevel& level : plan.levels) {
+    for (std::uint64_t id : level.task_ids) ordered.push_back(*by_id.at(id));
+  }
+  return ordered;
+}
+
+CellStats sweep_cell(const ClusterSpec& cluster,
+                     const std::vector<SimTask>& ordered, double mtbf_days,
+                     std::uint32_t ckpt_interval_ticks, int fault_seeds) {
+  CellStats stats;
+  int misses = 0;
+  for (int s = 0; s < fault_seeds; ++s) {
+    FaultSpec spec;
+    spec.enabled = mtbf_days > 0.0;
+    spec.seed = 0xC0FFEEULL + static_cast<std::uint64_t>(s);
+    spec.node_mtbf_hours = mtbf_days * 24.0;
+    spec.node_repair_hours = cluster.node_repair_hours;
+    const FaultInjector injector(spec);
+
+    DesConfig config;
+    config.window_hours = cluster.window_hours;
+    config.faults = &injector;
+    config.checkpoint.interval_ticks = ckpt_interval_ticks;
+    config.checkpoint.job_ticks = 365;  // the nightly designs' horizon
+    Rng rng(20200325);  // schedule noise fixed: only faults vary per seed
+    const DesResult result = simulate_cluster(cluster, ordered, config, rng);
+
+    if (result.unfinished > 0) ++misses;
+    stats.mean_wasted += result.wasted_node_hours / fault_seeds;
+    stats.mean_ckpt += result.checkpoint_node_hours / fault_seeds;
+    stats.mean_requeues +=
+        static_cast<double>(result.jobs_requeued) / fault_seeds;
+    stats.mean_makespan += result.makespan_hours / fault_seeds;
+  }
+  stats.miss_prob = static_cast<double>(misses) / fault_seeds;
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  using namespace epi::bench;
+
+  heading(
+      "Resilience sweep — node MTBF x checkpoint interval, nightly job array");
+  note("all-state economic-shape design (9180 jobs) on Bridges, FFDT-DC");
+  note("order, 10h window; 5 fault seeds per cell, deterministic");
+
+  const ClusterSpec cluster = bridges_cluster();
+  const std::vector<SimTask> ordered = ordered_national_tasks(cluster.nodes);
+  const int kFaultSeeds = 5;
+
+  const double mtbf_days_sweep[] = {0.0, 120.0, 60.0, 30.0, 10.0};
+  const std::uint32_t ckpt_sweep[] = {0, 120, 60, 30};
+
+  row({"MTBF", "ckpt-ticks", "miss-prob", "wasted-nh", "ckpt-nh", "requeues",
+       "makespan"});
+  for (const double mtbf : mtbf_days_sweep) {
+    for (const std::uint32_t interval : ckpt_sweep) {
+      if (mtbf <= 0.0 && interval != 0) continue;  // no faults: one row
+      const CellStats stats =
+          sweep_cell(cluster, ordered, mtbf, interval, kFaultSeeds);
+      row({mtbf <= 0.0 ? "inf" : fmt(mtbf, 0) + "d",
+           interval == 0 ? "none" : fmt_int(interval),
+           fmt(stats.miss_prob, 2), fmt(stats.mean_wasted, 1),
+           fmt(stats.mean_ckpt, 1), fmt(stats.mean_requeues, 1),
+           fmt(stats.mean_makespan, 2) + "h"});
+    }
+  }
+
+  subheading("shape checks");
+  note("- perfect hardware (inf MTBF): zero waste, zero requeues — the");
+  note("  seed schedule");
+  note("- wasted node-hours grow as MTBF shrinks; checkpointing trades");
+  note("  wasted work for checkpoint I/O overhead");
+  note("- nightly jobs are short, so aggressive checkpointing is pure");
+  note("  loss: at 30-tick intervals the I/O inflates the makespan past");
+  note("  the 10h window and the night misses its deadline outright");
+  note("- at paper-plausible rates (MTBF >= 30d) the night completes via");
+  note("  requeues: miss-prob stays at the no-fault level");
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: build and run the tier-1 test suite twice —
+#   1. the plain RelWithDebInfo build,
+#   2. an AddressSanitizer + UBSan build (EPI_SANITIZE=ON).
+# Any test failure or sanitizer report fails the script.
+set -euo pipefail
+
+cd "$(dirname "$0")"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== sanitized build (ASan + UBSan) =="
+cmake -B build-asan -S . -DEPI_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$JOBS"
+# halt_on_error makes UBSan findings fail the run instead of just logging.
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=0 \
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "CI OK"

@@ -13,6 +13,10 @@ ClusterSpec bridges_cluster() {
   spec.interconnect = "Intel Omnipath-1";
   spec.filesystem = "Lustre";
   spec.window_hours = 10.0;  // 10pm - 8am exclusive access
+  // Large shared HPC fleet: a node fails every ~45 days, ~2 h to return
+  // (drain + reboot + burn-in). Reference values for FaultSpec.
+  spec.node_mtbf_hours = 45.0 * 24.0;
+  spec.node_repair_hours = 2.0;
   return spec;
 }
 
@@ -27,6 +31,9 @@ ClusterSpec rivanna_cluster() {
   spec.interconnect = "Mellanox ConnectX-5";
   spec.filesystem = "Lustre";
   spec.window_hours = 0.0;  // home cluster: always available
+  // Smaller, younger fleet under local administration.
+  spec.node_mtbf_hours = 60.0 * 24.0;
+  spec.node_repair_hours = 1.0;
   return spec;
 }
 

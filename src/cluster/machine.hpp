@@ -25,6 +25,14 @@ struct ClusterSpec {
   /// available).
   double window_hours = 0.0;
 
+  /// Operational reliability reference values (per node). These do NOT
+  /// make the model fail by themselves — hardware is perfect until a
+  /// FaultSpec armed with these numbers is handed to a FaultInjector;
+  /// they document the machine's characterized failure regime for
+  /// resilience studies. 0 = not characterized.
+  double node_mtbf_hours = 0.0;
+  double node_repair_hours = 0.0;
+
   std::uint32_t cores_per_node() const { return cpus_per_node * cores_per_cpu; }
   std::uint64_t total_cores() const {
     return static_cast<std::uint64_t>(nodes) * cores_per_node();

@@ -5,17 +5,21 @@
 #include <deque>
 #include <map>
 #include <queue>
+#include <set>
+#include <unordered_map>
 
 #include "util/error.hpp"
 
 namespace epi {
 
-DesResult simulate_cluster(const ClusterSpec& cluster,
+namespace {
+
+/// The fault-free seed path. Kept verbatim: with the injector disabled
+/// every schedule must be byte-identical to the pre-resilience build.
+DesResult simulate_perfect(const ClusterSpec& cluster,
                            const std::vector<SimTask>& queue,
                            const DesConfig& config, Rng& rng,
                            std::uint32_t db_bound) {
-  EPI_REQUIRE(cluster.nodes > 0, "cluster has no nodes");
-
   struct Running {
     double end;
     std::uint64_t task_id;
@@ -122,6 +126,327 @@ DesResult simulate_cluster(const ClusterSpec& cluster,
                         (static_cast<double>(cluster.nodes) * clock)
                   : 1.0;
   return result;
+}
+
+/// The fault path: node-identity allocation, injector-scheduled crashes,
+/// kill + checkpoint-requeue. A killed job re-enters the *front* of the
+/// queue (Slurm requeues preempted work at high priority) carrying its
+/// durable checkpoint progress.
+DesResult simulate_with_faults(const ClusterSpec& cluster,
+                               const std::vector<SimTask>& queue,
+                               const DesConfig& config, Rng& rng,
+                               std::uint32_t db_bound) {
+  const FaultInjector& faults = *config.faults;
+  const CheckpointSpec& ckpt = config.checkpoint;
+  ResilienceLedger* ledger = config.ledger;
+
+  struct PendingJob {
+    const SimTask* task;
+    double base_runtime = 0.0;  // sampled at first start; 0 = fresh
+    double saved_hours = 0.0;   // durable checkpoint progress
+  };
+  struct Instance {
+    const SimTask* task;
+    double base_runtime = 0.0;
+    double saved_at_start = 0.0;
+    double start = 0.0;
+    double end = 0.0;
+    std::vector<std::uint32_t> node_ids;
+    bool alive = true;
+  };
+
+  std::deque<PendingJob> pending;
+  for (const SimTask& task : queue) {
+    EPI_REQUIRE(task.nodes_required <= cluster.nodes,
+                "task " << task.id << " wider than the cluster");
+    pending.push_back(PendingJob{&task});
+  }
+
+  const double horizon = config.window_hours > 0.0
+                             ? config.window_hours
+                             : config.fault_horizon_hours;
+  const std::vector<NodeOutage> outages =
+      faults.node_outages(cluster.nodes, horizon);
+  std::size_t outage_idx = 0;
+
+  constexpr std::uint64_t kNone = ~std::uint64_t{0};
+  std::set<std::uint32_t> free_nodes;  // ordered: lowest ids first
+  for (std::uint32_t n = 0; n < cluster.nodes; ++n) free_nodes.insert(n);
+  std::vector<std::uint64_t> node_owner(cluster.nodes, kNone);
+  std::vector<bool> node_down(cluster.nodes, false);
+
+  std::unordered_map<std::uint64_t, Instance> running;
+  std::uint64_t next_instance = 0;
+  using EndEvent = std::pair<double, std::uint64_t>;  // (end, instance)
+  std::priority_queue<EndEvent, std::vector<EndEvent>, std::greater<EndEvent>>
+      completions;
+  std::priority_queue<std::pair<double, std::uint32_t>,
+                      std::vector<std::pair<double, std::uint32_t>>,
+                      std::greater<std::pair<double, std::uint32_t>>>
+      repairs;  // (up time, node)
+
+  std::map<std::string, std::uint32_t> db_usage;
+  double clock = 0.0;
+  DesResult result;
+
+  // Remaining wall time an instance occupies its nodes: restore cost (when
+  // resuming), the un-done useful work, and the remaining checkpoint
+  // writes.
+  auto remaining_wall_hours = [&](const PendingJob& job) {
+    const double useful = std::max(0.0, job.base_runtime - job.saved_hours);
+    double wall = useful;
+    if (ckpt.active() && job.base_runtime > 0.0) {
+      const double period = ckpt.period_hours(job.base_runtime);
+      const double writes_done =
+          period > 0.0 ? std::floor(job.saved_hours / period + 0.5) : 0.0;
+      const double writes_left = std::max(
+          0.0, static_cast<double>(ckpt.checkpoints_per_run()) - writes_done);
+      wall += writes_left * ckpt.write_cost_s / 3600.0;
+    }
+    if (job.saved_hours > 0.0) wall += ckpt.restore_hours();
+    return wall;
+  };
+
+  auto can_start = [&](const SimTask& task) {
+    if (task.nodes_required > free_nodes.size()) return false;
+    const auto it = db_usage.find(task.region);
+    const std::uint32_t used = it == db_usage.end() ? 0 : it->second;
+    return used + task.db_connections <= db_bound;
+  };
+
+  auto start_job = [&](PendingJob job) {
+    if (job.base_runtime <= 0.0) {
+      const double noise = std::exp(rng.normal(0.0, config.runtime_sigma));
+      job.base_runtime = job.task->est_hours * noise;
+    }
+    Instance inst;
+    inst.task = job.task;
+    inst.base_runtime = job.base_runtime;
+    inst.saved_at_start = job.saved_hours;
+    inst.start = clock;
+    inst.end = clock + remaining_wall_hours(job);
+    for (std::uint32_t i = 0; i < job.task->nodes_required; ++i) {
+      const std::uint32_t node = *free_nodes.begin();
+      free_nodes.erase(free_nodes.begin());
+      node_owner[node] = next_instance;
+      inst.node_ids.push_back(node);
+    }
+    db_usage[job.task->region] += job.task->db_connections;
+    completions.push({inst.end, next_instance});
+    running.emplace(next_instance, std::move(inst));
+    ++next_instance;
+  };
+
+  auto within_window = [&](const SimTask& task) {
+    if (config.window_hours <= 0.0) return true;
+    return clock + task.est_hours <= config.window_hours;
+  };
+
+  auto dispatch = [&] {
+    if (config.backfill) {
+      for (auto it = pending.begin(); it != pending.end();) {
+        const SimTask& task = *it->task;
+        if (!within_window(task)) {
+          ++result.unfinished;
+          it = pending.erase(it);
+          continue;
+        }
+        if (can_start(task)) {
+          start_job(*it);
+          it = pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    } else {
+      while (!pending.empty()) {
+        const SimTask& task = *pending.front().task;
+        if (!within_window(task)) {
+          ++result.unfinished;
+          pending.pop_front();
+          continue;
+        }
+        if (!can_start(task)) break;
+        start_job(pending.front());
+        pending.pop_front();
+      }
+    }
+  };
+
+  auto release_nodes = [&](const Instance& inst) {
+    for (const std::uint32_t node : inst.node_ids) {
+      if (!node_down[node]) free_nodes.insert(node);
+      node_owner[node] = kNone;
+    }
+    auto it = db_usage.find(inst.task->region);
+    EPI_ASSERT(it != db_usage.end() && it->second >= inst.task->db_connections,
+               "DB usage accounting underflow");
+    it->second -= inst.task->db_connections;
+  };
+
+  auto complete_instance = [&](std::uint64_t id) {
+    Instance& inst = running.at(id);
+    result.jobs.push_back(JobRecord{inst.task->id, inst.start, inst.end,
+                                    inst.task->nodes_required});
+    const double occupied = inst.end - inst.start;
+    result.busy_node_hours += inst.task->nodes_required * occupied;
+    // Wall time that was checkpoint I/O rather than simulation. Without
+    // checkpointing there is none (guard against float residue in
+    // occupied - useful).
+    const double useful = inst.base_runtime - inst.saved_at_start;
+    const double overhead =
+        ckpt.active() ? std::max(0.0, occupied - useful) : 0.0;
+    result.checkpoint_node_hours += inst.task->nodes_required * overhead;
+    if (ledger != nullptr) {
+      ledger->add_checkpoint_overhead_node_hours(inst.task->nodes_required *
+                                                 overhead);
+    }
+    release_nodes(inst);
+    running.erase(id);
+  };
+
+  auto kill_instance = [&](std::uint64_t id, std::uint32_t crashed_node) {
+    Instance& inst = running.at(id);
+    inst.alive = false;
+    const double elapsed = clock - inst.start;
+    // Durable progress: checkpoints completed since this attempt started
+    // (execution after the restore phase alternates work and writes).
+    double saved = inst.saved_at_start;
+    if (ckpt.active()) {
+      const double restore_offset =
+          inst.saved_at_start > 0.0 ? ckpt.restore_hours() : 0.0;
+      const double executed = std::max(0.0, elapsed - restore_offset);
+      const double period = ckpt.period_hours(inst.base_runtime);
+      const double slot = period + ckpt.write_cost_s / 3600.0;
+      if (slot > 0.0) {
+        const double new_periods = std::floor(executed / slot) * period;
+        saved = std::min(inst.saved_at_start + new_periods,
+                         static_cast<double>(ckpt.checkpoints_per_run()) *
+                             period);
+      }
+    }
+    const double progressed = saved - inst.saved_at_start;
+    const double wasted = std::max(0.0, elapsed - progressed);
+    result.busy_node_hours += inst.task->nodes_required * elapsed;
+    result.wasted_node_hours += inst.task->nodes_required * wasted;
+    ++result.jobs_requeued;
+    if (ledger != nullptr) {
+      ledger->add_wasted_node_hours(inst.task->nodes_required * wasted);
+      ledger->record(FaultKind::kJobKilled, clock,
+                     "task " + std::to_string(inst.task->id) + " on node " +
+                         std::to_string(crashed_node));
+      ledger->record(FaultKind::kJobRequeued, clock,
+                     "task " + std::to_string(inst.task->id) +
+                         " from checkpoint");
+    }
+    PendingJob requeued{inst.task, inst.base_runtime, saved};
+    release_nodes(inst);
+    running.erase(id);
+    pending.push_front(requeued);
+  };
+
+  auto crash_node = [&](const NodeOutage& outage) {
+    const std::uint32_t node = outage.node;
+    if (node_down[node]) return;  // defensive; schedules do not overlap
+    node_down[node] = true;
+    if (ledger != nullptr) {
+      ledger->record(FaultKind::kNodeCrash, clock,
+                     "node " + std::to_string(node));
+    }
+    const std::uint64_t owner = node_owner[node];
+    if (owner != kNone) {
+      kill_instance(owner, node);
+    } else {
+      free_nodes.erase(node);
+    }
+    repairs.push({outage.up_hours, node});
+  };
+
+  auto repair_node = [&](std::uint32_t node) {
+    EPI_ASSERT(node_down[node], "repairing a node that is not down");
+    node_down[node] = false;
+    free_nodes.insert(node);
+    if (ledger != nullptr) {
+      ledger->record(FaultKind::kNodeRepair, clock,
+                     "node " + std::to_string(node));
+    }
+  };
+
+  dispatch();
+  while (true) {
+    // Drop completion events of killed instances.
+    while (!completions.empty() &&
+           (running.find(completions.top().second) == running.end() ||
+            !running.at(completions.top().second).alive)) {
+      completions.pop();
+    }
+    const bool work_left = !running.empty() || !pending.empty();
+    if (!work_left) break;
+
+    // Next event: job completion, node crash, or node repair. Crashes and
+    // repairs only matter while work remains (checked above).
+    constexpr int kNoEvent = 0, kCompletion = 1, kCrash = 2, kRepair = 3;
+    int kind = kNoEvent;
+    double when = 0.0;
+    if (!completions.empty()) {
+      kind = kCompletion;
+      when = completions.top().first;
+    }
+    if (outage_idx < outages.size() &&
+        (kind == kNoEvent || outages[outage_idx].down_hours < when)) {
+      kind = kCrash;
+      when = outages[outage_idx].down_hours;
+    }
+    if (!repairs.empty() && (kind == kNoEvent || repairs.top().first < when)) {
+      kind = kRepair;
+      when = repairs.top().first;
+    }
+    if (kind == kNoEvent) break;  // pending work that can never start
+
+    clock = when;
+    switch (kind) {
+      case kCompletion: {
+        const std::uint64_t id = completions.top().second;
+        completions.pop();
+        complete_instance(id);
+        break;
+      }
+      case kCrash:
+        crash_node(outages[outage_idx]);
+        ++outage_idx;
+        break;
+      case kRepair: {
+        const std::uint32_t node = repairs.top().second;
+        repairs.pop();
+        repair_node(node);
+        break;
+      }
+      default:
+        break;
+    }
+    dispatch();
+  }
+  result.unfinished += pending.size();
+
+  result.makespan_hours = clock;
+  result.utilization =
+      clock > 0.0 ? result.busy_node_hours /
+                        (static_cast<double>(cluster.nodes) * clock)
+                  : 1.0;
+  return result;
+}
+
+}  // namespace
+
+DesResult simulate_cluster(const ClusterSpec& cluster,
+                           const std::vector<SimTask>& queue,
+                           const DesConfig& config, Rng& rng,
+                           std::uint32_t db_bound) {
+  EPI_REQUIRE(cluster.nodes > 0, "cluster has no nodes");
+  if (config.faults != nullptr && config.faults->enabled()) {
+    return simulate_with_faults(cluster, queue, config, rng, db_bound);
+  }
+  return simulate_perfect(cluster, queue, config, rng, db_bound);
 }
 
 }  // namespace epi

@@ -10,6 +10,13 @@
 // estimates, and the 10-hour nightly window. It reports the paper's
 // utilization metric EC = busy node-hours / (total nodes x time of last
 // completion).
+//
+// Fault injection (src/resilience/) is strictly additive: with
+// DesConfig::faults unset or disabled the simulation takes the exact
+// seed code path. With faults enabled, nodes crash on the injector's
+// schedule, running jobs on a crashed node are killed and requeued from
+// their last checkpoint (CheckpointSpec), and every fault/recovery is
+// recorded in the optional ResilienceLedger.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +24,9 @@
 
 #include "cluster/machine.hpp"
 #include "cluster/task_model.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/fault_injector.hpp"
+#include "resilience/ledger.hpp"
 #include "util/rng.hpp"
 
 namespace epi {
@@ -29,12 +39,17 @@ struct JobRecord {
 };
 
 struct DesResult {
-  std::vector<JobRecord> jobs;   // completed jobs
+  std::vector<JobRecord> jobs;   // completed jobs (final, successful runs)
   std::size_t unfinished = 0;    // did not fit in the window
   double makespan_hours = 0.0;   // last completion
   /// EC: busy node-hours within [0, makespan] / (nodes x makespan).
   double utilization = 0.0;
   double busy_node_hours = 0.0;
+
+  // Fault-path accounting (0 when fault injection is off).
+  std::size_t jobs_requeued = 0;        // kill-and-requeue events
+  double wasted_node_hours = 0.0;       // execution lost to kills
+  double checkpoint_node_hours = 0.0;   // checkpoint write/restore cost
 };
 
 struct DesConfig {
@@ -48,6 +63,18 @@ struct DesConfig {
   /// Stop dispatching jobs that could not finish by the window end
   /// (0 = no window).
   double window_hours = 0.0;
+
+  /// Optional fault injector (nullptr or disabled = perfect hardware and
+  /// the seed code path, byte-identical results).
+  const FaultInjector* faults = nullptr;
+  /// Checkpoint/requeue model used when faults are active.
+  CheckpointSpec checkpoint;
+  /// Optional fault/recovery event sink.
+  ResilienceLedger* ledger = nullptr;
+  /// Horizon over which node outages are pre-scheduled when there is no
+  /// window (window_hours == 0); crashes past the horizon are not
+  /// modeled. Ignored when a window is set (the window is the horizon).
+  double fault_horizon_hours = 336.0;
 };
 
 /// Simulates the ordered `queue` on `cluster`. Task order IS the schedule

@@ -4,14 +4,70 @@
 
 namespace epi {
 
+void GlobusTransfer::enable_resilience(const FaultInjector* injector,
+                                       RetryPolicy policy,
+                                       ResilienceLedger* ledger) {
+  faults_ = injector;
+  retry_ = policy;
+  fault_ledger_ = ledger;
+}
+
+double GlobusTransfer::attempt_seconds(std::uint64_t bytes,
+                                       double throughput_factor) const {
+  return link_.per_transfer_overhead_s +
+         static_cast<double>(bytes) /
+             (link_.bandwidth_mbytes_per_s * 1e6 * throughput_factor);
+}
+
 double GlobusTransfer::transfer(const std::string& description,
                                 std::uint64_t bytes, bool to_remote) {
   EPI_REQUIRE(link_.bandwidth_mbytes_per_s > 0.0, "zero-bandwidth link");
-  const double seconds =
-      link_.per_transfer_overhead_s +
-      static_cast<double>(bytes) / (link_.bandwidth_mbytes_per_s * 1e6);
-  ledger_.push_back(TransferRecord{description, bytes, seconds, to_remote});
-  return seconds;
+  if (faults_ == nullptr || !faults_->enabled()) {
+    // Seed path: one attempt, nominal throughput. Zero bytes still pay
+    // the per-transfer overhead.
+    const double seconds =
+        link_.per_transfer_overhead_s +
+        static_cast<double>(bytes) / (link_.bandwidth_mbytes_per_s * 1e6);
+    ledger_.push_back(TransferRecord{description, bytes, seconds, to_remote});
+    return seconds;
+  }
+
+  const std::uint64_t seq = transfer_seq_++;
+  double total_s = 0.0;
+  double wait_s = 0.0;
+  std::uint32_t attempt = 1;
+  while (true) {
+    const WanAttemptFault fault = faults_->wan_attempt(seq, attempt);
+    if (!fault.fail) {
+      if (fault.throughput_factor < 1.0 && fault_ledger_ != nullptr) {
+        fault_ledger_->record(FaultKind::kWanDegraded, 0.0, description);
+      }
+      total_s += attempt_seconds(bytes, fault.throughput_factor);
+      ledger_.push_back(TransferRecord{description, bytes, total_s, to_remote,
+                                       attempt, wait_s});
+      if (attempt > 1 && fault_ledger_ != nullptr) {
+        fault_ledger_->add_retry_wait_seconds(wait_s);
+      }
+      return total_s;
+    }
+    // A failed attempt still burns its fixed overhead before the error
+    // surfaces (session died mid-flight).
+    total_s += link_.per_transfer_overhead_s;
+    if (fault_ledger_ != nullptr) {
+      fault_ledger_->record(FaultKind::kWanFailure, 0.0, description);
+    }
+    if (retry_.give_up(attempt, wait_s)) {
+      EPI_REQUIRE(false, "WAN transfer '" << description << "' failed after "
+                                          << attempt << " attempts");
+    }
+    const double delay = retry_.delay_s(attempt, faults_->jitter(seq, attempt));
+    total_s += delay;
+    wait_s += delay;
+    if (fault_ledger_ != nullptr) {
+      fault_ledger_->record(FaultKind::kWanRetry, 0.0, description);
+    }
+    ++attempt;
+  }
 }
 
 std::uint64_t GlobusTransfer::total_bytes_to_remote() const {
@@ -33,6 +89,22 @@ std::uint64_t GlobusTransfer::total_bytes_to_home() const {
 double GlobusTransfer::total_seconds() const {
   double total = 0.0;
   for (const auto& record : ledger_) total += record.seconds;
+  return total;
+}
+
+double GlobusTransfer::total_seconds_to_remote() const {
+  double total = 0.0;
+  for (const auto& record : ledger_) {
+    if (record.to_remote) total += record.seconds;
+  }
+  return total;
+}
+
+double GlobusTransfer::total_seconds_to_home() const {
+  double total = 0.0;
+  for (const auto& record : ledger_) {
+    if (!record.to_remote) total += record.seconds;
+  }
   return total;
 }
 

@@ -7,11 +7,23 @@
 // configurations, and the 120 MB - 70 GB summarized outputs coming back.
 // A simple bandwidth + per-transfer overhead model; every transfer is
 // logged so Table I/II volume rows can be reproduced from the ledger.
+// Even a zero-byte transfer pays the per-transfer overhead (session
+// setup and checksums are size-independent).
+//
+// With a FaultInjector attached (enable_resilience), each transfer runs
+// an attempt loop: attempts may fail outright or run at degraded
+// throughput, failed attempts are retried under a RetryPolicy with
+// seeded backoff jitter, and exhaustion throws. Without an injector the
+// arithmetic is byte-identical to the seed model.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "resilience/fault_injector.hpp"
+#include "resilience/ledger.hpp"
+#include "resilience/retry_policy.hpp"
 
 namespace epi {
 
@@ -26,8 +38,10 @@ struct WanLinkSpec {
 struct TransferRecord {
   std::string description;
   std::uint64_t bytes = 0;
-  double seconds = 0.0;
-  bool to_remote = true;  // direction: home -> remote or back
+  double seconds = 0.0;       // total, including failed attempts + backoff
+  bool to_remote = true;      // direction: home -> remote or back
+  std::uint32_t attempts = 1; // 1 = first try succeeded
+  double retry_wait_s = 0.0;  // backoff portion of `seconds`
 };
 
 /// A directional transfer service with a ledger.
@@ -35,7 +49,14 @@ class GlobusTransfer {
  public:
   explicit GlobusTransfer(WanLinkSpec link = {}) : link_(link) {}
 
+  /// Attaches fault injection + retry. The injector must outlive this
+  /// object; `ledger` (optional) receives per-attempt fault events.
+  void enable_resilience(const FaultInjector* injector, RetryPolicy policy,
+                         ResilienceLedger* ledger = nullptr);
+
   /// Executes (models) one transfer; returns its duration in seconds.
+  /// With resilience enabled, throws Error when every attempt allowed by
+  /// the retry policy fails.
   double transfer(const std::string& description, std::uint64_t bytes,
                   bool to_remote);
 
@@ -43,10 +64,20 @@ class GlobusTransfer {
   std::uint64_t total_bytes_to_remote() const;
   std::uint64_t total_bytes_to_home() const;
   double total_seconds() const;
+  /// Per-direction duration totals (resilience reporting needs the WAN
+  /// budget split by direction, as Table II reports volumes).
+  double total_seconds_to_remote() const;
+  double total_seconds_to_home() const;
 
  private:
+  double attempt_seconds(std::uint64_t bytes, double throughput_factor) const;
+
   WanLinkSpec link_;
   std::vector<TransferRecord> ledger_;
+  const FaultInjector* faults_ = nullptr;
+  RetryPolicy retry_;
+  ResilienceLedger* fault_ledger_ = nullptr;
+  std::uint64_t transfer_seq_ = 0;
 };
 
 }  // namespace epi

@@ -113,7 +113,7 @@ class Comm {
     EPI_REQUIRE(raw.size() % sizeof(T) == 0,
                 "received payload not a multiple of element size");
     std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
     return out;
   }
 
@@ -136,7 +136,7 @@ class Comm {
         Bytes(reinterpret_cast<const std::byte*>(mine.data()),
               reinterpret_cast<const std::byte*>(mine.data()) + mine.size() * sizeof(T)));
     std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
     return out;
   }
 
@@ -159,7 +159,9 @@ class Comm {
       EPI_REQUIRE(raw_in[s].size() % sizeof(T) == 0,
                   "alltoallv payload not a multiple of element size");
       inbox[s].resize(raw_in[s].size() / sizeof(T));
-      std::memcpy(inbox[s].data(), raw_in[s].data(), raw_in[s].size());
+      if (!raw_in[s].empty()) {
+        std::memcpy(inbox[s].data(), raw_in[s].data(), raw_in[s].size());
+      }
     }
     return inbox;
   }

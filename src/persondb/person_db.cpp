@@ -161,6 +161,39 @@ std::optional<DbConnection> PersonDbServer::connect() {
   return DbConnection(this);
 }
 
+ResilientConnectResult PersonDbServer::connect_resilient(
+    const FaultInjector& faults, const RetryPolicy& policy,
+    ResilienceLedger* ledger) {
+  if (!faults.enabled()) {
+    return ResilientConnectResult{connect(), 1, 0.0};
+  }
+  std::uint32_t attempt = 1;
+  double wait_s = 0.0;
+  while (true) {
+    std::uint64_t seq;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      seq = connect_attempts_++;
+    }
+    if (!faults.db_drop(region_, seq)) {
+      if (attempt > 1 && ledger != nullptr) {
+        ledger->record(FaultKind::kDbReconnect, 0.0, region_);
+        ledger->add_retry_wait_seconds(wait_s);
+      }
+      return ResilientConnectResult{connect(), attempt, wait_s};
+    }
+    if (ledger != nullptr) {
+      ledger->record(FaultKind::kDbDrop, 0.0, region_);
+    }
+    if (policy.give_up(attempt, wait_s)) {
+      return ResilientConnectResult{std::nullopt, attempt, wait_s};
+    }
+    wait_s += policy.delay_s(
+        attempt, faults.jitter(stable_label_hash(region_), attempt));
+    ++attempt;
+  }
+}
+
 std::size_t PersonDbServer::active_connections() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return active_;

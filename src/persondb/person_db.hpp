@@ -22,6 +22,9 @@
 #include <string>
 #include <vector>
 
+#include "resilience/fault_injector.hpp"
+#include "resilience/ledger.hpp"
+#include "resilience/retry_policy.hpp"
 #include "synthpop/population.hpp"
 
 namespace epi {
@@ -62,6 +65,15 @@ class DbConnection {
   mutable std::uint64_t queries_ = 0;
 };
 
+/// Result of a fault-aware connection attempt: the connection (nullopt
+/// when the pool is exhausted or retries ran out), how many attempts it
+/// took, and the modeled backoff wait.
+struct ResilientConnectResult {
+  std::optional<DbConnection> connection;
+  std::uint32_t attempts = 1;
+  double wait_s = 0.0;
+};
+
 /// One region's person database server.
 class PersonDbServer {
  public:
@@ -81,6 +93,16 @@ class PersonDbServer {
 
   /// Opens a connection; nullopt when the pool is exhausted.
   std::optional<DbConnection> connect();
+
+  /// Opens a connection under fault injection: attempts may drop
+  /// (FaultSpec::db_drop_prob) and are retried with backoff per
+  /// `policy`. Every attempt — dropped or not — consumes one slot of
+  /// this server's deterministic attempt sequence, so the outcome
+  /// depends only on (fault seed, region, attempt index). With the
+  /// injector disabled this is exactly connect().
+  ResilientConnectResult connect_resilient(const FaultInjector& faults,
+                                           const RetryPolicy& policy,
+                                           ResilienceLedger* ledger = nullptr);
 
   std::size_t max_connections() const { return max_connections_; }
   std::size_t active_connections() const;
@@ -107,6 +129,7 @@ class PersonDbServer {
   mutable std::mutex mutex_;
   std::size_t active_ = 0;
   std::size_t peak_ = 0;
+  std::uint64_t connect_attempts_ = 0;  // fault-keying sequence
 };
 
 /// Region-name -> running server registry; the workflow layer's "start the

@@ -1,0 +1,43 @@
+#include "resilience/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace epi {
+
+std::uint32_t CheckpointSpec::checkpoints_per_run() const {
+  if (!active()) return 0;
+  // A checkpoint after every full interval, except one landing exactly on
+  // the final tick (the run is over, nothing left to protect).
+  const std::uint32_t intervals = (job_ticks - 1) / interval_ticks;
+  return intervals;
+}
+
+double CheckpointSpec::overhead_hours() const {
+  return checkpoints_per_run() * write_cost_s / 3600.0;
+}
+
+double CheckpointSpec::period_hours(double base_runtime_hours) const {
+  if (!active()) return 0.0;
+  return base_runtime_hours * static_cast<double>(interval_ticks) /
+         static_cast<double>(job_ticks);
+}
+
+double CheckpointSpec::saved_hours(double base_runtime_hours,
+                                   double elapsed_hours) const {
+  if (!active() || base_runtime_hours <= 0.0 || elapsed_hours <= 0.0) {
+    return 0.0;
+  }
+  // Execution alternates period_hours of useful work with one checkpoint
+  // write; progress is durable only at completed writes.
+  const double period = period_hours(base_runtime_hours);
+  if (period <= 0.0) return 0.0;
+  const double slot = period + write_cost_s / 3600.0;
+  const auto completed = std::floor(elapsed_hours / slot);
+  const double saved =
+      std::min(completed * period,
+               static_cast<double>(checkpoints_per_run()) * period);
+  return std::max(0.0, saved);
+}
+
+}  // namespace epi

@@ -1,0 +1,58 @@
+// Checkpoint/requeue cost model for EpiHiper jobs in the Slurm DES.
+//
+// A job simulating `job_ticks` days writes a checkpoint every
+// `interval_ticks` simulated ticks at a fixed I/O cost. When the DES
+// kills the job (its node crashed), it requeues and resumes from the
+// last completed checkpoint instead of from scratch; the work since that
+// checkpoint is wasted. With `interval_ticks == 0` there are no
+// checkpoints and a killed job restarts from tick 0 — the seed
+// behaviour, and also what the model degrades to when crashes are rare
+// enough that checkpoint I/O costs more than it saves (the trade-off
+// bench_resilience_sweep sweeps).
+//
+// All quantities are mapped into schedule time: a job whose sampled
+// runtime is R hours progresses through its ticks uniformly, so a
+// checkpoint every K of T ticks is a checkpoint every R*K/T hours of
+// execution.
+#pragma once
+
+#include <cstdint>
+
+namespace epi {
+
+struct CheckpointSpec {
+  /// Simulated ticks between checkpoints. 0 disables checkpointing.
+  std::uint32_t interval_ticks = 0;
+  /// Ticks one job simulates (the design horizon); set by the workflow
+  /// from WorkflowDesign::num_days.
+  std::uint32_t job_ticks = 365;
+  /// Wall cost of writing one checkpoint (scales with state size in
+  /// production; a scalar here).
+  double write_cost_s = 30.0;
+  /// Wall cost of restoring from a checkpoint on requeue.
+  double restore_cost_s = 60.0;
+
+  bool active() const { return interval_ticks > 0 && job_ticks > 0; }
+
+  /// Number of checkpoints a full run writes (none at the final tick —
+  /// the job is done).
+  std::uint32_t checkpoints_per_run() const;
+
+  /// Total checkpoint-write overhead added to one full run, in hours.
+  double overhead_hours() const;
+
+  /// Execution-time spacing between checkpoints for a job whose useful
+  /// runtime is `base_runtime_hours` (excluding checkpoint overhead).
+  double period_hours(double base_runtime_hours) const;
+
+  /// Progress (in useful-runtime hours, multiple of the checkpoint
+  /// period) durably saved after `elapsed_hours` of execution of a job
+  /// with useful runtime `base_runtime_hours`. Accounts for checkpoint
+  /// writes interleaved with execution; 0 without checkpointing.
+  double saved_hours(double base_runtime_hours, double elapsed_hours) const;
+
+  /// Restore cost in hours.
+  double restore_hours() const { return restore_cost_s / 3600.0; }
+};
+
+}  // namespace epi

@@ -1,0 +1,104 @@
+#include "resilience/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+namespace {
+// Stream labels: keep each fault family in its own derived stream so
+// adding a family never perturbs the others.
+constexpr std::uint64_t kNodeStream = 0x4E4F4445ULL;    // "NODE"
+constexpr std::uint64_t kWanStream = 0x57414EULL;       // "WAN"
+constexpr std::uint64_t kDbStream = 0x4442ULL;          // "DB"
+constexpr std::uint64_t kSimStream = 0x53494DULL;       // "SIM"
+constexpr std::uint64_t kJitterStream = 0x4A495454ULL;  // "JITT"
+}  // namespace
+
+FaultInjector::FaultInjector(FaultSpec spec) : spec_(spec) {
+  EPI_REQUIRE(spec_.node_mtbf_hours >= 0.0, "negative node MTBF");
+  EPI_REQUIRE(spec_.node_repair_hours >= 0.0, "negative node repair time");
+  EPI_REQUIRE(spec_.wan_failure_prob >= 0.0 && spec_.wan_failure_prob <= 1.0,
+              "WAN failure probability out of [0, 1]");
+  EPI_REQUIRE(spec_.wan_degraded_prob >= 0.0 && spec_.wan_degraded_prob <= 1.0,
+              "WAN degradation probability out of [0, 1]");
+  EPI_REQUIRE(
+      spec_.wan_degraded_factor > 0.0 && spec_.wan_degraded_factor <= 1.0,
+      "WAN degradation factor out of (0, 1]");
+  EPI_REQUIRE(spec_.db_drop_prob >= 0.0 && spec_.db_drop_prob <= 1.0,
+              "DB drop probability out of [0, 1]");
+  EPI_REQUIRE(spec_.sim_failure_prob >= 0.0 && spec_.sim_failure_prob <= 1.0,
+              "simulation failure probability out of [0, 1]");
+}
+
+std::vector<NodeOutage> FaultInjector::node_outages(
+    std::uint32_t nodes, double horizon_hours) const {
+  std::vector<NodeOutage> outages;
+  if (!spec_.enabled || spec_.node_mtbf_hours <= 0.0 || horizon_hours <= 0.0) {
+    return outages;
+  }
+  const Rng root(spec_.seed);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    Rng node_rng = root.derive({kNodeStream, n});
+    double t = node_rng.exponential(1.0 / spec_.node_mtbf_hours);
+    while (t < horizon_hours) {
+      const double up = t + spec_.node_repair_hours;
+      outages.push_back(NodeOutage{n, t, up});
+      t = up + node_rng.exponential(1.0 / spec_.node_mtbf_hours);
+    }
+  }
+  std::sort(outages.begin(), outages.end(),
+            [](const NodeOutage& a, const NodeOutage& b) {
+              if (a.down_hours != b.down_hours)
+                return a.down_hours < b.down_hours;
+              return a.node < b.node;
+            });
+  return outages;
+}
+
+WanAttemptFault FaultInjector::wan_attempt(std::uint64_t transfer_seq,
+                                           std::uint32_t attempt) const {
+  WanAttemptFault fault;
+  if (!spec_.enabled) return fault;
+  Rng rng = Rng(spec_.seed).derive({kWanStream, transfer_seq, attempt});
+  const double u = rng.uniform();
+  if (u < spec_.wan_failure_prob) {
+    fault.fail = true;
+  } else if (u < spec_.wan_failure_prob + spec_.wan_degraded_prob) {
+    fault.throughput_factor = spec_.wan_degraded_factor;
+  }
+  return fault;
+}
+
+bool FaultInjector::db_drop(const std::string& region,
+                            std::uint64_t attempt_seq) const {
+  if (!spec_.enabled || spec_.db_drop_prob <= 0.0) return false;
+  Rng rng = Rng(spec_.seed)
+                .derive({kDbStream, stable_label_hash(region), attempt_seq});
+  return rng.uniform() < spec_.db_drop_prob;
+}
+
+bool FaultInjector::sim_failure(std::uint64_t job_seq,
+                                std::uint32_t attempt) const {
+  if (!spec_.enabled || spec_.sim_failure_prob <= 0.0) return false;
+  Rng rng = Rng(spec_.seed).derive({kSimStream, job_seq, attempt});
+  return rng.uniform() < spec_.sim_failure_prob;
+}
+
+double FaultInjector::jitter(std::uint64_t stream,
+                             std::uint32_t attempt) const {
+  Rng rng = Rng(spec_.seed).derive({kJitterStream, stream, attempt});
+  return rng.uniform();
+}
+
+std::uint64_t stable_label_hash(const std::string& text) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+}  // namespace epi

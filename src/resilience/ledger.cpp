@@ -1,0 +1,51 @@
+#include "resilience/ledger.hpp"
+
+namespace epi {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash: return "node-crash";
+    case FaultKind::kNodeRepair: return "node-repair";
+    case FaultKind::kJobKilled: return "job-killed";
+    case FaultKind::kJobRequeued: return "job-requeued";
+    case FaultKind::kWanFailure: return "wan-failure";
+    case FaultKind::kWanDegraded: return "wan-degraded";
+    case FaultKind::kWanRetry: return "wan-retry";
+    case FaultKind::kDbDrop: return "db-drop";
+    case FaultKind::kDbReconnect: return "db-reconnect";
+    case FaultKind::kSimRetry: return "sim-retry";
+  }
+  return "unknown";
+}
+
+void ResilienceLedger::record(FaultKind kind, double time_hours,
+                              std::string detail) {
+  events_.push_back(FaultEvent{kind, time_hours, std::move(detail)});
+}
+
+std::uint64_t ResilienceLedger::count(FaultKind kind) const {
+  std::uint64_t n = 0;
+  for (const FaultEvent& event : events_) {
+    if (event.kind == kind) ++n;
+  }
+  return n;
+}
+
+ResilienceSummary ResilienceLedger::summary() const {
+  ResilienceSummary s;
+  s.node_crashes = count(FaultKind::kNodeCrash);
+  s.jobs_killed = count(FaultKind::kJobKilled);
+  s.jobs_requeued = count(FaultKind::kJobRequeued);
+  s.wan_failures = count(FaultKind::kWanFailure);
+  s.wan_degraded = count(FaultKind::kWanDegraded);
+  s.wan_retries = count(FaultKind::kWanRetry);
+  s.db_drops = count(FaultKind::kDbDrop);
+  s.db_reconnects = count(FaultKind::kDbReconnect);
+  s.sim_retries = count(FaultKind::kSimRetry);
+  s.wasted_node_hours = wasted_node_hours_;
+  s.checkpoint_overhead_node_hours = checkpoint_overhead_node_hours_;
+  s.retry_wait_hours = retry_wait_hours_;
+  return s;
+}
+
+}  // namespace epi

@@ -1,0 +1,89 @@
+// Resilience ledger: the audit trail of every injected fault and every
+// recovery action taken during one workflow run.
+//
+// The Slurm DES, the WAN transfer model, the person-DB layer and the
+// calibration cycle all write into one ledger; WorkflowReport carries
+// the roll-up (ResilienceSummary) so benches can report deadline slack,
+// wasted core-hours and recovery counts next to the paper's utilization
+// metric.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace epi {
+
+enum class FaultKind : std::uint8_t {
+  kNodeCrash,     // a compute node went down
+  kNodeRepair,    // a node rejoined the pool
+  kJobKilled,     // a running job died with its node
+  kJobRequeued,   // a killed job re-entered the queue
+  kWanFailure,    // a WAN transfer attempt failed outright
+  kWanDegraded,   // a WAN attempt ran at degraded throughput
+  kWanRetry,      // a WAN transfer attempt was retried
+  kDbDrop,        // a person-DB connection attempt dropped
+  kDbReconnect,   // a dropped session was re-established
+  kSimRetry,      // a home-cluster simulation attempt was re-run
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind{};
+  /// Workflow-clock time of the event, in hours (0 when the component
+  /// has no clock, e.g. connection-level events).
+  double time_hours = 0.0;
+  std::string detail;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// Roll-up of one run's ledger; all-zero when the injector is disabled.
+struct ResilienceSummary {
+  std::uint64_t node_crashes = 0;
+  std::uint64_t jobs_killed = 0;
+  std::uint64_t jobs_requeued = 0;
+  std::uint64_t wan_failures = 0;
+  std::uint64_t wan_degraded = 0;
+  std::uint64_t wan_retries = 0;
+  std::uint64_t db_drops = 0;
+  std::uint64_t db_reconnects = 0;
+  std::uint64_t sim_retries = 0;
+  /// Node-hours of execution lost to kills (work past the last
+  /// checkpoint, weighted by job width).
+  double wasted_node_hours = 0.0;
+  /// Node-hours spent writing/restoring checkpoints.
+  double checkpoint_overhead_node_hours = 0.0;
+  /// Wall time spent in retry backoff across all components.
+  double retry_wait_hours = 0.0;
+
+  bool operator==(const ResilienceSummary&) const = default;
+};
+
+class ResilienceLedger {
+ public:
+  void record(FaultKind kind, double time_hours, std::string detail = {});
+
+  void add_wasted_node_hours(double hours) { wasted_node_hours_ += hours; }
+  void add_checkpoint_overhead_node_hours(double hours) {
+    checkpoint_overhead_node_hours_ += hours;
+  }
+  void add_retry_wait_seconds(double seconds) {
+    retry_wait_hours_ += seconds / 3600.0;
+  }
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::uint64_t count(FaultKind kind) const;
+  double wasted_node_hours() const { return wasted_node_hours_; }
+
+  ResilienceSummary summary() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+  double wasted_node_hours_ = 0.0;
+  double checkpoint_overhead_node_hours_ = 0.0;
+  double retry_wait_hours_ = 0.0;
+};
+
+}  // namespace epi

@@ -1,0 +1,28 @@
+#include "resilience/retry_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+double RetryPolicy::delay_s(std::uint32_t attempt, double jitter_u) const {
+  EPI_REQUIRE(attempt >= 1, "retry attempt numbers are 1-based");
+  EPI_REQUIRE(jitter_u >= 0.0 && jitter_u < 1.0, "jitter draw out of [0, 1)");
+  const double raw =
+      base_delay_s * std::pow(multiplier, static_cast<double>(attempt - 1));
+  const double capped = std::min(raw, max_delay_s);
+  const double jittered =
+      capped * (1.0 + jitter_fraction * (2.0 * jitter_u - 1.0));
+  return std::max(0.0, jittered);
+}
+
+bool RetryPolicy::give_up(std::uint32_t attempts_done,
+                          double elapsed_s) const {
+  if (attempts_done >= max_attempts) return true;
+  if (deadline_s > 0.0 && elapsed_s >= deadline_s) return true;
+  return false;
+}
+
+}  // namespace epi

@@ -1,0 +1,43 @@
+// Generic retry policy: exponential backoff with seeded jitter, bounded
+// attempts, and deadline-aware give-up.
+//
+// Used by the WAN transfer model and the person-database session layer;
+// the DES uses checkpoint/requeue instead (a killed 6-node job is not
+// "retried", it is rescheduled — see checkpoint.hpp).
+//
+// The jitter input is an externally supplied uniform [0, 1) draw (from
+// FaultInjector::jitter, keyed by stream + attempt) so the policy itself
+// holds no RNG state and identical inputs always produce identical
+// delays.
+#pragma once
+
+#include <cstdint>
+
+namespace epi {
+
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries).
+  std::uint32_t max_attempts = 5;
+  /// Delay before the first retry.
+  double base_delay_s = 15.0;
+  /// Backoff multiplier per retry.
+  double multiplier = 2.0;
+  /// Backoff ceiling.
+  double max_delay_s = 600.0;
+  /// Symmetric jitter amplitude: delay *= 1 + jitter_fraction*(2u - 1).
+  double jitter_fraction = 0.25;
+  /// Give up retrying when the accumulated wait would cross this budget
+  /// (seconds). 0 = no deadline; the nightly workflow sets it from the
+  /// slack to the 8am deadline.
+  double deadline_s = 0.0;
+
+  /// Backoff delay before retry number `attempt` (1-based: the delay
+  /// taken after attempt `attempt` failed). `jitter_u` is uniform [0,1).
+  double delay_s(std::uint32_t attempt, double jitter_u) const;
+
+  /// True when no further attempt should be made after `attempts_done`
+  /// attempts with `elapsed_s` already spent waiting.
+  bool give_up(std::uint32_t attempts_done, double elapsed_s) const;
+};
+
+}  // namespace epi

@@ -28,12 +28,32 @@ std::vector<double> simulate_config(const SyntheticRegion& region,
                                 AggregationTarget::kCumulativeConfirmed);
 }
 
+/// Runs `body` under transient-failure injection: failed attempts are
+/// recorded and re-run (a replicate is a pure function of its config, so
+/// the retry reproduces the identical trajectory). Gives up — and takes
+/// the result of the final attempt — when the policy is exhausted.
+template <typename Body>
+auto with_sim_retries(const FaultInjector& faults, const RetryPolicy& policy,
+                      std::uint64_t job_seq, ResilienceLedger& ledger,
+                      Body&& body) {
+  std::uint32_t attempt = 1;
+  while (faults.sim_failure(job_seq, attempt) &&
+         !policy.give_up(attempt, 0.0)) {
+    ledger.record(FaultKind::kSimRetry, 0.0,
+                  "prior/forecast job " + std::to_string(job_seq));
+    ++attempt;
+  }
+  return body();
+}
+
 }  // namespace
 
 CalibrationCycleResult run_calibration_cycle(
     const CalibrationCycleConfig& config) {
   EPI_REQUIRE(config.prior_configs >= 8, "prior design too small to emulate");
   CalibrationCycleResult result;
+  const FaultInjector injector(config.faults);
+  ResilienceLedger ledger;
 
   // --- Region and observed data -------------------------------------------
   SynthPopConfig pop_config;
@@ -94,8 +114,9 @@ CalibrationCycleResult run_calibration_cycle(
         config.region, static_cast<std::uint32_t>(i),
         result.prior_design.points[i], 1, config.calibration_days,
         config.seed);
-    const auto series =
-        simulate_config(region, cell, config.calibration_days, 0);
+    const auto series = with_sim_retries(
+        injector, config.retry, i, ledger,
+        [&] { return simulate_config(region, cell, config.calibration_days, 0); });
     const auto logged = log_transform(series);
     sim_outputs.set_row(i, logged);
   }
@@ -171,8 +192,9 @@ CalibrationCycleResult run_calibration_cycle(
     const CellConfig cell = cell_from_calibration_point(
         config.region, static_cast<std::uint32_t>(1000 + i),
         result.posterior_configs[i], 1, total_days, config.seed);
-    forecast_curves.push_back(
-        simulate_config(region, cell, total_days, 0));
+    forecast_curves.push_back(with_sim_retries(
+        injector, config.retry, 1000 + i, ledger,
+        [&] { return simulate_config(region, cell, total_days, 0); }));
   }
   if (!forecast_curves.empty()) {
     result.forecast = ensemble_band(forecast_curves, 0.95);
@@ -181,6 +203,7 @@ CalibrationCycleResult run_calibration_cycle(
     EPI_INFO("calibration cycle: forecast coverage "
              << result.forecast_coverage);
   }
+  result.resilience = ledger.summary();
   return result;
 }
 

@@ -15,6 +15,9 @@
 
 #include "analytics/ensemble.hpp"
 #include "calibration/calibrate.hpp"
+#include "resilience/fault_injector.hpp"
+#include "resilience/ledger.hpp"
+#include "resilience/retry_policy.hpp"
 #include "surveillance/ground_truth.hpp"
 #include "synthpop/generator.hpp"
 #include "workflow/designs.hpp"
@@ -48,6 +51,14 @@ struct CalibrationCycleConfig {
   double truth_reporting_rate = 0.575;
   /// Days of surveillance history searched for the takeoff point.
   int takeoff_search_days = 150;
+
+  /// Injected fault environment for the home-cluster simulation farm
+  /// (FaultSpec::sim_failure_prob: one prior/forecast run dying
+  /// transiently and being re-run). Disabled by default; because a
+  /// replicate is a pure function of its config, retries reproduce the
+  /// exact same trajectory and only the resilience accounting changes.
+  FaultSpec faults;
+  RetryPolicy retry;
 };
 
 struct CalibrationCycleResult {
@@ -67,6 +78,10 @@ struct CalibrationCycleResult {
   EnsembleBand forecast;
   /// Fraction of truth-extension points inside the forecast band.
   double forecast_coverage = 0.0;
+
+  /// Retry accounting for the simulation farm (all-zero when
+  /// CalibrationCycleConfig::faults is disabled).
+  ResilienceSummary resilience;
 };
 
 CalibrationCycleResult run_calibration_cycle(

@@ -39,13 +39,26 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
   WorkflowReport report;
   report.name = design.name;
   report.planned_simulations = design.simulations();
+
+  const FaultInjector injector(config_.faults);
+  ResilienceLedger ledger;
   GlobusTransfer wan;
+  if (injector.enabled()) {
+    wan.enable_resilience(&injector, config_.retry, &ledger);
+  }
+
   double clock_hours = 0.0;
   auto phase = [&](const std::string& name, const std::string& site,
                    double duration_hours) {
     report.timeline.push_back(PhaseRecord{name, site, clock_hours,
                                           duration_hours});
     clock_hours += duration_hours;
+  };
+  // Wall-clock phase duration with a model floor; under deterministic
+  // timing the floor is the duration.
+  auto timed_hours = [&](double floor_hours, const Timer& timer) {
+    if (config_.deterministic_timing) return floor_hours;
+    return std::max(floor_hours, timer.elapsed_seconds() / 3600.0);
   };
 
   // ---- Phase 1 (home): generate cell configurations ----------------------
@@ -58,8 +71,7 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
     }
     configs_by_region.emplace(abbrev, std::move(configs));
   }
-  phase("generate configurations", "home",
-        std::max(0.25, config_timer.elapsed_seconds() / 3600.0));
+  phase("generate configurations", "home", timed_hours(0.25, config_timer));
 
   // ---- Phase 2 (WAN): configs to the remote site --------------------------
   const double config_transfer_s =
@@ -94,6 +106,12 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
   DesConfig des_config;
   des_config.window_hours = remote_.window_hours;
   des_config.backfill = config_.policy != PackingPolicy::kNextFitArrival;
+  if (injector.enabled()) {
+    des_config.faults = &injector;
+    des_config.checkpoint = config_.checkpoint;
+    des_config.checkpoint.job_ticks = design.num_days;
+    des_config.ledger = &ledger;
+  }
   Rng des_rng = Rng(config_.seed).derive({0x444553ULL});  // "DES"
   const DesResult des = simulate_cluster(remote_, ordered, des_config, des_rng);
   report.schedule_makespan_hours = des.makespan_hours;
@@ -107,13 +125,21 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
   double raw_bytes_per_person = 0.0;
   std::uint64_t sampled_persons = 0;
   std::uint64_t cube_bytes = 0;
+  double db_retry_wait_s = 0.0;
   Timer execute_timer;
   for (std::size_t i = 0; i < config_.sample_executions; ++i) {
     const std::string& abbrev = sample_pool[i % sample_pool.size()];
     const SyntheticRegion& reg = region(abbrev);
     // Each running job holds connections against the region's database
-    // (the DB-WMP constraint made concrete).
-    auto connection = databases_.get(abbrev).connect();
+    // (the DB-WMP constraint made concrete). Under fault injection the
+    // session may drop and reconnect with backoff.
+    std::optional<DbConnection> connection = [&]() -> std::optional<DbConnection> {
+      if (!injector.enabled()) return databases_.get(abbrev).connect();
+      ResilientConnectResult attempt = databases_.get(abbrev).connect_resilient(
+          injector, config_.retry, &ledger);
+      db_retry_wait_s += attempt.wait_s;
+      return std::move(attempt.connection);
+    }();
     EPI_REQUIRE(connection.has_value(),
                 "database connection pool exhausted for " << abbrev);
     // Touch the traits through the server as the simulator does at start.
@@ -133,6 +159,7 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
     report.summary_bytes_measured += cube.byte_size();
     sampled_persons += reg.population.person_count();
     cube_bytes = cube.byte_size();
+    report.db_queries_served += connection->queries_served();
     ++report.executed_simulations;
   }
   if (sampled_persons > 0) {
@@ -159,7 +186,7 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
   report.summary_bytes_full_scale =
       full_cube_bytes * static_cast<double>(report.planned_simulations);
   phase("aggregate outputs", "remote",
-        std::max(0.3, execute_timer.elapsed_seconds() / 3600.0));
+        timed_hours(0.3, execute_timer) + db_retry_wait_s / 3600.0);
 
   // ---- Phase 5 (WAN): summaries home --------------------------------------
   const double summary_transfer_s = wan.transfer(
@@ -180,7 +207,17 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
   }
   report.bytes_to_remote = wan.total_bytes_to_remote();
   report.bytes_to_home = wan.total_bytes_to_home();
+  report.wan_seconds_to_remote = wan.total_seconds_to_remote();
+  report.wan_seconds_to_home = wan.total_seconds_to_home();
   report.total_elapsed_hours = clock_hours;
+
+  report.resilience = ledger.summary();
+  report.deadline_slack_hours =
+      remote_.window_hours - report.schedule_makespan_hours;
+  report.deadline_met =
+      report.unfinished_jobs == 0 &&
+      (remote_.window_hours <= 0.0 ||
+       report.schedule_makespan_hours <= remote_.window_hours);
   EPI_INFO("workflow " << design.name << ": " << report.planned_simulations
                        << " sims planned, utilization " << report.utilization
                        << ", makespan " << report.schedule_makespan_hours

@@ -14,6 +14,13 @@
 // population scale; measured per-person output volumes extrapolate to the
 // full design at scale 1 (who-runs-what and the schedule itself are exact,
 // only the volume figures are extrapolated — see DESIGN.md).
+//
+// Resilience: NightlyConfig carries a FaultSpec; when enabled, node
+// crashes hit the Slurm DES (killed jobs requeue from their last
+// checkpoint), WAN transfers fail/degrade and retry with backoff, and
+// person-DB sessions drop and reconnect. Every fault and recovery lands
+// in WorkflowReport::resilience; with the spec disabled (default) the
+// engine is byte-identical to the fault-free build.
 #pragma once
 
 #include <map>
@@ -26,6 +33,10 @@
 #include "cluster/packing.hpp"
 #include "cluster/slurm_sim.hpp"
 #include "cluster/transfer.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/fault_injector.hpp"
+#include "resilience/ledger.hpp"
+#include "resilience/retry_policy.hpp"
 #include "synthpop/generator.hpp"
 #include "workflow/designs.hpp"
 
@@ -44,6 +55,21 @@ struct NightlyConfig {
   /// horizon is extrapolated linearly from this).
   Tick executed_days = 120;
   PackingPolicy policy = PackingPolicy::kFirstFitDecreasing;
+
+  /// Injected fault environment (disabled by default: perfect hardware,
+  /// byte-identical to the seed engine).
+  FaultSpec faults;
+  /// Backoff for WAN transfers and person-DB sessions under faults.
+  RetryPolicy retry;
+  /// Checkpoint/requeue model for remote jobs under faults
+  /// (interval_ticks == 0: killed jobs restart from scratch). job_ticks
+  /// is overwritten with the design's horizon at run time.
+  CheckpointSpec checkpoint;
+  /// Replace wall-clock phase timings (config generation, sample
+  /// execution) with their deterministic model floors, making the whole
+  /// WorkflowReport — timeline included — reproducible bit for bit.
+  /// Off by default: the seed behaviour reports measured wall time.
+  bool deterministic_timing = false;
 };
 
 struct PhaseRecord {
@@ -51,6 +77,8 @@ struct PhaseRecord {
   std::string site;  // "home", "remote", "wan"
   double start_hours = 0.0;
   double duration_hours = 0.0;
+
+  bool operator==(const PhaseRecord&) const = default;
 };
 
 struct WorkflowReport {
@@ -73,6 +101,8 @@ struct WorkflowReport {
   // Transfers.
   std::uint64_t bytes_to_remote = 0;
   std::uint64_t bytes_to_home = 0;
+  double wan_seconds_to_remote = 0.0;
+  double wan_seconds_to_home = 0.0;
 
   std::vector<PhaseRecord> timeline;
   double total_elapsed_hours = 0.0;
@@ -82,6 +112,16 @@ struct WorkflowReport {
   std::size_t db_servers_started = 0;
   std::size_t db_peak_connections = 0;
   std::uint64_t db_queries_served = 0;
+
+  // Resilience accounting (all-zero when the injector is disabled).
+  ResilienceSummary resilience;
+  /// Slack against the 8am deadline: window length minus the remote
+  /// schedule makespan (negative = the schedule blew the window).
+  double deadline_slack_hours = 0.0;
+  /// The night made its deadline: every job finished inside the window.
+  bool deadline_met = true;
+
+  bool operator==(const WorkflowReport&) const = default;
 };
 
 class NightlyWorkflow {
