@@ -1,23 +1,70 @@
 #!/usr/bin/env bash
-# CI entry point: build and run the tier-1 test suite twice —
-#   1. the plain RelWithDebInfo build,
-#   2. an AddressSanitizer + UBSan build (EPI_SANITIZE=ON).
-# Any test failure or sanitizer report fails the script.
+# CI entry point with selectable lanes:
+#
+#   ./ci.sh            # all lanes: lint, plain, asan, tsan
+#   ./ci.sh lint       # determinism lint only (fast, no build)
+#   ./ci.sh plain      # RelWithDebInfo build + tests + CommChecker pass
+#   ./ci.sh asan       # AddressSanitizer + UBSan + LeakSanitizer build
+#   ./ci.sh tsan       # ThreadSanitizer build (mpilite runs ranks as
+#                      # threads, so this sees every data race real-MPI
+#                      # codebases cannot)
+#
+# Any lint finding, test failure, checker report, or sanitizer report
+# fails the script.
 set -euo pipefail
-
 cd "$(dirname "$0")"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== plain build =="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+run_lint() {
+  echo "== determinism lint =="
+  tools/lint.sh
+}
 
-echo "== sanitized build (ASan + UBSan) =="
-cmake -B build-asan -S . -DEPI_SANITIZE=ON >/dev/null
-cmake --build build-asan -j "$JOBS"
-# halt_on_error makes UBSan findings fail the run instead of just logging.
-UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=0 \
-  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+run_plain() {
+  echo "== plain build =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "CI OK"
+  echo "== CommChecker pass (EPI_MPILITE_CHECK=1) =="
+  # Re-run the mpilite-backed suites under the communication checker: a
+  # correct program must produce zero reports, so any report fails the
+  # test. InvalidRankOrTagThrows seeds deliberate misuse inside
+  # EXPECT_THROW and is excluded — the checker reporting it is the
+  # expected behaviour, exercised by tests/test_mpilite_check.cpp.
+  EPI_MPILITE_CHECK=1 ctest --test-dir build --output-on-failure -j "$JOBS" \
+    -R 'Mpilite|Parallel' -E 'InvalidRankOrTag'
+}
+
+run_asan() {
+  echo "== sanitized build (ASan + UBSan + LSan) =="
+  cmake -B build-asan -S . -DEPI_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  # halt_on_error makes UBSan findings fail the run instead of just
+  # logging; detect_leaks=1 turns LeakSanitizer on at exit.
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+}
+
+run_tsan() {
+  echo "== sanitized build (ThreadSanitizer) =="
+  cmake -B build-tsan -S . -DEPI_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+}
+
+lane="${1:-all}"
+case "$lane" in
+  lint)  run_lint ;;
+  plain) run_plain ;;
+  asan)  run_asan ;;
+  tsan)  run_tsan ;;
+  all)   run_lint; run_plain; run_asan; run_tsan ;;
+  *)
+    echo "usage: $0 [lint|plain|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "CI OK ($lane)"

@@ -16,12 +16,14 @@ TransmissionForest::TransmissionForest(
     if (infected_at_.count(event.person) != 0) continue;
     if (event.infector != kNoPerson) {
       infected_at_[event.person] = event.tick;
+      infection_order_.emplace_back(event.person, event.tick);
       children_[event.infector].push_back(event.person);
       ++edges_;
     } else if (event.exit_state != kNoState) {
       // A seed: treat the first causeless transition as the root infection
       // if the person is never attributed to an infector.
       infected_at_[event.person] = event.tick;
+      infection_order_.emplace_back(event.person, event.tick);
       roots_.push_back(event.person);
     }
   }
@@ -64,9 +66,11 @@ std::size_t TransmissionForest::tree_depth(PersonId root) const {
 double TransmissionForest::mean_offspring(Tick horizon) const {
   // Only count persons infected early enough that their offspring are
   // fully observed; otherwise right-censoring biases the estimate down.
+  // Iterates the log-ordered vector, not the unordered index, so the
+  // traversal (and any future per-person output) is deterministic.
   std::size_t eligible = 0;
   std::size_t offspring = 0;
-  for (const auto& [person, tick] : infected_at_) {
+  for (const auto& [person, tick] : infection_order_) {
     if (tick + horizon > last_tick_) continue;
     ++eligible;
     offspring += children(person).size();

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "epihiper/simulation.hpp"
@@ -43,8 +44,14 @@ class TransmissionForest {
   std::uint64_t byte_size() const;
 
  private:
+  // The unordered maps are lookup indexes only and are never iterated:
+  // hash order is nondeterministic across runs/platforms, so any output
+  // derived from iterating them would break replicate reproducibility
+  // (the determinism lint enforces this). Iteration happens over
+  // infection_order_, which preserves the deterministic log order.
   std::unordered_map<PersonId, std::vector<PersonId>> children_;
   std::unordered_map<PersonId, Tick> infected_at_;
+  std::vector<std::pair<PersonId, Tick>> infection_order_;
   std::vector<PersonId> roots_;
   std::size_t edges_ = 0;
   Tick last_tick_ = 0;

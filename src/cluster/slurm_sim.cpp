@@ -6,7 +6,6 @@
 #include <map>
 #include <queue>
 #include <set>
-#include <unordered_map>
 
 #include "util/error.hpp"
 
@@ -175,7 +174,10 @@ DesResult simulate_with_faults(const ClusterSpec& cluster,
   std::vector<std::uint64_t> node_owner(cluster.nodes, kNone);
   std::vector<bool> node_down(cluster.nodes, false);
 
-  std::unordered_map<std::uint64_t, Instance> running;
+  // Ordered by instance id so any iteration (per-instance accounting,
+  // future end-of-window dumps) emits in deterministic sorted key order;
+  // an unordered_map here would make such output hash-order dependent.
+  std::map<std::uint64_t, Instance> running;
   std::uint64_t next_instance = 0;
   using EndEvent = std::pair<double, std::uint64_t>;  // (end, instance)
   std::priority_queue<EndEvent, std::vector<EndEvent>, std::greater<EndEvent>>

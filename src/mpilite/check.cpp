@@ -1,0 +1,347 @@
+#include "mpilite/check.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace epi::mpilite {
+
+const char* to_string(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kCollectiveMismatch: return "collective-mismatch";
+    case CheckKind::kMessageLeak: return "message-leak";
+    case CheckKind::kDeadlock: return "deadlock";
+    case CheckKind::kRankMisuse: return "rank-misuse";
+    case CheckKind::kTagMisuse: return "tag-misuse";
+    case CheckKind::kSelfSend: return "self-send";
+  }
+  return "unknown";
+}
+
+std::string format_reports(const std::vector<CheckReport>& reports) {
+  std::ostringstream oss;
+  for (const CheckReport& report : reports) {
+    oss << "[" << to_string(report.kind) << "]";
+    if (report.rank >= 0) oss << " rank " << report.rank << ":";
+    oss << " " << report.message << "\n";
+  }
+  return oss.str();
+}
+
+namespace detail {
+
+const char* to_string(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kBarrier: return "barrier";
+    case CollectiveKind::kAllreduce: return "allreduce";
+    case CollectiveKind::kAllgatherv: return "allgatherv";
+    case CollectiveKind::kAlltoallv: return "alltoallv";
+    case CollectiveKind::kBroadcast: return "broadcast";
+  }
+  return "unknown";
+}
+
+namespace {
+
+const char* reduce_op_name(int op) {
+  switch (op) {
+    case 0: return "sum";
+    case 1: return "min";
+    case 2: return "max";
+    case 3: return "logical_or";
+  }
+  return "?";
+}
+
+}  // namespace
+
+CommChecker::CommChecker(int num_ranks, const CheckOptions& options)
+    : num_ranks_(num_ranks),
+      options_(options),
+      ranks_(static_cast<std::size_t>(num_ranks)),
+      history_(static_cast<std::size_t>(num_ranks)) {}
+
+CommChecker::~CommChecker() { stop_watchdog(); }
+
+void CommChecker::record(CheckKind kind, int rank, std::string message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  reports_.push_back(CheckReport{kind, rank, std::move(message)});
+}
+
+void CommChecker::bump_progress() {
+  progress_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CommChecker::on_send(int rank, int dest, int tag, int comm_size) {
+  bump_progress();
+  if (dest < 0 || dest >= comm_size) {
+    std::ostringstream oss;
+    oss << "send to rank " << dest << " but the communicator has ranks 0.."
+        << comm_size - 1 << "; check the destination computation "
+        << "(a common source is a partition index used as a rank)";
+    record(CheckKind::kRankMisuse, rank, oss.str());
+    throw CheckError("mpilite check: " + oss.str());
+  }
+  if (tag < 0 || tag >= (1 << 30)) {
+    std::ostringstream oss;
+    oss << "send with tag " << tag << " outside the user range [0, 2^30); "
+        << "tags at or above 2^30 are reserved for mpilite collectives and "
+        << "negative tags are invalid (MPI_ANY_TAG is not supported)";
+    record(CheckKind::kTagMisuse, rank, oss.str());
+    throw CheckError("mpilite check: " + oss.str());
+  }
+  if (dest == rank) {
+    std::ostringstream oss;
+    oss << "send to self (tag " << tag << "); mpilite buffers it, but a "
+        << "blocking send-to-self deadlocks under rendezvous-mode MPI — "
+        << "keep local data local instead of routing it through the "
+        << "communicator";
+    record(CheckKind::kSelfSend, rank, oss.str());
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++pending_[{rank, dest, tag}];
+}
+
+void CommChecker::on_recv_args(int rank, int source, int tag, int comm_size) {
+  bump_progress();
+  if (source < 0 || source >= comm_size) {
+    std::ostringstream oss;
+    oss << "recv from rank " << source << " but the communicator has ranks "
+        << "0.." << comm_size - 1 << "; no message can ever arrive from a "
+        << "nonexistent rank";
+    record(CheckKind::kRankMisuse, rank, oss.str());
+    throw CheckError("mpilite check: " + oss.str());
+  }
+  if (tag < 0 || tag >= (1 << 30)) {
+    std::ostringstream oss;
+    oss << "recv with tag " << tag << " outside the user range [0, 2^30); "
+        << "no user send can carry this tag, so the receive can never "
+        << "complete";
+    record(CheckKind::kTagMisuse, rank, oss.str());
+    throw CheckError("mpilite check: " + oss.str());
+  }
+}
+
+void CommChecker::on_delivered(int rank, int source, int tag) {
+  bump_progress();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = pending_.find({source, rank, tag});
+  if (it != pending_.end() && --it->second == 0) pending_.erase(it);
+}
+
+void CommChecker::on_collective(int rank, CollectiveKind kind, int root,
+                                int op, std::size_t count,
+                                bool count_must_agree) {
+  bump_progress();
+  if (kind == CollectiveKind::kBroadcast &&
+      (root < 0 || root >= num_ranks_)) {
+    std::ostringstream oss;
+    oss << "broadcast with root " << root << " but the communicator has "
+        << "ranks 0.." << num_ranks_ - 1;
+    record(CheckKind::kRankMisuse, rank, oss.str());
+    throw CheckError("mpilite check: " + oss.str());
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  history_[static_cast<std::size_t>(rank)].push_back(
+      CollectiveRecord{kind, root, op, count, count_must_agree});
+}
+
+void CommChecker::enter_blocked(int rank, std::string what) {
+  bump_progress();
+  std::lock_guard<std::mutex> lock(mutex_);
+  RankState& state = ranks_[static_cast<std::size_t>(rank)];
+  state.phase = Phase::kBlocked;
+  state.blocked_on = std::move(what);
+}
+
+void CommChecker::exit_blocked(int rank) {
+  bump_progress();
+  std::lock_guard<std::mutex> lock(mutex_);
+  RankState& state = ranks_[static_cast<std::size_t>(rank)];
+  state.phase = Phase::kRunning;
+  state.blocked_on.clear();
+}
+
+void CommChecker::on_op_complete(int rank, std::string op) {
+  bump_progress();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ranks_[static_cast<std::size_t>(rank)].last_op = std::move(op);
+}
+
+void CommChecker::on_rank_done(int rank) {
+  bump_progress();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ranks_[static_cast<std::size_t>(rank)].phase = Phase::kDone;
+}
+
+void CommChecker::start_watchdog(std::function<void()> abort_group) {
+  abort_group_ = std::move(abort_group);
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+void CommChecker::stop_watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void CommChecker::watchdog_loop() {
+  using Clock = std::chrono::steady_clock;
+  const auto timeout =
+      std::chrono::duration_cast<Clock::duration>(std::chrono::duration<double>(
+          options_.deadlock_timeout_s));
+  const auto poll = std::min<Clock::duration>(
+      timeout / 4 + Clock::duration{1}, std::chrono::milliseconds(50));
+
+  std::uint64_t last_progress = progress_.load();
+  auto last_change = Clock::now();
+  std::unique_lock<std::mutex> wlock(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(wlock, poll, [&] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+
+    const std::uint64_t now_progress = progress_.load();
+    const auto now = Clock::now();
+    if (now_progress != last_progress) {
+      last_progress = now_progress;
+      last_change = now;
+      continue;
+    }
+
+    bool any_blocked = false;
+    bool all_stuck = true;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const RankState& state : ranks_) {
+        if (state.phase == Phase::kBlocked) any_blocked = true;
+        if (state.phase == Phase::kRunning) all_stuck = false;
+      }
+    }
+    if (!any_blocked || !all_stuck || now - last_change < timeout) continue;
+
+    // Deadlock: every rank is blocked or finished, and nothing has moved
+    // for a full timeout. Any deliverable message would have woken its
+    // receiver (mailbox puts notify), so nothing can ever move again.
+    // Progress ticked when the last rank entered its blocked state, so the
+    // group really was wedged for the whole window.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (int r = 0; r < num_ranks_; ++r) {
+        const RankState& state = ranks_[static_cast<std::size_t>(r)];
+        if (state.phase != Phase::kBlocked) continue;
+        std::ostringstream oss;
+        oss << "blocked in " << state.blocked_on
+            << " with no deliverable message and no rank running"
+            << "; last completed operation: " << state.last_op;
+        reports_.push_back(CheckReport{CheckKind::kDeadlock, r, oss.str()});
+      }
+    }
+    deadlock_fired_.store(true);
+    if (abort_group_) abort_group_();
+    return;
+  }
+}
+
+std::string CommChecker::describe(const CollectiveRecord& rec) {
+  std::ostringstream oss;
+  oss << to_string(rec.kind);
+  switch (rec.kind) {
+    case CollectiveKind::kAllreduce:
+      oss << "(op=" << reduce_op_name(rec.op) << ", count=" << rec.count
+          << ")";
+      break;
+    case CollectiveKind::kBroadcast:
+      oss << "(root=" << rec.root << ")";
+      break;
+    default:
+      break;
+  }
+  return oss.str();
+}
+
+void CommChecker::check_collective_history(
+    Shutdown shutdown, std::vector<CheckReport>& out) const {
+  std::size_t min_len = history_.empty() ? 0 : history_[0].size();
+  std::size_t max_len = min_len;
+  for (const auto& h : history_) {
+    min_len = std::min(min_len, h.size());
+    max_len = std::max(max_len, h.size());
+  }
+
+  // Compare the slots every rank reached; rank 0 is the reference.
+  for (std::size_t slot = 0; slot < min_len; ++slot) {
+    const CollectiveRecord& ref = history_[0][slot];
+    for (int r = 1; r < num_ranks_; ++r) {
+      const CollectiveRecord& rec = history_[static_cast<std::size_t>(r)][slot];
+      std::ostringstream oss;
+      if (rec.kind != ref.kind) {
+        oss << "collective #" << slot << ": rank 0 entered " << describe(ref)
+            << " but rank " << r << " entered " << describe(rec)
+            << "; every rank of a communicator must enter the same "
+            << "collective in the same order";
+      } else if (rec.kind == CollectiveKind::kBroadcast &&
+                 rec.root != ref.root) {
+        oss << "collective #" << slot << ": broadcast with root " << ref.root
+            << " on rank 0 but root " << rec.root << " on rank " << r
+            << "; MPI requires every rank to pass the same root";
+      } else if (rec.count_must_agree &&
+                 (rec.op != ref.op || rec.count != ref.count)) {
+        oss << "collective #" << slot << ": " << describe(ref)
+            << " on rank 0 but " << describe(rec) << " on rank " << r
+            << "; allreduce requires the same ReduceOp and element count on "
+            << "every rank (a mismatch silently corrupts the reduction)";
+      } else {
+        continue;
+      }
+      out.push_back(CheckReport{CheckKind::kCollectiveMismatch, r, oss.str()});
+    }
+  }
+
+  // Length divergence is a finding on clean shutdown (an extra buffered
+  // collective completed unmatched) and on deadlock (the extra collective
+  // is usually what wedged the group). After a rank's own exception the
+  // streams were cut mid-flight and unequal lengths are noise.
+  if (shutdown != Shutdown::kAborted && min_len != max_len) {
+    for (int r = 0; r < num_ranks_; ++r) {
+      const std::size_t len = history_[static_cast<std::size_t>(r)].size();
+      if (len == min_len) continue;
+      std::ostringstream oss;
+      oss << "entered " << len << " collectives but another rank entered "
+          << "only " << min_len << "; the extra "
+          << describe(history_[static_cast<std::size_t>(r)][min_len])
+          << " at position #" << min_len << " was never matched";
+      out.push_back(
+          CheckReport{CheckKind::kCollectiveMismatch, r, oss.str()});
+    }
+  }
+}
+
+std::vector<CheckReport> CommChecker::finalize(Shutdown shutdown) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CheckReport> out = reports_;
+
+  if (shutdown != Shutdown::kAborted) {
+    check_collective_history(shutdown, out);
+  }
+
+  if (shutdown == Shutdown::kClean) {
+    for (const auto& [key, count] : pending_) {
+      const auto& [source, dest, tag] = key;
+      std::ostringstream oss;
+      oss << count << " message" << (count == 1 ? "" : "s") << " from rank "
+          << source << " to rank " << dest << " with tag " << tag
+          << " sent but never received; the payload sat in rank " << dest
+          << "'s mailbox at finalize (missing recv, or a recv with the "
+          << "wrong source/tag)";
+      out.push_back(CheckReport{CheckKind::kMessageLeak, -1, oss.str()});
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace epi::mpilite

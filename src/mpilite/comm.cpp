@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <string>
+#include <string_view>
 #include <thread>
 
 namespace epi::mpilite {
@@ -27,9 +30,45 @@ struct Hub {
   std::atomic<bool> aborted{false};
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
   Barrier barrier;
+  std::unique_ptr<CommChecker> checker;  // null unless checking enabled
 
   void abort();
 };
+
+namespace {
+
+/// Marks a rank blocked for the checker's deadlock watchdog; restores the
+/// running state on scope exit (including abort-driven unwinds).
+struct BlockGuard {
+  BlockGuard(CommChecker* checker, int rank, std::string what)
+      : checker_(checker), rank_(rank) {
+    if (checker_ != nullptr) checker_->enter_blocked(rank_, std::move(what));
+  }
+  ~BlockGuard() {
+    if (checker_ != nullptr) checker_->exit_blocked(rank_);
+  }
+  BlockGuard(const BlockGuard&) = delete;
+  BlockGuard& operator=(const BlockGuard&) = delete;
+
+ private:
+  CommChecker* checker_;
+  int rank_;
+};
+
+/// Suppresses nested collective recording (allreduce runs on allgatherv).
+struct CollectiveScope {
+  explicit CollectiveScope(bool& flag) : flag_(flag), outer_(flag) {
+    flag_ = true;
+  }
+  ~CollectiveScope() { flag_ = outer_; }
+  bool outer() const { return outer_; }
+
+ private:
+  bool& flag_;
+  bool outer_;
+};
+
+}  // namespace
 
 void Mailbox::put(int source, int tag, Bytes payload) {
   {
@@ -48,7 +87,7 @@ Bytes Mailbox::take(int source, int tag) {
     return it != queues_.end() && !it->second.empty();
   });
   if (aborted_ != nullptr && aborted_->load()) {
-    throw Error("mpilite: communicator aborted while waiting for message");
+    throw AbortedError("mpilite: communicator aborted while waiting for message");
   }
   auto& queue = queues_[key];
   Bytes payload = std::move(queue.front());
@@ -66,7 +105,7 @@ void Mailbox::wake_all() {
 void Barrier::arrive_and_wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   if (aborted_ != nullptr && aborted_->load()) {
-    throw Error("mpilite: communicator aborted at barrier");
+    throw AbortedError("mpilite: communicator aborted at barrier");
   }
   const std::uint64_t my_generation = generation_;
   if (++waiting_ == parties_) {
@@ -80,7 +119,7 @@ void Barrier::arrive_and_wait() {
            (aborted_ != nullptr && aborted_->load());
   });
   if (generation_ == my_generation && aborted_ != nullptr && aborted_->load()) {
-    throw Error("mpilite: communicator aborted at barrier");
+    throw AbortedError("mpilite: communicator aborted at barrier");
   }
 }
 
@@ -101,23 +140,63 @@ void Hub::abort() {
 
 int Comm::size() const { return hub_->size; }
 
+detail::CommChecker* Comm::checker() const { return hub_->checker.get(); }
+
+/// A mailbox take annotated as a blocked state for the deadlock watchdog.
+Bytes Comm::take_blocking(int source, int tag, const std::string& what) {
+  detail::BlockGuard guard(checker(), rank_, what);
+  return hub_->mailboxes[static_cast<std::size_t>(rank_)]->take(source, tag);
+}
+
 void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) {
+  if (auto* chk = checker()) chk->on_send(rank_, dest, tag, size());
   EPI_REQUIRE(dest >= 0 && dest < size(), "send to invalid rank " << dest);
   EPI_REQUIRE(tag >= 0 && tag < detail::kSystemTagBase,
               "user tags must be in [0, 2^30)");
   bytes_sent_ += data.size();
   hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
       rank_, tag, Bytes(data.begin(), data.end()));
+  if (auto* chk = checker()) {
+    chk->on_op_complete(rank_, "send(dest=" + std::to_string(dest) +
+                                   ", tag=" + std::to_string(tag) + ")");
+  }
 }
 
 Bytes Comm::recv_bytes(int source, int tag) {
+  auto* chk = checker();
+  if (chk != nullptr) chk->on_recv_args(rank_, source, tag, size());
   EPI_REQUIRE(source >= 0 && source < size(), "recv from invalid rank " << source);
-  return hub_->mailboxes[static_cast<std::size_t>(rank_)]->take(source, tag);
+  const std::string what = "recv(source=" + std::to_string(source) +
+                           ", tag=" + std::to_string(tag) + ")";
+  Bytes payload = take_blocking(source, tag, what);
+  if (chk != nullptr) {
+    chk->on_delivered(rank_, source, tag);
+    chk->on_op_complete(rank_, what);
+  }
+  return payload;
 }
 
-void Comm::barrier() { hub_->barrier.arrive_and_wait(); }
+void Comm::barrier() {
+  auto* chk = checker();
+  if (chk != nullptr && !in_collective_) {
+    chk->on_collective(rank_, detail::CollectiveKind::kBarrier, -1, -1, 0,
+                       false);
+  }
+  detail::CollectiveScope scope(in_collective_);
+  {
+    detail::BlockGuard guard(chk, rank_, "barrier()");
+    hub_->barrier.arrive_and_wait();
+  }
+  if (chk != nullptr && !scope.outer()) chk->on_op_complete(rank_, "barrier()");
+}
 
 Bytes Comm::allgatherv_bytes(Bytes mine) {
+  auto* chk = checker();
+  if (chk != nullptr && !in_collective_) {
+    chk->on_collective(rank_, detail::CollectiveKind::kAllgatherv, -1, -1,
+                       mine.size(), false);
+  }
+  detail::CollectiveScope scope(in_collective_);
   // Ring-free naive implementation: everyone posts to everyone. Message
   // counts are tiny (one per rank pair) and correctness is what matters.
   for (int dest = 0; dest < size(); ++dest) {
@@ -131,15 +210,26 @@ Bytes Comm::allgatherv_bytes(Bytes mine) {
     if (source == rank_) {
       result.insert(result.end(), mine.begin(), mine.end());
     } else {
-      Bytes part = hub_->mailboxes[static_cast<std::size_t>(rank_)]->take(
-          source, detail::kTagAllgather);
+      Bytes part =
+          take_blocking(source, detail::kTagAllgather,
+                        "allgatherv: waiting for the contribution of rank " +
+                            std::to_string(source));
       result.insert(result.end(), part.begin(), part.end());
     }
+  }
+  if (chk != nullptr && !scope.outer()) {
+    chk->on_op_complete(rank_, "allgatherv");
   }
   return result;
 }
 
 std::vector<Bytes> Comm::alltoallv_bytes(const std::vector<Bytes>& outbox) {
+  auto* chk = checker();
+  if (chk != nullptr && !in_collective_) {
+    chk->on_collective(rank_, detail::CollectiveKind::kAlltoallv, -1, -1, 0,
+                       false);
+  }
+  detail::CollectiveScope scope(in_collective_);
   for (int dest = 0; dest < size(); ++dest) {
     if (dest == rank_) continue;
     bytes_sent_ += outbox[static_cast<std::size_t>(dest)].size();
@@ -151,14 +241,24 @@ std::vector<Bytes> Comm::alltoallv_bytes(const std::vector<Bytes>& outbox) {
   for (int source = 0; source < size(); ++source) {
     if (source == rank_) continue;
     inbox[static_cast<std::size_t>(source)] =
-        hub_->mailboxes[static_cast<std::size_t>(rank_)]->take(
-            source, detail::kTagAlltoall);
+        take_blocking(source, detail::kTagAlltoall,
+                      "alltoallv: waiting for the slice from rank " +
+                          std::to_string(source));
+  }
+  if (chk != nullptr && !scope.outer()) {
+    chk->on_op_complete(rank_, "alltoallv");
   }
   return inbox;
 }
 
 std::vector<double> Comm::allreduce(std::span<const double> values,
                                     ReduceOp op) {
+  auto* chk = checker();
+  if (chk != nullptr && !in_collective_) {
+    chk->on_collective(rank_, detail::CollectiveKind::kAllreduce, -1,
+                       static_cast<int>(op), values.size(), true);
+  }
+  detail::CollectiveScope scope(in_collective_);
   // Gather everyone's vector, reduce locally. O(P^2) messages — fine for
   // the rank counts we run (<= 64).
   std::vector<double> mine(values.begin(), values.end());
@@ -185,6 +285,7 @@ std::vector<double> Comm::allreduce(std::span<const double> values,
     }
     result[i] = acc;
   }
+  if (chk != nullptr && !scope.outer()) chk->on_op_complete(rank_, "allreduce");
   return result;
 }
 
@@ -198,6 +299,12 @@ std::int64_t Comm::allreduce(std::int64_t value, ReduceOp op) {
 }
 
 std::vector<double> Comm::broadcast(std::vector<double> value, int root) {
+  auto* chk = checker();
+  if (chk != nullptr && !in_collective_) {
+    chk->on_collective(rank_, detail::CollectiveKind::kBroadcast, root, -1,
+                       value.size(), false);
+  }
+  detail::CollectiveScope scope(in_collective_);
   EPI_REQUIRE(root >= 0 && root < size(), "broadcast from invalid root");
   if (rank_ == root) {
     Bytes raw(reinterpret_cast<const std::byte*>(value.data()),
@@ -209,12 +316,19 @@ std::vector<double> Comm::broadcast(std::vector<double> value, int root) {
       hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
           rank_, detail::kTagBroadcast, raw);
     }
+    if (chk != nullptr && !scope.outer()) {
+      chk->on_op_complete(rank_, "broadcast(root=" + std::to_string(root) + ")");
+    }
     return value;
   }
-  Bytes raw = hub_->mailboxes[static_cast<std::size_t>(rank_)]->take(
-      root, detail::kTagBroadcast);
+  Bytes raw = take_blocking(root, detail::kTagBroadcast,
+                            "broadcast: waiting for root " +
+                                std::to_string(root));
   std::vector<double> out(raw.size() / sizeof(double));
   std::memcpy(out.data(), raw.data(), raw.size());
+  if (chk != nullptr && !scope.outer()) {
+    chk->on_op_complete(rank_, "broadcast(root=" + std::to_string(root) + ")");
+  }
   return out;
 }
 
@@ -223,20 +337,38 @@ std::int64_t Comm::broadcast(std::int64_t value, int root) {
   return static_cast<std::int64_t>(v[0]);
 }
 
-void Runtime::run(int num_ranks, const std::function<void(Comm&)>& body) {
+/// Shared SPMD driver. With `check_options` set, the group runs under the
+/// CommChecker and the collected reports are returned; without it the
+/// behaviour (and cost) is exactly the unchecked seed path.
+std::vector<CheckReport> Runtime::run_impl(
+    int num_ranks, const std::function<void(Comm&)>& body,
+    const CheckOptions* check_options) {
   EPI_REQUIRE(num_ranks > 0, "mpilite needs at least one rank");
   auto hub = std::make_shared<detail::Hub>(num_ranks);
   for (auto& mailbox : hub->mailboxes) mailbox->set_abort_flag(&hub->aborted);
   hub->barrier.set_abort_flag(&hub->aborted);
+  detail::CommChecker* chk = nullptr;
+  if (check_options != nullptr) {
+    hub->checker =
+        std::make_unique<detail::CommChecker>(num_ranks, *check_options);
+    chk = hub->checker.get();
+  }
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_ranks));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_ranks));
+  if (chk != nullptr) {
+    // The watchdog only observes checker state and aborts through the hub,
+    // which outlives it (stop_watchdog precedes finalize below).
+    detail::Hub* hub_raw = hub.get();
+    chk->start_watchdog([hub_raw] { hub_raw->abort(); });
+  }
   for (int r = 0; r < num_ranks; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(hub, r);
       try {
         body(comm);
+        if (chk != nullptr) chk->on_rank_done(r);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         hub->abort();
@@ -244,9 +376,66 @@ void Runtime::run(int num_ranks, const std::function<void(Comm&)>& body) {
     });
   }
   for (auto& thread : threads) thread.join();
-  for (const auto& error : errors) {
-    if (error) std::rethrow_exception(error);
+
+  std::vector<CheckReport> reports;
+  if (chk != nullptr) {
+    chk->stop_watchdog();
+    using Shutdown = detail::CommChecker::Shutdown;
+    Shutdown shutdown = Shutdown::kClean;
+    if (chk->deadlock_fired()) {
+      shutdown = Shutdown::kDeadlock;
+    } else if (hub->aborted.load()) {
+      shutdown = Shutdown::kAborted;
+    }
+    reports = chk->finalize(shutdown);
   }
+
+  for (const auto& error : errors) {
+    if (!error) continue;
+    if (chk != nullptr) {
+      // Under the checker, CheckError is already materialized as a report
+      // and AbortedError is a secondary casualty of the group abort; the
+      // reports (or another rank's genuine exception) carry the diagnosis.
+      try {
+        std::rethrow_exception(error);
+      } catch (const CheckError&) {
+      } catch (const AbortedError&) {
+      } catch (...) {
+        throw;
+      }
+    } else {
+      std::rethrow_exception(error);
+    }
+  }
+  return reports;
+}
+
+void Runtime::run(int num_ranks, const std::function<void(Comm&)>& body) {
+  const char* env = std::getenv("EPI_MPILITE_CHECK");
+  const bool check_enabled =
+      env != nullptr && env[0] != '\0' && std::string_view(env) != "0";
+  if (!check_enabled) {
+    run_impl(num_ranks, body, nullptr);
+    return;
+  }
+  CheckOptions options;
+  if (const char* timeout = std::getenv("EPI_MPILITE_CHECK_TIMEOUT_S")) {
+    char* end = nullptr;
+    const double parsed = std::strtod(timeout, &end);
+    if (end != timeout && parsed > 0.0) options.deadlock_timeout_s = parsed;
+  }
+  const std::vector<CheckReport> reports = run_impl(num_ranks, body, &options);
+  if (!reports.empty()) {
+    throw Error("mpilite CommChecker found " +
+                std::to_string(reports.size()) + " problem(s):\n" +
+                format_reports(reports));
+  }
+}
+
+std::vector<CheckReport> Runtime::run_checked(
+    int num_ranks, const std::function<void(Comm&)>& body,
+    CheckOptions options) {
+  return run_impl(num_ranks, body, &options);
 }
 
 }  // namespace epi::mpilite

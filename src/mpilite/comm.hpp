@@ -28,13 +28,24 @@
 #include <span>
 #include <vector>
 
+#include "mpilite/check.hpp"
 #include "util/error.hpp"
 
 namespace epi::mpilite {
 
 using Bytes = std::vector<std::byte>;
 
+/// Thrown on ranks woken by a group abort: another rank failed, or the
+/// CommChecker's deadlock watchdog fired. Secondary by construction — the
+/// primary cause is the first rank's exception or the checker report.
+class AbortedError : public Error {
+ public:
+  explicit AbortedError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
+
+class CommChecker;
 
 /// One rank's inbound mailbox: messages keyed by (source, tag), delivered
 /// in FIFO order per key (MPI's non-overtaking guarantee).
@@ -179,20 +190,47 @@ class Comm {
   Comm(std::shared_ptr<detail::Hub> hub, int rank)
       : hub_(std::move(hub)), rank_(rank) {}
 
+  detail::CommChecker* checker() const;
+  Bytes take_blocking(int source, int tag, const std::string& what);
   Bytes allgatherv_bytes(Bytes mine);
   std::vector<Bytes> alltoallv_bytes(const std::vector<Bytes>& outbox);
 
   std::shared_ptr<detail::Hub> hub_;
   int rank_;
   std::uint64_t bytes_sent_ = 0;
+  // True while inside a top-level collective, so collectives implemented
+  // in terms of other collectives (allreduce over allgatherv) record one
+  // history entry, not two. Per-rank state; never shared across threads.
+  bool in_collective_ = false;
 };
 
 /// SPMD launcher: runs `body` on `num_ranks` threads, each with its own
 /// Comm. Exceptions thrown by any rank are captured; the first one (by
 /// rank order) is rethrown after all threads join.
+///
+/// Setting EPI_MPILITE_CHECK=1 in the environment makes run() execute
+/// under the CommChecker (see check.hpp) and throw epi::Error at finalize
+/// if any report was produced — a zero-code-change correctness lane for
+/// existing binaries. EPI_MPILITE_CHECK_TIMEOUT_S overrides the deadlock
+/// watchdog patience.
 class Runtime {
  public:
   static void run(int num_ranks, const std::function<void(Comm&)>& body);
+
+  /// Runs `body` with the CommChecker enabled and returns the collected
+  /// reports (empty for a correct program). Seeded-violation tests use
+  /// this form; deadlocks terminate with a report instead of hanging.
+  /// Exceptions thrown by rank bodies are rethrown as with run(), except
+  /// CheckError and abort-induced AbortedError, which are represented by
+  /// the reports themselves.
+  static std::vector<CheckReport> run_checked(
+      int num_ranks, const std::function<void(Comm&)>& body,
+      CheckOptions options = {});
+
+ private:
+  static std::vector<CheckReport> run_impl(int num_ranks,
+                                           const std::function<void(Comm&)>& body,
+                                           const CheckOptions* check_options);
 };
 
 }  // namespace epi::mpilite

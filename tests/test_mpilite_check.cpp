@@ -1,0 +1,338 @@
+// Seeded-violation tests for the mpilite CommChecker (check.hpp): each of
+// the four violation classes must be detected, a deadlock must terminate
+// with a report instead of hanging, and a clean run must produce zero
+// reports and byte-identical results with the checker on.
+#include "mpilite/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "mpilite/comm.hpp"
+
+namespace epi::mpilite {
+namespace {
+
+/// Short watchdog patience: the seeded deadlocks below are wedged from the
+/// start, so the only wait is the watchdog's own confirmation window.
+CheckOptions fast_watchdog() {
+  CheckOptions options;
+  options.deadlock_timeout_s = 0.25;
+  return options;
+}
+
+std::size_t count_kind(const std::vector<CheckReport>& reports,
+                       CheckKind kind) {
+  return static_cast<std::size_t>(
+      std::count_if(reports.begin(), reports.end(),
+                    [kind](const CheckReport& r) { return r.kind == kind; }));
+}
+
+// --- Collective mismatch ----------------------------------------------
+
+TEST(MpiliteCheck, MismatchedCollectivesFlagged) {
+  // Rank 0 enters barrier while ranks 1 and 2 enter allreduce: the group
+  // wedges (the watchdog unhangs it) and the collective histories disagree
+  // at position #0.
+  const auto reports = Runtime::run_checked(
+      3,
+      [](Comm& comm) {
+        if (comm.rank() == 0) {
+          comm.barrier();
+        } else {
+          comm.allreduce(1.0, ReduceOp::kSum);
+        }
+      },
+      fast_watchdog());
+  EXPECT_GE(count_kind(reports, CheckKind::kCollectiveMismatch), 1u);
+  // The mismatch message names both collectives.
+  bool described = false;
+  for (const CheckReport& r : reports) {
+    if (r.kind != CheckKind::kCollectiveMismatch) continue;
+    described = r.message.find("barrier") != std::string::npos &&
+                r.message.find("allreduce") != std::string::npos;
+    if (described) break;
+  }
+  EXPECT_TRUE(described);
+}
+
+TEST(MpiliteCheck, AllreduceOpMismatchFlaggedWithoutHanging) {
+  // Same collective, different ReduceOp: the exchange completes (this is
+  // the silent-corruption case), so only the checker can flag it.
+  const auto reports = Runtime::run_checked(2, [](Comm& comm) {
+    comm.allreduce(1.0, comm.rank() == 0 ? ReduceOp::kSum : ReduceOp::kMax);
+  });
+  ASSERT_EQ(count_kind(reports, CheckKind::kCollectiveMismatch), 1u);
+  EXPECT_EQ(count_kind(reports, CheckKind::kDeadlock), 0u);
+}
+
+TEST(MpiliteCheck, BroadcastRootMismatchFlagged) {
+  // Both ranks reach the broadcast with different roots; rank 1 (root=1)
+  // returns immediately while rank 0 waits for a broadcast from rank 1
+  // that never comes — watchdog plus history mismatch.
+  const auto reports = Runtime::run_checked(
+      2,
+      [](Comm& comm) {
+        comm.broadcast(std::int64_t{7}, 1 - comm.rank());
+      },
+      fast_watchdog());
+  EXPECT_GE(count_kind(reports, CheckKind::kCollectiveMismatch), 1u);
+}
+
+TEST(MpiliteCheck, ExtraCollectiveOnOneRankFlagged) {
+  // Rank 1's extra allgatherv wedges it (rank 0 never contributes); the
+  // watchdog unhangs the run and the history-length divergence names the
+  // extra call.
+  const auto reports = Runtime::run_checked(
+      2,
+      [](Comm& comm) {
+        std::vector<int> mine = {comm.rank()};
+        comm.allgatherv(mine);
+        if (comm.rank() == 1) comm.allgatherv(mine);
+      },
+      fast_watchdog());
+  EXPECT_FALSE(reports.empty());
+}
+
+// --- Message leaks -----------------------------------------------------
+
+TEST(MpiliteCheck, UnreceivedSendReportedAtFinalize) {
+  const auto reports = Runtime::run_checked(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 4, std::vector<int>{1, 2, 3});
+      comm.send<int>(1, 9, std::vector<int>{4});  // never received
+    } else {
+      comm.recv<int>(0, 4);
+    }
+  });
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].kind, CheckKind::kMessageLeak);
+  EXPECT_NE(reports[0].message.find("rank 0"), std::string::npos);
+  EXPECT_NE(reports[0].message.find("rank 1"), std::string::npos);
+  EXPECT_NE(reports[0].message.find("tag 9"), std::string::npos);
+}
+
+TEST(MpiliteCheck, LeakCountsMultipleMessagesPerKey) {
+  const auto reports = Runtime::run_checked(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 3; ++i) comm.send<int>(1, 2, std::vector<int>{i});
+    } else {
+      comm.recv<int>(0, 2);  // one of three
+    }
+  });
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].kind, CheckKind::kMessageLeak);
+  EXPECT_NE(reports[0].message.find("2 messages"), std::string::npos);
+}
+
+// --- Deadlock ----------------------------------------------------------
+
+TEST(MpiliteCheck, RecvRecvCycleFiresWatchdogInsteadOfHanging) {
+  // Two ranks each wait for the other to send first: the classic cycle.
+  // Without the checker this hangs forever; with it the watchdog aborts
+  // the group and dumps each rank's blocked call site.
+  const auto reports = Runtime::run_checked(
+      2,
+      [](Comm& comm) {
+        const int peer = 1 - comm.rank();
+        comm.recv<int>(peer, 0);                     // blocks forever
+        comm.send<int>(peer, 0, std::vector<int>{1});  // never reached
+      },
+      fast_watchdog());
+  ASSERT_EQ(count_kind(reports, CheckKind::kDeadlock), 2u);
+  for (const CheckReport& r : reports) {
+    EXPECT_NE(r.message.find("recv(source="), std::string::npos);
+    EXPECT_NE(r.message.find("last completed operation"), std::string::npos);
+  }
+}
+
+TEST(MpiliteCheck, DeadlockDumpNamesBlockedCollective) {
+  // One rank finished, the other waits at a barrier nobody else will
+  // reach: a done rank counts as "never going to help".
+  const auto reports = Runtime::run_checked(
+      2,
+      [](Comm& comm) {
+        if (comm.rank() == 0) comm.barrier();
+      },
+      fast_watchdog());
+  ASSERT_EQ(count_kind(reports, CheckKind::kDeadlock), 1u);
+  bool names_barrier = false;
+  for (const CheckReport& r : reports) {
+    if (r.kind == CheckKind::kDeadlock &&
+        r.message.find("barrier()") != std::string::npos) {
+      names_barrier = true;
+    }
+  }
+  EXPECT_TRUE(names_barrier);
+}
+
+TEST(MpiliteCheck, SlowRankIsNotADeadlock) {
+  // One rank sends late; the receiver blocks well past the watchdog
+  // timeout, but the sender is Running the whole time, so the watchdog
+  // must not fire.
+  CheckOptions options;
+  options.deadlock_timeout_s = 0.1;
+  const auto reports = Runtime::run_checked(
+      2,
+      [](Comm& comm) {
+        if (comm.rank() == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(400));
+          comm.send<int>(1, 0, std::vector<int>{42});
+        } else {
+          EXPECT_EQ(comm.recv<int>(0, 0)[0], 42);
+        }
+      },
+      options);
+  EXPECT_TRUE(reports.empty()) << format_reports(reports);
+}
+
+// --- Rank / tag misuse -------------------------------------------------
+
+TEST(MpiliteCheck, SendToOutOfRangeRankReported) {
+  const auto reports = Runtime::run_checked(2, [](Comm& comm) {
+    if (comm.rank() == 0) comm.send<int>(5, 0, std::vector<int>{1});
+  });
+  ASSERT_EQ(count_kind(reports, CheckKind::kRankMisuse), 1u);
+  bool actionable = false;
+  for (const CheckReport& r : reports) {
+    if (r.kind == CheckKind::kRankMisuse) {
+      actionable = r.message.find("ranks 0..1") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(actionable);
+}
+
+TEST(MpiliteCheck, ReservedAndNegativeTagsReported) {
+  const auto negative = Runtime::run_checked(1, [](Comm& comm) {
+    comm.send<int>(0, -3, std::vector<int>{1});
+  });
+  ASSERT_EQ(count_kind(negative, CheckKind::kTagMisuse), 1u);
+
+  const auto reserved = Runtime::run_checked(1, [](Comm& comm) {
+    comm.send<int>(0, 1 << 30, std::vector<int>{1});
+  });
+  ASSERT_EQ(count_kind(reserved, CheckKind::kTagMisuse), 1u);
+  EXPECT_NE(reserved[0].message.find("reserved"), std::string::npos);
+}
+
+TEST(MpiliteCheck, RecvFromInvalidRankReported) {
+  const auto reports = Runtime::run_checked(2, [](Comm& comm) {
+    if (comm.rank() == 0) comm.recv<int>(7, 0);
+  });
+  EXPECT_EQ(count_kind(reports, CheckKind::kRankMisuse), 1u);
+}
+
+TEST(MpiliteCheck, SelfSendDiagnosedButStillWorks) {
+  // mpilite buffers, so the transfer succeeds and the run is otherwise
+  // clean — but the checker warns that this pattern deadlocks under
+  // rendezvous-mode MPI.
+  std::vector<int> got;
+  const auto reports = Runtime::run_checked(1, [&](Comm& comm) {
+    comm.send<int>(0, 1, std::vector<int>{9});
+    got = comm.recv<int>(0, 1);
+  });
+  EXPECT_EQ(got, (std::vector<int>{9}));
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].kind, CheckKind::kSelfSend);
+  EXPECT_EQ(count_kind(reports, CheckKind::kMessageLeak), 0u);
+}
+
+// --- Clean runs --------------------------------------------------------
+
+/// A representative workload touching every primitive: point-to-point
+/// ring traffic, all collectives, and tag multiplexing. Returns a flat
+/// digest so checked/unchecked runs can be compared byte for byte.
+std::vector<double> exercise_everything(Comm& comm) {
+  std::vector<double> digest;
+  const int next = (comm.rank() + 1) % comm.size();
+  const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+  comm.send<int>(next, 11, std::vector<int>{comm.rank() * 100});
+  comm.send<int>(next, 12, std::vector<int>{comm.rank() * 1000});
+  digest.push_back(comm.recv<int>(prev, 12)[0]);
+  digest.push_back(comm.recv<int>(prev, 11)[0]);
+
+  comm.barrier();
+  const std::vector<double> mine = {static_cast<double>(comm.rank()), 2.0};
+  for (double v : comm.allreduce(std::span<const double>(mine), ReduceOp::kSum))
+    digest.push_back(v);
+  digest.push_back(comm.allreduce(static_cast<double>(comm.rank()),
+                                  ReduceOp::kMax));
+
+  std::vector<int> contribution(static_cast<std::size_t>(comm.rank()) + 1,
+                                comm.rank());
+  for (int v : comm.allgatherv(contribution)) digest.push_back(v);
+
+  std::vector<std::vector<int>> outbox(static_cast<std::size_t>(comm.size()));
+  for (int d = 0; d < comm.size(); ++d) outbox[d] = {comm.rank() * 10 + d};
+  for (const auto& in : comm.alltoallv(outbox))
+    for (int v : in) digest.push_back(v);
+
+  std::vector<double> payload;
+  if (comm.rank() == 1) payload = {3.5, 4.5};
+  for (double v : comm.broadcast(payload, 1)) digest.push_back(v);
+  comm.barrier();
+  return digest;
+}
+
+TEST(MpiliteCheck, CleanRunZeroReportsAndByteIdenticalResults) {
+  constexpr int kRanks = 4;
+  std::vector<std::vector<double>> unchecked(kRanks);
+  Runtime::run(kRanks, [&](Comm& comm) {
+    unchecked[static_cast<std::size_t>(comm.rank())] =
+        exercise_everything(comm);
+  });
+
+  std::vector<std::vector<double>> checked(kRanks);
+  const auto reports = Runtime::run_checked(kRanks, [&](Comm& comm) {
+    checked[static_cast<std::size_t>(comm.rank())] =
+        exercise_everything(comm);
+  });
+
+  EXPECT_TRUE(reports.empty()) << format_reports(reports);
+  for (int r = 0; r < kRanks; ++r) {
+    ASSERT_EQ(checked[r].size(), unchecked[r].size());
+    for (std::size_t i = 0; i < checked[r].size(); ++i) {
+      // Byte-identical, not just approximately equal.
+      EXPECT_EQ(std::memcmp(&checked[r][i], &unchecked[r][i],
+                            sizeof(double)),
+                0)
+          << "rank " << r << " element " << i;
+    }
+  }
+}
+
+TEST(MpiliteCheck, EnvVarTurnsRunIntoCheckedRun) {
+  // EPI_MPILITE_CHECK=1 makes plain Runtime::run throw at finalize when a
+  // violation was recorded — the zero-code-change lane used by ci.sh.
+  ASSERT_EQ(setenv("EPI_MPILITE_CHECK", "1", 1), 0);
+  EXPECT_THROW(
+      Runtime::run(2,
+                   [](Comm& comm) {
+                     if (comm.rank() == 0) {
+                       comm.send<int>(1, 0, std::vector<int>{1});  // leaked
+                     }
+                   }),
+      Error);
+  // And a clean body runs to completion unchanged.
+  EXPECT_NO_THROW(Runtime::run(2, [](Comm& comm) { comm.barrier(); }));
+  ASSERT_EQ(unsetenv("EPI_MPILITE_CHECK"), 0);
+}
+
+TEST(MpiliteCheck, UserExceptionStillPropagatesUnderChecker) {
+  EXPECT_THROW(Runtime::run_checked(
+                   2,
+                   [](Comm& comm) {
+                     if (comm.rank() == 1) throw Error("application failure");
+                     comm.barrier();
+                   },
+                   fast_watchdog()),
+               Error);
+}
+
+}  // namespace
+}  // namespace epi::mpilite
