@@ -6,11 +6,20 @@
 // Absolute numbers are not expected to match (laptop-scale substrate);
 // the *shape* — orderings, factors, crossovers — is the reproduction
 // target.
+// Besides the console output, a bench can fill a JsonReport to emit the
+// same numbers machine-readably as BENCH_<name>.json (into the directory
+// named by EPI_BENCH_JSON, or the working directory), so CI and
+// regression tooling can diff measured values without scraping stdout.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
+
+#include "util/json.hpp"
 
 namespace epi::bench {
 
@@ -50,5 +59,48 @@ inline void compare(const std::string& what, const std::string& paper,
   std::printf("  %-46s paper: %-18s measured: %s\n", what.c_str(),
               paper.c_str(), measured.c_str());
 }
+
+/// Machine-readable bench results. Collect named metrics (numbers or
+/// strings) and call write(): the report lands as BENCH_<name>.json with
+/// sorted keys, so repeated runs of a deterministic bench are
+/// byte-identical and diffable.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void metric(const std::string& key, double value) { metrics_[key] = value; }
+  void metric(const std::string& key, std::uint64_t value) {
+    metrics_[key] = value;
+  }
+  void metric(const std::string& key, const std::string& value) {
+    metrics_[key] = value;
+  }
+
+  /// EPI_BENCH_JSON directory override, else the working directory.
+  std::string path() const {
+    const char* dir = std::getenv("EPI_BENCH_JSON");
+    const std::string prefix =
+        (dir != nullptr && dir[0] != '\0') ? std::string(dir) + "/" : "";
+    return prefix + "BENCH_" + name_ + ".json";
+  }
+
+  void write() const {
+    JsonObject doc;
+    doc["bench"] = name_;
+    doc["metrics"] = metrics_;
+    const std::string out_path = path();
+    std::ofstream out(out_path);
+    if (!out) {
+      std::printf("  (could not write %s)\n", out_path.c_str());
+      return;
+    }
+    out << Json(doc).dump(2) << "\n";
+    std::printf("  wrote %s\n", out_path.c_str());
+  }
+
+ private:
+  std::string name_;
+  JsonObject metrics_;
+};
 
 }  // namespace epi::bench

@@ -48,6 +48,7 @@ int main() {
 
   NightlyWorkflow engine(config);
 
+  JsonReport json("table1_workflows");
   row({"workflow", "cells", "states", "reps", "sims", "raw", "summary",
        "util", "makespan"});
   const WorkflowDesign designs[] = {economic_design(), prediction_design(),
@@ -60,6 +61,15 @@ int main() {
          format_bytes(report.raw_bytes_full_scale),
          format_bytes(report.summary_bytes_full_scale),
          fmt(report.utilization, 3), fmt(report.schedule_makespan_hours, 2) + "h"});
+    const std::string prefix = std::string(designs[i].name) + ".";
+    json.metric(prefix + "simulations", report.planned_simulations);
+    json.metric(prefix + "utilization", report.utilization);
+    json.metric(prefix + "makespan_hours", report.schedule_makespan_hours);
+    json.metric(prefix + "raw_bytes_full_scale", report.raw_bytes_full_scale);
+    json.metric(prefix + "summary_bytes_full_scale",
+                report.summary_bytes_full_scale);
+    json.metric(prefix + "bytes_to_remote", report.bytes_to_remote);
+    json.metric(prefix + "bytes_to_home", report.bytes_to_home);
   }
 
   subheading("paper reference (Table I)");
@@ -75,5 +85,6 @@ int main() {
   note("- raw output in the TB regime at scale 1, summaries in the GB regime");
   note("- calibration (300 cells x 1 rep) produces the most raw data, as in");
   note("  the paper; summaries scale with #sims, not population");
+  json.write();
   return 0;
 }

@@ -34,6 +34,22 @@ run_plain() {
   # expected behaviour, exercised by tests/test_mpilite_check.cpp.
   EPI_MPILITE_CHECK=1 ctest --test-dir build --output-on-failure -j "$JOBS" \
     -R 'Mpilite|Parallel' -E 'InvalidRankOrTag'
+
+  echo "== trace pass (EPI_TRACE) =="
+  # Run the nightly example twice with tracing on and deterministic
+  # timing, validate both trace/metrics pairs with trace_check, and
+  # require the two runs to be byte-identical — the reproducibility
+  # guarantee the obs layer promises.
+  rm -rf build/trace-ci build/trace-ci-2
+  EPI_TRACE=build/trace-ci EPI_DETERMINISTIC_TIMING=1 \
+    ./build/examples/nightly_national_run economic >/dev/null
+  EPI_TRACE=build/trace-ci-2 EPI_DETERMINISTIC_TIMING=1 \
+    ./build/examples/nightly_national_run economic >/dev/null
+  ./build/tools/trace_check build/trace-ci/trace.json build/trace-ci/metrics.json
+  ./build/tools/trace_check build/trace-ci-2/trace.json build/trace-ci-2/metrics.json
+  cmp build/trace-ci/trace.json build/trace-ci-2/trace.json
+  cmp build/trace-ci/metrics.json build/trace-ci-2/metrics.json
+  echo "trace pass OK (valid + byte-identical across runs)"
 }
 
 run_asan() {

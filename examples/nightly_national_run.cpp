@@ -5,11 +5,19 @@
 // trip home — and print the Fig 2 timeline.
 //
 //   $ ./nightly_national_run [economic|prediction|calibration]
+//
+// Set EPI_TRACE=<dir> to also write a Chrome-format trace.json and a
+// metrics.json there (load the trace at https://ui.perfetto.dev);
+// EPI_DETERMINISTIC_TIMING=1 zeroes wall-clock fields so two runs
+// produce byte-identical outputs.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "util/stats.hpp"
 #include "workflow/nightly.hpp"
 
@@ -34,6 +42,15 @@ int main(int argc, char** argv) {
   config.scale = 1.0 / 8000.0;
   config.sample_executions = 8;
   config.executed_days = 90;
+
+  const char* det_env = std::getenv("EPI_DETERMINISTIC_TIMING");
+  if (det_env != nullptr && det_env[0] != '\0' &&
+      std::strcmp(det_env, "0") != 0) {
+    config.deterministic_timing = true;
+  }
+  const std::unique_ptr<obs::Session> session =
+      obs::Session::from_env(config.deterministic_timing);
+  config.trace = session.get();
 
   std::printf("nightly %s workflow: %u cells x %zu regions x %u replicates = "
               "%lu simulations\n\n",
@@ -68,5 +85,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long>(report.executed_simulations),
               1.0 / config.scale);
   std::printf("\nend-to-end elapsed: %.1f h\n", report.total_elapsed_hours);
+
+  if (session != nullptr) {
+    session->write();
+    std::printf("\ntrace:   %s\nmetrics: %s\n", session->trace_path().c_str(),
+                session->metrics_path().c_str());
+  }
   return 0;
 }

@@ -7,11 +7,66 @@
 #include <queue>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace epi {
 
 namespace {
+
+// Bucket bounds for the per-job runtime histogram (hours).
+const std::vector<double>& job_hour_bounds() {
+  static const std::vector<double> bounds = {0.25, 0.5, 1.0, 2.0,
+                                             4.0,  8.0, 16.0};
+  return bounds;
+}
+
+/// One sample of the DES time series: busy/free/down node counts, queue
+/// depth, and instantaneous utilization, all on the DES clock.
+void sample_counters(const DesConfig& config, double clock,
+                     std::uint32_t total_nodes, std::size_t busy_nodes,
+                     std::size_t down_nodes, std::size_t queue_depth) {
+  if (config.trace == nullptr) return;
+  const double ts = config.trace_base_hours + clock;
+  obs::TraceArgs nodes;
+  nodes["busy"] = static_cast<std::uint64_t>(busy_nodes);
+  nodes["down"] = static_cast<std::uint64_t>(down_nodes);
+  nodes["free"] =
+      static_cast<std::uint64_t>(total_nodes - busy_nodes - down_nodes);
+  config.trace->counter(config.trace_pid, "slurm.nodes", ts,
+                        std::move(nodes));
+  obs::TraceArgs queue;
+  queue["depth"] = static_cast<std::uint64_t>(queue_depth);
+  config.trace->counter(config.trace_pid, "slurm.queue", ts,
+                        std::move(queue));
+  obs::TraceArgs utilization;
+  utilization["busy_fraction"] =
+      static_cast<double>(busy_nodes) / static_cast<double>(total_nodes);
+  config.trace->counter(config.trace_pid, "slurm.utilization", ts,
+                        std::move(utilization));
+}
+
+/// Emits the 'X' span for one job occupation of its nodes. The span lands
+/// on the lane of the job's lowest-numbered node (occupancy guarantees
+/// spans on one lane never overlap); lanes are tid = node + 1, keeping
+/// tid 0 free for the workflow's own phase spans.
+void emit_job_span(const DesConfig& config, const SimTask& task,
+                   std::uint32_t lane_node, double start, double end,
+                   const char* category) {
+  if (config.trace == nullptr) return;
+  config.trace->thread_name(config.trace_pid, lane_node + 1,
+                            "node " + std::to_string(lane_node));
+  obs::TraceArgs args;
+  args["task"] = static_cast<std::uint64_t>(task.id);
+  args["region"] = task.region;
+  args["nodes"] = static_cast<std::uint64_t>(task.nodes_required);
+  args["est_hours"] = task.est_hours;
+  config.trace->complete(config.trace_pid, lane_node + 1,
+                         "task " + std::to_string(task.id), category,
+                         config.trace_base_hours + start, end - start,
+                         std::move(args));
+}
 
 /// The fault-free seed path. Kept verbatim: with the injector disabled
 /// every schedule must be byte-identical to the pre-resilience build.
@@ -25,6 +80,10 @@ DesResult simulate_perfect(const ClusterSpec& cluster,
     std::uint32_t nodes;
     std::string region;
     std::uint32_t db;
+    // Trace-only bookkeeping (empty/default when tracing is off).
+    double start = 0.0;
+    const SimTask* task = nullptr;
+    std::vector<std::uint32_t> node_ids;
     bool operator>(const Running& other) const { return end > other.end; }
   };
 
@@ -39,6 +98,12 @@ DesResult simulate_perfect(const ClusterSpec& cluster,
       running;
   std::map<std::string, std::uint32_t> db_usage;
   std::uint32_t free_nodes = cluster.nodes;
+  // Node-identity tracking exists only for the trace (one lane per node);
+  // the schedule itself needs nothing beyond the free count.
+  std::set<std::uint32_t> free_ids;
+  if (config.trace != nullptr) {
+    for (std::uint32_t n = 0; n < cluster.nodes; ++n) free_ids.insert(n);
+  }
   double clock = 0.0;
   DesResult result;
 
@@ -59,8 +124,21 @@ DesResult simulate_perfect(const ClusterSpec& cluster,
     const double end = clock + runtime;
     free_nodes -= task.nodes_required;
     db_usage[task.region] += task.db_connections;
-    running.push(Running{end, task.id, task.nodes_required, task.region,
-                         task.db_connections});
+    Running run;
+    run.end = end;
+    run.task_id = task.id;
+    run.nodes = task.nodes_required;
+    run.region = task.region;
+    run.db = task.db_connections;
+    if (config.trace != nullptr) {
+      run.start = clock;
+      run.task = &task;
+      for (std::uint32_t i = 0; i < task.nodes_required; ++i) {
+        run.node_ids.push_back(*free_ids.begin());
+        free_ids.erase(free_ids.begin());
+      }
+    }
+    running.push(std::move(run));
     result.jobs.push_back(
         JobRecord{task.id, clock, end, task.nodes_required});
     result.busy_node_hours += task.nodes_required * runtime;
@@ -106,6 +184,8 @@ DesResult simulate_perfect(const ClusterSpec& cluster,
   };
 
   dispatch();
+  sample_counters(config, clock, cluster.nodes, cluster.nodes - free_nodes, 0,
+                  pending.size());
   while (!running.empty()) {
     const Running done = running.top();
     running.pop();
@@ -115,9 +195,24 @@ DesResult simulate_perfect(const ClusterSpec& cluster,
     EPI_ASSERT(it != db_usage.end() && it->second >= done.db,
                "DB usage accounting underflow");
     it->second -= done.db;
+    if (config.trace != nullptr) {
+      emit_job_span(config, *done.task, done.node_ids.front(), done.start,
+                    done.end, "job");
+      for (const std::uint32_t node : done.node_ids) free_ids.insert(node);
+    }
+    if (config.metrics != nullptr) {
+      config.metrics->add("slurm.jobs_completed");
+      config.metrics->observe("slurm.job_hours", done.end - done.start,
+                              job_hour_bounds());
+    }
     dispatch();
+    sample_counters(config, clock, cluster.nodes, cluster.nodes - free_nodes,
+                    0, pending.size());
   }
   result.unfinished += pending.size();
+  if (config.metrics != nullptr && result.unfinished > 0) {
+    config.metrics->add("slurm.jobs_unfinished", result.unfinished);
+  }
 
   result.makespan_hours = clock;
   result.utilization =
@@ -303,6 +398,13 @@ DesResult simulate_with_faults(const ClusterSpec& cluster,
       ledger->add_checkpoint_overhead_node_hours(inst.task->nodes_required *
                                                  overhead);
     }
+    emit_job_span(config, *inst.task, inst.node_ids.front(), inst.start,
+                  inst.end, "job");
+    if (config.metrics != nullptr) {
+      config.metrics->add("slurm.jobs_completed");
+      config.metrics->observe("slurm.job_hours", inst.end - inst.start,
+                              job_hour_bounds());
+    }
     release_nodes(inst);
     running.erase(id);
   };
@@ -341,6 +443,9 @@ DesResult simulate_with_faults(const ClusterSpec& cluster,
                      "task " + std::to_string(inst.task->id) +
                          " from checkpoint");
     }
+    emit_job_span(config, *inst.task, inst.node_ids.front(), inst.start, clock,
+                  "job.killed");
+    if (config.metrics != nullptr) config.metrics->add("slurm.jobs_requeued");
     PendingJob requeued{inst.task, inst.base_runtime, saved};
     release_nodes(inst);
     running.erase(id);
@@ -374,7 +479,18 @@ DesResult simulate_with_faults(const ClusterSpec& cluster,
     }
   };
 
+  // Busy/down/free counter sample on the current DES clock; only the
+  // trace consumes it, so skip the counting work entirely otherwise.
+  auto sample_now = [&] {
+    if (config.trace == nullptr) return;
+    const auto down = static_cast<std::size_t>(
+        std::count(node_down.begin(), node_down.end(), true));
+    const std::size_t busy = cluster.nodes - free_nodes.size() - down;
+    sample_counters(config, clock, cluster.nodes, busy, down, pending.size());
+  };
+
   dispatch();
+  sample_now();
   while (true) {
     // Drop completion events of killed instances.
     while (!completions.empty() &&
@@ -427,8 +543,12 @@ DesResult simulate_with_faults(const ClusterSpec& cluster,
         break;
     }
     dispatch();
+    sample_now();
   }
   result.unfinished += pending.size();
+  if (config.metrics != nullptr && result.unfinished > 0) {
+    config.metrics->add("slurm.jobs_unfinished", result.unfinished);
+  }
 
   result.makespan_hours = clock;
   result.utilization =

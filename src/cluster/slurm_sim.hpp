@@ -29,6 +29,11 @@
 #include "resilience/ledger.hpp"
 #include "util/rng.hpp"
 
+namespace epi::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}
+
 namespace epi {
 
 struct JobRecord {
@@ -75,6 +80,18 @@ struct DesConfig {
   /// window (window_hours == 0); crashes past the horizon are not
   /// modeled. Ignored when a window is set (the window is the horizon).
   double fault_horizon_hours = 336.0;
+
+  /// Optional trace sink (nullptr = no tracing, the exact seed path).
+  /// When set, every job becomes an 'X' span on its lowest node's lane of
+  /// `trace_pid`, killed attempts become "job.killed" spans, and
+  /// busy-node / queue-depth / utilization counter series are sampled at
+  /// every DES clock advance. Span times are trace_base_hours + DES
+  /// clock, so spans land inside the workflow's "simulate" phase.
+  obs::TraceRecorder* trace = nullptr;
+  std::uint32_t trace_pid = 0;
+  double trace_base_hours = 0.0;
+  /// Optional metrics sink: job counts and a per-job runtime histogram.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Simulates the ordered `queue` on `cluster`. Task order IS the schedule

@@ -1,5 +1,7 @@
 #include "cluster/transfer.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace epi {
@@ -10,6 +12,37 @@ void GlobusTransfer::enable_resilience(const FaultInjector* injector,
   faults_ = injector;
   retry_ = policy;
   fault_ledger_ = ledger;
+}
+
+void GlobusTransfer::enable_trace(obs::TraceRecorder* trace, std::uint32_t pid,
+                                  obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  trace_pid_ = pid;
+  metrics_ = metrics;
+}
+
+void GlobusTransfer::emit_record(const TransferRecord& record,
+                                 bool degraded) const {
+  if (trace_ != nullptr) {
+    obs::TraceArgs args;
+    args["attempts"] = static_cast<std::uint64_t>(record.attempts);
+    args["bytes"] = record.bytes;
+    if (degraded) args["degraded"] = true;
+    if (record.retry_wait_s > 0.0) args["retry_wait_s"] = record.retry_wait_s;
+    trace_->complete(trace_pid_, record.to_remote ? 0U : 1U,
+                     record.description, "wan", clock_hours_,
+                     record.seconds / 3600.0, std::move(args));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->add("wan.transfers");
+    metrics_->add(record.to_remote ? "wan.bytes_to_remote"
+                                   : "wan.bytes_to_home",
+                  record.bytes);
+    if (record.attempts > 1) {
+      metrics_->add("wan.retries", record.attempts - 1);
+    }
+    metrics_->observe("wan.transfer_s", record.seconds);
+  }
 }
 
 double GlobusTransfer::attempt_seconds(std::uint64_t bytes,
@@ -29,6 +62,7 @@ double GlobusTransfer::transfer(const std::string& description,
         link_.per_transfer_overhead_s +
         static_cast<double>(bytes) / (link_.bandwidth_mbytes_per_s * 1e6);
     ledger_.push_back(TransferRecord{description, bytes, seconds, to_remote});
+    emit_record(ledger_.back(), /*degraded=*/false);
     return seconds;
   }
 
@@ -45,6 +79,7 @@ double GlobusTransfer::transfer(const std::string& description,
       total_s += attempt_seconds(bytes, fault.throughput_factor);
       ledger_.push_back(TransferRecord{description, bytes, total_s, to_remote,
                                        attempt, wait_s});
+      emit_record(ledger_.back(), fault.throughput_factor < 1.0);
       if (attempt > 1 && fault_ledger_ != nullptr) {
         fault_ledger_->add_retry_wait_seconds(wait_s);
       }

@@ -25,6 +25,11 @@
 #include "resilience/ledger.hpp"
 #include "resilience/retry_policy.hpp"
 
+namespace epi::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}
+
 namespace epi {
 
 struct WanLinkSpec {
@@ -54,6 +59,18 @@ class GlobusTransfer {
   void enable_resilience(const FaultInjector* injector, RetryPolicy policy,
                          ResilienceLedger* ledger = nullptr);
 
+  /// Attaches tracing/metrics (nullptr = the exact seed path). Each
+  /// transfer becomes an 'X' span on `pid`, lane 0 (to remote) or 1 (to
+  /// home), starting at the clock set by set_clock_hours and lasting the
+  /// modeled duration; bytes/attempt counters and a duration histogram go
+  /// to `metrics`.
+  void enable_trace(obs::TraceRecorder* trace, std::uint32_t pid,
+                    obs::MetricsRegistry* metrics = nullptr);
+
+  /// Workflow-clock time the next transfer starts at (trace placement
+  /// only; the transfer arithmetic never reads it).
+  void set_clock_hours(double hours) { clock_hours_ = hours; }
+
   /// Executes (models) one transfer; returns its duration in seconds.
   /// With resilience enabled, throws Error when every attempt allowed by
   /// the retry policy fails.
@@ -71,6 +88,7 @@ class GlobusTransfer {
 
  private:
   double attempt_seconds(std::uint64_t bytes, double throughput_factor) const;
+  void emit_record(const TransferRecord& record, bool degraded) const;
 
   WanLinkSpec link_;
   std::vector<TransferRecord> ledger_;
@@ -78,6 +96,10 @@ class GlobusTransfer {
   RetryPolicy retry_;
   ResilienceLedger* fault_ledger_ = nullptr;
   std::uint64_t transfer_seq_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  double clock_hours_ = 0.0;
 };
 
 }  // namespace epi

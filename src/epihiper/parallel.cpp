@@ -27,6 +27,19 @@ SimOutput run_simulation_parallel(const ContactNetwork& network,
                                   const Partitioning& partitioning,
                                   int num_ranks,
                                   const InterventionFactory& interventions) {
+  return run_simulation_parallel(network, population, model, config,
+                                 partitioning, num_ranks, interventions,
+                                 mpilite::ObsHooks{});
+}
+
+SimOutput run_simulation_parallel(const ContactNetwork& network,
+                                  const Population& population,
+                                  const DiseaseModel& model,
+                                  const SimulationConfig& config,
+                                  const Partitioning& partitioning,
+                                  int num_ranks,
+                                  const InterventionFactory& interventions,
+                                  const mpilite::ObsHooks& obs) {
   EPI_REQUIRE(num_ranks > 0, "need at least one rank");
   EPI_REQUIRE(partitioning.size() == static_cast<std::size_t>(num_ranks),
               "partitioning has " << partitioning.size() << " parts for "
@@ -40,7 +53,7 @@ SimOutput run_simulation_parallel(const ContactNetwork& network,
       }
     }
     per_rank[static_cast<std::size_t>(comm.rank())] = sim.run();
-  });
+  }, obs);
 
   // Merge rank outputs into the serial-equivalent view.
   SimOutput merged;

@@ -40,4 +40,15 @@ SimOutput run_simulation_parallel(const ContactNetwork& network,
                                   const InterventionFactory& interventions =
                                       nullptr);
 
+/// As above, with observability sinks attached to the mpilite group
+/// (per-rank-pair traffic counters, collective-time histograms).
+SimOutput run_simulation_parallel(const ContactNetwork& network,
+                                  const Population& population,
+                                  const DiseaseModel& model,
+                                  const SimulationConfig& config,
+                                  const Partitioning& partitioning,
+                                  int num_ranks,
+                                  const InterventionFactory& interventions,
+                                  const mpilite::ObsHooks& obs);
+
 }  // namespace epi

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <string_view>
 #include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
 
 namespace epi::mpilite {
 
@@ -31,6 +35,7 @@ struct Hub {
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
   Barrier barrier;
   std::unique_ptr<CommChecker> checker;  // null unless checking enabled
+  ObsHooks obs;                          // metrics null unless attached
 
   void abort();
 };
@@ -54,6 +59,28 @@ struct BlockGuard {
   CommChecker* checker_;
   int rank_;
 };
+
+/// Per-rank-pair traffic counters ("mpilite.msgs.SSS->DDD" and
+/// "mpilite.bytes.SSS->DDD"); called at every mailbox put site.
+void count_message(const Hub& hub, int source, int dest, std::size_t bytes) {
+  if (hub.obs.metrics == nullptr) return;
+  char pair[16];
+  std::snprintf(pair, sizeof(pair), "%03d->%03d", source, dest);
+  hub.obs.metrics->add(std::string("mpilite.msgs.") + pair);
+  if (bytes > 0) {
+    hub.obs.metrics->add(std::string("mpilite.bytes.") + pair, bytes);
+  }
+}
+
+/// Records one top-level collective's wall time (0.0 under deterministic
+/// timing) into "mpilite.<name>_s".
+void record_collective_seconds(const Hub& hub, const char* name,
+                               const Timer& timer) {
+  if (hub.obs.metrics == nullptr) return;
+  hub.obs.metrics->observe(
+      std::string("mpilite.") + name + "_s",
+      hub.obs.deterministic_timing ? 0.0 : timer.elapsed_seconds());
+}
 
 /// Suppresses nested collective recording (allreduce runs on allgatherv).
 struct CollectiveScope {
@@ -154,6 +181,7 @@ void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) {
   EPI_REQUIRE(tag >= 0 && tag < detail::kSystemTagBase,
               "user tags must be in [0, 2^30)");
   bytes_sent_ += data.size();
+  detail::count_message(*hub_, rank_, dest, data.size());
   hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
       rank_, tag, Bytes(data.begin(), data.end()));
   if (auto* chk = checker()) {
@@ -183,10 +211,12 @@ void Comm::barrier() {
                        false);
   }
   detail::CollectiveScope scope(in_collective_);
+  const Timer timer;
   {
     detail::BlockGuard guard(chk, rank_, "barrier()");
     hub_->barrier.arrive_and_wait();
   }
+  if (!scope.outer()) detail::record_collective_seconds(*hub_, "barrier", timer);
   if (chk != nullptr && !scope.outer()) chk->on_op_complete(rank_, "barrier()");
 }
 
@@ -197,11 +227,13 @@ Bytes Comm::allgatherv_bytes(Bytes mine) {
                        mine.size(), false);
   }
   detail::CollectiveScope scope(in_collective_);
+  const Timer timer;
   // Ring-free naive implementation: everyone posts to everyone. Message
   // counts are tiny (one per rank pair) and correctness is what matters.
   for (int dest = 0; dest < size(); ++dest) {
     if (dest == rank_) continue;
     bytes_sent_ += mine.size();
+    detail::count_message(*hub_, rank_, dest, mine.size());
     hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
         rank_, detail::kTagAllgather, mine);
   }
@@ -217,6 +249,9 @@ Bytes Comm::allgatherv_bytes(Bytes mine) {
       result.insert(result.end(), part.begin(), part.end());
     }
   }
+  if (!scope.outer()) {
+    detail::record_collective_seconds(*hub_, "allgatherv", timer);
+  }
   if (chk != nullptr && !scope.outer()) {
     chk->on_op_complete(rank_, "allgatherv");
   }
@@ -230,9 +265,12 @@ std::vector<Bytes> Comm::alltoallv_bytes(const std::vector<Bytes>& outbox) {
                        false);
   }
   detail::CollectiveScope scope(in_collective_);
+  const Timer timer;
   for (int dest = 0; dest < size(); ++dest) {
     if (dest == rank_) continue;
     bytes_sent_ += outbox[static_cast<std::size_t>(dest)].size();
+    detail::count_message(*hub_, rank_, dest,
+                          outbox[static_cast<std::size_t>(dest)].size());
     hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
         rank_, detail::kTagAlltoall, outbox[static_cast<std::size_t>(dest)]);
   }
@@ -244,6 +282,9 @@ std::vector<Bytes> Comm::alltoallv_bytes(const std::vector<Bytes>& outbox) {
         take_blocking(source, detail::kTagAlltoall,
                       "alltoallv: waiting for the slice from rank " +
                           std::to_string(source));
+  }
+  if (!scope.outer()) {
+    detail::record_collective_seconds(*hub_, "alltoallv", timer);
   }
   if (chk != nullptr && !scope.outer()) {
     chk->on_op_complete(rank_, "alltoallv");
@@ -259,6 +300,7 @@ std::vector<double> Comm::allreduce(std::span<const double> values,
                        static_cast<int>(op), values.size(), true);
   }
   detail::CollectiveScope scope(in_collective_);
+  const Timer timer;
   // Gather everyone's vector, reduce locally. O(P^2) messages — fine for
   // the rank counts we run (<= 64).
   std::vector<double> mine(values.begin(), values.end());
@@ -285,6 +327,9 @@ std::vector<double> Comm::allreduce(std::span<const double> values,
     }
     result[i] = acc;
   }
+  if (!scope.outer()) {
+    detail::record_collective_seconds(*hub_, "allreduce", timer);
+  }
   if (chk != nullptr && !scope.outer()) chk->on_op_complete(rank_, "allreduce");
   return result;
 }
@@ -305,6 +350,7 @@ std::vector<double> Comm::broadcast(std::vector<double> value, int root) {
                        value.size(), false);
   }
   detail::CollectiveScope scope(in_collective_);
+  const Timer timer;
   EPI_REQUIRE(root >= 0 && root < size(), "broadcast from invalid root");
   if (rank_ == root) {
     Bytes raw(reinterpret_cast<const std::byte*>(value.data()),
@@ -313,8 +359,12 @@ std::vector<double> Comm::broadcast(std::vector<double> value, int root) {
     for (int dest = 0; dest < size(); ++dest) {
       if (dest == root) continue;
       bytes_sent_ += raw.size();
+      detail::count_message(*hub_, rank_, dest, raw.size());
       hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
           rank_, detail::kTagBroadcast, raw);
+    }
+    if (!scope.outer()) {
+      detail::record_collective_seconds(*hub_, "broadcast", timer);
     }
     if (chk != nullptr && !scope.outer()) {
       chk->on_op_complete(rank_, "broadcast(root=" + std::to_string(root) + ")");
@@ -326,6 +376,9 @@ std::vector<double> Comm::broadcast(std::vector<double> value, int root) {
                                 std::to_string(root));
   std::vector<double> out(raw.size() / sizeof(double));
   std::memcpy(out.data(), raw.data(), raw.size());
+  if (!scope.outer()) {
+    detail::record_collective_seconds(*hub_, "broadcast", timer);
+  }
   if (chk != nullptr && !scope.outer()) {
     chk->on_op_complete(rank_, "broadcast(root=" + std::to_string(root) + ")");
   }
@@ -342,9 +395,10 @@ std::int64_t Comm::broadcast(std::int64_t value, int root) {
 /// behaviour (and cost) is exactly the unchecked seed path.
 std::vector<CheckReport> Runtime::run_impl(
     int num_ranks, const std::function<void(Comm&)>& body,
-    const CheckOptions* check_options) {
+    const CheckOptions* check_options, const ObsHooks& obs) {
   EPI_REQUIRE(num_ranks > 0, "mpilite needs at least one rank");
   auto hub = std::make_shared<detail::Hub>(num_ranks);
+  hub->obs = obs;
   for (auto& mailbox : hub->mailboxes) mailbox->set_abort_flag(&hub->aborted);
   hub->barrier.set_abort_flag(&hub->aborted);
   detail::CommChecker* chk = nullptr;
@@ -411,11 +465,16 @@ std::vector<CheckReport> Runtime::run_impl(
 }
 
 void Runtime::run(int num_ranks, const std::function<void(Comm&)>& body) {
+  run(num_ranks, body, ObsHooks{});
+}
+
+void Runtime::run(int num_ranks, const std::function<void(Comm&)>& body,
+                  const ObsHooks& obs) {
   const char* env = std::getenv("EPI_MPILITE_CHECK");
   const bool check_enabled =
       env != nullptr && env[0] != '\0' && std::string_view(env) != "0";
   if (!check_enabled) {
-    run_impl(num_ranks, body, nullptr);
+    run_impl(num_ranks, body, nullptr, obs);
     return;
   }
   CheckOptions options;
@@ -424,7 +483,8 @@ void Runtime::run(int num_ranks, const std::function<void(Comm&)>& body) {
     const double parsed = std::strtod(timeout, &end);
     if (end != timeout && parsed > 0.0) options.deadlock_timeout_s = parsed;
   }
-  const std::vector<CheckReport> reports = run_impl(num_ranks, body, &options);
+  const std::vector<CheckReport> reports =
+      run_impl(num_ranks, body, &options, obs);
   if (!reports.empty()) {
     throw Error("mpilite CommChecker found " +
                 std::to_string(reports.size()) + " problem(s):\n" +

@@ -31,9 +31,25 @@
 #include "mpilite/check.hpp"
 #include "util/error.hpp"
 
+namespace epi::obs {
+class MetricsRegistry;
+}
+
 namespace epi::mpilite {
 
 using Bytes = std::vector<std::byte>;
+
+/// Optional observability sinks for a communicator group. With `metrics`
+/// set, every message records per-rank-pair "mpilite.msgs.SSS->DDD" /
+/// "mpilite.bytes.SSS->DDD" counters and every top-level collective
+/// records its wall time into an "mpilite.<collective>_s" histogram
+/// (exactly 0.0 under deterministic_timing, keeping metrics files
+/// byte-reproducible). MetricsRegistry is thread-safe; ranks report
+/// concurrently. Null metrics = the exact unobserved seed path.
+struct ObsHooks {
+  obs::MetricsRegistry* metrics = nullptr;
+  bool deterministic_timing = false;
+};
 
 /// Thrown on ranks woken by a group abort: another rank failed, or the
 /// CommChecker's deadlock watchdog fired. Secondary by construction — the
@@ -217,6 +233,10 @@ class Runtime {
  public:
   static void run(int num_ranks, const std::function<void(Comm&)>& body);
 
+  /// As run(), with observability sinks attached to the group.
+  static void run(int num_ranks, const std::function<void(Comm&)>& body,
+                  const ObsHooks& obs);
+
   /// Runs `body` with the CommChecker enabled and returns the collected
   /// reports (empty for a correct program). Seeded-violation tests use
   /// this form; deadlocks terminate with a report instead of hanging.
@@ -230,7 +250,8 @@ class Runtime {
  private:
   static std::vector<CheckReport> run_impl(int num_ranks,
                                            const std::function<void(Comm&)>& body,
-                                           const CheckOptions* check_options);
+                                           const CheckOptions* check_options,
+                                           const ObsHooks& obs = {});
 };
 
 }  // namespace epi::mpilite

@@ -1,0 +1,134 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace epi::obs {
+
+const std::vector<double>& MetricsRegistry::default_bounds() {
+  static const std::vector<double> bounds = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
+                                             1e-1, 1.0,  1e1,  1e2,  1e3};
+  return bounds;
+}
+
+void MetricsRegistry::add(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::set_max(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(name, value);
+  } else {
+    it->second = std::max(it->second, value);
+  }
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  observe_locked(name, value, default_bounds());
+}
+
+void MetricsRegistry::observe(const std::string& name, double value,
+                              const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  observe_locked(name, value, bounds);
+}
+
+void MetricsRegistry::observe_locked(const std::string& name, double value,
+                                     const std::vector<double>& bounds) {
+  EPI_REQUIRE(!bounds.empty() &&
+                  std::is_sorted(bounds.begin(), bounds.end()) &&
+                  std::adjacent_find(bounds.begin(), bounds.end()) ==
+                      bounds.end(),
+              "histogram '" << name << "' needs strictly increasing bounds");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    Histogram histogram;
+    histogram.bounds = bounds;
+    histogram.counts.assign(bounds.size() + 1, 0);
+    it = histograms_.emplace(name, std::move(histogram)).first;
+  } else {
+    EPI_REQUIRE(it->second.bounds == bounds,
+                "histogram '" << name
+                              << "' re-observed with different bounds");
+  }
+  Histogram& histogram = it->second;
+  const auto bucket = static_cast<std::size_t>(
+      std::lower_bound(histogram.bounds.begin(), histogram.bounds.end(),
+                       value) -
+      histogram.bounds.begin());
+  ++histogram.counts[bucket];
+  ++histogram.count;
+  histogram.sum += value;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+std::uint64_t MetricsRegistry::histogram_count(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? 0 : it->second.count;
+}
+
+Json MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonObject counters;
+  for (const auto& [name, value] : counters_) counters[name] = value;
+  JsonObject gauges;
+  for (const auto& [name, value] : gauges_) gauges[name] = value;
+  JsonObject histograms;
+  for (const auto& [name, histogram] : histograms_) {
+    JsonArray buckets;
+    for (std::size_t i = 0; i < histogram.counts.size(); ++i) {
+      JsonObject bucket;
+      bucket["le"] = i < histogram.bounds.size()
+                         ? Json(histogram.bounds[i])
+                         : Json(std::string("+Inf"));
+      bucket["count"] = histogram.counts[i];
+      buckets.push_back(Json(std::move(bucket)));
+    }
+    JsonObject out;
+    out["buckets"] = Json(std::move(buckets));
+    out["count"] = histogram.count;
+    out["sum"] = histogram.sum;
+    histograms[name] = Json(std::move(out));
+  }
+  JsonObject doc;
+  doc["counters"] = Json(std::move(counters));
+  doc["gauges"] = Json(std::move(gauges));
+  doc["histograms"] = Json(std::move(histograms));
+  return Json(std::move(doc));
+}
+
+void MetricsRegistry::write(const std::string& path) const {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path);
+  if (!out) throw ConfigError("cannot write metrics file: " + path);
+  out << snapshot().dump(2) << "\n";
+  EPI_REQUIRE(out.good(), "short write to metrics file " << path);
+}
+
+}  // namespace epi::obs

@@ -1,0 +1,78 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms
+// with a sorted-key JSON snapshot.
+//
+// Counters accumulate (queries served, bytes moved, jobs requeued); gauges
+// hold last-written or high-water values (active connections, utilization);
+// histograms bucket observations against bounds fixed at creation
+// (collective latencies, per-job runtimes). Keys are dotted paths
+// ("persondb.VA.queries", "mpilite.bytes.000->001"); the snapshot is a
+// std::map walk, so metrics JSON is byte-stable for a given set of values.
+//
+// Thread-safe: mpilite ranks run as threads and report concurrently. The
+// disabled path is a null pointer at every call site — no registry, no
+// locks, no allocations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace epi::obs {
+
+class MetricsRegistry {
+ public:
+  /// Bucket upper bounds used when a histogram is first observed without
+  /// explicit bounds: decade steps 1e-6 .. 1e3 (seconds-flavored), plus
+  /// the implicit +Inf overflow bucket.
+  static const std::vector<double>& default_bounds();
+
+  // --- Writers -----------------------------------------------------------
+
+  void add(const std::string& name, std::uint64_t delta = 1);
+  void set(const std::string& name, double value);
+  /// High-water gauge: keeps the maximum of all values written.
+  void set_max(const std::string& name, double value);
+  /// Records `value` into the named histogram, creating it with
+  /// default_bounds() on first use.
+  void observe(const std::string& name, double value);
+  /// Creates the histogram with explicit bucket upper bounds on first use
+  /// (strictly increasing); later calls must pass the same bounds.
+  void observe(const std::string& name, double value,
+               const std::vector<double>& bounds);
+
+  // --- Readers (tests and report plumbing) -------------------------------
+
+  std::uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  std::uint64_t histogram_count(const std::string& name) const;
+
+  // --- Export ------------------------------------------------------------
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with all
+  /// keys in sorted order. Histograms serialize cumulative-style buckets
+  /// ({"le": bound, "count": n}) plus "count" and "sum".
+  Json snapshot() const;
+  void write(const std::string& path) const;
+
+ private:
+  struct Histogram {
+    std::vector<double> bounds;   // upper bounds, strictly increasing
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  void observe_locked(const std::string& name, double value,
+                      const std::vector<double>& bounds);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace epi::obs

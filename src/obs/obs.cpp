@@ -1,0 +1,16 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+
+namespace epi::obs {
+
+std::unique_ptr<Session> Session::from_env(bool deterministic_timing) {
+  const char* dir = std::getenv("EPI_TRACE");
+  if (dir == nullptr || dir[0] == '\0') return nullptr;
+  SessionOptions options;
+  options.dir = dir;
+  options.deterministic_timing = deterministic_timing;
+  return std::make_unique<Session>(std::move(options));
+}
+
+}  // namespace epi::obs

@@ -1,0 +1,57 @@
+// Observability session: one TraceRecorder + one MetricsRegistry bound to
+// an output directory.
+//
+// The nightly engine (and anything else that wants a trace) takes a
+// non-owning `obs::Session*`; null means disabled and costs nothing. The
+// environment hook `EPI_TRACE=<dir>` lets existing binaries record a run
+// without code changes: from_env() returns a session writing
+// <dir>/trace.json (Chrome trace_event format, Perfetto loadable) and
+// <dir>/metrics.json (sorted-key snapshot).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace epi::obs {
+
+struct SessionOptions {
+  /// Directory trace.json / metrics.json are written into (created on
+  /// write).
+  std::string dir;
+  /// Zeroes the wall half of the dual clock so emitted files are
+  /// byte-reproducible; pair with NightlyConfig::deterministic_timing.
+  bool deterministic_timing = false;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions options)
+      : options_(std::move(options)), trace_(options_.deterministic_timing) {}
+
+  TraceRecorder& trace() { return trace_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const std::string& dir() const { return options_.dir; }
+
+  std::string trace_path() const { return options_.dir + "/trace.json"; }
+  std::string metrics_path() const { return options_.dir + "/metrics.json"; }
+
+  /// Writes trace.json and metrics.json into dir().
+  void write() const {
+    trace_.write(trace_path());
+    metrics_.write(metrics_path());
+  }
+
+  /// Session for EPI_TRACE=<dir>, or nullptr when the variable is unset
+  /// or empty.
+  static std::unique_ptr<Session> from_env(bool deterministic_timing = false);
+
+ private:
+  SessionOptions options_;
+  TraceRecorder trace_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace epi::obs

@@ -1,0 +1,237 @@
+#include "obs/trace_check.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace epi::obs {
+
+namespace {
+
+std::string read_file(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+TraceCheckResult check_trace_json(const Json& doc) {
+  TraceCheckResult result;
+  auto fail = [&](const std::string& message) {
+    result.errors.push_back(message);
+  };
+
+  if (!doc.is_object() || !doc.contains("traceEvents")) {
+    fail("document is not an object with a traceEvents member");
+    return result;
+  }
+  const Json& events = doc.at("traceEvents");
+  if (!events.is_array()) {
+    fail("traceEvents is not an array");
+    return result;
+  }
+
+  struct Lane {
+    double last_ts = 0.0;
+    bool seen = false;
+    std::size_t open_spans = 0;
+  };
+  std::map<std::pair<std::int64_t, std::int64_t>, Lane> lanes;
+
+  std::size_t index = 0;
+  for (const Json& event : events.as_array()) {
+    const std::string at = "event " + std::to_string(index);
+    ++index;
+    if (!event.is_object()) {
+      fail(at + ": not an object");
+      continue;
+    }
+    if (!event.contains("ph") || !event.at("ph").is_string() ||
+        event.at("ph").as_string().size() != 1) {
+      fail(at + ": missing one-character ph");
+      continue;
+    }
+    const char ph = event.at("ph").as_string()[0];
+    if (!event.contains("pid") || !event.contains("tid")) {
+      fail(at + ": missing pid/tid");
+      continue;
+    }
+    const std::int64_t pid = event.at("pid").as_int();
+    const std::int64_t tid = event.at("tid").as_int();
+
+    if (ph == 'M') {
+      if (event.get_string("name", "") == "process_name") ++result.processes;
+      continue;
+    }
+    ++result.events;
+
+    if (!event.contains("ts") || !event.at("ts").is_number()) {
+      fail(at + ": missing numeric ts");
+      continue;
+    }
+    const double ts = event.at("ts").as_double();
+    Lane& lane = lanes[{pid, tid}];
+    if (lane.seen && ts < lane.last_ts) {
+      fail(at + ": ts " + std::to_string(ts) + " goes backwards on lane (" +
+           std::to_string(pid) + ", " + std::to_string(tid) + ")");
+    }
+    lane.seen = true;
+    lane.last_ts = ts;
+
+    switch (ph) {
+      case 'B':
+        if (!event.contains("name")) fail(at + ": B event without a name");
+        ++lane.open_spans;
+        break;
+      case 'E':
+        if (lane.open_spans == 0) {
+          fail(at + ": E event with no open B on lane (" +
+               std::to_string(pid) + ", " + std::to_string(tid) + ")");
+        } else {
+          --lane.open_spans;
+          ++result.spans;
+        }
+        break;
+      case 'X':
+        if (!event.contains("name")) fail(at + ": X event without a name");
+        if (!event.contains("dur") || !event.at("dur").is_number() ||
+            event.at("dur").as_double() < 0.0) {
+          fail(at + ": X event without a non-negative dur");
+        }
+        ++result.spans;
+        break;
+      case 'i':
+        if (!event.contains("name")) fail(at + ": i event without a name");
+        ++result.instants;
+        break;
+      case 'C':
+        if (!event.contains("name")) fail(at + ": C event without a name");
+        ++result.counters;
+        break;
+      default:
+        fail(at + ": unknown phase '" + std::string(1, ph) + "'");
+        break;
+    }
+  }
+
+  for (const auto& [key, lane] : lanes) {
+    if (lane.open_spans != 0) {
+      fail("lane (" + std::to_string(key.first) + ", " +
+           std::to_string(key.second) + ") ends with " +
+           std::to_string(lane.open_spans) + " unclosed B span(s)");
+    }
+  }
+  if (result.events == 0) fail("trace contains no events");
+
+  result.ok = result.errors.empty();
+  return result;
+}
+
+TraceCheckResult check_trace_file(const std::string& path) {
+  TraceCheckResult result;
+  std::string error;
+  const std::string text = read_file(path, &error);
+  if (!error.empty()) {
+    result.errors.push_back(error);
+    return result;
+  }
+  try {
+    return check_trace_json(parse_json(text));
+  } catch (const Error& parse_error) {
+    result.errors.push_back(path + ": " + parse_error.what());
+    return result;
+  }
+}
+
+MetricsCheckResult check_metrics_json(const Json& doc) {
+  MetricsCheckResult result;
+  auto fail = [&](const std::string& message) {
+    result.errors.push_back(message);
+  };
+
+  if (!doc.is_object()) {
+    fail("metrics document is not an object");
+    return result;
+  }
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    if (!doc.contains(section) || !doc.at(section).is_object()) {
+      fail(std::string("missing object member '") + section + "'");
+    }
+  }
+  if (!result.errors.empty()) return result;
+
+  for (const auto& [name, value] : doc.at("counters").as_object()) {
+    if (!value.is_number() || value.as_double() < 0.0) {
+      fail("counter '" + name + "' is not a non-negative number");
+    }
+    ++result.counters;
+  }
+  for (const auto& [name, value] : doc.at("gauges").as_object()) {
+    if (!value.is_number()) fail("gauge '" + name + "' is not a number");
+    ++result.gauges;
+  }
+  for (const auto& [name, value] : doc.at("histograms").as_object()) {
+    ++result.histograms;
+    if (!value.is_object() || !value.contains("buckets") ||
+        !value.at("buckets").is_array() || !value.contains("count") ||
+        !value.contains("sum")) {
+      fail("histogram '" + name + "' lacks buckets/count/sum");
+      continue;
+    }
+    std::uint64_t bucket_total = 0;
+    double last_bound = 0.0;
+    bool first = true;
+    for (const Json& bucket : value.at("buckets").as_array()) {
+      if (!bucket.is_object() || !bucket.contains("le") ||
+          !bucket.contains("count")) {
+        fail("histogram '" + name + "' has a malformed bucket");
+        continue;
+      }
+      bucket_total += static_cast<std::uint64_t>(bucket.at("count").as_int());
+      const Json& le = bucket.at("le");
+      if (le.is_number()) {
+        if (!first && le.as_double() <= last_bound) {
+          fail("histogram '" + name + "' bounds are not increasing");
+        }
+        last_bound = le.as_double();
+        first = false;
+      } else if (!le.is_string() || le.as_string() != "+Inf") {
+        fail("histogram '" + name + "' has a non-numeric bound that is not "
+             "+Inf");
+      }
+    }
+    if (bucket_total != static_cast<std::uint64_t>(
+                            value.at("count").as_int())) {
+      fail("histogram '" + name + "' bucket counts do not sum to count");
+    }
+  }
+
+  result.ok = result.errors.empty();
+  return result;
+}
+
+MetricsCheckResult check_metrics_file(const std::string& path) {
+  MetricsCheckResult result;
+  std::string error;
+  const std::string text = read_file(path, &error);
+  if (!error.empty()) {
+    result.errors.push_back(error);
+    return result;
+  }
+  try {
+    return check_metrics_json(parse_json(text));
+  } catch (const Error& parse_error) {
+    result.errors.push_back(path + ": " + parse_error.what());
+    return result;
+  }
+}
+
+}  // namespace epi::obs

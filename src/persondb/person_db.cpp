@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace epi {
@@ -12,7 +13,7 @@ DbConnection::DbConnection(DbConnection&& other) noexcept
 }
 
 DbConnection::~DbConnection() {
-  if (server_ != nullptr) server_->release();
+  if (server_ != nullptr) server_->release(queries_);
 }
 
 const PersonTraits& DbConnection::traits(PersonId p) const {
@@ -155,9 +156,21 @@ std::unique_ptr<PersonDbServer> PersonDbServer::from_snapshot(
 
 std::optional<DbConnection> PersonDbServer::connect() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (active_ >= max_connections_) return std::nullopt;
+  if (active_ >= max_connections_) {
+    if (metrics_ != nullptr) {
+      metrics_->add("persondb." + region_ + ".rejected");
+    }
+    return std::nullopt;
+  }
   ++active_;
   peak_ = std::max(peak_, active_);
+  if (metrics_ != nullptr) {
+    metrics_->add("persondb." + region_ + ".connections_opened");
+    metrics_->set("persondb." + region_ + ".active",
+                  static_cast<double>(active_));
+    metrics_->set_max("persondb." + region_ + ".peak",
+                      static_cast<double>(active_));
+  }
   return DbConnection(this);
 }
 
@@ -185,6 +198,9 @@ ResilientConnectResult PersonDbServer::connect_resilient(
     if (ledger != nullptr) {
       ledger->record(FaultKind::kDbDrop, 0.0, region_);
     }
+    if (metrics_ != nullptr) {
+      metrics_->add("persondb." + region_ + ".dropped");
+    }
     if (policy.give_up(attempt, wait_s)) {
       return ResilientConnectResult{std::nullopt, attempt, wait_s};
     }
@@ -204,10 +220,21 @@ std::size_t PersonDbServer::peak_connections() const {
   return peak_;
 }
 
-void PersonDbServer::release() {
+void PersonDbServer::release(std::uint64_t queries) {
   std::lock_guard<std::mutex> lock(mutex_);
   EPI_ASSERT(active_ > 0, "connection release underflow");
   --active_;
+  if (metrics_ != nullptr) {
+    metrics_->add("persondb." + region_ + ".connections_closed");
+    if (queries > 0) metrics_->add("persondb." + region_ + ".queries", queries);
+    metrics_->set("persondb." + region_ + ".active",
+                  static_cast<double>(active_));
+  }
+}
+
+void PersonDbServer::set_metrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_ = metrics;
 }
 
 PersonDbServer& PersonDbRegistry::start(const Population& population,
@@ -215,6 +242,10 @@ PersonDbServer& PersonDbRegistry::start(const Population& population,
   auto server = std::make_unique<PersonDbServer>(population, max_connections);
   PersonDbServer& ref = *server;
   servers_[population.region()] = std::move(server);
+  if (metrics_ != nullptr) {
+    ref.set_metrics(metrics_);
+    metrics_->add("persondb.servers_started");
+  }
   return ref;
 }
 
@@ -230,6 +261,11 @@ bool PersonDbRegistry::is_running(const std::string& region) const {
 
 void PersonDbRegistry::stop(const std::string& region) {
   servers_.erase(region);
+}
+
+void PersonDbRegistry::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  for (auto& [region, server] : servers_) server->set_metrics(metrics);
 }
 
 }  // namespace epi

@@ -27,6 +27,10 @@
 #include "resilience/retry_policy.hpp"
 #include "synthpop/population.hpp"
 
+namespace epi::obs {
+class MetricsRegistry;
+}
+
 namespace epi {
 
 class PersonDbServer;
@@ -109,6 +113,11 @@ class PersonDbServer {
   /// High-water mark of simultaneously open connections.
   std::size_t peak_connections() const;
 
+  /// Attaches a metrics sink (nullptr detaches): per-region session
+  /// open/close and query counters plus active/peak connection gauges
+  /// under "persondb.<region>.*".
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   const std::string& region() const { return region_; }
   PersonId person_count() const {
     return static_cast<PersonId>(persons_.size());
@@ -116,7 +125,7 @@ class PersonDbServer {
 
  private:
   friend class DbConnection;
-  void release();
+  void release(std::uint64_t queries);
 
   std::string region_;
   std::vector<PersonTraits> persons_;
@@ -130,6 +139,7 @@ class PersonDbServer {
   std::size_t active_ = 0;
   std::size_t peak_ = 0;
   std::uint64_t connect_attempts_ = 0;  // fault-keying sequence
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Region-name -> running server registry; the workflow layer's "start the
@@ -147,8 +157,14 @@ class PersonDbRegistry {
   void stop(const std::string& region);
   std::size_t running_count() const { return servers_.size(); }
 
+  /// Attaches a metrics sink to every running server and every server
+  /// started afterwards; counts server starts under
+  /// "persondb.servers_started".
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   std::map<std::string, std::unique_ptr<PersonDbServer>> servers_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace epi

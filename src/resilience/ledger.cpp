@@ -1,5 +1,7 @@
 #include "resilience/ledger.hpp"
 
+#include "obs/trace.hpp"
+
 namespace epi {
 
 const char* fault_kind_name(FaultKind kind) {
@@ -20,7 +22,20 @@ const char* fault_kind_name(FaultKind kind) {
 
 void ResilienceLedger::record(FaultKind kind, double time_hours,
                               std::string detail) {
+  if (trace_ != nullptr) {
+    obs::TraceArgs args;
+    if (!detail.empty()) args["detail"] = detail;
+    trace_->instant(trace_pid_, trace_tid_, fault_kind_name(kind), "fault",
+                    trace_base_hours_ + time_hours, std::move(args));
+  }
   events_.push_back(FaultEvent{kind, time_hours, std::move(detail)});
+}
+
+void ResilienceLedger::set_trace(obs::TraceRecorder* trace, std::uint32_t pid,
+                                 std::uint32_t tid) {
+  trace_ = trace;
+  trace_pid_ = pid;
+  trace_tid_ = tid;
 }
 
 std::uint64_t ResilienceLedger::count(FaultKind kind) const {

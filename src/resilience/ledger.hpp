@@ -12,6 +12,10 @@
 #include <string>
 #include <vector>
 
+namespace epi::obs {
+class TraceRecorder;
+}
+
 namespace epi {
 
 enum class FaultKind : std::uint8_t {
@@ -65,6 +69,16 @@ class ResilienceLedger {
  public:
   void record(FaultKind kind, double time_hours, std::string detail = {});
 
+  /// Mirrors every recorded fault/recovery as an instant event on
+  /// (pid, tid) of `trace` (nullptr detaches). Event time is
+  /// trace_base_hours + time_hours; components whose events carry a
+  /// relative or zero clock (WAN attempts, DB sessions) set the base to
+  /// the workflow clock before running, so instants land on the timeline
+  /// where the fault actually struck.
+  void set_trace(obs::TraceRecorder* trace, std::uint32_t pid,
+                 std::uint32_t tid = 0);
+  void set_trace_base_hours(double hours) { trace_base_hours_ = hours; }
+
   void add_wasted_node_hours(double hours) { wasted_node_hours_ += hours; }
   void add_checkpoint_overhead_node_hours(double hours) {
     checkpoint_overhead_node_hours_ += hours;
@@ -84,6 +98,10 @@ class ResilienceLedger {
   double wasted_node_hours_ = 0.0;
   double checkpoint_overhead_node_hours_ = 0.0;
   double retry_wait_hours_ = 0.0;
+  obs::TraceRecorder* trace_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
+  std::uint32_t trace_tid_ = 0;
+  double trace_base_hours_ = 0.0;
 };
 
 }  // namespace epi

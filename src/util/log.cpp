@@ -1,16 +1,41 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+#include <utility>
 
 namespace epi {
 
+LogLevel parse_log_level(std::string_view text, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off") return LogLevel::kOff;
+  return fallback;
+}
+
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+LogLevel initial_level() {
+  const char* env = std::getenv("EPI_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  return parse_log_level(env, LogLevel::kWarn);
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 std::mutex g_log_mutex;
+LogSink g_sink;  // null = default stderr writer; guarded by g_log_mutex
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,6 +53,11 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_sink = std::move(sink);
+}
+
 bool detail::log_enabled(LogLevel level) {
   return static_cast<int>(level) >= static_cast<int>(g_level.load());
 }
@@ -38,6 +68,10 @@ void log_message(LogLevel level, const std::string& message) {
   const double elapsed =
       std::chrono::duration<double>(Clock::now() - start).count();
   std::lock_guard<std::mutex> lock(g_log_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
   std::fprintf(stderr, "[%9.3f] %-5s %s\n", elapsed, level_name(level),
                message.c_str());
 }

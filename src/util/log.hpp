@@ -1,11 +1,19 @@
-// Leveled logging. The nightly workflow runs unattended for hours; the
-// orchestration layer logs phase transitions at Info, per-job events at
-// Debug. Output is a single stream (stderr by default) with a monotonic
-// timestamp so interleaved module logs stay ordered.
+// Leveled logging for the unattended nightly runs.
+//
+// One process-wide minimum level filters cheaply at the call site
+// (messages below it never format), and one process-wide sink receives
+// everything that passes. The default sink writes stderr lines with a
+// monotonic elapsed-seconds stamp so interleaved module logs stay
+// ordered; set_log_sink() redirects the stream (tests capture it, a
+// harness can forward it). The minimum level starts at Warn, or at
+// EPI_LOG_LEVEL (debug|info|warn|error|off) when that variable is set —
+// so a hung production run can be re-run chatty with no rebuild.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace epi {
 
@@ -14,6 +22,19 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global minimum level; messages below it are discarded cheaply.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive;
+/// "warning" also accepted) into a level; anything else — including the
+/// empty string — returns `fallback`. This is the EPI_LOG_LEVEL parser,
+/// exposed so tests can cover it directly.
+LogLevel parse_log_level(std::string_view text, LogLevel fallback);
+
+/// Receives every emitted message at or above the minimum level.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the output sink (thread-safe); a null sink restores the
+/// default timestamped-stderr writer.
+void set_log_sink(LogSink sink);
 
 /// Emits one log line (thread-safe).
 void log_message(LogLevel level, const std::string& message);

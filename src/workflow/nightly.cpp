@@ -4,6 +4,7 @@
 
 #include "analytics/aggregate.hpp"
 #include "epihiper/parallel.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -47,11 +48,42 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
     wan.enable_resilience(&injector, config_.retry, &ledger);
   }
 
+  // Observability session (null = disabled, the exact untraced path).
+  obs::TraceRecorder* const trace =
+      config_.trace != nullptr ? &config_.trace->trace() : nullptr;
+  obs::MetricsRegistry* const metrics =
+      config_.trace != nullptr ? &config_.trace->metrics() : nullptr;
+  std::uint32_t pid_home = 0, pid_remote = 0, pid_wan = 0;
+  if (trace != nullptr) {
+    pid_home = trace->process("home");
+    pid_remote = trace->process("remote");
+    pid_wan = trace->process("wan");
+    trace->thread_name(pid_home, 0, "workflow");
+    trace->thread_name(pid_remote, 0, "workflow");
+    trace->thread_name(pid_wan, 0, "to remote");
+    trace->thread_name(pid_wan, 1, "to home");
+    ledger.set_trace(trace, pid_remote, 0);
+    wan.enable_trace(trace, pid_wan, metrics);
+  }
+  databases_.set_metrics(metrics);
+  auto site_pid = [&](const std::string& site) {
+    return site == "home" ? pid_home : site == "remote" ? pid_remote : pid_wan;
+  };
+
   double clock_hours = 0.0;
   auto phase = [&](const std::string& name, const std::string& site,
                    double duration_hours) {
     report.timeline.push_back(PhaseRecord{name, site, clock_hours,
                                           duration_hours});
+    if (trace != nullptr) {
+      // Phase-span tid 0 is each site's "workflow" lane; DES job spans
+      // live on the per-node lanes above it.
+      obs::TraceArgs args;
+      args["site"] = site;
+      trace->complete(site_pid(site), 0, name, "phase", clock_hours,
+                      duration_hours, std::move(args));
+      trace->set_sim_hours(clock_hours + duration_hours);
+    }
     clock_hours += duration_hours;
   };
   // Wall-clock phase duration with a model floor; under deterministic
@@ -66,14 +98,25 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
   std::map<std::string, std::vector<CellConfig>> configs_by_region;
   for (const std::string& abbrev : design.regions) {
     auto configs = make_cell_configs(design, abbrev, config_.seed);
+    std::uint64_t region_bytes = 0;
     for (const CellConfig& config : configs) {
-      report.config_bytes += config.byte_size();
+      region_bytes += config.byte_size();
+    }
+    report.config_bytes += region_bytes;
+    if (trace != nullptr) {
+      obs::TraceArgs args;
+      args["bytes"] = region_bytes;
+      args["cells"] = static_cast<std::uint64_t>(configs.size());
+      trace->instant(pid_home, 0, "configs " + abbrev, "config-gen",
+                     clock_hours, std::move(args));
     }
     configs_by_region.emplace(abbrev, std::move(configs));
   }
   phase("generate configurations", "home", timed_hours(0.25, config_timer));
 
   // ---- Phase 2 (WAN): configs to the remote site --------------------------
+  wan.set_clock_hours(clock_hours);
+  ledger.set_trace_base_hours(clock_hours);
   const double config_transfer_s =
       wan.transfer("cell configurations", report.config_bytes, true);
   phase("transfer configurations", "wan", config_transfer_s / 3600.0);
@@ -86,6 +129,12 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
     const StateInfo& state = state_by_abbrev(abbrev);
     const double seconds =
         30.0 + 10.0 * static_cast<double>(state.population) / 1e6;
+    if (trace != nullptr) {
+      obs::TraceArgs args;
+      args["seconds"] = seconds;
+      trace->instant(pid_remote, 0, "snapshot " + abbrev, "db-snapshot",
+                     clock_hours, std::move(args));
+    }
     db_start_hours = std::max(db_start_hours, seconds / 3600.0);
   }
   phase("start population databases", "remote", db_start_hours);
@@ -112,6 +161,11 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
     des_config.checkpoint.job_ticks = design.num_days;
     des_config.ledger = &ledger;
   }
+  des_config.trace = trace;
+  des_config.trace_pid = pid_remote;
+  des_config.trace_base_hours = clock_hours;
+  des_config.metrics = metrics;
+  ledger.set_trace_base_hours(clock_hours);
   Rng des_rng = Rng(config_.seed).derive({0x444553ULL});  // "DES"
   const DesResult des = simulate_cluster(remote_, ordered, des_config, des_rng);
   report.schedule_makespan_hours = des.makespan_hours;
@@ -127,9 +181,17 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
   std::uint64_t cube_bytes = 0;
   double db_retry_wait_s = 0.0;
   Timer execute_timer;
+  ledger.set_trace_base_hours(clock_hours);
   for (std::size_t i = 0; i < config_.sample_executions; ++i) {
     const std::string& abbrev = sample_pool[i % sample_pool.size()];
     const SyntheticRegion& reg = region(abbrev);
+    if (trace != nullptr) {
+      obs::TraceArgs args;
+      args["index"] = static_cast<std::uint64_t>(i);
+      args["region"] = abbrev;
+      trace->instant(pid_remote, 0, "sample " + abbrev, "execute",
+                     clock_hours, std::move(args));
+    }
     // Each running job holds connections against the region's database
     // (the DB-WMP constraint made concrete). Under fault injection the
     // session may drop and reconnect with backoff.
@@ -189,6 +251,8 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
         timed_hours(0.3, execute_timer) + db_retry_wait_s / 3600.0);
 
   // ---- Phase 5 (WAN): summaries home --------------------------------------
+  wan.set_clock_hours(clock_hours);
+  ledger.set_trace_base_hours(clock_hours);
   const double summary_transfer_s = wan.transfer(
       "summary outputs",
       static_cast<std::uint64_t>(report.summary_bytes_full_scale), false);
@@ -218,6 +282,21 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
       report.unfinished_jobs == 0 &&
       (remote_.window_hours <= 0.0 ||
        report.schedule_makespan_hours <= remote_.window_hours);
+  if (metrics != nullptr) {
+    metrics->add("nightly.runs");
+    metrics->add("nightly.planned_simulations", report.planned_simulations);
+    metrics->add("nightly.executed_simulations", report.executed_simulations);
+    metrics->add("nightly.config_bytes", report.config_bytes);
+    metrics->add("nightly.raw_bytes_measured", report.raw_bytes_measured);
+    metrics->add("nightly.summary_bytes_measured",
+                 report.summary_bytes_measured);
+    metrics->add("nightly.db_queries_served", report.db_queries_served);
+    metrics->set("nightly.utilization", report.utilization);
+    metrics->set("nightly.makespan_hours", report.schedule_makespan_hours);
+    metrics->set("nightly.total_elapsed_hours", report.total_elapsed_hours);
+    metrics->set("nightly.deadline_slack_hours", report.deadline_slack_hours);
+    metrics->set("nightly.deadline_met", report.deadline_met ? 1.0 : 0.0);
+  }
   EPI_INFO("workflow " << design.name << ": " << report.planned_simulations
                        << " sims planned, utilization " << report.utilization
                        << ", makespan " << report.schedule_makespan_hours

@@ -40,6 +40,10 @@
 #include "synthpop/generator.hpp"
 #include "workflow/designs.hpp"
 
+namespace epi::obs {
+class Session;
+}
+
 namespace epi {
 
 struct NightlyConfig {
@@ -70,6 +74,14 @@ struct NightlyConfig {
   /// WorkflowReport — timeline included — reproducible bit for bit.
   /// Off by default: the seed behaviour reports measured wall time.
   bool deterministic_timing = false;
+
+  /// Optional observability session (non-owning; nullptr = disabled, the
+  /// exact untraced code path). When set, every phase becomes a span,
+  /// per-region milestones become instants, the Slurm DES / WAN / person
+  /// DBs / resilience ledger all report into the session, and the caller
+  /// writes trace.json + metrics.json via obs::Session::write(). Pair
+  /// with deterministic_timing for byte-reproducible files.
+  obs::Session* trace = nullptr;
 };
 
 struct PhaseRecord {

@@ -15,6 +15,11 @@
 #      differs across libstdc++ versions and ASLR runs, so anything
 #      emitted from such a loop is nondeterministic.
 #
+# It also fails on raw stderr writes (std::cerr / fprintf(stderr, ...))
+# anywhere in src/ outside src/util/log.cpp: diagnostics must go through
+# the leveled logger so EPI_LOG_LEVEL and set_log_sink() govern every
+# line the workflow emits.
+#
 # If clang-tidy is installed, the .clang-tidy config is also run over the
 # mpilite sources as a deeper (but slower) second opinion.
 set -uo pipefail
@@ -43,7 +48,18 @@ if [[ -n "$hits" ]]; then
   fail=1
 fi
 
-# --- 3. Unordered-container iteration in output-emitting files ----------
+# --- 3. Raw stderr writes outside the logger ----------------------------
+raw_stderr='std::cerr|fprintf\(stderr'
+hits="$(grep -rnE "$raw_stderr" src --include='*.cpp' --include='*.hpp' \
+        | grep -v '^src/util/log.cpp:' | grep -v '^src/obs/' || true)"
+if [[ -n "$hits" ]]; then
+  note "lint: raw stderr write outside src/util/log.cpp (use EPI_WARN/"
+  note "      EPI_ERROR so EPI_LOG_LEVEL and set_log_sink() apply):"
+  note "$hits"
+  fail=1
+fi
+
+# --- 4. Unordered-container iteration in output-emitting files ----------
 # Files that format reports, tables, logs, or serialized output. A
 # declaration like `std::unordered_map<K, V> name` is harvested from the
 # file and its paired header, then any range-for over (or .begin() walk
@@ -55,6 +71,7 @@ output_files() {
      src/util/csv.cpp src/util/csv.hpp \
      src/util/json.cpp src/util/json.hpp \
      src/util/log.cpp src/util/log.hpp \
+     src/obs/*.cpp src/obs/*.hpp \
      src/cluster/slurm_sim.cpp 2>/dev/null
 }
 
@@ -86,7 +103,7 @@ for f in $(output_files); do
   done
 done
 
-# --- 4. clang-tidy (optional deeper pass) -------------------------------
+# --- 5. clang-tidy (optional deeper pass) -------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   if [[ ! -f build/compile_commands.json ]]; then
     cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null

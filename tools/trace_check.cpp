@@ -1,0 +1,61 @@
+// trace_check — CI validator for emitted observability files.
+//
+// Usage: trace_check <trace.json> [metrics.json ...]
+//
+// Each argument ending in "metrics.json" is checked as a metrics
+// snapshot; everything else as a Chrome trace_event document (see
+// src/obs/trace_check.hpp for the exact structural rules). Prints one
+// summary line per file and exits non-zero if any file fails, so a CI
+// step can validate a recorded run with no extra tooling.
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "obs/trace_check.hpp"
+
+namespace {
+
+bool is_metrics_path(std::string_view path) {
+  constexpr std::string_view kSuffix = "metrics.json";
+  return path.size() >= kSuffix.size() &&
+         path.substr(path.size() - kSuffix.size()) == kSuffix;
+}
+
+void print_errors(const std::vector<std::string>& errors) {
+  for (const std::string& error : errors) {
+    std::printf("    error: %s\n", error.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: trace_check <trace.json> [metrics.json ...]\n");
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    if (is_metrics_path(path)) {
+      const epi::obs::MetricsCheckResult result =
+          epi::obs::check_metrics_file(path);
+      std::printf("%s: %s (%zu counters, %zu gauges, %zu histograms)\n",
+                  path.c_str(), result.ok ? "OK" : "FAIL", result.counters,
+                  result.gauges, result.histograms);
+      print_errors(result.errors);
+      all_ok = all_ok && result.ok;
+    } else {
+      const epi::obs::TraceCheckResult result =
+          epi::obs::check_trace_file(path);
+      std::printf(
+          "%s: %s (%zu events: %zu spans, %zu instants, %zu counter samples,"
+          " %zu processes)\n",
+          path.c_str(), result.ok ? "OK" : "FAIL", result.events, result.spans,
+          result.instants, result.counters, result.processes);
+      print_errors(result.errors);
+      all_ok = all_ok && result.ok;
+    }
+  }
+  return all_ok ? 0 : 1;
+}
