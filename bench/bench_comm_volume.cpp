@@ -1,0 +1,161 @@
+// Communication-volume A/B: ghost-delta halo exchange vs the legacy
+// broadcast-everything kernel, on the same network and partitioning.
+//
+// The legacy transmission step allgatherv'd every rank's full infectious
+// set to every rank, every tick — O(global infectious x ranks) bytes on
+// the wire regardless of how many of those records a rank could ever use.
+// The ghost-delta protocol sends each rank only the *changes* to the
+// boundary records it subscribed to at construction. This bench runs both
+// kernels to the same epidemic and reports wall time, wire bytes, and
+// peak memory; it exits non-zero if the ghost kernel fails to move
+// strictly fewer bytes than the broadcast baseline measured in the same
+// run (the CI perf-smoke gate), or if the two kernels' outputs diverge.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "epihiper/parallel.hpp"
+#include "synthpop/generator.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct KernelRun {
+  epi::SimOutput out;
+  double wall_seconds = 0.0;
+};
+
+KernelRun run_kernel(const epi::SyntheticRegion& region,
+                     const epi::DiseaseModel& model,
+                     epi::SimulationConfig config,
+                     const epi::Partitioning& parts, int ranks,
+                     epi::ExchangeMode mode) {
+  config.exchange = mode;
+  epi::Timer timer;
+  KernelRun result;
+  result.out = epi::run_simulation_parallel(region.network, region.population,
+                                            model, config, parts, ranks);
+  result.wall_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+std::uint64_t peak(const std::vector<std::uint64_t>& series) {
+  return series.empty() ? 0 : *std::max_element(series.begin(), series.end());
+}
+
+double mean(const std::vector<double>& series) {
+  if (series.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : series) sum += v;
+  return sum / static_cast<double>(series.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace epi;
+  using namespace epi::bench;
+
+  heading("Communication volume — ghost-delta halo vs broadcast allgatherv");
+  note("same network, partitioning, seeds, and RNG streams for both kernels;");
+  note("the epidemic outputs must be identical, only the wire traffic and");
+  note("touched-edge counts differ");
+
+  SynthPopConfig pop_config;
+  pop_config.region = "DC";
+  pop_config.scale = 1.0 / 50.0;
+  pop_config.seed = 7;
+  const SyntheticRegion region = generate_region(pop_config);
+  const DiseaseModel model = covid_model();
+
+  constexpr int kRanks = 8;
+  constexpr Tick kTicks = 60;
+  SimulationConfig config;
+  config.num_ticks = kTicks;
+  config.seed = 11;
+  config.seeds = {SeedSpec{0, 10, 0}};
+
+  const Partitioning parts =
+      partition_network(region.network, static_cast<std::size_t>(kRanks));
+
+  subheading("DC — " + fmt_int(region.population.person_count()) +
+             " persons, " + fmt_int(region.network.contact_count()) +
+             " contacts, " + fmt_int(kRanks) + " ranks, " + fmt_int(kTicks) +
+             " ticks");
+
+  const KernelRun bcast = run_kernel(region, model, config, parts, kRanks,
+                                     ExchangeMode::kBroadcast);
+  const KernelRun ghost = run_kernel(region, model, config, parts, kRanks,
+                                     ExchangeMode::kGhostDelta);
+
+  bool ok = true;
+  if (ghost.out.final_states != bcast.out.final_states ||
+      ghost.out.new_infections_per_tick != bcast.out.new_infections_per_tick ||
+      ghost.out.total_infections != bcast.out.total_infections) {
+    note("FAIL: kernels disagree on the epidemic — the A/B is invalid");
+    ok = false;
+  }
+
+  const std::uint64_t bcast_bytes = bcast.out.communication_bytes;
+  const std::uint64_t ghost_bytes = ghost.out.communication_bytes;
+  const std::uint64_t bcast_peak = peak(bcast.out.memory_bytes_per_tick);
+  const std::uint64_t ghost_peak = peak(ghost.out.memory_bytes_per_tick);
+
+  row({"kernel", "comm MB", "halo MB", "peak mem MB", "s/tick", "wall s"}, 14);
+  row({"broadcast", fmt(static_cast<double>(bcast_bytes) / 1e6, 3), "0.000",
+       fmt(static_cast<double>(bcast_peak) / 1e6, 2),
+       fmt(mean(bcast.out.seconds_per_tick), 4), fmt(bcast.wall_seconds, 3)},
+      14);
+  row({"ghost-delta", fmt(static_cast<double>(ghost_bytes) / 1e6, 3),
+       fmt(static_cast<double>(ghost.out.ghost_exchange_bytes) / 1e6, 3),
+       fmt(static_cast<double>(ghost_peak) / 1e6, 2),
+       fmt(mean(ghost.out.seconds_per_tick), 4), fmt(ghost.wall_seconds, 3)},
+      14);
+
+  std::uint64_t bcast_edges = 0, ghost_edges = 0;
+  for (const auto v : bcast.out.frontier_edges_per_tick) bcast_edges += v;
+  for (const auto v : ghost.out.frontier_edges_per_tick) ghost_edges += v;
+  note("edges evaluated (all ticks, all ranks): broadcast " +
+       fmt_int(bcast_edges) + ", ghost " + fmt_int(ghost_edges));
+  if (ghost_bytes > 0) {
+    note("comm reduction: " +
+         fmt(static_cast<double>(bcast_bytes) /
+                 static_cast<double>(ghost_bytes),
+             2) +
+         "x fewer bytes than broadcast");
+  }
+
+  JsonReport report("comm_volume");
+  report.metric("ranks", static_cast<std::uint64_t>(kRanks));
+  report.metric("ticks", static_cast<std::uint64_t>(kTicks));
+  report.metric("persons",
+                static_cast<std::uint64_t>(region.population.person_count()));
+  report.metric("contacts", region.network.contact_count());
+  report.metric("total_infections", ghost.out.total_infections);
+  report.metric("broadcast.communication_bytes", bcast_bytes);
+  report.metric("broadcast.peak_memory_bytes", bcast_peak);
+  report.metric("broadcast.seconds_per_tick_mean",
+                mean(bcast.out.seconds_per_tick));
+  report.metric("broadcast.edges_evaluated", bcast_edges);
+  report.metric("ghost.communication_bytes", ghost_bytes);
+  report.metric("ghost.ghost_exchange_bytes", ghost.out.ghost_exchange_bytes);
+  report.metric("ghost.peak_memory_bytes", ghost_peak);
+  report.metric("ghost.seconds_per_tick_mean",
+                mean(ghost.out.seconds_per_tick));
+  report.metric("ghost.edges_evaluated", ghost_edges);
+  report.metric("outputs_identical", ok ? std::uint64_t{1} : std::uint64_t{0});
+  report.write();
+
+  // The perf-smoke gate: the whole point of the halo exchange is strictly
+  // less wire traffic than the baseline measured in this very run.
+  if (ghost_bytes >= bcast_bytes) {
+    note("FAIL: ghost kernel moved " + fmt_int(ghost_bytes) +
+         " bytes, baseline " + fmt_int(bcast_bytes));
+    ok = false;
+  } else {
+    note("PASS: ghost bytes strictly below broadcast baseline");
+  }
+  return ok ? 0 : 1;
+}

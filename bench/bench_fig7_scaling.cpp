@@ -12,7 +12,9 @@
 // Omnipath-class constant. Communication volume is the engine's actual
 // mpilite traffic, not an estimate.
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_report.hpp"
@@ -41,6 +43,7 @@ int main() {
   const double wire_seconds_per_byte = 6.7e-10;
   const double latency_seconds_per_message = 2e-5;
 
+  JsonReport report("fig7_scaling");
   for (const auto& net : networks) {
     SynthPopConfig pop_config;
     pop_config.region = net.region;
@@ -62,6 +65,10 @@ int main() {
     const double serial_seconds = timer.elapsed_seconds();
     const double throughput =
         static_cast<double>(serial.work_units) / serial_seconds;
+    const std::string prefix = std::string(net.region);
+    report.metric(prefix + ".serial.seconds", serial_seconds);
+    report.metric(prefix + ".serial.seconds_per_tick", serial_seconds / 60.0);
+    report.metric(prefix + ".serial.work_units", serial.work_units);
 
     row({"ranks", "max-rank work", "comm MB", "modeled time", "speedup"}, 16);
     row({"1", fmt_int(serial.work_units), "0.0", fmt(serial_seconds, 3) + "s",
@@ -84,8 +91,24 @@ int main() {
            fmt(static_cast<double>(out.communication_bytes) / 1e6, 2),
            fmt(modeled, 3) + "s", fmt(serial_seconds / modeled, 2)},
           16);
+      // Zero-padded rank keys keep the sorted-JSON series in rank order.
+      char rank_key[8];
+      std::snprintf(rank_key, sizeof(rank_key), "p%03d", ranks);
+      const std::string rp = prefix + "." + rank_key;
+      report.metric(rp + ".max_rank_work_units", out.max_rank_work_units);
+      report.metric(rp + ".communication_bytes", out.communication_bytes);
+      report.metric(rp + ".ghost_exchange_bytes", out.ghost_exchange_bytes);
+      report.metric(rp + ".modeled_seconds", modeled);
+      report.metric(rp + ".modeled_seconds_per_tick", modeled / 60.0);
+      report.metric(rp + ".speedup", serial_seconds / modeled);
+      std::uint64_t peak_memory = 0;
+      for (const auto m : out.memory_bytes_per_tick) {
+        peak_memory = std::max(peak_memory, m);
+      }
+      report.metric(rp + ".peak_memory_bytes", peak_memory);
     }
   }
+  report.write();
 
   subheading("shape checks");
   note("- speedup grows with ranks, then flattens/reverses as communication");

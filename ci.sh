@@ -50,6 +50,15 @@ run_plain() {
   cmp build/trace-ci/trace.json build/trace-ci-2/trace.json
   cmp build/trace-ci/metrics.json build/trace-ci-2/metrics.json
   echo "trace pass OK (valid + byte-identical across runs)"
+
+  echo "== perf smoke (comm volume) =="
+  # A/B the ghost-delta halo exchange against the broadcast baseline
+  # measured in the same run; the bench exits non-zero if the ghost kernel
+  # does not move strictly fewer bytes, or if the kernels' epidemic
+  # outputs diverge. The JSON report lands in build/ for regression diffs.
+  rm -rf build/perf-smoke && mkdir -p build/perf-smoke
+  EPI_BENCH_JSON=build/perf-smoke ./build/bench/bench_comm_volume
+  echo "perf smoke OK (see build/perf-smoke/BENCH_comm_volume.json)"
 }
 
 run_asan() {

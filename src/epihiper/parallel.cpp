@@ -47,6 +47,7 @@ SimOutput run_simulation_parallel(const ContactNetwork& network,
   std::vector<SimOutput> per_rank(static_cast<std::size_t>(num_ranks));
   mpilite::Runtime::run(num_ranks, [&](mpilite::Comm& comm) {
     Simulation sim(network, population, model, config, &comm, &partitioning);
+    sim.set_metrics(obs.metrics);
     if (interventions) {
       for (auto& intervention : interventions()) {
         sim.add_intervention(std::move(intervention));
@@ -59,6 +60,7 @@ SimOutput run_simulation_parallel(const ContactNetwork& network,
   SimOutput merged;
   const auto ticks = static_cast<std::size_t>(config.num_ticks);
   merged.new_infections_per_tick.assign(ticks, 0);
+  merged.frontier_edges_per_tick.assign(ticks, 0);
   merged.memory_bytes_per_tick.assign(ticks, 0);
   merged.seconds_per_tick.assign(ticks, 0.0);
   merged.final_states.reserve(network.node_count());
@@ -67,6 +69,7 @@ SimOutput run_simulation_parallel(const ContactNetwork& network,
                "rank output tick-count mismatch");
     for (std::size_t t = 0; t < ticks; ++t) {
       merged.new_infections_per_tick[t] += out.new_infections_per_tick[t];
+      merged.frontier_edges_per_tick[t] += out.frontier_edges_per_tick[t];
       merged.memory_bytes_per_tick[t] += out.memory_bytes_per_tick[t];
       merged.seconds_per_tick[t] =
           std::max(merged.seconds_per_tick[t], out.seconds_per_tick[t]);
@@ -78,6 +81,7 @@ SimOutput run_simulation_parallel(const ContactNetwork& network,
                                out.final_states.end());
     merged.total_infections += out.total_infections;
     merged.communication_bytes += out.communication_bytes;
+    merged.ghost_exchange_bytes += out.ghost_exchange_bytes;
     merged.work_units += out.work_units;
     merged.max_rank_work_units =
         std::max(merged.max_rank_work_units, out.work_units);

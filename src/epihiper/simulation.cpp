@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -15,6 +16,13 @@ constexpr std::uint64_t kPurposeProgression = 0x50524f47ULL;   // "PROG"
 constexpr std::uint64_t kPurposeSeed = 0x53454544ULL;          // "SEED"
 constexpr std::uint64_t kPurposeCoin = 0x434f494eULL;          // "COIN"
 constexpr int kTagIsolation = 7;
+
+/// Wire format of the owner-routed isolation requests.
+struct IsolationRequest {
+  PersonId person;
+  Tick until;
+};
+static_assert(std::is_trivially_copyable_v<IsolationRequest>);
 }  // namespace
 
 Simulation::Simulation(const ContactNetwork& network,
@@ -57,11 +65,32 @@ Simulation::Simulation(const ContactNetwork& network,
   }
   isolated_until_.assign(local_count, -1);
   stay_home_.assign(local_count, 0);
-  infectious_lookup_.assign(network_.node_count(), 0);
   entered_by_state_.resize(model_.state_count());
   local_state_counts_.assign(model_.state_count(), 0);
   local_state_counts_[model_.initial_state()] =
       static_cast<std::int64_t>(local_count);
+
+  local_infectious_pos_.assign(local_count, 0);
+  if (model_.state(model_.initial_state()).infectious()) {
+    local_infectious_.reserve(local_count);
+    for (PersonId p = local_begin_; p < local_end_; ++p) {
+      local_infectious_.push_back(p);
+      local_infectious_pos_[p - local_begin_] =
+          static_cast<std::uint32_t>(local_infectious_.size());
+    }
+  }
+
+  if (config_.exchange == ExchangeMode::kBroadcast) {
+    // The legacy kernel's person-indexed lookup spans the whole network —
+    // the O(network nodes)-per-rank cost the ghost halo replaces.
+    infectious_lookup_.assign(network_.node_count(), 0);
+  } else if (comm_ != nullptr) {
+    build_ghost_plan(*partitioning);
+  }
+
+  static_assert(std::is_trivially_copyable_v<InfectiousInfo> &&
+                    sizeof(InfectiousInfo) == 12,
+                "InfectiousInfo is a packed wire struct");
 
   // Dense (from-state, source-state) -> transmission lookup for the hot
   // propensity loop.
@@ -72,6 +101,60 @@ Simulation::Simulation(const ContactNetwork& network,
     transmission_to_[t.from * s + t.source] = t.to;
     transmission_omega_[t.from * s + t.source] = t.omega;
   }
+}
+
+void Simulation::build_ghost_plan(const Partitioning& partitioning) {
+  // Ghosts: the exact remote persons this rank needs infectious records
+  // for — sources of its in-edges owned elsewhere (the partition halo).
+  ghost_persons_ = compute_ghost_sources(
+      network_, partitioning, static_cast<std::size_t>(comm_->rank()));
+  ghost_records_.resize(ghost_persons_.size());
+  for (std::size_t i = 0; i < ghost_persons_.size(); ++i) {
+    ghost_records_[i].person = ghost_persons_[i];
+  }
+  ghost_active_pos_.assign(ghost_persons_.size(), 0);
+
+  // Tell each owner which of its persons we want (one-time handshake);
+  // the inbound want-lists become this rank's subscriber index.
+  std::vector<std::vector<PersonId>> want(
+      static_cast<std::size_t>(comm_->size()));
+  for (const PersonId g : ghost_persons_) {
+    want[partitioning.partition_of(g)].push_back(g);
+  }
+  const auto inbox = comm_->alltoallv(want);
+
+  const std::size_t local_count = local_end_ - local_begin_;
+  subscriber_offsets_.assign(local_count + 1, 0);
+  for (const auto& wanted : inbox) {
+    for (const PersonId p : wanted) {
+      EPI_ASSERT(is_local(p), "subscriber handshake wants a non-local person");
+      ++subscriber_offsets_[p - local_begin_ + 1];
+    }
+  }
+  for (std::size_t i = 0; i < local_count; ++i) {
+    subscriber_offsets_[i + 1] += subscriber_offsets_[i];
+  }
+  subscriber_ranks_.resize(subscriber_offsets_[local_count]);
+  std::vector<std::uint64_t> cursor(subscriber_offsets_.begin(),
+                                    subscriber_offsets_.end() - 1);
+  for (std::size_t s = 0; s < inbox.size(); ++s) {
+    for (const PersonId p : inbox[s]) {
+      subscriber_ranks_[cursor[p - local_begin_]++] =
+          static_cast<std::int32_t>(s);
+    }
+  }
+  delta_outbox_.resize(static_cast<std::size_t>(comm_->size()));
+}
+
+Simulation::InfectiousInfo Simulation::infectious_record(PersonId p) const {
+  const NodeState& node = nodes_[p - local_begin_];
+  InfectiousInfo info;
+  info.person = p;
+  info.state = node.health;
+  info.infectivity_scale = node.infectivity_scale;
+  info.isolated = is_isolated(p) ? 1 : 0;
+  info.stay_home = stay_home_[p - local_begin_];
+  return info;
 }
 
 void Simulation::add_intervention(std::shared_ptr<Intervention> intervention) {
@@ -108,12 +191,11 @@ std::int64_t Simulation::global_state_count(HealthStateId state) {
     if (comm_ == nullptr) {
       cached_global_counts_ = local_state_counts_;
     } else {
-      std::vector<double> as_double(local_state_counts_.begin(),
-                                    local_state_counts_.end());
-      const auto reduced = comm_->allreduce(
-          std::span<const double>(as_double), mpilite::ReduceOp::kSum);
-      cached_global_counts_ = std::vector<std::int64_t>(reduced.begin(),
-                                                        reduced.end());
+      // Exact integer sum: the double path loses precision above 2^53,
+      // which population-scale occupancy counts can exceed.
+      cached_global_counts_ = comm_->allreduce(
+          std::span<const std::int64_t>(local_state_counts_),
+          mpilite::ReduceOp::kSum);
     }
   }
   return (*cached_global_counts_)[state];
@@ -257,8 +339,19 @@ std::uint64_t Simulation::memory_footprint_bytes() const {
   bytes += edge_weight_scale_.capacity() * sizeof(float);
   bytes += isolated_until_.capacity() * sizeof(Tick);
   bytes += stay_home_.capacity();
+  // Broadcast mode: the O(network nodes) lookup plus the full gathered
+  // infectious set. Ghost mode: halo-sized structures only.
   bytes += infectious_lookup_.capacity() * sizeof(std::uint32_t);
   bytes += global_infectious_.capacity() * sizeof(InfectiousInfo);
+  bytes += local_infectious_.capacity() * sizeof(PersonId);
+  bytes += local_infectious_pos_.capacity() * sizeof(std::uint32_t);
+  bytes += ghost_persons_.capacity() * sizeof(PersonId);
+  bytes += ghost_records_.capacity() * sizeof(InfectiousInfo);
+  bytes += ghost_active_.capacity() * sizeof(std::uint32_t);
+  bytes += ghost_active_pos_.capacity() * sizeof(std::uint32_t);
+  bytes += subscriber_offsets_.capacity() * sizeof(std::uint64_t);
+  bytes += subscriber_ranks_.capacity() * sizeof(std::int32_t);
+  bytes += advertised_.capacity() * sizeof(InfectiousInfo);
   for (const auto& [name, values] : node_traits_) {
     bytes += values.capacity();
   }
@@ -280,6 +373,25 @@ void Simulation::transition_person(PersonId p, HealthStateId new_state,
   node.next_transition_tick = -1;
   node.next_state = kNoState;
   entered_by_state_[new_state].push_back(p);
+  // Keep the infectious set incremental: O(1) membership updates here
+  // instead of a full person scan every tick.
+  const bool was_infectious = model_.state(old_state).infectious();
+  const bool now_infectious = model_.state(new_state).infectious();
+  if (was_infectious != now_infectious) {
+    const std::size_t li = p - local_begin_;
+    if (now_infectious) {
+      local_infectious_.push_back(p);
+      local_infectious_pos_[li] =
+          static_cast<std::uint32_t>(local_infectious_.size());
+    } else {
+      const std::uint32_t pos = local_infectious_pos_[li] - 1;
+      const PersonId moved = local_infectious_.back();
+      local_infectious_[pos] = moved;
+      local_infectious_pos_[moved - local_begin_] = pos + 1;
+      local_infectious_.pop_back();
+      local_infectious_pos_[li] = 0;
+    }
+  }
   if (config_.record_transitions) {
     output_.transitions.push_back(TransitionEvent{tick_, p, new_state, cause});
   }
@@ -343,50 +455,68 @@ void Simulation::exchange_remote_isolation_requests() {
                "remote isolation queued in a serial run");
     return;
   }
-  // Route each request to the owner rank; POD pairs of (person, until).
-  std::vector<std::vector<std::uint64_t>> outbox(
+  // Route each request to the owner rank as typed POD records (no uint64
+  // flattening round-trip; half the bytes of the old encoding).
+  std::vector<std::vector<IsolationRequest>> outbox(
       static_cast<std::size_t>(comm_->size()));
   for (const auto& [person, until] : pending_remote_isolations_) {
     const std::size_t owner = partitioning_->partition_of(person);
-    outbox[owner].push_back(person);
-    outbox[owner].push_back(static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(until)));
+    outbox[owner].push_back(IsolationRequest{person, until});
   }
   pending_remote_isolations_.clear();
   const auto inbox = comm_->alltoallv(outbox);
   for (const auto& messages : inbox) {
-    for (std::size_t i = 0; i + 1 < messages.size(); i += 2) {
-      const auto person = static_cast<PersonId>(messages[i]);
-      const auto until = static_cast<Tick>(
-          static_cast<std::int64_t>(messages[i + 1]));
-      EPI_ASSERT(is_local(person), "misrouted isolation request");
-      isolate(person, until);
+    for (const IsolationRequest& request : messages) {
+      EPI_ASSERT(is_local(request.person), "misrouted isolation request");
+      isolate(request.person, request.until);
     }
   }
 }
 
 void Simulation::step_transmissions() {
-  // Snapshot the global infectious set (state at tick start).
-  std::vector<InfectiousInfo> local_infectious;
-  for (PersonId p = local_begin_; p < local_end_; ++p) {
-    const NodeState& node = nodes_[p - local_begin_];
-    if (!model_.state(node.health).infectious()) continue;
-    InfectiousInfo info;
-    info.person = p;
-    info.state = node.health;
-    info.infectivity_scale = node.infectivity_scale;
-    info.isolated = is_isolated(p) ? 1 : 0;
-    info.stay_home = stay_home_[p - local_begin_];
-    local_infectious.push_back(info);
+  // Snapshot the local infectious records in ascending person order (the
+  // order the legacy full scan produced them in), shared by both kernels.
+  sorted_infectious_scratch_.assign(local_infectious_.begin(),
+                                    local_infectious_.end());
+  std::sort(sorted_infectious_scratch_.begin(),
+            sorted_infectious_scratch_.end());
+  tick_records_.clear();
+  for (const PersonId p : sorted_infectious_scratch_) {
+    tick_records_.push_back(infectious_record(p));
   }
-  // Clear the previous tick's lookup entries before installing new ones.
+  if (config_.exchange == ExchangeMode::kBroadcast) {
+    step_transmissions_broadcast();
+  } else {
+    step_transmissions_frontier();
+  }
+}
+
+void Simulation::finish_candidate(PersonId p, double rate_sum,
+                                  const std::vector<InfectiousInfo>& records) {
+  const double rate = model_.transmissibility() * rate_sum;
+  if (rate <= 0.0) return;
+  // Gillespie: exponential waiting time against the one-tick interval;
+  // the causing contact is drawn proportionally to its propensity.
+  Rng rng = person_rng(p).derive({kPurposeTransmission});
+  if (rng.exponential(rate) >= 1.0) return;
+  const std::size_t cause_index = rng.discrete(candidate_rho_);
+  const InfectiousInfo& source = records[candidate_slots_[cause_index]];
+  const HealthStateId to =
+      transmission_to_[nodes_[p - local_begin_].health * model_.state_count() +
+                       source.state];
+  transition_person(p, to, source.person);
+}
+
+void Simulation::step_transmissions_broadcast() {
+  // Legacy kernel: every rank receives every rank's infectious records and
+  // rescans all of its persons and in-edges.
   for (const InfectiousInfo& info : global_infectious_) {
     infectious_lookup_[info.person] = 0;
   }
   if (comm_ != nullptr) {
-    global_infectious_ = comm_->allgatherv(local_infectious);
+    global_infectious_ = comm_->allgatherv(tick_records_);
   } else {
-    global_infectious_ = std::move(local_infectious);
+    global_infectious_.assign(tick_records_.begin(), tick_records_.end());
   }
   for (std::size_t i = 0; i < global_infectious_.size(); ++i) {
     infectious_lookup_[global_infectious_[i].person] =
@@ -394,19 +524,19 @@ void Simulation::step_transmissions() {
   }
   if (global_infectious_.empty()) return;
 
-  const double tau = model_.transmissibility();
   const std::size_t state_count = model_.state_count();
   std::uint64_t work = 0;
-  std::vector<EdgeIndex> candidate_edges;
-  std::vector<double> candidate_rho;
   for (PersonId p = local_begin_; p < local_end_; ++p) {
     const NodeState& node = nodes_[p - local_begin_];
     const HealthState& state = model_.state(node.health);
     ++work;
     if (!state.susceptible()) continue;
-    work += network_.in_end(p) - network_.in_begin(p);
-    candidate_edges.clear();
-    candidate_rho.clear();
+    const std::uint64_t degree = network_.in_end(p) - network_.in_begin(p);
+    work += degree;
+    output_.frontier_edges_per_tick.back() += degree;
+    candidate_edges_.clear();
+    candidate_rho_.clear();
+    candidate_slots_.clear();
     double rate_sum = 0.0;
     for (EdgeIndex e = network_.in_begin(p); e < network_.in_end(p); ++e) {
       const Contact& c = network_.contact(e);
@@ -436,22 +566,204 @@ void Simulation::step_transmissions() {
           duration_fraction * weight * sigma * iota * omega;
       if (rho <= 0.0) continue;
       rate_sum += rho;
-      candidate_edges.push_back(e);
-      candidate_rho.push_back(rho);
+      candidate_edges_.push_back(e);
+      candidate_rho_.push_back(rho);
+      candidate_slots_.push_back(slot - 1);
     }
-    const double rate = tau * rate_sum;
-    if (rate <= 0.0) continue;
-    // Gillespie: exponential waiting time against the one-tick interval;
-    // the causing contact is drawn proportionally to its propensity.
-    Rng rng = person_rng(p).derive({kPurposeTransmission});
-    if (rng.exponential(rate) >= 1.0) continue;
-    const std::size_t cause_index = rng.discrete(candidate_rho);
-    const Contact& cause = network_.contact(candidate_edges[cause_index]);
-    const std::uint32_t slot = infectious_lookup_[cause.source];
-    const InfectiousInfo& source = global_infectious_[slot - 1];
-    const HealthStateId to =
-        transmission_to_[node.health * state_count + source.state];
-    transition_person(p, to, cause.source);
+    finish_candidate(p, rate_sum, global_infectious_);
+  }
+  output_.work_units += work;
+}
+
+void Simulation::exchange_ghost_deltas() {
+  // Records this rank must advertise: its infectious persons that appear
+  // as ghosts somewhere (subscriber list non-empty). tick_records_ holds
+  // the local records in ascending person order at this point.
+  current_advert_.clear();
+  for (const InfectiousInfo& rec : tick_records_) {
+    const std::size_t li = rec.person - local_begin_;
+    if (subscriber_offsets_[li + 1] > subscriber_offsets_[li]) {
+      current_advert_.push_back(rec);
+    }
+  }
+
+  for (auto& box : delta_outbox_) box.clear();
+  const auto send_to_subscribers = [&](const InfectiousInfo& rec) {
+    const std::size_t li = rec.person - local_begin_;
+    for (std::uint64_t s = subscriber_offsets_[li];
+         s < subscriber_offsets_[li + 1]; ++s) {
+      delta_outbox_[static_cast<std::size_t>(subscriber_ranks_[s])].push_back(
+          rec);
+    }
+  };
+  // Merge-diff against what subscribers last saw (both lists sorted by
+  // person): new records and field changes go out as upserts; records that
+  // vanished go out as tombstones (state == kNoState). Field changes cover
+  // isolation expiry and infectivity rescaling while a person stays
+  // infectious — correctness depends on them, not just on became/left.
+  std::size_t a = 0;
+  std::size_t c = 0;
+  while (a < advertised_.size() || c < current_advert_.size()) {
+    if (a == advertised_.size() ||
+        (c < current_advert_.size() &&
+         current_advert_[c].person < advertised_[a].person)) {
+      send_to_subscribers(current_advert_[c]);
+      ++c;
+    } else if (c == current_advert_.size() ||
+               advertised_[a].person < current_advert_[c].person) {
+      InfectiousInfo tombstone;
+      tombstone.person = advertised_[a].person;
+      send_to_subscribers(tombstone);
+      ++a;
+    } else {
+      const InfectiousInfo& was = advertised_[a];
+      const InfectiousInfo& now = current_advert_[c];
+      if (was.state != now.state ||
+          was.infectivity_scale != now.infectivity_scale ||
+          was.isolated != now.isolated || was.stay_home != now.stay_home) {
+        send_to_subscribers(now);
+      }
+      ++a;
+      ++c;
+    }
+  }
+  advertised_.assign(current_advert_.begin(), current_advert_.end());
+
+  std::uint64_t delta_bytes = 0;
+  for (const auto& box : delta_outbox_) {
+    delta_bytes += box.size() * sizeof(InfectiousInfo);
+  }
+  output_.ghost_exchange_bytes += delta_bytes;
+  if (metrics_ != nullptr) {
+    metrics_->add("epihiper.ghost_delta_bytes", delta_bytes);
+  }
+
+  // Unconditional collective: every rank calls alltoallv every tick even
+  // with an empty outbox (mpilite collectives are lockstep).
+  const auto inbox = comm_->alltoallv(delta_outbox_);
+  for (const auto& messages : inbox) {
+    for (const InfectiousInfo& rec : messages) {
+      const auto it = std::lower_bound(ghost_persons_.begin(),
+                                       ghost_persons_.end(), rec.person);
+      EPI_ASSERT(it != ghost_persons_.end() && *it == rec.person,
+                 "ghost delta for a person this rank never subscribed to");
+      const auto gi =
+          static_cast<std::uint32_t>(it - ghost_persons_.begin());
+      ghost_records_[gi] = rec;
+      const bool was_active = ghost_active_pos_[gi] != 0;
+      const bool now_active = rec.state != kNoState;
+      if (was_active == now_active) continue;
+      if (now_active) {
+        ghost_active_.push_back(gi);
+        ghost_active_pos_[gi] =
+            static_cast<std::uint32_t>(ghost_active_.size());
+      } else {
+        const std::uint32_t pos = ghost_active_pos_[gi] - 1;
+        const std::uint32_t moved = ghost_active_.back();
+        ghost_active_[pos] = moved;
+        ghost_active_pos_[moved] = pos + 1;
+        ghost_active_.pop_back();
+        ghost_active_pos_[gi] = 0;
+      }
+    }
+  }
+}
+
+void Simulation::step_transmissions_frontier() {
+  if (comm_ != nullptr) {
+    exchange_ghost_deltas();
+    for (const std::uint32_t gi : ghost_active_) {
+      tick_records_.push_back(ghost_records_[gi]);
+    }
+  }
+  if (tick_records_.empty()) return;
+
+  // Push phase: enumerate this rank's in-edges sourced at any record
+  // holder. Out-edge buckets are ascending, so a binary search finds the
+  // first locally-owned edge and the walk stops at the partition boundary.
+  std::uint64_t work = 0;
+  frontier_hits_.clear();
+  const EdgeIndex edge_end = edge_offset_ + edge_active_.size();
+  for (std::uint32_t slot = 0;
+       slot < static_cast<std::uint32_t>(tick_records_.size()); ++slot) {
+    const auto edges = network_.out_edges_of(tick_records_[slot].person);
+    auto it = std::lower_bound(edges.begin(), edges.end(), edge_offset_);
+    for (; it != edges.end() && *it < edge_end; ++it) {
+      frontier_hits_.push_back(CandidateHit{*it, slot});
+    }
+  }
+  work += frontier_hits_.size();
+  output_.frontier_edges_per_tick.back() += frontier_hits_.size();
+  if (metrics_ != nullptr) {
+    metrics_->add("epihiper.frontier_edges", frontier_hits_.size());
+  }
+
+  // Sorting by edge groups hits by target (the in-CSR keeps each person's
+  // edges contiguous, buckets in ascending person order), and inside each
+  // group restores the legacy kernel's ascending-EdgeIndex candidate
+  // order — the property that keeps every RNG draw byte-identical.
+  std::sort(frontier_hits_.begin(), frontier_hits_.end(),
+            [](const CandidateHit& x, const CandidateHit& y) {
+              return x.edge < y.edge;
+            });
+
+  const std::size_t state_count = model_.state_count();
+  std::uint64_t groups = 0;
+  std::size_t i = 0;
+  while (i < frontier_hits_.size()) {
+    const PersonId p = network_.target_of(frontier_hits_[i].edge);
+    const EdgeIndex group_end = network_.in_end(p);
+    std::size_t j = i;
+    while (j < frontier_hits_.size() && frontier_hits_[j].edge < group_end) {
+      ++j;
+    }
+    ++groups;
+    const NodeState& node = nodes_[p - local_begin_];
+    const HealthState& state = model_.state(node.health);
+    if (!state.susceptible()) {
+      i = j;
+      continue;
+    }
+    candidate_edges_.clear();
+    candidate_rho_.clear();
+    candidate_slots_.clear();
+    double rate_sum = 0.0;
+    for (std::size_t k = i; k < j; ++k) {
+      const EdgeIndex e = frontier_hits_[k].edge;
+      const Contact& c = network_.contact(e);
+      const InfectiousInfo& source = tick_records_[frontier_hits_[k].slot];
+      const double omega =
+          transmission_omega_[node.health * state_count + source.state];
+      if (omega <= 0.0) continue;
+      if (!edge_transmissible(e, p, source.isolated != 0,
+                              source.stay_home != 0)) {
+        continue;
+      }
+      // Eq (1), identical arithmetic and filter order to the broadcast
+      // kernel (same rho values in the same candidate positions).
+      const double duration_fraction = c.duration_minutes / 1440.0;
+      const double weight =
+          edge_weight_scale_.empty()
+              ? c.weight
+              : c.weight * edge_weight_scale_[e - edge_offset_];
+      const double sigma =
+          state.susceptibility * node.susceptibility_scale;
+      const double iota = model_.state(source.state).infectivity *
+                          source.infectivity_scale;
+      const double rho =
+          duration_fraction * weight * sigma * iota * omega;
+      if (rho <= 0.0) continue;
+      rate_sum += rho;
+      candidate_edges_.push_back(e);
+      candidate_rho_.push_back(rho);
+      candidate_slots_.push_back(frontier_hits_[k].slot);
+    }
+    finish_candidate(p, rate_sum, tick_records_);
+    i = j;
+  }
+  work += groups;
+  if (metrics_ != nullptr) {
+    metrics_->add("epihiper.frontier_candidates", groups);
   }
   output_.work_units += work;
 }
@@ -478,6 +790,7 @@ SimOutput Simulation::run() {
     cached_global_counts_.reset();
     for (auto& bucket : entered_by_state_) bucket.clear();
     output_.new_infections_per_tick.push_back(0);
+    output_.frontier_edges_per_tick.push_back(0);
 
     exchange_remote_isolation_requests();
     seed_infections();

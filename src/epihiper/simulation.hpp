@@ -11,10 +11,22 @@
 // county-level aggregates are derived.
 //
 // The engine is partition-parallel over mpilite: each rank owns one
-// partition of the network (all in-edges of its nodes) and ranks exchange
-// the global infectious set each tick. All randomness is keyed by
-// (seed, replicate, person, tick), which makes results *identical for any
-// rank count* — a property the tests rely on.
+// partition of the network (all in-edges of its nodes). Cross-rank
+// infection visibility uses a ghost-list halo exchange: at construction
+// each rank computes the exact set of remote persons appearing as sources
+// on its in-edges (its ghosts) and subscribes to their owners; per tick,
+// owners send only the *deltas* of their boundary infectious records
+// (became infectious / record changed / left infectious) to subscribing
+// ranks via alltoallv. Transmission compute is frontier-proportional: the
+// local infectious set is maintained incrementally and only susceptible
+// out-neighbors of currently-infectious sources are evaluated. The legacy
+// broadcast-everything kernel (allgatherv of the full infectious set +
+// full person/edge rescan) is retained behind ExchangeMode::kBroadcast as
+// the A/B baseline; both kernels draw identical RNG streams and produce
+// byte-identical epidemic output (tested).
+//
+// All randomness is keyed by (seed, replicate, person, tick), which makes
+// results *identical for any rank count* — a property the tests rely on.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +42,10 @@
 #include "network/contact_network.hpp"
 #include "network/partition.hpp"
 #include "synthpop/population.hpp"
+
+namespace epi::obs {
+class MetricsRegistry;
+}
 
 namespace epi {
 
@@ -51,6 +67,17 @@ struct SeedSpec {
   Tick tick = 0;
 };
 
+/// How ranks learn about remote infectious contacts each tick.
+enum class ExchangeMode : std::uint8_t {
+  /// Ghost-list halo exchange of boundary infectious *deltas* plus the
+  /// push-based candidate frontier (the production kernel).
+  kGhostDelta,
+  /// Legacy baseline: allgatherv the full infectious set to every rank and
+  /// rescan every local person and in-edge. Kept for A/B benchmarking and
+  /// the byte-identity tests.
+  kBroadcast,
+};
+
 struct SimulationConfig {
   Tick num_ticks = 120;
   std::uint64_t seed = 1;
@@ -59,6 +86,7 @@ struct SimulationConfig {
   /// Record individual transition events (raw output). Aggregates are
   /// always recorded.
   bool record_transitions = true;
+  ExchangeMode exchange = ExchangeMode::kGhostDelta;
 };
 
 /// Simulation output for one replicate.
@@ -74,6 +102,14 @@ struct SimOutput {
   std::vector<HealthStateId> final_states;
   std::uint64_t total_infections = 0;
   std::uint64_t communication_bytes = 0;  // mpilite traffic (scaling model)
+  /// Bytes of per-tick ghost-delta payload this rank sent (a subset of
+  /// communication_bytes; zero in broadcast mode and serial runs).
+  std::uint64_t ghost_exchange_bytes = 0;
+  /// Per-tick count of candidate edges the transmission kernel evaluated —
+  /// the frontier size. Under kGhostDelta this is the edges pushed from
+  /// currently-infectious sources; under kBroadcast it is every in-edge of
+  /// every susceptible person (the full rescan).
+  std::vector<std::uint64_t> frontier_edges_per_tick;
   /// Computational work performed by this rank: edge propensity
   /// evaluations plus per-node scans. On a dedicated-core machine,
   /// per-tick compute time is proportional to this (the strong-scaling
@@ -201,6 +237,11 @@ class Simulation {
   /// Total bytes of dynamic engine state (Fig 10 memory accounting).
   std::uint64_t memory_footprint_bytes() const;
 
+  /// Optional observability sink: per-tick ghost-exchange bytes and
+  /// frontier sizes are recorded as "epihiper.*" counters. Null (the
+  /// default) is the exact unobserved path.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   mpilite::Comm* comm() { return comm_; }
 
  private:
@@ -212,13 +253,37 @@ class Simulation {
     HealthStateId next_state = kNoState;
   };
 
+  // Infectious-record exchange unit: effective infectivity of one
+  // currently infectious person. Also the wire format of the ghost-delta
+  // protocol: `state == kNoState` is the left-infectious tombstone. Field
+  // order packs to 12 bytes with no padding (wire bytes must be fully
+  // initialized).
+  struct InfectiousInfo {
+    PersonId person = kNoPerson;
+    float infectivity_scale = 0.0f;
+    HealthStateId state = kNoState;
+    std::uint8_t isolated = 0;
+    std::uint8_t stay_home = 0;
+  };
+
   void seed_infections();
   void step_transmissions();
+  void step_transmissions_broadcast();
+  void step_transmissions_frontier();
+  void exchange_ghost_deltas();
+  void build_ghost_plan(const Partitioning& partitioning);
   void step_progressions();
   void apply_interventions();
   void exchange_remote_isolation_requests();
   void transition_person(PersonId p, HealthStateId new_state, PersonId cause);
   Rng person_rng(PersonId p) const;
+  InfectiousInfo infectious_record(PersonId p) const;
+  /// Gillespie draw for one susceptible target after its candidate edges
+  /// (candidate_edges_/candidate_rho_/candidate_slots_, ascending
+  /// EdgeIndex) have been collected; shared verbatim by both kernels so
+  /// their RNG consumption is identical.
+  void finish_candidate(PersonId p, double rate_sum,
+                        const std::vector<InfectiousInfo>& records);
 
   const ContactNetwork& network_;
   const Population& population_;
@@ -247,17 +312,42 @@ class Simulation {
   std::map<std::string, std::vector<std::uint8_t>> node_traits_;
   std::map<std::string, double> variables_;
 
-  // Infectious-set exchange record: effective infectivity of each currently
-  // infectious person (global view, rebuilt per tick).
-  struct InfectiousInfo {
-    PersonId person;
-    HealthStateId state;
-    float infectivity_scale;
-    std::uint8_t isolated;
-    std::uint8_t stay_home;
-  };
+  // --- Incrementally maintained local infectious set (both kernels) -----
+  // Membership updates happen in transition_person (O(1) swap-remove), so
+  // no per-tick full scan is needed to enumerate infectious persons.
+  std::vector<PersonId> local_infectious_;       // unordered members
+  std::vector<std::uint32_t> local_infectious_pos_;  // local idx -> pos+1
+
+  // --- Broadcast-mode state (allocated only under kBroadcast) ------------
   std::vector<InfectiousInfo> global_infectious_;
   std::vector<std::uint32_t> infectious_lookup_;  // person -> index+1, 0=none
+
+  // --- Ghost-list halo state (allocated only under kGhostDelta) ----------
+  std::vector<PersonId> ghost_persons_;        // sorted remote in-edge sources
+  std::vector<InfectiousInfo> ghost_records_;  // per ghost; kNoState = absent
+  std::vector<std::uint32_t> ghost_active_;      // ghost indices, unordered
+  std::vector<std::uint32_t> ghost_active_pos_;  // ghost idx -> pos+1
+  // Subscribers: for each local person, the ranks holding it as a ghost
+  // (CSR, ranks ascending). Only boundary persons have entries.
+  std::vector<std::uint64_t> subscriber_offsets_;  // local_count + 1
+  std::vector<std::int32_t> subscriber_ranks_;
+  // Last records advertised to subscribers, sorted by person; the per-tick
+  // diff against the current records yields the delta traffic.
+  std::vector<InfectiousInfo> advertised_;
+
+  // --- Per-tick scratch, hoisted out of the hot loops --------------------
+  std::vector<InfectiousInfo> tick_records_;   // current local (+ghost) view
+  std::vector<InfectiousInfo> current_advert_;
+  std::vector<std::vector<InfectiousInfo>> delta_outbox_;
+  std::vector<PersonId> sorted_infectious_scratch_;
+  struct CandidateHit {
+    EdgeIndex edge;
+    std::uint32_t slot;  // index into tick_records_
+  };
+  std::vector<CandidateHit> frontier_hits_;
+  std::vector<EdgeIndex> candidate_edges_;
+  std::vector<double> candidate_rho_;
+  std::vector<std::uint32_t> candidate_slots_;
 
   std::vector<std::vector<PersonId>> entered_by_state_;
   std::vector<std::pair<PersonId, Tick>> pending_remote_isolations_;
@@ -265,6 +355,7 @@ class Simulation {
   std::optional<std::vector<std::int64_t>> cached_global_counts_;
 
   std::vector<std::shared_ptr<Intervention>> interventions_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   SimOutput output_;
   std::uint64_t intervention_log_bytes_ = 0;  // grows with scheduled changes
 };

@@ -338,9 +338,48 @@ double Comm::allreduce(double value, ReduceOp op) {
   return allreduce(std::span<const double>(&value, 1), op)[0];
 }
 
+std::vector<std::int64_t> Comm::allreduce(std::span<const std::int64_t> values,
+                                          ReduceOp op) {
+  auto* chk = checker();
+  if (chk != nullptr && !in_collective_) {
+    chk->on_collective(rank_, detail::CollectiveKind::kAllreduce, -1,
+                       static_cast<int>(op), values.size(), true);
+  }
+  detail::CollectiveScope scope(in_collective_);
+  const Timer timer;
+  Bytes raw = allgatherv_bytes(
+      Bytes(reinterpret_cast<const std::byte*>(values.data()),
+            reinterpret_cast<const std::byte*>(values.data()) +
+                values.size() * sizeof(std::int64_t)));
+  const std::size_t n = values.size();
+  EPI_REQUIRE(
+      raw.size() == n * sizeof(std::int64_t) * static_cast<std::size_t>(size()),
+      "allreduce: ranks contributed different lengths");
+  std::vector<std::int64_t> all(raw.size() / sizeof(std::int64_t));
+  if (!raw.empty()) std::memcpy(all.data(), raw.data(), raw.size());
+  std::vector<std::int64_t> result(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t acc = all[i];
+    for (int r = 1; r < size(); ++r) {
+      const std::int64_t x = all[static_cast<std::size_t>(r) * n + i];
+      switch (op) {
+        case ReduceOp::kSum: acc += x; break;
+        case ReduceOp::kMin: acc = std::min(acc, x); break;
+        case ReduceOp::kMax: acc = std::max(acc, x); break;
+        case ReduceOp::kLogicalOr: acc = (acc != 0 || x != 0) ? 1 : 0; break;
+      }
+    }
+    result[i] = acc;
+  }
+  if (!scope.outer()) {
+    detail::record_collective_seconds(*hub_, "allreduce", timer);
+  }
+  if (chk != nullptr && !scope.outer()) chk->on_op_complete(rank_, "allreduce");
+  return result;
+}
+
 std::int64_t Comm::allreduce(std::int64_t value, ReduceOp op) {
-  // Doubles hold integers exactly up to 2^53; our counters stay far below.
-  return static_cast<std::int64_t>(allreduce(static_cast<double>(value), op));
+  return allreduce(std::span<const std::int64_t>(&value, 1), op)[0];
 }
 
 std::vector<double> Comm::broadcast(std::vector<double> value, int root) {

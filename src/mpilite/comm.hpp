@@ -154,6 +154,11 @@ class Comm {
   double allreduce(double value, ReduceOp op);
   std::int64_t allreduce(std::int64_t value, ReduceOp op);
 
+  /// Exact integer reduction — no round-trip through double, so sums are
+  /// correct beyond 2^53 (population-scale counters need this).
+  std::vector<std::int64_t> allreduce(std::span<const std::int64_t> values,
+                                      ReduceOp op);
+
   /// Concatenation of every rank's (variable-length) contribution, in rank
   /// order; every rank receives the full concatenation.
   template <typename T>

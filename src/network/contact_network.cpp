@@ -30,6 +30,24 @@ ActivityType activity_from_name(const std::string& name) {
   throw ConfigError("unknown activity type: " + name);
 }
 
+void ContactNetwork::build_out_edges() {
+  // Counting sort of edge indices by source; visiting e in ascending order
+  // leaves every bucket ascending, which the frontier kernel relies on to
+  // reproduce the in-CSR scan's edge order exactly.
+  out_offsets_.assign(static_cast<std::size_t>(node_count_) + 1, 0);
+  for (const Contact& c : contacts_) {
+    ++out_offsets_[static_cast<std::size_t>(c.source) + 1];
+  }
+  for (std::size_t u = 0; u < node_count_; ++u) {
+    out_offsets_[u + 1] += out_offsets_[u];
+  }
+  out_edges_.resize(contacts_.size());
+  std::vector<EdgeIndex> cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+  for (EdgeIndex e = 0; e < contacts_.size(); ++e) {
+    out_edges_[cursor[contacts_[e].source]++] = e;
+  }
+}
+
 PersonId ContactNetwork::target_of(EdgeIndex e) const {
   EPI_REQUIRE(e < edge_count(), "edge index out of range");
   // Binary search the CSR offsets for the bucket containing e.
@@ -113,6 +131,7 @@ ContactNetwork ContactNetwork::read_csv(std::istream& in, PersonId node_count) {
   for (std::size_t v = 0; v < node_count; ++v) {
     net.offsets_[v + 1] += net.offsets_[v];
   }
+  net.build_out_edges();
   return net;
 }
 
@@ -154,6 +173,7 @@ ContactNetwork ContactNetwork::read_binary(const std::string& path) {
   in.read(reinterpret_cast<char*>(net.contacts_.data()),
           static_cast<std::streamsize>(net.contacts_.size() * sizeof(Contact)));
   EPI_REQUIRE(in.good(), "truncated network binary: " << path);
+  net.build_out_edges();
   return net;
 }
 
@@ -201,6 +221,7 @@ ContactNetwork ContactNetworkBuilder::finalize() && {
     net.offsets_[v + 1] += net.offsets_[v];
   }
   pending_.clear();
+  net.build_out_edges();
   return net;
 }
 

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,23 @@ class ContactNetwork {
   /// The node that edge e points at (owner of the CSR bucket).
   PersonId target_of(EdgeIndex e) const;
 
+  // --- Out-edge transpose -----------------------------------------------
+  // The CSR above is over *incoming* edges (grouped by target, the
+  // partitioning invariant). The transpose answers the push direction the
+  // frontier transmission kernel needs: "which edges does person u appear
+  // on as Contact::source?". Built once at finalize/load; the entries of
+  // each bucket are ascending EdgeIndex values into contact(), so walking
+  // a bucket enumerates a source's out-edges in global edge order.
+
+  std::uint64_t out_degree(PersonId u) const {
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  /// Ascending edge indices on which u is the source.
+  std::span<const EdgeIndex> out_edges_of(PersonId u) const {
+    return std::span<const EdgeIndex>(out_edges_.data() + out_offsets_[u],
+                                      out_offsets_[u + 1] - out_offsets_[u]);
+  }
+
   /// Total duration-weighted contact minutes incident to v (incoming).
   double contact_minutes(PersonId v) const;
 
@@ -97,9 +115,15 @@ class ContactNetwork {
   friend class ContactNetworkBuilder;
 
  private:
+  void build_out_edges();
+
   PersonId node_count_ = 0;
   std::vector<EdgeIndex> offsets_;  // node_count_ + 1 entries
   std::vector<Contact> contacts_;  // grouped by target node
+  // Transpose: out_edges_[out_offsets_[u] .. out_offsets_[u+1]) are the
+  // ascending indices of the edges sourced at u.
+  std::vector<EdgeIndex> out_offsets_;  // node_count_ + 1 entries
+  std::vector<EdgeIndex> out_edges_;    // edge_count() entries
 };
 
 /// Accumulates undirected contacts, then finalizes into CSR form.

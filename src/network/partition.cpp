@@ -188,6 +188,24 @@ bool partition_chunks_cached(const ContactNetwork& network,
   return true;
 }
 
+std::vector<PersonId> compute_ghost_sources(const ContactNetwork& network,
+                                            const Partitioning& partitioning,
+                                            std::size_t part_index) {
+  EPI_REQUIRE(part_index < partitioning.size(),
+              "partition index " << part_index << " out of range");
+  const Partition& part = partitioning.part(part_index);
+  std::vector<PersonId> ghosts;
+  for (EdgeIndex e = part.edge_begin; e < part.edge_end; ++e) {
+    const PersonId source = network.contact(e).source;
+    if (source < part.node_begin || source >= part.node_end) {
+      ghosts.push_back(source);
+    }
+  }
+  std::sort(ghosts.begin(), ghosts.end());
+  ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+  return ghosts;
+}
+
 Partitioning partition_with_cache(const ContactNetwork& network,
                                   std::size_t num_partitions,
                                   std::uint64_t epsilon,

@@ -97,4 +97,14 @@ bool partition_chunks_cached(const ContactNetwork& network,
                              const Partitioning& partitioning,
                              const std::string& directory);
 
+/// Ghost list of partition `part_index`: the sorted, deduplicated set of
+/// *remote* persons appearing as Contact::source on the partition's
+/// in-edges. These are exactly the persons whose infectious status the
+/// owning rank must learn from its neighbors each tick — the halo of the
+/// partition. Cost is one scan of the partition's own edge range, so each
+/// rank can compute its own list independently.
+std::vector<PersonId> compute_ghost_sources(const ContactNetwork& network,
+                                            const Partitioning& partitioning,
+                                            std::size_t part_index);
+
 }  // namespace epi

@@ -118,6 +118,31 @@ TEST(Mpilite, AllreduceVectorElementwise) {
   });
 }
 
+TEST(Mpilite, AllreduceInt64ExactBeyondDoublePrecision) {
+  // (2^53 + 1) is not representable as a double — the old route through
+  // the double allreduce silently rounded it. The integer path must not.
+  constexpr std::int64_t big = (std::int64_t{1} << 53) + 1;
+  Runtime::run(3, [](Comm& comm) {
+    const std::int64_t sum = comm.allreduce(big, ReduceOp::kSum);
+    EXPECT_EQ(sum, 3 * big);  // 3*2^53 + 3, off by 1+ if rounded
+    const std::vector<std::int64_t> mine = {
+        big + comm.rank(), -static_cast<std::int64_t>(comm.rank()),
+        comm.rank() == 2 ? std::int64_t{1} : std::int64_t{0}};
+    const auto out =
+        comm.allreduce(std::span<const std::int64_t>(mine), ReduceOp::kSum);
+    EXPECT_EQ(out[0], 3 * big + 3);
+    EXPECT_EQ(out[1], -3);
+    EXPECT_EQ(out[2], 1);
+    EXPECT_EQ(comm.allreduce(std::int64_t{comm.rank()} - 1, ReduceOp::kMin),
+              -1);
+    EXPECT_EQ(comm.allreduce(big + comm.rank(), ReduceOp::kMax), big + 2);
+    EXPECT_EQ(comm.allreduce(std::int64_t{0}, ReduceOp::kLogicalOr), 0);
+    EXPECT_EQ(comm.allreduce(std::int64_t{comm.rank() == 1 ? 7 : 0},
+                             ReduceOp::kLogicalOr),
+              1);
+  });
+}
+
 TEST(Mpilite, AllgathervConcatenatesInRankOrder) {
   Runtime::run(3, [](Comm& comm) {
     // Rank r contributes r+1 copies of its rank id.

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -287,6 +289,72 @@ TEST_P(PartitionSweep, InvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Counts, PartitionSweep,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 40, 123));
+
+// --- Out-edge transpose (the frontier kernel's push index) ---------------
+
+TEST(ContactNetwork, OutEdgeTransposeConsistent) {
+  const ContactNetwork net = make_line_network(17);
+  std::uint64_t total = 0;
+  for (PersonId u = 0; u < net.node_count(); ++u) {
+    const auto edges = net.out_edges_of(u);
+    EXPECT_EQ(edges.size(), net.out_degree(u));
+    total += edges.size();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      // Every listed edge really is sourced at u...
+      EXPECT_EQ(net.contact(edges[i]).source, u);
+      // ...and buckets are ascending (the frontier sort relies on it).
+      if (i > 0) {
+        EXPECT_LT(edges[i - 1], edges[i]);
+      }
+    }
+  }
+  EXPECT_EQ(total, net.edge_count());
+  // Inverse direction: every edge appears in its source's bucket.
+  for (EdgeIndex e = 0; e < net.edge_count(); ++e) {
+    const auto edges = net.out_edges_of(net.contact(e).source);
+    EXPECT_TRUE(std::binary_search(edges.begin(), edges.end(), e));
+  }
+}
+
+TEST(ContactNetwork, OutEdgeTransposeSurvivesBinaryRoundTrip) {
+  const ContactNetwork net = make_line_network(12);
+  const std::string path = "/tmp/episcale_test_outcsr.bin";
+  net.write_binary(path);
+  const ContactNetwork loaded = ContactNetwork::read_binary(path);
+  for (PersonId u = 0; u < net.node_count(); ++u) {
+    const auto a = net.out_edges_of(u);
+    const auto b = loaded.out_edges_of(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  std::filesystem::remove(path);
+}
+
+// --- Ghost sources (the halo each rank subscribes to) --------------------
+
+TEST(Partition, GhostSourcesAreExactlyRemoteInEdgeSources) {
+  const ContactNetwork net = make_line_network(40);
+  const Partitioning parts = partition_network(net, 5);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const Partition& part = parts.part(i);
+    // Brute-force reference: remote sources over this part's edge range.
+    std::set<PersonId> expected;
+    for (EdgeIndex e = part.edge_begin; e < part.edge_end; ++e) {
+      const PersonId s = net.contact(e).source;
+      if (s < part.node_begin || s >= part.node_end) expected.insert(s);
+    }
+    const auto ghosts = compute_ghost_sources(net, parts, i);
+    EXPECT_TRUE(std::is_sorted(ghosts.begin(), ghosts.end()));
+    EXPECT_EQ(std::set<PersonId>(ghosts.begin(), ghosts.end()), expected);
+    EXPECT_EQ(ghosts.size(), expected.size());  // no duplicates
+  }
+}
+
+TEST(Partition, GhostSourcesEmptyForSinglePartition) {
+  const ContactNetwork net = make_line_network(10);
+  const Partitioning parts = partition_network(net, 1);
+  EXPECT_TRUE(compute_ghost_sources(net, parts, 0).empty());
+}
 
 }  // namespace
 }  // namespace epi
