@@ -1,0 +1,111 @@
+// Simulation-farm scaling: the deterministic task-pool executor under an
+// EPI_JOBS sweep.
+//
+// The paper's production cycle farmed hundreds of EpiHiper runs per night
+// across cluster nodes; this repo's laptop-scale farm does the same with
+// worker threads (src/exec/). The executor's contract is that parallelism
+// is free of observable effects: the same CalibrationCycleResult, byte
+// for byte, at any worker count. This bench runs the prior-design +
+// forecast farm of one calibration cycle at jobs = 1, 2, 4, 8 and
+// reports:
+//   * wall seconds and speedup vs the serial seed path,
+//   * byte-identity of serialize(result) against the jobs=1 run.
+// Identity is enforced unconditionally (exit 1 on any divergence). The
+// speedup gate (>= 2x at jobs=4) only applies where the hardware can
+// physically deliver it — on fewer than 4 cores the sweep still runs and
+// reports, but timing is informational.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "exec/executor.hpp"
+#include "util/timer.hpp"
+#include "workflow/calibration_cycle.hpp"
+
+namespace {
+
+using namespace epi;
+
+CalibrationCycleConfig farm_config() {
+  CalibrationCycleConfig config;
+  config.region = "VT";
+  config.scale = 1.0 / 400.0;
+  config.seed = 20200411;
+  config.prior_configs = 100;
+  config.posterior_configs = 40;
+  config.calibration_days = 50;
+  config.horizon_days = 21;
+  config.prediction_runs = 8;
+  config.mcmc.samples = 400;
+  config.mcmc.burn_in = 300;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "Simulation-farm scaling: calibration cycle vs EPI_JOBS "
+      "(deterministic executor, src/exec/)");
+
+  const std::size_t hw = exec::hardware_limit();
+  bench::note("hardware concurrency: " + std::to_string(hw));
+
+  bench::JsonReport json("farm_scaling");
+  json.metric("hardware_concurrency", static_cast<std::uint64_t>(hw));
+
+  bench::subheading("jobs sweep (108 farm tasks: 100 prior + 8 forecast)");
+  bench::row({"jobs", "seconds", "speedup", "identical"});
+
+  std::string baseline;
+  double serial_s = 0.0;
+  double speedup_at_4 = 0.0;
+  bool all_identical = true;
+  for (const std::size_t jobs : {1u, 2u, 4u, 8u}) {
+    CalibrationCycleConfig config = farm_config();
+    config.jobs = jobs;
+    Timer timer;
+    const CalibrationCycleResult result = run_calibration_cycle(config);
+    const double seconds = timer.elapsed_seconds();
+    const std::string dump = serialize(result);
+
+    bool identical = true;
+    if (jobs == 1) {
+      baseline = dump;
+      serial_s = seconds;
+    } else {
+      identical = dump == baseline;
+      all_identical = all_identical && identical;
+    }
+    const double speedup = seconds > 0.0 ? serial_s / seconds : 0.0;
+    if (jobs == 4) speedup_at_4 = speedup;
+    bench::row({std::to_string(jobs), bench::fmt(seconds, 2),
+                bench::fmt(speedup, 2), identical ? "yes" : "NO"});
+    json.metric("seconds_jobs" + std::to_string(jobs), seconds);
+    json.metric("speedup_jobs" + std::to_string(jobs), speedup);
+    json.metric("identical_jobs" + std::to_string(jobs),
+                std::string(identical ? "yes" : "no"));
+  }
+
+  json.metric("byte_identical", std::string(all_identical ? "yes" : "no"));
+  json.write();
+
+  bench::compare("parallel result vs serial", "byte-identical",
+                 all_identical ? "byte-identical" : "DIVERGED");
+
+  if (!all_identical) {
+    std::printf("\nFAIL: parallel farm output diverged from serial\n");
+    return 1;
+  }
+  if (hw >= 4 && speedup_at_4 < 2.0) {
+    std::printf("\nFAIL: speedup at jobs=4 is %.2fx (< 2x) on %zu cores\n",
+                speedup_at_4, hw);
+    return 1;
+  }
+  if (hw < 4) {
+    bench::note("speedup gate skipped: fewer than 4 hardware threads");
+  }
+  return 0;
+}

@@ -7,7 +7,8 @@
 #   ./ci.sh asan       # AddressSanitizer + UBSan + LeakSanitizer build
 #   ./ci.sh tsan       # ThreadSanitizer build (mpilite runs ranks as
 #                      # threads, so this sees every data race real-MPI
-#                      # codebases cannot)
+#                      # codebases cannot; the exec worker-pool tests
+#                      # run under it too)
 #
 # Any lint finding, test failure, checker report, or sanitizer report
 # fails the script.
@@ -59,6 +60,20 @@ run_plain() {
   rm -rf build/perf-smoke && mkdir -p build/perf-smoke
   EPI_BENCH_JSON=build/perf-smoke ./build/bench/bench_comm_volume
   echo "perf smoke OK (see build/perf-smoke/BENCH_comm_volume.json)"
+
+  echo "== farm pass (EPI_JOBS) =="
+  # The deterministic executor's contract, end to end: the calibration
+  # cycle must produce a byte-identical result under EPI_JOBS=1 (the
+  # serial seed path) and EPI_JOBS=4. The scaling bench enforces the
+  # same identity across its own sweep (and gates >= 2x speedup at
+  # jobs=4 when the hardware has >= 4 threads).
+  EPI_JOBS=1 EPI_CYCLE_REPORT=build/cycle-j1.txt \
+    ./build/examples/calibrate_and_forecast VT 400 24 8 >/dev/null
+  EPI_JOBS=4 EPI_CYCLE_REPORT=build/cycle-j4.txt \
+    ./build/examples/calibrate_and_forecast VT 400 24 8 >/dev/null
+  cmp build/cycle-j1.txt build/cycle-j4.txt
+  EPI_BENCH_JSON=build/perf-smoke ./build/bench/bench_farm_scaling
+  echo "farm pass OK (serial and parallel reports byte-identical)"
 }
 
 run_asan() {

@@ -2,10 +2,16 @@
 // state against county-level surveillance, then forecast the next eight
 // weeks with uncertainty — the full Fig 4 -> Fig 5 cycle in one program.
 //
-//   $ ./calibrate_and_forecast [state=VA] [scale_denominator=2000]
+//   $ ./calibrate_and_forecast [state=VA] [scale_denominator=2000] \
+//                              [prior_configs=60] [prediction_runs=20]
+//
+// The simulation farm honors EPI_JOBS (worker threads; parallel output is
+// byte-identical to serial), and EPI_CYCLE_REPORT=<path> writes the full
+// serialized CalibrationCycleResult for byte-level comparison across runs.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "util/stats.hpp"
@@ -18,11 +24,13 @@ int main(int argc, char** argv) {
   config.region = argc > 1 ? argv[1] : "VA";
   config.scale = 1.0 / (argc > 2 ? std::atof(argv[2]) : 2000.0);
   config.seed = 20200411;  // data through April 11, 2020
-  config.prior_configs = 60;
+  config.prior_configs =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 60;
   config.posterior_configs = 100;
   config.calibration_days = 80;
   config.horizon_days = 56;
-  config.prediction_runs = 20;
+  config.prediction_runs =
+      argc > 4 ? static_cast<std::size_t>(std::atoi(argv[4])) : 20;
   config.mcmc.samples = 2000;
   config.mcmc.burn_in = 1500;
 
@@ -66,5 +74,12 @@ int main(int argc, char** argv) {
   }
   std::printf("\nforecast band covered %.0f%% of later reported days\n",
               result.forecast_coverage * 100.0);
+
+  if (const char* report_path = std::getenv("EPI_CYCLE_REPORT");
+      report_path != nullptr && report_path[0] != '\0') {
+    std::ofstream out(report_path);
+    out << serialize(result);
+    std::printf("wrote full result to %s\n", report_path);
+  }
   return 0;
 }

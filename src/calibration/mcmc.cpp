@@ -28,7 +28,8 @@ McmcResult metropolis(
 
   const std::size_t total_iterations =
       config.burn_in + config.samples * config.thin;
-  std::size_t accepted = 0;
+  std::size_t accepted_burn_in = 0;
+  std::size_t accepted_post = 0;
   std::size_t window_accepted = 0;
   std::size_t window_size = 0;
   // Running per-dimension moments of the burn-in chain, for AM-style
@@ -46,7 +47,7 @@ McmcResult metropolis(
     if (log_ratio >= 0.0 || rng.uniform() < std::exp(log_ratio)) {
       current = std::move(proposal);
       current_density = proposal_density;
-      ++accepted;
+      ++(it < config.burn_in ? accepted_burn_in : accepted_post);
       ++window_accepted;
       if (current_density > result.best_log_density) {
         result.best_log_density = current_density;
@@ -107,8 +108,17 @@ McmcResult metropolis(
       result.samples.push_back(current);
     }
   }
+  // Report the post-burn-in rate as the headline diagnostic: during
+  // burn-in the step size is still adapting, so its acceptances describe
+  // the tuner, not the equilibrium chain. samples > 0 guarantees the
+  // post-burn-in denominator is nonzero.
   result.acceptance_rate =
-      static_cast<double>(accepted) / static_cast<double>(total_iterations);
+      static_cast<double>(accepted_post) /
+      static_cast<double>(total_iterations - config.burn_in);
+  result.burn_in_acceptance_rate =
+      config.burn_in > 0 ? static_cast<double>(accepted_burn_in) /
+                               static_cast<double>(config.burn_in)
+                         : 0.0;
   result.final_step = step;
   return result;
 }

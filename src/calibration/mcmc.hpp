@@ -21,7 +21,14 @@ struct McmcConfig {
 
 struct McmcResult {
   std::vector<std::vector<double>> samples;  // samples x dims
+  /// Post-burn-in acceptance rate — the mixing diagnostic. Burn-in
+  /// iterations are excluded: the step size is still adapting there, so
+  /// folding them in biases the reported rate toward the adaptation
+  /// target rather than the equilibrium chain.
   double acceptance_rate = 0.0;
+  /// Acceptance rate of the adaptive burn-in phase alone (0 when
+  /// burn_in == 0).
+  double burn_in_acceptance_rate = 0.0;
   std::vector<double> final_step;            // adapted proposal scales
   double best_log_density = -1e300;
   std::vector<double> best_point;

@@ -1,0 +1,85 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace epi::exec {
+
+std::size_t jobs_from_env() {
+  const char* env = std::getenv("EPI_JOBS");
+  if (env == nullptr || env[0] == '\0') return 1;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || parsed == 0) return 1;
+  return static_cast<std::size_t>(parsed);
+}
+
+std::size_t resolve_jobs(std::size_t config_jobs) {
+  return config_jobs != 0 ? config_jobs : jobs_from_env();
+}
+
+std::size_t hardware_limit() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t effective_workers(std::size_t jobs, std::size_t ranks_per_task,
+                              std::size_t items) {
+  std::size_t workers = jobs == 0 ? 1 : jobs;
+  if (items < workers) workers = items;
+  if (ranks_per_task > 1) {
+    // Each task multiplies into ranks_per_task real threads; cap the
+    // product against the hardware so a 8-worker farm of 4-rank
+    // simulations does not ask one machine for 32 hot threads.
+    const std::size_t cap = hardware_limit() / ranks_per_task;
+    workers = std::min(workers, cap == 0 ? std::size_t{1} : cap);
+  }
+  return workers == 0 ? 1 : workers;
+}
+
+namespace detail {
+
+void flush_obs(const ExecObs& obs, const std::string& label,
+               std::size_t items, std::size_t workers, std::uint64_t steals,
+               const std::vector<TaskSpan>& spans) {
+  if (obs.metrics != nullptr) {
+    obs.metrics->add("exec.tasks", items);
+    obs.metrics->set("exec.workers", static_cast<double>(workers));
+    // High-water queue depth: every task of this call is enqueued before
+    // the first completes, so the submission burst is the peak.
+    obs.metrics->set_max("exec.queue_depth", static_cast<double>(items));
+    if (!obs.deterministic_timing) {
+      // Which worker physically ran a task is a scheduler artifact; the
+      // count is meaningful for load-balance diagnostics but would break
+      // byte-reproducibility, so deterministic sessions skip it.
+      obs.metrics->add("exec.steal", steals);
+    }
+  }
+  if (obs.trace == nullptr || spans.empty()) return;
+  // The TraceRecorder belongs to the orchestration thread, so spans are
+  // flushed here — after the join — in task-index order; the stable sort
+  // in TraceRecorder::to_json keeps that order within equal timestamps.
+  const std::uint32_t pid = obs.trace->process("exec");
+  for (std::size_t w = 0; w < workers; ++w) {
+    obs.trace->thread_name(pid, static_cast<std::uint32_t>(w),
+                           "worker " + std::to_string(w));
+  }
+  const double base_hours = obs.trace->sim_hours();
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const std::size_t lane =
+        obs.deterministic_timing ? i % workers : spans[i].worker;
+    const double duration_s =
+        obs.deterministic_timing ? 0.0 : spans[i].duration_s;
+    obs::TraceArgs args;
+    args["index"] = static_cast<std::uint64_t>(i);
+    args["worker"] = static_cast<std::uint64_t>(lane);
+    args["task_s"] = duration_s;
+    obs.trace->complete(pid, static_cast<std::uint32_t>(lane),
+                        label + "[" + std::to_string(i) + "]", "exec",
+                        base_hours, duration_s / 3600.0, std::move(args));
+  }
+}
+
+}  // namespace detail
+
+}  // namespace epi::exec

@@ -31,6 +31,15 @@ void ResilienceLedger::record(FaultKind kind, double time_hours,
   events_.push_back(FaultEvent{kind, time_hours, std::move(detail)});
 }
 
+void ResilienceLedger::merge(const ResilienceLedger& other) {
+  for (const FaultEvent& event : other.events_) {
+    record(event.kind, event.time_hours, event.detail);
+  }
+  wasted_node_hours_ += other.wasted_node_hours_;
+  checkpoint_overhead_node_hours_ += other.checkpoint_overhead_node_hours_;
+  retry_wait_hours_ += other.retry_wait_hours_;
+}
+
 void ResilienceLedger::set_trace(obs::TraceRecorder* trace, std::uint32_t pid,
                                  std::uint32_t tid) {
   trace_ = trace;

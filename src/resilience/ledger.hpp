@@ -87,6 +87,13 @@ class ResilienceLedger {
     retry_wait_hours_ += seconds / 3600.0;
   }
 
+  /// Appends another ledger's events (through record(), so an attached
+  /// trace mirrors them) and folds in its scalar accumulators. The
+  /// parallel simulation farm gives each task a private ledger and merges
+  /// them in task-index order, so the merged event stream is identical to
+  /// the serial loop's regardless of completion order.
+  void merge(const ResilienceLedger& other);
+
   const std::vector<FaultEvent>& events() const { return events_; }
   std::uint64_t count(FaultKind kind) const;
   double wasted_node_hours() const { return wasted_node_hours_; }

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "analytics/aggregate.hpp"
 #include "epihiper/parallel.hpp"
+#include "exec/executor.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
@@ -45,6 +48,32 @@ auto with_sim_retries(const FaultInjector& faults, const RetryPolicy& policy,
   }
   return body();
 }
+
+/// Executor configuration for one farm stage; the observability sinks
+/// come from the (optional) session.
+exec::ExecConfig farm_config(const CalibrationCycleConfig& config,
+                             std::string label) {
+  exec::ExecConfig farm;
+  farm.jobs = config.jobs;
+  farm.label = std::move(label);
+  if (config.trace != nullptr) {
+    farm.obs.trace = &config.trace->trace();
+    farm.obs.metrics = &config.trace->metrics();
+    farm.obs.deterministic_timing =
+        config.trace->trace().deterministic_timing();
+  }
+  return farm;
+}
+
+/// One farm task's output: its simulated (log) series plus the private
+/// resilience ledger its retries were recorded into. Private ledgers are
+/// merged into the cycle ledger in task-index order, so the merged event
+/// stream is identical to the serial loop's regardless of completion
+/// order.
+struct FarmRun {
+  std::vector<double> series;
+  ResilienceLedger ledger;
+};
 
 }  // namespace
 
@@ -109,16 +138,29 @@ CalibrationCycleResult run_calibration_cycle(
                                           config.prior_configs, design_rng);
   Mat sim_outputs(config.prior_configs,
                   static_cast<std::size_t>(config.calibration_days));
-  for (std::size_t i = 0; i < config.prior_configs; ++i) {
-    const CellConfig cell = cell_from_calibration_point(
-        config.region, static_cast<std::uint32_t>(i),
-        result.prior_design.points[i], 1, config.calibration_days,
-        config.seed);
-    const auto series = with_sim_retries(
-        injector, config.retry, i, ledger,
-        [&] { return simulate_config(region, cell, config.calibration_days, 0); });
-    const auto logged = log_transform(series);
-    sim_outputs.set_row(i, logged);
+  {
+    // The farm: each design point is a pure function of (config, seed) —
+    // the paper's embarrassingly parallel GPMSA design stage.
+    const auto runs = exec::parallel_index_map(
+        config.prior_configs,
+        [&](std::size_t i) {
+          const CellConfig cell = cell_from_calibration_point(
+              config.region, static_cast<std::uint32_t>(i),
+              result.prior_design.points[i], 1, config.calibration_days,
+              config.seed);
+          FarmRun run;
+          run.series = log_transform(with_sim_retries(
+              injector, config.retry, i, run.ledger, [&] {
+                return simulate_config(region, cell, config.calibration_days,
+                                       0);
+              }));
+          return run;
+        },
+        farm_config(config, "prior"));
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      ledger.merge(runs[i].ledger);
+      sim_outputs.set_row(i, runs[i].series);
+    }
   }
   EPI_INFO("calibration cycle: simulated " << config.prior_configs
                                            << " prior configs for "
@@ -139,16 +181,21 @@ CalibrationCycleResult run_calibration_cycle(
                   2.0;
     }
     const std::size_t replicates = 6;
-    std::vector<Vec> curves;
-    for (std::size_t rep = 0; rep < replicates; ++rep) {
-      const CellConfig cell = cell_from_calibration_point(
-          config.region, 5000, center,
-          static_cast<std::uint32_t>(replicates), config.calibration_days,
-          config.seed);
-      curves.push_back(log_transform(simulate_config(
-          region, cell, config.calibration_days,
-          static_cast<std::uint32_t>(rep))));
-    }
+    // Per-curve replicate runs at the design center — independent draws
+    // distinguished only by their replicate index, so they farm out like
+    // the design points do.
+    const std::vector<Vec> curves = exec::parallel_index_map(
+        replicates,
+        [&](std::size_t rep) {
+          const CellConfig cell = cell_from_calibration_point(
+              config.region, 5000, center,
+              static_cast<std::uint32_t>(replicates), config.calibration_days,
+              config.seed);
+          return log_transform(simulate_config(
+              region, cell, config.calibration_days,
+              static_cast<std::uint32_t>(rep)));
+        },
+        farm_config(config, "replicate"));
     const auto t = static_cast<std::size_t>(config.calibration_days);
     Vec curve_mean(t, 0.0);
     for (const Vec& curve : curves) {
@@ -188,13 +235,24 @@ CalibrationCycleResult run_calibration_cycle(
   const std::size_t runs =
       std::min(config.prediction_runs, result.posterior_configs.size());
   forecast_curves.reserve(runs);
-  for (std::size_t i = 0; i < runs; ++i) {
-    const CellConfig cell = cell_from_calibration_point(
-        config.region, static_cast<std::uint32_t>(1000 + i),
-        result.posterior_configs[i], 1, total_days, config.seed);
-    forecast_curves.push_back(with_sim_retries(
-        injector, config.retry, 1000 + i, ledger,
-        [&] { return simulate_config(region, cell, total_days, 0); }));
+  {
+    auto ensemble = exec::parallel_index_map(
+        runs,
+        [&](std::size_t i) {
+          const CellConfig cell = cell_from_calibration_point(
+              config.region, static_cast<std::uint32_t>(1000 + i),
+              result.posterior_configs[i], 1, total_days, config.seed);
+          FarmRun run;
+          run.series = with_sim_retries(
+              injector, config.retry, 1000 + i, run.ledger,
+              [&] { return simulate_config(region, cell, total_days, 0); });
+          return run;
+        },
+        farm_config(config, "forecast"));
+    for (std::size_t i = 0; i < ensemble.size(); ++i) {
+      ledger.merge(ensemble[i].ledger);
+      forecast_curves.push_back(std::move(ensemble[i].series));
+    }
   }
   if (!forecast_curves.empty()) {
     result.forecast = ensemble_band(forecast_curves, 0.95);
@@ -205,6 +263,111 @@ CalibrationCycleResult run_calibration_cycle(
   }
   result.resilience = ledger.summary();
   return result;
+}
+
+namespace {
+
+// Hexfloat rendering: exact (distinct doubles never print alike), so
+// string equality of two dumps is byte-identity of the results.
+void put(std::string& out, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", value);
+  out += buf;
+}
+
+void put_line(std::string& out, const char* key, double value) {
+  out += key;
+  out += '=';
+  put(out, value);
+  out += '\n';
+}
+
+void put_vec(std::string& out, const char* key,
+             const std::vector<double>& values) {
+  out += key;
+  out += '=';
+  for (double v : values) {
+    put(out, v);
+    out += ' ';
+  }
+  out += '\n';
+}
+
+void put_points(std::string& out, const char* key,
+                const std::vector<ParamPoint>& points) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out += key;
+    out += '[';
+    out += std::to_string(i);
+    out += "]=";
+    for (double v : points[i]) {
+      put(out, v);
+      out += ' ';
+    }
+    out += '\n';
+  }
+}
+
+void put_count(std::string& out, const char* key, std::uint64_t value) {
+  out += key;
+  out += '=';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string serialize(const CalibrationCycleResult& result) {
+  std::string out;
+  out.reserve(1 << 16);
+  for (std::size_t d = 0; d < result.prior_design.ranges.size(); ++d) {
+    const ParamRange& range = result.prior_design.ranges[d];
+    out += "range[" + std::to_string(d) + "]=" + range.name + ' ';
+    put(out, range.lo);
+    out += ' ';
+    put(out, range.hi);
+    out += '\n';
+  }
+  put_points(out, "prior_point", result.prior_design.points);
+  put_points(out, "posterior_config", result.posterior_configs);
+  put_points(out, "chain_sample", result.calibration.chain.samples);
+  put_line(out, "chain.acceptance_rate",
+           result.calibration.chain.acceptance_rate);
+  put_line(out, "chain.burn_in_acceptance_rate",
+           result.calibration.chain.burn_in_acceptance_rate);
+  put_vec(out, "chain.final_step", result.calibration.chain.final_step);
+  put_line(out, "chain.best_log_density",
+           result.calibration.chain.best_log_density);
+  put_vec(out, "chain.best_point", result.calibration.chain.best_point);
+  put_vec(out, "band_mean", result.calibration.band_mean);
+  put_vec(out, "band_lo", result.calibration.band_lo);
+  put_vec(out, "band_hi", result.calibration.band_hi);
+  put_line(out, "coverage95", result.calibration.coverage95);
+  put_line(out, "acceptance_rate", result.calibration.acceptance_rate);
+  put_line(out, "emulator_variance_captured",
+           result.calibration.emulator_variance_captured);
+  put_vec(out, "observed_cumulative", result.observed_cumulative);
+  put_vec(out, "truth_extension", result.truth_extension);
+  put_vec(out, "forecast.median", result.forecast.median);
+  put_vec(out, "forecast.lo", result.forecast.lo);
+  put_vec(out, "forecast.hi", result.forecast.hi);
+  put_vec(out, "forecast.mean", result.forecast.mean);
+  put_line(out, "forecast_coverage", result.forecast_coverage);
+  const ResilienceSummary& res = result.resilience;
+  put_count(out, "resilience.node_crashes", res.node_crashes);
+  put_count(out, "resilience.jobs_killed", res.jobs_killed);
+  put_count(out, "resilience.jobs_requeued", res.jobs_requeued);
+  put_count(out, "resilience.wan_failures", res.wan_failures);
+  put_count(out, "resilience.wan_degraded", res.wan_degraded);
+  put_count(out, "resilience.wan_retries", res.wan_retries);
+  put_count(out, "resilience.db_drops", res.db_drops);
+  put_count(out, "resilience.db_reconnects", res.db_reconnects);
+  put_count(out, "resilience.sim_retries", res.sim_retries);
+  put_line(out, "resilience.wasted_node_hours", res.wasted_node_hours);
+  put_line(out, "resilience.checkpoint_overhead_node_hours",
+           res.checkpoint_overhead_node_hours);
+  put_line(out, "resilience.retry_wait_hours", res.retry_wait_hours);
+  return out;
 }
 
 }  // namespace epi

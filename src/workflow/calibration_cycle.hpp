@@ -22,6 +22,10 @@
 #include "synthpop/generator.hpp"
 #include "workflow/designs.hpp"
 
+namespace epi::obs {
+class Session;
+}
+
 namespace epi {
 
 struct CalibrationCycleConfig {
@@ -59,6 +63,20 @@ struct CalibrationCycleConfig {
   /// exact same trajectory and only the resilience accounting changes.
   FaultSpec faults;
   RetryPolicy retry;
+
+  /// Worker threads for the simulation farm (prior-design runs, the
+  /// replicate-covariance runs feeding the emulator, and the forecast
+  /// ensemble); 0 = the EPI_JOBS environment variable (default 1, the
+  /// serial seed path). Every farm task is a pure function of its
+  /// config/seed, so parallel output is byte-identical to serial — the
+  /// per-task resilience ledgers are merged in task-index order.
+  std::size_t jobs = 0;
+
+  /// Optional observability session (non-owning; nullptr = disabled, the
+  /// exact untraced path): farm task spans land on per-worker lanes of
+  /// the "exec" trace process, plus exec.tasks/exec.steal counters and
+  /// the exec.queue_depth gauge.
+  obs::Session* trace = nullptr;
 };
 
 struct CalibrationCycleResult {
@@ -86,5 +104,11 @@ struct CalibrationCycleResult {
 
 CalibrationCycleResult run_calibration_cycle(
     const CalibrationCycleConfig& config);
+
+/// Deterministic full-field dump of a cycle result (doubles rendered as
+/// hexfloat, so distinct values never collide). Equal strings mean
+/// byte-identical results — the oracle used by the parallel-vs-serial
+/// tests, bench_farm_scaling, and the CI EPI_JOBS report diff.
+std::string serialize(const CalibrationCycleResult& result);
 
 }  // namespace epi

@@ -4,6 +4,7 @@
 
 #include "analytics/aggregate.hpp"
 #include "epihiper/parallel.hpp"
+#include "exec/executor.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -176,15 +177,64 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
   // ---- Phase 4b: really execute a sample of the jobs ----------------------
   const std::vector<std::string>& sample_pool =
       config_.sample_regions.empty() ? design.regions : config_.sample_regions;
+  EPI_REQUIRE(config_.sample_executions == 0 || !sample_pool.empty(),
+              "sample executions requested ("
+                  << config_.sample_executions
+                  << ") but the sample pool is empty: the design has no "
+                     "regions and NightlyConfig::sample_regions is empty");
+  exec::ExecConfig farm;
+  farm.jobs = config_.jobs;
+  farm.label = "sample";
+  farm.obs.trace = trace;
+  farm.obs.metrics = metrics;
+  farm.obs.deterministic_timing = config_.deterministic_timing;
   double raw_bytes_per_person = 0.0;
   std::uint64_t sampled_persons = 0;
-  std::uint64_t cube_bytes = 0;
   double db_retry_wait_s = 0.0;
   Timer execute_timer;
   ledger.set_trace_base_hours(clock_hours);
+
+  // Lazy region synthesis, farmed out: collect the regions the sample
+  // will touch, generate the missing ones concurrently (generate_region
+  // is a pure function of its config), then commit them to the cache —
+  // and start their database servers — in first-use order, so the
+  // registry ends up exactly as the serial engine leaves it.
+  if (config_.sample_executions > 0) {
+    std::vector<std::string> missing;
+    for (std::size_t i = 0; i < config_.sample_executions; ++i) {
+      const std::string& abbrev = sample_pool[i % sample_pool.size()];
+      if (regions_.find(abbrev) == regions_.end() &&
+          std::find(missing.begin(), missing.end(), abbrev) ==
+              missing.end()) {
+        missing.push_back(abbrev);
+      }
+    }
+    exec::ExecConfig synth = farm;
+    synth.label = "synth-region";
+    auto generated = exec::parallel_map(
+        missing,
+        [&](const std::string& abbrev) {
+          SynthPopConfig pop_config;
+          pop_config.region = abbrev;
+          pop_config.scale = config_.scale;
+          pop_config.seed = config_.seed;
+          return std::make_unique<SyntheticRegion>(
+              generate_region(pop_config));
+        },
+        synth);
+    for (std::size_t r = 0; r < missing.size(); ++r) {
+      auto it = regions_.emplace(missing[r], std::move(generated[r])).first;
+      databases_.start(it->second->population, db_connection_bound());
+    }
+  }
+
+  // Orchestration pass, in sample order: trace milestones and the
+  // per-job database sessions (the DB-WMP constraint made concrete) are
+  // engine state, so they stay serial regardless of the worker count —
+  // which keeps the report and trace byte-identical to the serial path.
   for (std::size_t i = 0; i < config_.sample_executions; ++i) {
     const std::string& abbrev = sample_pool[i % sample_pool.size()];
-    const SyntheticRegion& reg = region(abbrev);
+    region(abbrev);  // cache hit after the prefetch above
     if (trace != nullptr) {
       obs::TraceArgs args;
       args["index"] = static_cast<std::uint64_t>(i);
@@ -192,9 +242,9 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
       trace->instant(pid_remote, 0, "sample " + abbrev, "execute",
                      clock_hours, std::move(args));
     }
-    // Each running job holds connections against the region's database
-    // (the DB-WMP constraint made concrete). Under fault injection the
-    // session may drop and reconnect with backoff.
+    // Each running job holds connections against the region's database.
+    // Under fault injection the session may drop and reconnect with
+    // backoff.
     std::optional<DbConnection> connection = [&]() -> std::optional<DbConnection> {
       if (!injector.enabled()) return databases_.get(abbrev).connect();
       ResilientConnectResult attempt = databases_.get(abbrev).connect_resilient(
@@ -206,22 +256,44 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
                 "database connection pool exhausted for " << abbrev);
     // Touch the traits through the server as the simulator does at start.
     connection->persons_in_county(0);
-    const auto& configs = configs_by_region.at(abbrev);
-    const CellConfig& cell = configs[i % configs.size()];
-    SimulationConfig sim_config =
-        cell.make_sim_config(static_cast<std::uint32_t>(i) % cell.replicates);
-    sim_config.num_ticks = std::min(config_.executed_days, cell.num_days);
-    const DiseaseModel model = covid_model(cell.disease);
-    const SimOutput output =
-        run_simulation(reg.network, reg.population, model, sim_config,
-                       [&] { return cell.make_interventions(); });
-    const SummaryCube cube = build_summary_cube(
-        output, reg.population, model, sim_config.num_ticks);
-    report.raw_bytes_measured += raw_output_bytes(output);
-    report.summary_bytes_measured += cube.byte_size();
-    sampled_persons += reg.population.person_count();
-    cube_bytes = cube.byte_size();
     report.db_queries_served += connection->queries_served();
+  }
+
+  // Execution pass: the sampled simulations themselves — each a pure
+  // function of its (cell, replicate) — run on the farm; their stats are
+  // accumulated in sample-index order below.
+  struct SampleStats {
+    std::uint64_t raw_bytes = 0;
+    std::uint64_t cube_bytes = 0;
+    std::uint64_t persons = 0;
+  };
+  const auto sample_stats = exec::parallel_index_map(
+      config_.sample_executions,
+      [&](std::size_t i) {
+        const std::string& abbrev = sample_pool[i % sample_pool.size()];
+        const SyntheticRegion& reg = *regions_.at(abbrev);
+        const auto& configs = configs_by_region.at(abbrev);
+        const CellConfig& cell = configs[i % configs.size()];
+        SimulationConfig sim_config = cell.make_sim_config(
+            static_cast<std::uint32_t>(i) % cell.replicates);
+        sim_config.num_ticks = std::min(config_.executed_days, cell.num_days);
+        const DiseaseModel model = covid_model(cell.disease);
+        const SimOutput output =
+            run_simulation(reg.network, reg.population, model, sim_config,
+                           [&] { return cell.make_interventions(); });
+        const SummaryCube cube = build_summary_cube(
+            output, reg.population, model, sim_config.num_ticks);
+        SampleStats stats;
+        stats.raw_bytes = raw_output_bytes(output);
+        stats.cube_bytes = cube.byte_size();
+        stats.persons = reg.population.person_count();
+        return stats;
+      },
+      farm);
+  for (const SampleStats& stats : sample_stats) {
+    report.raw_bytes_measured += stats.raw_bytes;
+    report.summary_bytes_measured += stats.cube_bytes;
+    sampled_persons += stats.persons;
     ++report.executed_simulations;
   }
   if (sampled_persons > 0) {
@@ -243,8 +315,16 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
   report.raw_bytes_full_scale =
       raw_bytes_per_person * static_cast<double>(design_population) *
       design.cells * design.replicates;
-  const double full_cube_bytes =
-      static_cast<double>(cube_bytes) * horizon_factor;
+  // Mean sampled cube size: sampled cells can differ in horizon/shape, so
+  // extrapolating from the last sampled cube alone would skew the
+  // full-scale summary estimate toward whatever cell happened to run
+  // last.
+  const double mean_cube_bytes =
+      report.executed_simulations > 0
+          ? static_cast<double>(report.summary_bytes_measured) /
+                static_cast<double>(report.executed_simulations)
+          : 0.0;
+  const double full_cube_bytes = mean_cube_bytes * horizon_factor;
   report.summary_bytes_full_scale =
       full_cube_bytes * static_cast<double>(report.planned_simulations);
   phase("aggregate outputs", "remote",

@@ -60,6 +60,15 @@ struct NightlyConfig {
   Tick executed_days = 120;
   PackingPolicy policy = PackingPolicy::kFirstFitDecreasing;
 
+  /// Worker threads for the real work of Phase 4b — the sampled
+  /// simulations and the lazy region synthesis behind them; 0 = the
+  /// EPI_JOBS environment variable (default 1, the serial seed path).
+  /// Each sampled job is a pure function of its config/seed and the
+  /// orchestration state (trace milestones, DB sessions, accounting) is
+  /// committed in sample-index order, so the parallel WorkflowReport is
+  /// byte-identical to the serial one.
+  std::size_t jobs = 0;
+
   /// Injected fault environment (disabled by default: perfect hardware,
   /// byte-identical to the seed engine).
   FaultSpec faults;

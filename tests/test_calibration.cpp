@@ -28,6 +28,65 @@ TEST(Mcmc, SamplesStandardNormal) {
   EXPECT_NEAR(stddev(xs), 1.0, 0.12);
 }
 
+TEST(Mcmc, AcceptanceRateIsPostBurnIn) {
+  // On a known density the equilibrium acceptance rate is a mixing
+  // diagnostic; the burn-in phase (step still adapting) is reported
+  // separately so it cannot bias the headline figure.
+  Rng rng(73);
+  auto log_density = [](const std::vector<double>& x) {
+    return -0.5 * x[0] * x[0];
+  };
+  McmcConfig config;
+  config.samples = 6000;
+  config.burn_in = 2000;
+  const McmcResult result = metropolis(log_density, {0.0}, config, rng);
+  EXPECT_GT(result.acceptance_rate, 0.05);
+  EXPECT_LT(result.acceptance_rate, 0.95);
+  EXPECT_GT(result.burn_in_acceptance_rate, 0.0);
+  EXPECT_LT(result.burn_in_acceptance_rate, 1.0);
+
+  // Start deep in the tail with a large fixed step: the short burn-in is
+  // a downhill march (about half of all proposals improve the density),
+  // while the equilibrium chain rejects most big jumps. The two reported
+  // rates must reflect those disjoint phases.
+  McmcConfig tail;
+  tail.samples = 2000;
+  tail.burn_in = 20;
+  tail.initial_step = 20.0;
+  tail.adapt_during_burn_in = false;
+  Rng rng2(74);
+  const McmcResult march = metropolis(log_density, {100.0}, tail, rng2);
+  EXPECT_GT(march.burn_in_acceptance_rate, 0.15);
+  EXPECT_LT(march.acceptance_rate, 0.2);
+  EXPECT_GT(march.burn_in_acceptance_rate, march.acceptance_rate);
+
+  // With a deliberately tiny fixed step nearly every proposal is
+  // accepted — and the post-burn-in figure must reflect that even if the
+  // burn-in behaved differently.
+  McmcConfig tiny;
+  tiny.samples = 2000;
+  tiny.burn_in = 500;
+  tiny.initial_step = 1e-4;
+  tiny.adapt_during_burn_in = false;
+  Rng rng3(75);
+  const McmcResult sticky = metropolis(log_density, {0.0}, tiny, rng3);
+  EXPECT_GT(sticky.acceptance_rate, 0.9);
+}
+
+TEST(Mcmc, ZeroBurnInHasNoBurnInAcceptance) {
+  Rng rng(75);
+  auto log_density = [](const std::vector<double>& x) {
+    return -0.5 * x[0] * x[0];
+  };
+  McmcConfig config;
+  config.samples = 1000;
+  config.burn_in = 0;
+  config.adapt_during_burn_in = false;
+  const McmcResult result = metropolis(log_density, {0.0}, config, rng);
+  EXPECT_EQ(result.burn_in_acceptance_rate, 0.0);
+  EXPECT_GT(result.acceptance_rate, 0.0);
+}
+
 TEST(Mcmc, RespectsSupportBoundaries) {
   Rng rng(72);
   auto log_density = [](const std::vector<double>& x) {

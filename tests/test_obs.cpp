@@ -234,7 +234,7 @@ TEST(ObsNightly, GoldenTraceFileValidatesAndCoversEveryLayer) {
   const obs::TraceCheckResult result =
       obs::check_trace_file(session.trace_path());
   EXPECT_TRUE(result.ok) << joined(result.errors);
-  EXPECT_EQ(result.processes, 3u);  // home, remote, wan
+  EXPECT_EQ(result.processes, 4u);  // home, remote, wan, exec (farm lanes)
 
   const Json doc = read_json_file(session.trace_path());
   // One 'X' span per PhaseRecord in the report timeline.
@@ -245,6 +245,8 @@ TEST(ObsNightly, GoldenTraceFileValidatesAndCoversEveryLayer) {
   EXPECT_GT(count_category(doc, "config-gen"), 0u);
   EXPECT_GT(count_category(doc, "db-snapshot"), 0u);
   EXPECT_GT(count_category(doc, "execute"), 0u);
+  // Farm task spans from the exec pool (sampled simulations).
+  EXPECT_GT(count_category(doc, "exec"), 0u);
 
   const obs::MetricsCheckResult metrics_result =
       obs::check_metrics_file(session.metrics_path());

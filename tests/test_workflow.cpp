@@ -196,6 +196,28 @@ TEST(Nightly, RegionCacheReturnsSameInstance) {
   EXPECT_EQ(&a, &b);
 }
 
+TEST(Nightly, EmptySamplePoolRejectedClearly) {
+  // A design with no regions (and no sample_regions fallback) used to
+  // divide by zero when picking sample executions; now it fails with a
+  // diagnosable error before Phase 4b.
+  NightlyConfig config;
+  config.scale = 1.0 / 8000.0;
+  config.sample_executions = 4;
+  config.sample_regions = {};
+  WorkflowDesign design = economic_design();
+  design.regions = {};
+  NightlyWorkflow workflow(config);
+  EXPECT_THROW(workflow.run(design), Error);
+
+  // With zero sample executions requested, an empty pool is fine: the
+  // schedule model still runs, nothing is executed for real.
+  NightlyConfig none = config;
+  none.sample_executions = 0;
+  NightlyWorkflow skip(none);
+  const WorkflowReport report = skip.run(design);
+  EXPECT_EQ(report.executed_simulations, 0u);
+}
+
 TEST(Nightly, InvalidScaleRejected) {
   NightlyConfig config;
   config.scale = 0.0;

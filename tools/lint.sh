@@ -72,6 +72,7 @@ output_files() {
      src/util/json.cpp src/util/json.hpp \
      src/util/log.cpp src/util/log.hpp \
      src/obs/*.cpp src/obs/*.hpp \
+     src/exec/*.cpp src/exec/*.hpp \
      src/cluster/slurm_sim.cpp 2>/dev/null
 }
 
