@@ -1,0 +1,174 @@
+// Scenario-service throughput: content-addressed caching + campaign
+// batching vs naively running every request cold (DESIGN.md §11).
+//
+// The workload is a realistic planning-cell burst: one region's
+// calibration gets re-requested with different tails (posterior sizes,
+// forecast lengths), several analysts submit exact duplicates, and a
+// couple of nightly design runs ride along. The naive baseline executes
+// every request alone against a fresh service (no cache, no dedup, no
+// stage sharing) — what the engines cost before this layer existed.
+//
+// Gate (CI): the served wave must beat naive sequential by >= 2x wall
+// time, with a nonzero cache-hit rate; the bench exits nonzero otherwise.
+// Emits BENCH_service_throughput.json (EPI_BENCH_JSON directory or cwd).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "service/service.hpp"
+#include "util/timer.hpp"
+
+using namespace epi;
+using namespace epi::service;
+
+namespace {
+
+std::vector<ScenarioRequest> burst_workload() {
+  ScenarioRequest base;
+  base.kind = RequestKind::kCalibration;
+  base.region = "VT";
+  base.scale_denominator = 400.0;
+  base.seed = 20200411;
+  base.prior_configs = 8;
+  base.posterior_configs = 6;
+  base.calibration_days = 30;
+  base.horizon_days = 10;
+  base.prediction_runs = 2;
+  base.mcmc_samples = 40;
+  base.mcmc_burn_in = 20;
+
+  std::vector<ScenarioRequest> requests;
+  const auto push = [&requests](ScenarioRequest request, std::string id,
+                                std::string requester, std::int64_t priority) {
+    request.id = std::move(id);
+    request.requester = std::move(requester);
+    request.priority = priority;
+    requests.push_back(std::move(request));
+  };
+
+  // The campaign: one prior stage, five different tails.
+  push(base, "cal-base", "epi-team", 5);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ScenarioRequest tail = base;
+    tail.posterior_configs = 8 + 2 * i;
+    tail.prediction_runs = 2 + i;
+    push(tail, "cal-tail-" + std::to_string(i), "epi-team", 0);
+  }
+  // Analysts resubmitting the identical scenario (dedup).
+  push(base, "cal-dup-1", "press-office", -1);
+  push(base, "cal-dup-2", "governor-briefing", 3);
+  push(base, "cal-dup-3", "county-liaison", -2);
+  // A second calibration window: its own stage, shared region build.
+  ScenarioRequest window = base;
+  window.calibration_days = 35;
+  push(window, "cal-window", "epi-team", 0);
+  // Nightly design runs, one duplicated.
+  ScenarioRequest nightly;
+  nightly.kind = RequestKind::kNightly;
+  nightly.design = "economic";
+  nightly.regions = {"WY", "VT"};
+  nightly.scale_denominator = 8000.0;
+  nightly.seed = 20200325;
+  nightly.sample_executions = 2;
+  nightly.executed_days = 20;
+  push(nightly, "nightly-1", "ops", 2);
+  push(nightly, "nightly-dup", "ops", 1);
+  return requests;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "Scenario-service throughput: cached/batched wave vs naive sequential");
+  const std::vector<ScenarioRequest> requests = burst_workload();
+  std::printf("  workload: %zu requests\n", requests.size());
+
+  // Naive baseline: every request cold and alone — a fresh service per
+  // request so nothing is shared (jobs=1 on both sides; this measures
+  // the service layer, not thread scaling).
+  Timer naive_timer;
+  for (const ScenarioRequest& request : requests) {
+    ServiceConfig config;
+    config.jobs = 1;
+    config.logical_workers = 1;
+    ScenarioService lone(config);
+    (void)lone.serve({request});
+  }
+  const double naive_seconds = naive_timer.elapsed_seconds();
+
+  // The service wave: one shared cache, dedup, campaign batching.
+  ServiceConfig config;
+  config.jobs = 1;
+  config.logical_workers = 4;
+  ScenarioService svc(config);
+  Timer wave_timer;
+  const ServiceOutcome outcome = svc.serve(requests);
+  const double wave_seconds = wave_timer.elapsed_seconds();
+
+  const ServiceReport& report = outcome.report;
+  const double speedup =
+      wave_seconds > 0.0 ? naive_seconds / wave_seconds : 0.0;
+  const std::uint64_t hits = report.cache.total_hits();
+  const std::uint64_t lookups = report.cache.total_lookups();
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups)
+                  : 0.0;
+  const double wave_hours = wave_seconds / 3600.0;
+  const double requests_per_hour =
+      wave_hours > 0.0 ? static_cast<double>(report.requests) / wave_hours
+                       : 0.0;
+  const double virtual_savings =
+      report.actual_cost_hours > 0.0
+          ? report.naive_cost_hours / report.actual_cost_hours
+          : 0.0;
+
+  bench::subheading("measured");
+  bench::row({"", "naive s", "wave s", "speedup", "hit rate", "req/hour"});
+  bench::row({"sequential vs service", bench::fmt(naive_seconds),
+              bench::fmt(wave_seconds), bench::fmt(speedup, 2),
+              bench::fmt(hit_rate, 3), bench::fmt(requests_per_hour, 0)});
+  bench::note("computed units: " + bench::fmt_int(report.computed_units) +
+              " of " + bench::fmt_int(report.requests) + " requests (" +
+              bench::fmt_int(report.deduped_requests) + " deduped, " +
+              bench::fmt_int(report.stage_shares) + " stage shares)");
+  bench::note("virtual cost: naive " + bench::fmt(report.naive_cost_hours, 2) +
+              " h vs actual " + bench::fmt(report.actual_cost_hours, 2) +
+              " h (" + bench::fmt(virtual_savings, 2) + "x)");
+
+  bench::JsonReport json("service_throughput");
+  json.metric("requests", report.requests);
+  json.metric("computed_units", report.computed_units);
+  json.metric("deduped_requests", report.deduped_requests);
+  json.metric("stage_shares", report.stage_shares);
+  json.metric("campaigns", report.campaigns);
+  json.metric("cache_hits", hits);
+  json.metric("cache_lookups", lookups);
+  json.metric("cache_hit_rate", hit_rate);
+  json.metric("naive_seconds", naive_seconds);
+  json.metric("wave_seconds", wave_seconds);
+  json.metric("speedup_vs_naive", speedup);
+  json.metric("requests_per_hour", requests_per_hour);
+  json.metric("virtual_naive_cost_hours", report.naive_cost_hours);
+  json.metric("virtual_actual_cost_hours", report.actual_cost_hours);
+  json.metric("virtual_savings_factor", virtual_savings);
+  json.write();
+
+  bool pass = true;
+  if (speedup < 2.0) {
+    std::printf("\nGATE FAILED: speedup %.2fx < 2x over naive sequential\n",
+                speedup);
+    pass = false;
+  }
+  if (hits == 0) {
+    std::printf("\nGATE FAILED: cache-hit rate is zero\n");
+    pass = false;
+  }
+  if (pass) {
+    std::printf("\ngate passed: %.2fx >= 2x, hit rate %.3f > 0\n", speedup,
+                hit_rate);
+  }
+  return pass ? 0 : 1;
+}

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # CI entry point with selectable lanes:
 #
-#   ./ci.sh            # all lanes: lint, plain, asan, tsan
+#   ./ci.sh            # all lanes: lint, plain, service, asan, tsan
 #   ./ci.sh lint       # determinism lint only (fast, no build)
 #   ./ci.sh plain      # RelWithDebInfo build + tests + CommChecker pass
+#   ./ci.sh service    # scenario-service replay determinism: the canned
+#                      # request log twice, and EPI_JOBS=1 vs 4, with
+#                      # byte-diffs of responses + report; throughput gate
 #   ./ci.sh asan       # AddressSanitizer + UBSan + LeakSanitizer build
 #   ./ci.sh tsan       # ThreadSanitizer build (mpilite runs ranks as
 #                      # threads, so this sees every data race real-MPI
@@ -76,6 +79,34 @@ run_plain() {
   echo "farm pass OK (serial and parallel reports byte-identical)"
 }
 
+run_service() {
+  echo "== scenario-service replay pass =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target scenario_service bench_service_throughput
+
+  # Replay the canned request log twice serial and once at EPI_JOBS=4;
+  # every response and the whole ServiceReport must be byte-identical
+  # across runs and worker counts. The example itself also replays its
+  # log warm and exits nonzero if a cached response drifts.
+  rm -rf build/service-ci && mkdir -p build/service-ci/{j1,j1-again,j4}
+  EPI_JOBS=1 EPI_SERVICE_OUT=build/service-ci/j1 \
+    ./build/examples/scenario_service examples/service_requests.jsonl >/dev/null
+  EPI_JOBS=1 EPI_SERVICE_OUT=build/service-ci/j1-again \
+    ./build/examples/scenario_service examples/service_requests.jsonl >/dev/null
+  EPI_JOBS=4 EPI_SERVICE_OUT=build/service-ci/j4 \
+    ./build/examples/scenario_service examples/service_requests.jsonl >/dev/null
+  cmp build/service-ci/j1/responses.txt build/service-ci/j1-again/responses.txt
+  cmp build/service-ci/j1/service_report.txt build/service-ci/j1-again/service_report.txt
+  cmp build/service-ci/j1/responses.txt build/service-ci/j4/responses.txt
+  cmp build/service-ci/j1/service_report.txt build/service-ci/j4/service_report.txt
+  echo "replay OK (byte-identical across repeats and EPI_JOBS=1 vs 4)"
+
+  # Throughput gate: the cached/batched wave must beat naive sequential
+  # by >= 2x with a nonzero cache-hit rate (the bench exits nonzero).
+  EPI_BENCH_JSON=build/service-ci ./build/bench/bench_service_throughput
+  echo "service pass OK (see build/service-ci/BENCH_service_throughput.json)"
+}
+
 run_asan() {
   echo "== sanitized build (ASan + UBSan + LSan) =="
   cmake -B build-asan -S . -DEPI_SANITIZE=ON >/dev/null
@@ -96,13 +127,14 @@ run_tsan() {
 
 lane="${1:-all}"
 case "$lane" in
-  lint)  run_lint ;;
-  plain) run_plain ;;
-  asan)  run_asan ;;
-  tsan)  run_tsan ;;
-  all)   run_lint; run_plain; run_asan; run_tsan ;;
+  lint)    run_lint ;;
+  plain)   run_plain ;;
+  service) run_service ;;
+  asan)    run_asan ;;
+  tsan)    run_tsan ;;
+  all)     run_lint; run_plain; run_service; run_asan; run_tsan ;;
   *)
-    echo "usage: $0 [lint|plain|asan|tsan|all]" >&2
+    echo "usage: $0 [lint|plain|service|asan|tsan|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,97 @@
+// The scenario-request service end to end (DESIGN.md §11): replay a
+// JSONL request log through the deterministic service layer — priority
+// scheduling, duplicate dedup, campaign batching, and the
+// content-addressed artifact cache — then replay it again warm to show
+// every response served from cache, byte-identical.
+//
+//   $ ./scenario_service [request-log.jsonl]
+//
+// The log defaults to examples/service_requests.jsonl. EPI_JOBS sets the
+// engine-farm worker threads (wall time only — never a response byte);
+// EPI_SERVICE_WORKERS sets the abstract workers of the virtual-latency
+// schedule; EPI_SERVICE_CACHE_CAP bounds the artifact cache. Set
+// EPI_SERVICE_OUT=<dir> to write responses.txt and service_report.txt
+// there (the CI service lane byte-diffs them across worker counts).
+// EPI_TRACE=<dir> additionally writes trace.json / metrics.json.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "service/service.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EPI_REQUIRE(in.good(), "cannot open request log '" << path << "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  EPI_REQUIRE(out.good(), "cannot write '" << path << "'");
+  out << text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace epi;
+  using namespace epi::service;
+
+  const std::string log_path =
+      argc > 1 ? argv[1] : "examples/service_requests.jsonl";
+  const std::string log_text = read_file(log_path);
+
+  // Traces are virtual-time, so they replay byte-identically too.
+  const std::unique_ptr<obs::Session> session =
+      obs::Session::from_env(/*deterministic_timing=*/true);
+  ServiceConfig config;
+  config.trace = session.get();
+  ScenarioService svc(config);
+
+  std::printf("scenario service: replaying %s\n", log_path.c_str());
+  const ServiceOutcome cold = svc.replay_log(log_text);
+  std::printf("\n--- cold wave ---\n%s", serialize(cold.report).c_str());
+
+  const ServiceOutcome warm = svc.replay_log(log_text);
+  std::printf("\n--- warm wave (same log) ---\n%s",
+              serialize(warm.report).c_str());
+
+  bool identical = cold.responses == warm.responses;
+  std::printf("\nwarm responses byte-identical to cold: %s\n",
+              identical ? "yes" : "NO");
+  const double naive = cold.report.naive_cost_hours;
+  const double actual = cold.report.actual_cost_hours;
+  std::printf("virtual cost: naive %.2f h, actual %.2f h (%.2fx saved)\n",
+              naive, actual, actual > 0.0 ? naive / actual : 0.0);
+
+  const char* out_dir = std::getenv("EPI_SERVICE_OUT");
+  if (out_dir != nullptr && out_dir[0] != '\0') {
+    std::string responses;
+    for (std::size_t i = 0; i < cold.responses.size(); ++i) {
+      responses += "=== response[" + std::to_string(i) + "] " +
+                   cold.report.records[i].id + " ===\n";
+      responses += cold.responses[i];
+    }
+    write_file(std::string(out_dir) + "/responses.txt", responses);
+    write_file(std::string(out_dir) + "/service_report.txt",
+               serialize(cold.report));
+    std::printf("wrote %s/responses.txt and %s/service_report.txt\n", out_dir,
+                out_dir);
+  }
+  if (session != nullptr) {
+    session->write();
+    std::printf("wrote %s and %s\n", session->trace_path().c_str(),
+                session->metrics_path().c_str());
+  }
+  return identical ? 0 : 1;
+}

@@ -1,18 +1,12 @@
 #include "exec/executor.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "util/env.hpp"
 
 namespace epi::exec {
 
-std::size_t jobs_from_env() {
-  const char* env = std::getenv("EPI_JOBS");
-  if (env == nullptr || env[0] == '\0') return 1;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(env, &end, 10);
-  if (end == env || *end != '\0' || parsed == 0) return 1;
-  return static_cast<std::size_t>(parsed);
-}
+std::size_t jobs_from_env() { return env_positive_size("EPI_JOBS", 1); }
 
 std::size_t resolve_jobs(std::size_t config_jobs) {
   return config_jobs != 0 ? config_jobs : jobs_from_env();

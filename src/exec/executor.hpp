@@ -86,7 +86,9 @@ struct ExecConfig {
   ExecObs obs;
 };
 
-/// Parses EPI_JOBS (>= 1); unset, empty, or unparsable values mean 1.
+/// Parses EPI_JOBS (>= 1); unset or empty means 1 (the serial seed path).
+/// Malformed, zero, or negative values throw epi::Error instead of
+/// silently running serial — see util/env.hpp.
 std::size_t jobs_from_env();
 
 /// config_jobs when nonzero, else jobs_from_env().

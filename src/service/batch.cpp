@@ -1,0 +1,97 @@
+#include "service/batch.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace epi::service {
+
+namespace {
+
+// The virtual cost model: one simulated replicate-day costs a fixed
+// slice of an hour, matching the shape (not the wall time) of the real
+// farms — the prior stage is prior_configs + 6 covariance replicates of
+// calibration_days each, the tail is prediction_runs forecast runs over
+// the full window plus the MCMC chain, and a nightly run is its sampled
+// executions plus the scheduled (simulated-only) job array.
+constexpr double kHoursPerSimDay = 0.01;
+constexpr double kHoursPerMcmcStep = 0.001;
+constexpr double kHoursPerScheduledSim = 0.0001;
+constexpr std::size_t kCovarianceReplicates = 6;
+
+}  // namespace
+
+double stage_cost_hours(const ScenarioRequest& request) {
+  if (request.kind != RequestKind::kCalibration) return 0.0;
+  const double sims =
+      static_cast<double>(request.prior_configs + kCovarianceReplicates);
+  return sims * static_cast<double>(request.calibration_days) *
+         kHoursPerSimDay;
+}
+
+double tail_cost_hours(const ScenarioRequest& request) {
+  if (request.kind == RequestKind::kCalibration) {
+    const double forecast_days =
+        static_cast<double>(request.calibration_days + request.horizon_days);
+    return static_cast<double>(request.prediction_runs) * forecast_days *
+               kHoursPerSimDay +
+           static_cast<double>(request.mcmc_samples + request.mcmc_burn_in) *
+               kHoursPerMcmcStep;
+  }
+  const WorkflowDesign design = to_nightly_design(request);
+  return static_cast<double>(request.sample_executions) *
+             static_cast<double>(request.executed_days) * kHoursPerSimDay +
+         static_cast<double>(design.simulations()) * kHoursPerScheduledSim;
+}
+
+ServicePlan plan_requests(const std::vector<ScenarioRequest>& requests) {
+  ServicePlan plan;
+  plan.order.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) plan.order[i] = i;
+  // stable_sort keeps arrival order within a priority class — the tie
+  // rule analysts see ("equal priority is first come, first served").
+  std::stable_sort(plan.order.begin(), plan.order.end(),
+                   [&requests](std::size_t a, std::size_t b) {
+                     return requests[a].priority > requests[b].priority;
+                   });
+
+  plan.unit_of.assign(requests.size(), 0);
+  std::map<Hash128, std::size_t> unit_by_key;
+  for (std::size_t request_index : plan.order) {
+    const ScenarioRequest& request = requests[request_index];
+    const Hash128 key = hash128(result_key_text(request));
+    auto [it, inserted] = unit_by_key.try_emplace(key, plan.units.size());
+    if (inserted) {
+      UnitPlan unit;
+      unit.owner = request_index;
+      unit.kind = request.kind;
+      unit.result_key = key;
+      if (request.kind == RequestKind::kCalibration) {
+        unit.stage_key = hash128(prior_stage_key_text(request));
+        unit.has_stage = true;
+        unit.stage_cost_hours = stage_cost_hours(request);
+      }
+      unit.tail_cost_hours = tail_cost_hours(request);
+      plan.units.push_back(std::move(unit));
+    }
+    plan.units[it->second].members.push_back(request_index);
+    plan.unit_of[request_index] = it->second;
+  }
+
+  // Campaigns: calibration units sharing a prior stage, in plan order.
+  // The first unit of each campaign pays the stage cost for everyone.
+  std::map<Hash128, std::size_t> campaign_by_stage;
+  for (std::size_t u = 0; u < plan.units.size(); ++u) {
+    UnitPlan& unit = plan.units[u];
+    if (!unit.has_stage) continue;
+    auto [it, inserted] =
+        campaign_by_stage.try_emplace(unit.stage_key, plan.campaigns.size());
+    if (inserted) {
+      plan.campaigns.push_back(Campaign{unit.stage_key, {}});
+      unit.pays_stage = true;
+    }
+    plan.campaigns[it->second].units.push_back(u);
+  }
+  return plan;
+}
+
+}  // namespace epi::service

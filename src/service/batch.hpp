@@ -1,0 +1,74 @@
+// Request planning for the scenario service: ordering, dedup, campaign
+// batching, and the deterministic cost model.
+//
+// The planner is pure — a function of the request list and nothing else.
+// It decides everything schedule-shaped before any engine runs:
+//
+//   order      requests sorted by (priority desc, arrival asc);
+//   units      one per distinct result artifact — requests whose configs
+//              hash identically collapse onto the first arrival (dedup);
+//   campaigns  calibration units grouped by shared prior-stage key — the
+//              batcher's output, one expensive prior stage amortized
+//              across every tail in the campaign.
+//
+// Costs are modeled, not measured: each unit carries deterministic
+// virtual hours derived from its knobs (simulated days x farm sizes),
+// so the replay driver's latency figures are identical at any worker
+// count and on any machine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "service/request.hpp"
+#include "util/hash.hpp"
+
+namespace epi::service {
+
+/// One distinct result artifact to produce (or fetch).
+struct UnitPlan {
+  /// Index (into the original request list) of the first arrival — the
+  /// request whose config defines the unit.
+  std::size_t owner = 0;
+  /// All request indices served by this unit, in service order.
+  std::vector<std::size_t> members;
+  RequestKind kind = RequestKind::kCalibration;
+  Hash128 result_key;
+  /// Calibration only: the shareable prior-stage artifact key.
+  Hash128 stage_key;
+  bool has_stage = false;
+  /// This unit is the first in its campaign to run, so it pays the
+  /// prior-stage cost (unless the stage artifact is already cached).
+  bool pays_stage = false;
+  /// Virtual-hour costs from the deterministic cost model.
+  double stage_cost_hours = 0.0;
+  double tail_cost_hours = 0.0;
+};
+
+/// Calibration units sharing one prior stage (a batched campaign).
+struct Campaign {
+  Hash128 stage_key;
+  /// Unit indices (into ServicePlan::units), in plan order.
+  std::vector<std::size_t> units;
+};
+
+struct ServicePlan {
+  /// Request indices in service order: priority desc, then arrival.
+  std::vector<std::size_t> order;
+  /// Units in plan order (owner's position in `order`).
+  std::vector<UnitPlan> units;
+  /// unit_of[request_index] -> index into `units`.
+  std::vector<std::size_t> unit_of;
+  std::vector<Campaign> campaigns;
+};
+
+/// Builds the full plan for one serve() wave. Pure; deterministic.
+ServicePlan plan_requests(const std::vector<ScenarioRequest>& requests);
+
+/// Deterministic virtual-hour cost of a request's prior stage (0 for
+/// nightly requests) and of its tail given a ready stage. The model
+/// charges per simulated replicate-day; see batch.cpp for the constants.
+double stage_cost_hours(const ScenarioRequest& request);
+double tail_cost_hours(const ScenarioRequest& request);
+
+}  // namespace epi::service

@@ -1,0 +1,107 @@
+#include "service/cache.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace epi::service {
+
+std::uint64_t CacheStats::total_lookups() const {
+  std::uint64_t total = 0;
+  for (const auto& [cls, stats] : classes) total += stats.lookups;
+  return total;
+}
+
+std::uint64_t CacheStats::total_computes() const {
+  std::uint64_t total = 0;
+  for (const auto& [cls, stats] : classes) total += stats.computes;
+  return total;
+}
+
+std::shared_ptr<const void> ArtifactCache::get_or_compute_erased(
+    const std::string& cls, const Hash128& key, const ComputeErased& compute) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.classes[cls].lookups;
+  for (;;) {
+    auto [it, inserted] = entries_.try_emplace(key);
+    Entry& entry = it->second;
+    if (!inserted && entry.ready) return entry.value;
+    if (!inserted && entry.computing) {
+      // Single-flight: somebody else is computing this key. Wait for the
+      // slot to resolve, then re-check — the compute may have failed and
+      // erased the slot, in which case we take over.
+      ready_cv_.wait(lock, [&] {
+        auto found = entries_.find(key);
+        return found == entries_.end() || found->second.ready;
+      });
+      continue;
+    }
+    // We own the compute (fresh slot, or a failed one we are retrying).
+    entry.computing = true;
+    ++stats_.classes[cls].computes;
+    lock.unlock();
+    std::shared_ptr<const void> value;
+    try {
+      value = compute();
+      EPI_REQUIRE(value != nullptr,
+                  "artifact compute for class '" << cls
+                                                 << "' returned null");
+    } catch (...) {
+      lock.lock();
+      entries_.erase(key);
+      ready_cv_.notify_all();
+      throw;
+    }
+    lock.lock();
+    Entry& landed = entries_[key];
+    landed.value = std::move(value);
+    landed.ready = true;
+    landed.computing = false;
+    ready_cv_.notify_all();
+    return landed.value;
+  }
+}
+
+bool ArtifactCache::contains(const Hash128& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  return it != entries_.end() && it->second.ready;
+}
+
+void ArtifactCache::commit_use(const Hash128& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.ready) return;
+  it->second.last_use = ++use_clock_;
+}
+
+std::size_t ArtifactCache::evict_excess() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0 || entries_.size() <= capacity_) return 0;
+  // Rank by (last_use, key): never-committed entries (last_use == 0) go
+  // first, and the key tiebreak makes the order total — eviction is a
+  // pure function of the commit_use() history.
+  std::vector<std::pair<std::uint64_t, Hash128>> order;
+  order.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    order.emplace_back(entry.last_use, key);
+  }
+  std::sort(order.begin(), order.end());
+  std::size_t to_evict = entries_.size() - capacity_;
+  for (std::size_t i = 0; i < to_evict; ++i) {
+    entries_.erase(order[i].second);
+  }
+  stats_.evictions += to_evict;
+  return to_evict;
+}
+
+std::size_t ArtifactCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+CacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace epi::service

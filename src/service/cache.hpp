@@ -1,0 +1,127 @@
+// Content-addressed artifact cache for the scenario service.
+//
+// Artifacts (synthetic-population builds, calibration prior stages, whole
+// cycle results, nightly reports) are keyed by a stable 128-bit hash of
+// their canonical config text (util/hash.hpp), never by std::hash — the
+// same request hashes the same on every run, platform, and worker count.
+//
+// Concurrency model:
+//   - get_or_compute() is single-flight: the first caller for a key
+//     computes while concurrent callers for the same key block on a
+//     condition variable and share the result (dedup, not duplicate
+//     work). A failed compute erases the slot and rethrows; one waiter
+//     is promoted to retry.
+//   - Eviction is NEVER triggered by lookups. The service orchestrator
+//     calls commit_use() in plan order and evict_excess() between
+//     execution waves, from a single thread — so which artifacts survive
+//     a bounded cache is a pure function of the request log, independent
+//     of EPI_JOBS. That is what keeps replay byte-identical.
+//
+// Statistics are schedule-independent by construction: lookups and
+// computes are both determined by the request plan (single-flight makes
+// "who computed" irrelevant — exactly one compute happens per distinct
+// key per lifetime in cache), so hits = lookups - computes replays
+// identically at any worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace epi::service {
+
+/// Per-artifact-class counters (class = "region", "cycle-prior", ...).
+struct CacheClassStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t computes = 0;
+
+  std::uint64_t hits() const { return lookups - computes; }
+};
+
+struct CacheStats {
+  /// Per-class counters, keyed by class name (sorted — deterministic).
+  std::map<std::string, CacheClassStats> classes;
+  std::uint64_t evictions = 0;
+
+  std::uint64_t total_lookups() const;
+  std::uint64_t total_computes() const;
+  std::uint64_t total_hits() const { return total_lookups() - total_computes(); }
+};
+
+/// Single-flight, content-addressed artifact store. Thread-safe for
+/// get_or_compute(); commit_use()/evict_excess() are orchestrator-only
+/// (call them from one thread, between parallel waves).
+class ArtifactCache {
+ public:
+  /// capacity = maximum resident artifacts after evict_excess();
+  /// 0 = unbounded (nothing is ever evicted).
+  explicit ArtifactCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Returns the artifact for `key`, computing it at most once per
+  /// residency. `compute` runs outside the cache lock. Concurrent calls
+  /// with the same key block until the in-flight compute lands and then
+  /// share its artifact. Throws whatever `compute` throws (the slot is
+  /// released so a later call can retry).
+  template <typename T, typename Compute>
+  std::shared_ptr<const T> get_or_compute(const std::string& cls,
+                                          const Hash128& key,
+                                          Compute&& compute) {
+    std::shared_ptr<const void> erased = get_or_compute_erased(
+        cls, key, [&compute]() -> std::shared_ptr<const void> {
+          return std::static_pointer_cast<const void>(
+              std::shared_ptr<const T>(compute()));
+        });
+    return std::static_pointer_cast<const T>(std::move(erased));
+  }
+
+  /// True if `key` is resident and ready (no lookup recorded, no
+  /// single-flight wait). Orchestrator planning helper.
+  bool contains(const Hash128& key) const;
+
+  /// Records one deterministic "use" of `key` (for LRU age). Called by
+  /// the orchestrator in plan order after a wave completes — never from
+  /// worker threads — so eviction order replays exactly.
+  void commit_use(const Hash128& key);
+
+  /// Evicts least-recently-committed entries until at most `capacity_`
+  /// remain. Entries never committed rank oldest (ties broken by key so
+  /// the choice is total). No-op when capacity_ == 0. Returns the number
+  /// evicted. Orchestrator-only; must not race get_or_compute().
+  std::size_t evict_excess();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> value;
+    bool ready = false;
+    bool computing = false;
+    /// 0 = never committed; otherwise the use-clock stamp of the most
+    /// recent commit_use().
+    std::uint64_t last_use = 0;
+  };
+
+  using ComputeErased = std::function<std::shared_ptr<const void>()>;
+  std::shared_ptr<const void> get_or_compute_erased(const std::string& cls,
+                                                    const Hash128& key,
+                                                    const ComputeErased& compute);
+
+  std::size_t capacity_ = 0;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::map<Hash128, Entry> entries_;
+  std::uint64_t use_clock_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace epi::service

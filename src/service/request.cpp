@@ -1,0 +1,326 @@
+#include "service/request.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "workflow/report_text.hpp"
+
+namespace epi::service {
+
+const char* to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kCalibration:
+      return "calibration";
+    case RequestKind::kNightly:
+      return "nightly";
+  }
+  return "unknown";
+}
+
+namespace {
+
+RequestKind kind_from_string(const std::string& text) {
+  if (text == "calibration") return RequestKind::kCalibration;
+  if (text == "nightly") return RequestKind::kNightly;
+  EPI_REQUIRE(false, "unknown request kind '"
+                         << text << "' (expected calibration|nightly)");
+  return RequestKind::kCalibration;
+}
+
+std::size_t as_size(const Json& value, const char* key) {
+  const std::int64_t parsed = value.as_int();
+  EPI_REQUIRE(parsed >= 0, "request field '" << key << "' must be >= 0, got "
+                                             << parsed);
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
+std::string dump_request(const ScenarioRequest& request) {
+  JsonObject obj;
+  obj["id"] = request.id;
+  obj["requester"] = request.requester;
+  obj["priority"] = request.priority;
+  obj["kind"] = to_string(request.kind);
+  if (request.kind == RequestKind::kCalibration) {
+    obj["region"] = request.region;
+    obj["scale_denominator"] = request.scale_denominator;
+    obj["seed"] = request.seed;
+    obj["prior_configs"] = static_cast<std::uint64_t>(request.prior_configs);
+    obj["posterior_configs"] =
+        static_cast<std::uint64_t>(request.posterior_configs);
+    obj["calibration_days"] =
+        static_cast<std::int64_t>(request.calibration_days);
+    obj["horizon_days"] = static_cast<std::int64_t>(request.horizon_days);
+    obj["prediction_runs"] =
+        static_cast<std::uint64_t>(request.prediction_runs);
+    obj["mcmc_samples"] = static_cast<std::uint64_t>(request.mcmc_samples);
+    obj["mcmc_burn_in"] = static_cast<std::uint64_t>(request.mcmc_burn_in);
+  } else {
+    obj["design"] = request.design;
+    obj["scale_denominator"] = request.scale_denominator;
+    obj["seed"] = request.seed;
+    obj["sample_executions"] =
+        static_cast<std::uint64_t>(request.sample_executions);
+    obj["executed_days"] = static_cast<std::int64_t>(request.executed_days);
+    JsonArray regions;
+    for (const std::string& region : request.regions) {
+      regions.emplace_back(region);
+    }
+    obj["regions"] = std::move(regions);
+  }
+  return Json(std::move(obj)).dump();
+}
+
+ScenarioRequest parse_request(const std::string& line) {
+  const Json json = parse_json(line);
+  EPI_REQUIRE(json.is_object(), "request line is not a JSON object: " << line);
+  ScenarioRequest request;
+  request.id = json.at("id").as_string();
+  request.kind = kind_from_string(json.get_string("kind", "calibration"));
+
+  static const std::set<std::string> kCommonKeys = {"id", "requester",
+                                                   "priority", "kind"};
+  static const std::set<std::string> kCalibrationKeys = {
+      "region",          "scale_denominator", "seed",
+      "prior_configs",   "posterior_configs", "calibration_days",
+      "horizon_days",    "prediction_runs",   "mcmc_samples",
+      "mcmc_burn_in"};
+  static const std::set<std::string> kNightlyKeys = {
+      "design", "scale_denominator", "seed",
+      "sample_executions", "executed_days", "regions"};
+  const std::set<std::string>& kind_keys =
+      request.kind == RequestKind::kCalibration ? kCalibrationKeys
+                                                : kNightlyKeys;
+  for (const auto& [key, value] : json.as_object()) {
+    EPI_REQUIRE(kCommonKeys.count(key) || kind_keys.count(key),
+                "request '" << request.id << "' has unknown field '" << key
+                            << "' for kind " << to_string(request.kind));
+  }
+
+  request.requester = json.get_string("requester", request.requester);
+  request.priority = json.get_int("priority", request.priority);
+  request.scale_denominator =
+      json.get_double("scale_denominator", request.scale_denominator);
+  EPI_REQUIRE(request.scale_denominator > 0.0,
+              "request '" << request.id << "': scale_denominator must be > 0");
+  if (json.contains("seed")) {
+    request.seed = static_cast<std::uint64_t>(json.at("seed").as_int());
+  }
+  if (request.kind == RequestKind::kCalibration) {
+    request.region = json.get_string("region", request.region);
+    if (json.contains("prior_configs")) {
+      request.prior_configs = as_size(json.at("prior_configs"), "prior_configs");
+    }
+    if (json.contains("posterior_configs")) {
+      request.posterior_configs =
+          as_size(json.at("posterior_configs"), "posterior_configs");
+    }
+    request.calibration_days = static_cast<Tick>(
+        json.get_int("calibration_days", request.calibration_days));
+    request.horizon_days =
+        static_cast<Tick>(json.get_int("horizon_days", request.horizon_days));
+    if (json.contains("prediction_runs")) {
+      request.prediction_runs =
+          as_size(json.at("prediction_runs"), "prediction_runs");
+    }
+    if (json.contains("mcmc_samples")) {
+      request.mcmc_samples = as_size(json.at("mcmc_samples"), "mcmc_samples");
+    }
+    if (json.contains("mcmc_burn_in")) {
+      request.mcmc_burn_in = as_size(json.at("mcmc_burn_in"), "mcmc_burn_in");
+    }
+  } else {
+    request.design = json.get_string("design", request.design);
+    if (json.contains("sample_executions")) {
+      request.sample_executions =
+          as_size(json.at("sample_executions"), "sample_executions");
+    }
+    request.executed_days =
+        static_cast<Tick>(json.get_int("executed_days", request.executed_days));
+    if (json.contains("regions")) {
+      request.regions.clear();
+      for (const Json& region : json.at("regions").as_array()) {
+        request.regions.push_back(region.as_string());
+      }
+    }
+  }
+  return request;
+}
+
+std::vector<ScenarioRequest> parse_request_log(const std::string& text) {
+  std::vector<ScenarioRequest> requests;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    requests.push_back(parse_request(line));
+  }
+  return requests;
+}
+
+namespace {
+
+void put_knob(std::string& out, const char* key, double value) {
+  out += '|';
+  out += key;
+  out += '=';
+  report_text::put(out, value);
+}
+
+void put_knob(std::string& out, const char* key, std::uint64_t value) {
+  out += '|';
+  out += key;
+  out += '=';
+  out += std::to_string(value);
+}
+
+void put_knob(std::string& out, const char* key, const std::string& value) {
+  out += '|';
+  out += key;
+  out += '=';
+  out += value;
+}
+
+/// The knobs run_cycle_prior_stage() reads — shared by the prior-stage
+/// key and (as a prefix) the full-result key.
+void put_prior_stage_knobs(std::string& out, const ScenarioRequest& request) {
+  const CalibrationCycleConfig defaults;
+  put_knob(out, "region", request.region);
+  put_knob(out, "scale_denominator", request.scale_denominator);
+  put_knob(out, "seed", static_cast<std::uint64_t>(request.seed));
+  put_knob(out, "prior_configs",
+           static_cast<std::uint64_t>(request.prior_configs));
+  put_knob(out, "calibration_days",
+           static_cast<std::uint64_t>(request.calibration_days));
+  // horizon_days shapes the surveillance-truth window, so it is a
+  // prior-stage knob even though it reads like a tail knob.
+  put_knob(out, "horizon_days",
+           static_cast<std::uint64_t>(request.horizon_days));
+  put_knob(out, "truth_beta", defaults.truth_beta);
+  put_knob(out, "truth_distancing_effect", defaults.truth_distancing_effect);
+  put_knob(out, "truth_reporting_rate", defaults.truth_reporting_rate);
+  put_knob(out, "takeoff_search_days",
+           static_cast<std::uint64_t>(defaults.takeoff_search_days));
+}
+
+}  // namespace
+
+std::string region_key_text(const SynthPopConfig& config) {
+  std::string out = "artifact=region";
+  put_knob(out, "region", config.region);
+  put_knob(out, "scale", config.scale);
+  put_knob(out, "seed", static_cast<std::uint64_t>(config.seed));
+  put_knob(out, "projection_day",
+           static_cast<std::uint64_t>(config.projection_day));
+  put_knob(out, "week_long", static_cast<std::uint64_t>(config.week_long));
+  return out;
+}
+
+std::string region_key_text(const std::string& region, double scale,
+                            std::uint64_t seed) {
+  SynthPopConfig config;
+  config.region = region;
+  config.scale = scale;
+  config.seed = seed;
+  return region_key_text(config);
+}
+
+std::string prior_stage_key_text(const ScenarioRequest& request) {
+  EPI_REQUIRE(request.kind == RequestKind::kCalibration,
+              "prior_stage_key_text: request '" << request.id
+                                                << "' is not a calibration");
+  std::string out = "artifact=cycle-prior";
+  put_prior_stage_knobs(out, request);
+  return out;
+}
+
+std::string result_key_text(const ScenarioRequest& request) {
+  if (request.kind == RequestKind::kCalibration) {
+    std::string out = "artifact=cycle-result";
+    put_prior_stage_knobs(out, request);
+    put_knob(out, "posterior_configs",
+             static_cast<std::uint64_t>(request.posterior_configs));
+    put_knob(out, "prediction_runs",
+             static_cast<std::uint64_t>(request.prediction_runs));
+    put_knob(out, "mcmc_samples",
+             static_cast<std::uint64_t>(request.mcmc_samples));
+    put_knob(out, "mcmc_burn_in",
+             static_cast<std::uint64_t>(request.mcmc_burn_in));
+    return out;
+  }
+  std::string out = "artifact=nightly-report";
+  put_knob(out, "design", request.design);
+  put_knob(out, "scale_denominator", request.scale_denominator);
+  put_knob(out, "seed", static_cast<std::uint64_t>(request.seed));
+  put_knob(out, "sample_executions",
+           static_cast<std::uint64_t>(request.sample_executions));
+  put_knob(out, "executed_days",
+           static_cast<std::uint64_t>(request.executed_days));
+  std::string regions;
+  for (const std::string& region : request.regions) {
+    regions += region;
+    regions += ',';
+  }
+  put_knob(out, "regions", regions);
+  return out;
+}
+
+CalibrationCycleConfig to_cycle_config(const ScenarioRequest& request) {
+  EPI_REQUIRE(request.kind == RequestKind::kCalibration,
+              "to_cycle_config: request '" << request.id
+                                           << "' is not a calibration");
+  CalibrationCycleConfig config;
+  config.region = request.region;
+  config.scale = 1.0 / request.scale_denominator;
+  config.seed = request.seed;
+  config.prior_configs = request.prior_configs;
+  config.posterior_configs = request.posterior_configs;
+  config.calibration_days = request.calibration_days;
+  config.horizon_days = request.horizon_days;
+  config.prediction_runs = request.prediction_runs;
+  config.mcmc.samples = request.mcmc_samples;
+  config.mcmc.burn_in = request.mcmc_burn_in;
+  // The service parallelizes across requests; each engine runs serial so
+  // the response bytes match the seed path exactly.
+  config.jobs = 1;
+  return config;
+}
+
+NightlyConfig to_nightly_config(const ScenarioRequest& request) {
+  EPI_REQUIRE(request.kind == RequestKind::kNightly,
+              "to_nightly_config: request '" << request.id
+                                             << "' is not a nightly");
+  NightlyConfig config;
+  config.scale = 1.0 / request.scale_denominator;
+  config.seed = request.seed;
+  config.sample_executions = request.sample_executions;
+  config.executed_days = request.executed_days;
+  if (!request.regions.empty()) config.sample_regions = request.regions;
+  config.jobs = 1;
+  // Responses must replay byte for byte, so the report's timeline uses
+  // the deterministic timing model, never measured wall time.
+  config.deterministic_timing = true;
+  return config;
+}
+
+WorkflowDesign to_nightly_design(const ScenarioRequest& request) {
+  WorkflowDesign design;
+  if (request.design == "economic") {
+    design = economic_design();
+  } else if (request.design == "prediction") {
+    design = prediction_design();
+  } else if (request.design == "calibration") {
+    design = calibration_design();
+  } else {
+    EPI_REQUIRE(false, "request '" << request.id << "': unknown design '"
+                                   << request.design
+                                   << "' (economic|prediction|calibration)");
+  }
+  if (!request.regions.empty()) design.regions = request.regions;
+  return design;
+}
+
+}  // namespace epi::service

@@ -1,0 +1,110 @@
+// The scenario-request model: what policy analysts submit to the service.
+//
+// A request is a thin, serializable view over the engine configs — the
+// calibration-cycle knobs or the nightly-workflow knobs, plus service
+// metadata (id, requester, priority). Requests round-trip through a
+// line-oriented JSONL log (one request per line, keys emitted in fixed
+// order) so a replay driver can re-serve an historical log byte for byte.
+//
+// Content addressing: each request derives canonical key strings — plain
+// `field=value|...` text with doubles in hexfloat — hashed with the
+// stable 128-bit FNV scheme in util/hash.hpp. Two keys per calibration
+// request (the shareable prior stage vs the full result) let the service
+// coalesce requests that differ only in tail knobs (posterior draws,
+// MCMC settings, forecast runs) onto one expensive prior-stage artifact.
+// Execution knobs (jobs, tracing) are deliberately excluded from every
+// key: they must not change result bytes, so they must not change cache
+// identity either.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/hash.hpp"
+#include "workflow/calibration_cycle.hpp"
+#include "workflow/nightly.hpp"
+
+namespace epi::service {
+
+enum class RequestKind { kCalibration, kNightly };
+
+const char* to_string(RequestKind kind);
+
+/// One scenario request. Knob defaults match the engines' own defaults
+/// scaled down to service-test size; a JSONL line only needs to name the
+/// knobs it overrides.
+struct ScenarioRequest {
+  std::string id;
+  std::string requester = "anon";
+  /// Higher runs earlier; ties served in arrival (log) order.
+  std::int64_t priority = 0;
+  RequestKind kind = RequestKind::kCalibration;
+
+  // --- calibration-cycle knobs (kind == kCalibration) ---
+  std::string region = "VA";
+  double scale_denominator = 8000.0;
+  std::uint64_t seed = 20200411;
+  std::size_t prior_configs = 8;  // engine floor: >= 8 to fit the emulator
+  std::size_t posterior_configs = 8;
+  Tick calibration_days = 40;
+  Tick horizon_days = 14;
+  std::size_t prediction_runs = 3;
+  std::size_t mcmc_samples = 60;
+  std::size_t mcmc_burn_in = 30;
+
+  // --- nightly-workflow knobs (kind == kNightly) ---
+  /// "economic", "prediction", or "calibration" (Table I designs).
+  std::string design = "economic";
+  std::size_t sample_executions = 2;
+  Tick executed_days = 30;
+  /// Regions for the nightly run (overrides both the design's region
+  /// list and the sampling filter); empty = engine defaults.
+  std::vector<std::string> regions;
+
+  bool operator==(const ScenarioRequest&) const = default;
+};
+
+/// One JSONL line (no trailing newline), keys sorted, doubles in
+/// round-trip-exact form — dump(parse(line)) is byte-stable.
+std::string dump_request(const ScenarioRequest& request);
+
+/// Parses one JSONL line. Unknown keys are rejected (a mistyped knob
+/// must not silently fall back to a default). Throws epi::Error on
+/// malformed input.
+ScenarioRequest parse_request(const std::string& line);
+
+/// Parses a whole request log: one request per non-empty line; lines
+/// starting with '#' are comments.
+std::vector<ScenarioRequest> parse_request_log(const std::string& text);
+
+/// Canonical key text for the whole-result artifact of `request`
+/// (class "cycle-result" or "nightly-report"). Every result-affecting
+/// knob, no execution knobs.
+std::string result_key_text(const ScenarioRequest& request);
+
+/// Canonical key text for the shareable calibration prior stage: the
+/// knobs run_cycle_prior_stage() reads (region, scale, seed, prior
+/// design size, windows, truth model), excluding the tail knobs.
+/// Requires kind == kCalibration.
+std::string prior_stage_key_text(const ScenarioRequest& request);
+
+/// Canonical key text for a synthetic-population build (every
+/// SynthPopConfig knob).
+std::string region_key_text(const SynthPopConfig& config);
+/// Shorthand for the engines' default projection (the knobs a request
+/// can actually reach).
+std::string region_key_text(const std::string& region, double scale,
+                            std::uint64_t seed);
+
+/// Engine config for a calibration request (jobs forced to 1: the
+/// service parallelizes across requests, not inside them).
+CalibrationCycleConfig to_cycle_config(const ScenarioRequest& request);
+
+/// Engine config + design for a nightly request. deterministic_timing is
+/// forced on so response bytes replay identically.
+NightlyConfig to_nightly_config(const ScenarioRequest& request);
+WorkflowDesign to_nightly_design(const ScenarioRequest& request);
+
+}  // namespace epi::service

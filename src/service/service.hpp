@@ -1,0 +1,133 @@
+// The scenario-request service (DESIGN.md §11).
+//
+// Sits in front of the calibration-cycle and nightly engines the way the
+// paper's request pipeline sits in front of the cluster workflows: policy
+// analysts submit scenario requests (priority + engine knobs), the
+// service plans them into deduplicated, campaign-batched units, executes
+// the units on an exec::parallel_index_map farm, and serves every
+// response out of a content-addressed artifact cache.
+//
+// Determinism contract (the same one as everywhere else in this repo):
+// for a fixed request log and a fixed ServiceConfig, the responses AND
+// the ServiceReport — cache hit counts, dedup savings, per-request
+// latencies — are byte-identical at any EPI_JOBS, across repeated
+// serves, and across process restarts. Latency is virtual: units are
+// list-scheduled onto `logical_workers` abstract workers in plan order
+// under the deterministic cost model (batch.hpp), so the numbers never
+// depend on the machine. EPI_JOBS changes only wall time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/batch.hpp"
+#include "service/cache.hpp"
+#include "service/request.hpp"
+
+namespace epi::obs {
+class Session;
+}
+
+namespace epi::service {
+
+struct ServiceConfig {
+  /// Engine-farm worker threads; 0 = the EPI_JOBS environment variable
+  /// (default 1). Changes wall time only, never a single response or
+  /// report byte.
+  std::size_t jobs = 0;
+  /// Abstract workers for the virtual-latency schedule; 0 = the
+  /// EPI_SERVICE_WORKERS environment variable (default 4).
+  std::size_t logical_workers = 0;
+  /// Artifact-cache capacity (resident artifacts after each wave); 0 =
+  /// the EPI_SERVICE_CACHE_CAP environment variable (unset = unbounded).
+  std::size_t cache_capacity = 0;
+  /// Optional observability session (non-owning; nullptr = disabled):
+  /// unit spans land on per-logical-worker lanes of the "service" trace
+  /// process at their virtual times, cache hits become instants, and
+  /// service.* counters land in metrics.
+  obs::Session* trace = nullptr;
+};
+
+/// How one request was served.
+enum class ServeStatus {
+  kComputed,  ///< this request's unit ran an engine this wave
+  kDeduped,   ///< coalesced onto an identical in-flight request
+  kCached,    ///< whole response already resident from an earlier wave
+};
+
+const char* to_string(ServeStatus status);
+
+struct RequestRecord {
+  std::string id;
+  std::string requester;
+  std::int64_t priority = 0;
+  RequestKind kind = RequestKind::kCalibration;
+  ServeStatus status = ServeStatus::kComputed;
+  /// Virtual hours from submission (all requests arrive at 0) to unit
+  /// completion; 0 for cache hits.
+  double latency_hours = 0.0;
+  std::size_t response_bytes = 0;
+  /// Content hash of the response artifact (hex).
+  std::string result_hash;
+};
+
+struct ServiceReport {
+  std::uint64_t requests = 0;
+  std::uint64_t computed_units = 0;
+  std::uint64_t deduped_requests = 0;
+  std::uint64_t cached_requests = 0;
+  std::uint64_t campaigns = 0;
+  /// Calibration tails that reused a campaign sibling's prior stage.
+  std::uint64_t stage_shares = 0;
+
+  CacheStats cache;
+
+  /// Virtual cost if every request had run cold and alone, vs what the
+  /// wave actually paid after dedup, caching, and stage sharing.
+  double naive_cost_hours = 0.0;
+  double actual_cost_hours = 0.0;
+  /// Completion time of the last unit on the virtual schedule.
+  double makespan_hours = 0.0;
+  std::size_t logical_workers = 0;
+
+  /// Per-request records in original log order.
+  std::vector<RequestRecord> records;
+};
+
+/// Deterministic full-field dump (hexfloat doubles) — the equality
+/// oracle for the replay tests and the CI byte-diff.
+std::string serialize(const ServiceReport& report);
+
+struct ServiceOutcome {
+  /// Response text per request, in original log order. Calibration
+  /// responses are serialize(CalibrationCycleResult); nightly responses
+  /// are serialize(WorkflowReport).
+  std::vector<std::string> responses;
+  ServiceReport report;
+};
+
+/// The service: owns the artifact cache, serves request waves. The cache
+/// persists across serve() calls, so replaying a log against a warm
+/// service yields all-cached responses — byte-identical to the cold ones.
+class ScenarioService {
+ public:
+  explicit ScenarioService(ServiceConfig config = {});
+
+  /// Serves one wave of requests: plan -> execute units on the engine
+  /// farm -> schedule virtual latencies -> commit cache uses and evict.
+  ServiceOutcome serve(const std::vector<ScenarioRequest>& requests);
+
+  /// Parses a JSONL request log and serves it as one wave.
+  ServiceOutcome replay_log(const std::string& log_text);
+
+  const ArtifactCache& cache() const { return cache_; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  ServiceConfig config_;
+  ArtifactCache cache_;
+};
+
+}  // namespace epi::service

@@ -406,6 +406,12 @@ SyntheticRegion generate_region(const SynthPopConfig& config) {
   return region;
 }
 
+std::shared_ptr<const SyntheticRegion> make_region(
+    const RegionSource& source, const SynthPopConfig& config) {
+  if (source) return source(config);
+  return std::make_shared<const SyntheticRegion>(generate_region(config));
+}
+
 std::vector<RegionSizeRow> national_network_sizes(double scale,
                                                   std::uint64_t seed,
                                                   bool week_long) {

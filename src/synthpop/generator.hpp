@@ -14,6 +14,8 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "network/contact_network.hpp"
@@ -62,6 +64,18 @@ std::array<double, 7> us_household_size_distribution();
 
 /// Generates a region's population and Wednesday contact network.
 SyntheticRegion generate_region(const SynthPopConfig& config);
+
+/// Injectable region supplier for the workflow engines. generate_region is
+/// a pure function of its config, so a source may serve a shared immutable
+/// build (the scenario service's content-addressed artifact cache) instead
+/// of regenerating — the engines' outputs are byte-identical either way. A
+/// null source means "call generate_region directly".
+using RegionSource =
+    std::function<std::shared_ptr<const SyntheticRegion>(const SynthPopConfig&)>;
+
+/// `source` when set, else a fresh generate_region() build.
+std::shared_ptr<const SyntheticRegion> make_region(const RegionSource& source,
+                                                   const SynthPopConfig& config);
 
 /// Convenience: per-state network size row for Fig 6.
 struct RegionSizeRow {

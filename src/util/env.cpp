@@ -1,0 +1,36 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace epi {
+
+std::optional<std::size_t> parse_positive_size(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t value = 0;
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;  // rejects sign/space too
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (value > (kMax - digit) / 10) return std::nullopt;  // overflow
+    value = value * 10 + digit;
+  }
+  if (value == 0) return std::nullopt;
+  return value;
+}
+
+std::size_t env_positive_size(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  const std::optional<std::size_t> parsed = parse_positive_size(env);
+  EPI_REQUIRE(parsed.has_value(),
+              name << "='" << env
+                   << "' is not a positive integer; unset the variable for "
+                      "the default ("
+                   << fallback << ") or pass a plain decimal count");
+  return *parsed;
+}
+
+}  // namespace epi

@@ -1,0 +1,31 @@
+// Strict environment-variable parsing for the runtime knobs.
+//
+// EPI_JOBS, EPI_SERVICE_WORKERS and friends size worker pools and caches;
+// a typo'd value silently falling back to a default is exactly the kind of
+// misconfiguration that costs a night of compute (the paper's runs had one
+// 10pm-8am window — a farm accidentally running serial misses 8am). Every
+// knob therefore parses strictly: unset or empty means "use the default",
+// anything else must be a plain positive decimal integer, and malformed,
+// zero, negative, or overflowing values throw epi::Error with the variable
+// name and offending text instead of limping on.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace epi {
+
+/// Parses `text` as a strictly positive decimal integer (digits only: no
+/// sign, no whitespace, no suffix). Returns nullopt when `text` is not a
+/// positive integer or does not fit in std::size_t.
+std::optional<std::size_t> parse_positive_size(std::string_view text);
+
+/// Reads environment variable `name` as a positive integer. Unset or
+/// empty returns `fallback`; anything else must satisfy
+/// parse_positive_size() or an epi::Error is thrown naming the variable —
+/// "EPI_JOBS='banana' ..." — so misconfigured runs die at startup rather
+/// than silently running with a default.
+std::size_t env_positive_size(const char* name, std::size_t fallback);
+
+}  // namespace epi

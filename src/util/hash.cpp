@@ -1,0 +1,33 @@
+#include "util/hash.hpp"
+
+namespace epi {
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t basis) {
+  constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+  std::uint64_t hash = basis;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+Hash128 hash128(std::string_view bytes) {
+  // Two FNV-1a streams from distinct offset bases; the second basis is the
+  // standard one advanced by an arbitrary fixed odd constant so the
+  // streams decorrelate from the first byte on.
+  constexpr std::uint64_t kBasisLo = kFnv64Basis ^ 0x9E3779B97F4A7C15ULL;
+  return Hash128{fnv1a64(bytes, kFnv64Basis), fnv1a64(bytes, kBasisLo)};
+}
+
+std::string to_hex(const Hash128& hash) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(15 - i)] = kDigits[(hash.hi >> (4 * i)) & 15];
+    out[static_cast<std::size_t>(31 - i)] = kDigits[(hash.lo >> (4 * i)) & 15];
+  }
+  return out;
+}
+
+}  // namespace epi

@@ -1,0 +1,42 @@
+// Stable content hashing for the artifact cache.
+//
+// The scenario service addresses artifacts (synthetic-region builds,
+// calibration prior stages, whole scenario results) by the hash of their
+// canonical configuration text. Those keys must be identical across runs,
+// machines, and library versions — std::hash is explicitly unspecified —
+// so we use FNV-1a with fixed 64-bit parameters, widened to 128 bits by
+// running two independent streams with distinct offset bases. 128 bits
+// makes accidental collisions astronomically unlikely at any realistic
+// cache population, which is what lets a hash equality stand in for a
+// full key comparison.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace epi {
+
+/// Classic FNV-1a over bytes, seedable so independent streams can share
+/// one implementation.
+constexpr std::uint64_t kFnv64Basis = 0xCBF29CE484222325ULL;
+std::uint64_t fnv1a64(std::string_view bytes,
+                      std::uint64_t basis = kFnv64Basis);
+
+/// A 128-bit content hash (two independent FNV-1a streams). Value type:
+/// ordered, hashable by its own bits, hex-printable.
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  auto operator<=>(const Hash128&) const = default;
+};
+
+/// Hashes a canonical byte string to 128 bits.
+Hash128 hash128(std::string_view bytes);
+
+/// Lowercase 32-hex-digit rendering, "hi" half first.
+std::string to_hex(const Hash128& hash);
+
+}  // namespace epi

@@ -11,6 +11,7 @@
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
+#include "workflow/report_text.hpp"
 
 namespace epi {
 
@@ -77,19 +78,19 @@ struct FarmRun {
 
 }  // namespace
 
-CalibrationCycleResult run_calibration_cycle(
-    const CalibrationCycleConfig& config) {
+CyclePriorStage run_cycle_prior_stage(const CalibrationCycleConfig& config) {
   EPI_REQUIRE(config.prior_configs >= 8, "prior design too small to emulate");
-  CalibrationCycleResult result;
+  CyclePriorStage stage;
   const FaultInjector injector(config.faults);
-  ResilienceLedger ledger;
+  ResilienceLedger& ledger = stage.ledger;
 
   // --- Region and observed data -------------------------------------------
   SynthPopConfig pop_config;
   pop_config.region = config.region;
   pop_config.scale = config.scale;
   pop_config.seed = config.seed;
-  const SyntheticRegion region = generate_region(pop_config);
+  stage.region = make_region(config.region_source, pop_config);
+  const SyntheticRegion& region = *stage.region;
 
   // The surveillance feed covers the whole outbreak from Jan 21; the
   // simulation starts at the moment its seeded exposures correspond to the
@@ -122,11 +123,11 @@ CalibrationCycleResult run_calibration_cycle(
               "surveillance series never reaches the seeding level at scale "
                   << config.scale
                   << "; increase scale or the truth epidemic intensity");
-  result.observed_cumulative.assign(
+  stage.observed_cumulative.assign(
       scaled_cumulative.begin() + static_cast<std::ptrdiff_t>(offset),
       scaled_cumulative.begin() +
           static_cast<std::ptrdiff_t>(offset + config.calibration_days));
-  result.truth_extension.assign(
+  stage.truth_extension.assign(
       scaled_cumulative.begin() + static_cast<std::ptrdiff_t>(offset),
       scaled_cumulative.begin() +
           static_cast<std::ptrdiff_t>(offset + config.calibration_days +
@@ -134,8 +135,8 @@ CalibrationCycleResult run_calibration_cycle(
 
   // --- Prior design and its simulations ------------------------------------
   Rng design_rng = Rng(config.seed).derive({0x505249ULL});  // "PRI"
-  result.prior_design = make_prior_design(calibration_parameter_ranges(),
-                                          config.prior_configs, design_rng);
+  stage.prior_design = make_prior_design(calibration_parameter_ranges(),
+                                         config.prior_configs, design_rng);
   Mat sim_outputs(config.prior_configs,
                   static_cast<std::size_t>(config.calibration_days));
   {
@@ -146,7 +147,7 @@ CalibrationCycleResult run_calibration_cycle(
         [&](std::size_t i) {
           const CellConfig cell = cell_from_calibration_point(
               config.region, static_cast<std::uint32_t>(i),
-              result.prior_design.points[i], 1, config.calibration_days,
+              stage.prior_design.points[i], 1, config.calibration_days,
               config.seed);
           FarmRun run;
           run.series = log_transform(with_sim_retries(
@@ -174,10 +175,10 @@ CalibrationCycleResult run_calibration_cycle(
   // to the likelihood, so the posterior is not overconfident.
   Mat replicate_cov;
   {
-    ParamPoint center(result.prior_design.ranges.size());
+    ParamPoint center(stage.prior_design.ranges.size());
     for (std::size_t d = 0; d < center.size(); ++d) {
-      center[d] = (result.prior_design.ranges[d].lo +
-                   result.prior_design.ranges[d].hi) /
+      center[d] = (stage.prior_design.ranges[d].lo +
+                   stage.prior_design.ranges[d].hi) /
                   2.0;
     }
     const std::size_t replicates = 6;
@@ -219,12 +220,32 @@ CalibrationCycleResult run_calibration_cycle(
       }
     }
   }
+  stage.sim_outputs = std::move(sim_outputs);
+  stage.replicate_cov = std::move(replicate_cov);
+  return stage;
+}
+
+CalibrationCycleResult finish_calibration_cycle(
+    const CalibrationCycleConfig& config, const CyclePriorStage& stage) {
+  EPI_REQUIRE(stage.region != nullptr,
+              "finish_calibration_cycle needs a populated prior stage");
+  CalibrationCycleResult result;
+  const FaultInjector injector(config.faults);
+  ResilienceLedger ledger;
+  ledger.merge(stage.ledger);  // the stage's retries come first, as the
+                               // fused serial loop would record them
+  const SyntheticRegion& region = *stage.region;
+  result.prior_design = stage.prior_design;
+  result.observed_cumulative = stage.observed_cumulative;
+  result.truth_extension = stage.truth_extension;
 
   // --- Emulator-based Bayesian calibration ---------------------------------
+  // The stage is shared read-only between concurrent tails, so the
+  // calibrator gets copies of its matrices.
   const Vec observed_log = log_transform(result.observed_cumulative);
-  AgentCalibrator calibrator(result.prior_design, std::move(sim_outputs),
+  AgentCalibrator calibrator(result.prior_design, Mat(stage.sim_outputs),
                              observed_log, config.seed,
-                             std::move(replicate_cov));
+                             Mat(stage.replicate_cov));
   result.calibration =
       calibrator.calibrate(config.posterior_configs, config.mcmc);
   result.posterior_configs = result.calibration.posterior_configs;
@@ -265,33 +286,17 @@ CalibrationCycleResult run_calibration_cycle(
   return result;
 }
 
+CalibrationCycleResult run_calibration_cycle(
+    const CalibrationCycleConfig& config) {
+  return finish_calibration_cycle(config, run_cycle_prior_stage(config));
+}
+
 namespace {
 
-// Hexfloat rendering: exact (distinct doubles never print alike), so
-// string equality of two dumps is byte-identity of the results.
-void put(std::string& out, double value) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%a", value);
-  out += buf;
-}
-
-void put_line(std::string& out, const char* key, double value) {
-  out += key;
-  out += '=';
-  put(out, value);
-  out += '\n';
-}
-
-void put_vec(std::string& out, const char* key,
-             const std::vector<double>& values) {
-  out += key;
-  out += '=';
-  for (double v : values) {
-    put(out, v);
-    out += ' ';
-  }
-  out += '\n';
-}
+using report_text::put;
+using report_text::put_count;
+using report_text::put_line;
+using report_text::put_vec;
 
 void put_points(std::string& out, const char* key,
                 const std::vector<ParamPoint>& points) {
@@ -306,13 +311,6 @@ void put_points(std::string& out, const char* key,
     }
     out += '\n';
   }
-}
-
-void put_count(std::string& out, const char* key, std::uint64_t value) {
-  out += key;
-  out += '=';
-  out += std::to_string(value);
-  out += '\n';
 }
 
 }  // namespace

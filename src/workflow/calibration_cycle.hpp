@@ -10,6 +10,7 @@
 // emulator band come from the same result object.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -77,7 +78,39 @@ struct CalibrationCycleConfig {
   /// the "exec" trace process, plus exec.tasks/exec.steal counters and
   /// the exec.queue_depth gauge.
   obs::Session* trace = nullptr;
+
+  /// Injectable region supplier (null = generate_region directly). The
+  /// scenario service points this at its content-addressed artifact cache
+  /// so concurrent cycles for one (region, scale, seed) share a single
+  /// synthetic-population build; generate_region is pure, so the cycle
+  /// result is byte-identical either way.
+  RegionSource region_source;
 };
+
+/// Everything the cycle computes up through the prior-design simulations
+/// and the replicate covariance — the expensive, reusable front half.
+/// Requests that agree on the prior-stage knobs (region, scale, seed,
+/// prior_configs, calibration_days, horizon_days, the truth parameters,
+/// faults/retry) but differ in the tail (posterior_configs, MCMC settings,
+/// prediction_runs) can share one stage artifact; the scenario service
+/// caches it content-addressed.
+struct CyclePriorStage {
+  std::shared_ptr<const SyntheticRegion> region;
+  std::vector<double> observed_cumulative;
+  std::vector<double> truth_extension;
+  CalibrationDesign prior_design;
+  /// Log-transformed prior-design trajectories, one row per design point.
+  Mat sim_outputs;
+  Mat replicate_cov;
+  /// Retry accounting for the stage's simulation farm; merged into the
+  /// finishing ledger so a split cycle reports exactly what the fused one
+  /// does.
+  ResilienceLedger ledger;
+};
+
+/// Runs the front half of the cycle (region/truth/prior sims/replicate
+/// covariance). Pure function of the prior-stage knobs in `config`.
+CyclePriorStage run_cycle_prior_stage(const CalibrationCycleConfig& config);
 
 struct CalibrationCycleResult {
   CalibrationDesign prior_design;
@@ -104,6 +137,14 @@ struct CalibrationCycleResult {
 
 CalibrationCycleResult run_calibration_cycle(
     const CalibrationCycleConfig& config);
+
+/// Finishes a cycle from a (possibly shared, possibly cached) prior
+/// stage: emulator calibration, posterior resampling, the forecast
+/// ensemble. `stage` is read-only so one stage artifact can serve many
+/// concurrent tails. run_calibration_cycle(config) is byte-identical to
+/// finish_calibration_cycle(config, run_cycle_prior_stage(config)).
+CalibrationCycleResult finish_calibration_cycle(
+    const CalibrationCycleConfig& config, const CyclePriorStage& stage);
 
 /// Deterministic full-field dump of a cycle result (doubles rendered as
 /// hexfloat, so distinct values never collide). Equal strings mean

@@ -9,6 +9,7 @@
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
+#include "workflow/report_text.hpp"
 
 namespace epi {
 
@@ -27,9 +28,9 @@ const SyntheticRegion& NightlyWorkflow::region(const std::string& abbrev) {
     pop_config.region = abbrev;
     pop_config.scale = config_.scale;
     pop_config.seed = config_.seed;
-    auto generated =
-        std::make_unique<SyntheticRegion>(generate_region(pop_config));
-    it = regions_.emplace(abbrev, std::move(generated)).first;
+    it = regions_
+             .emplace(abbrev, make_region(config_.region_source, pop_config))
+             .first;
     // One person-database server per region (section V step 1); the
     // production bound of ~1000 connections applies.
     databases_.start(it->second->population, db_connection_bound());
@@ -218,8 +219,7 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
           pop_config.region = abbrev;
           pop_config.scale = config_.scale;
           pop_config.seed = config_.seed;
-          return std::make_unique<SyntheticRegion>(
-              generate_region(pop_config));
+          return make_region(config_.region_source, pop_config);
         },
         synth);
     for (std::size_t r = 0; r < missing.size(); ++r) {
@@ -382,6 +382,60 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
                        << ", makespan " << report.schedule_makespan_hours
                        << "h");
   return report;
+}
+
+std::string serialize(const WorkflowReport& report) {
+  using report_text::put;
+  using report_text::put_count;
+  using report_text::put_line;
+  using report_text::put_text;
+  std::string out;
+  out.reserve(1 << 12);
+  put_text(out, "name", report.name);
+  put_count(out, "planned_simulations", report.planned_simulations);
+  put_count(out, "executed_simulations", report.executed_simulations);
+  put_count(out, "config_bytes", report.config_bytes);
+  put_count(out, "raw_bytes_measured", report.raw_bytes_measured);
+  put_count(out, "summary_bytes_measured", report.summary_bytes_measured);
+  put_line(out, "raw_bytes_full_scale", report.raw_bytes_full_scale);
+  put_line(out, "summary_bytes_full_scale", report.summary_bytes_full_scale);
+  put_line(out, "schedule_makespan_hours", report.schedule_makespan_hours);
+  put_line(out, "utilization", report.utilization);
+  put_count(out, "unfinished_jobs", report.unfinished_jobs);
+  put_count(out, "bytes_to_remote", report.bytes_to_remote);
+  put_count(out, "bytes_to_home", report.bytes_to_home);
+  put_line(out, "wan_seconds_to_remote", report.wan_seconds_to_remote);
+  put_line(out, "wan_seconds_to_home", report.wan_seconds_to_home);
+  for (std::size_t i = 0; i < report.timeline.size(); ++i) {
+    const PhaseRecord& phase = report.timeline[i];
+    out += "timeline[" + std::to_string(i) + "]=" + phase.phase + '|' +
+           phase.site + '|';
+    put(out, phase.start_hours);
+    out += '|';
+    put(out, phase.duration_hours);
+    out += '\n';
+  }
+  put_line(out, "total_elapsed_hours", report.total_elapsed_hours);
+  put_count(out, "db_servers_started", report.db_servers_started);
+  put_count(out, "db_peak_connections", report.db_peak_connections);
+  put_count(out, "db_queries_served", report.db_queries_served);
+  const ResilienceSummary& res = report.resilience;
+  put_count(out, "resilience.node_crashes", res.node_crashes);
+  put_count(out, "resilience.jobs_killed", res.jobs_killed);
+  put_count(out, "resilience.jobs_requeued", res.jobs_requeued);
+  put_count(out, "resilience.wan_failures", res.wan_failures);
+  put_count(out, "resilience.wan_degraded", res.wan_degraded);
+  put_count(out, "resilience.wan_retries", res.wan_retries);
+  put_count(out, "resilience.db_drops", res.db_drops);
+  put_count(out, "resilience.db_reconnects", res.db_reconnects);
+  put_count(out, "resilience.sim_retries", res.sim_retries);
+  put_line(out, "resilience.wasted_node_hours", res.wasted_node_hours);
+  put_line(out, "resilience.checkpoint_overhead_node_hours",
+           res.checkpoint_overhead_node_hours);
+  put_line(out, "resilience.retry_wait_hours", res.retry_wait_hours);
+  put_line(out, "deadline_slack_hours", report.deadline_slack_hours);
+  put_count(out, "deadline_met", report.deadline_met ? 1 : 0);
+  return out;
 }
 
 }  // namespace epi

@@ -91,6 +91,13 @@ struct NightlyConfig {
   /// writes trace.json + metrics.json via obs::Session::write(). Pair
   /// with deterministic_timing for byte-reproducible files.
   obs::Session* trace = nullptr;
+
+  /// Injectable region supplier (null = generate_region directly). The
+  /// scenario service points this at its content-addressed artifact cache
+  /// so overlapping nightly requests share synthetic-population builds;
+  /// generate_region is pure, so the WorkflowReport is byte-identical
+  /// either way.
+  RegionSource region_source;
 };
 
 struct PhaseRecord {
@@ -165,8 +172,16 @@ class NightlyWorkflow {
   NightlyConfig config_;
   ClusterSpec remote_;
   ClusterSpec home_;
-  std::map<std::string, std::unique_ptr<SyntheticRegion>> regions_;
+  // Shared-const so an injected region_source can hand the same build to
+  // several engines at once.
+  std::map<std::string, std::shared_ptr<const SyntheticRegion>> regions_;
   PersonDbRegistry databases_;
 };
+
+/// Deterministic full-field dump of a workflow report (doubles rendered as
+/// hexfloat, so distinct values never collide). Equal strings mean
+/// byte-identical reports — the oracle for the re-invocation regression
+/// tests and the scenario service's response bytes.
+std::string serialize(const WorkflowReport& report);
 
 }  // namespace epi

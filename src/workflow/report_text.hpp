@@ -1,0 +1,57 @@
+// Internal helpers for the deterministic report dumps.
+//
+// Doubles render as hexfloat ("%a"): exact, so distinct values never
+// print alike and string equality of two dumps is byte-identity of the
+// underlying results. Shared by serialize(CalibrationCycleResult) and
+// serialize(WorkflowReport) — and therefore by every byte-identity
+// oracle in the tests, the CI report diffs, and the scenario service's
+// response bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace epi::report_text {
+
+inline void put(std::string& out, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", value);
+  out += buf;
+}
+
+inline void put_line(std::string& out, const char* key, double value) {
+  out += key;
+  out += '=';
+  put(out, value);
+  out += '\n';
+}
+
+inline void put_vec(std::string& out, const char* key,
+                    const std::vector<double>& values) {
+  out += key;
+  out += '=';
+  for (double v : values) {
+    put(out, v);
+    out += ' ';
+  }
+  out += '\n';
+}
+
+inline void put_count(std::string& out, const char* key, std::uint64_t value) {
+  out += key;
+  out += '=';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+inline void put_text(std::string& out, const char* key,
+                     const std::string& value) {
+  out += key;
+  out += '=';
+  out += value;
+  out += '\n';
+}
+
+}  // namespace epi::report_text

@@ -37,12 +37,14 @@ TEST(Executor, JobsFromEnvParsing) {
   EXPECT_EQ(exec::jobs_from_env(), 1u);
   ::setenv("EPI_JOBS", "4", 1);
   EXPECT_EQ(exec::jobs_from_env(), 4u);
-  ::setenv("EPI_JOBS", "0", 1);
-  EXPECT_EQ(exec::jobs_from_env(), 1u);
-  ::setenv("EPI_JOBS", "banana", 1);
-  EXPECT_EQ(exec::jobs_from_env(), 1u);
   ::setenv("EPI_JOBS", "", 1);
   EXPECT_EQ(exec::jobs_from_env(), 1u);
+  // Malformed values fail loudly instead of silently running serial: a
+  // farm that quietly drops to one worker blows the 8am window.
+  for (const char* bad : {"0", "-2", "banana", "4x", " 4", "+4"}) {
+    ::setenv("EPI_JOBS", bad, 1);
+    EXPECT_THROW((void)exec::jobs_from_env(), Error) << "EPI_JOBS=" << bad;
+  }
   ::setenv("EPI_JOBS", "8", 1);
   EXPECT_EQ(exec::resolve_jobs(0), 8u);
   EXPECT_EQ(exec::resolve_jobs(3), 3u);  // explicit config wins

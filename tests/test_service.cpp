@@ -1,0 +1,469 @@
+// Scenario-request service tests: strict env parsing, stable hashing,
+// the single-flight artifact cache, the request model, the planner, and
+// the service-level determinism contract — byte-identical responses and
+// reports at any worker count, warm or cold.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/batch.hpp"
+#include "service/cache.hpp"
+#include "service/request.hpp"
+#include "service/service.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "workflow/calibration_cycle.hpp"
+#include "workflow/nightly.hpp"
+
+namespace epi::service {
+namespace {
+
+// ------------------------------------------------------- env parsing ---
+
+TEST(EnvParse, AcceptsPlainPositiveDecimals) {
+  EXPECT_EQ(parse_positive_size("1"), 1u);
+  EXPECT_EQ(parse_positive_size("4"), 4u);
+  EXPECT_EQ(parse_positive_size("123456"), 123456u);
+}
+
+TEST(EnvParse, RejectsEverythingElse) {
+  for (const char* bad :
+       {"", "0", "-2", "+4", " 4", "4 ", "4x", "x4", "banana", "1e3", "0x10",
+        "99999999999999999999999999999"}) {
+    EXPECT_FALSE(parse_positive_size(bad).has_value()) << "input: " << bad;
+  }
+}
+
+TEST(EnvParse, EnvFallbackAndStrictness) {
+  const char* kVar = "EPI_SERVICE_TEST_KNOB";
+  ::unsetenv(kVar);
+  EXPECT_EQ(env_positive_size(kVar, 7), 7u);
+  ::setenv(kVar, "", 1);
+  EXPECT_EQ(env_positive_size(kVar, 7), 7u);
+  ::setenv(kVar, "12", 1);
+  EXPECT_EQ(env_positive_size(kVar, 7), 12u);
+  ::setenv(kVar, "nope", 1);
+  try {
+    (void)env_positive_size(kVar, 7);
+    FAIL() << "malformed env value should throw";
+  } catch (const Error& e) {
+    // The message must name the variable and the offending text.
+    EXPECT_NE(std::string(e.what()).find(kVar), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("nope"), std::string::npos);
+  }
+  ::unsetenv(kVar);
+}
+
+// ----------------------------------------------------- stable hashing ---
+
+TEST(StableHash, Fnv1a64KnownAnswers) {
+  // Published FNV-1a test vectors — the hash must never drift, or every
+  // cached artifact key changes meaning.
+  EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xAF63DC4C8601EC8Cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171F73967E8ull);
+}
+
+TEST(StableHash, Hash128StableAndSensitive) {
+  const Hash128 h = hash128("artifact=region|region=VT");
+  EXPECT_EQ(h, hash128("artifact=region|region=VT"));
+  EXPECT_NE(h, hash128("artifact=region|region=VA"));
+  EXPECT_EQ(to_hex(h).size(), 32u);
+  EXPECT_EQ(to_hex(h), to_hex(hash128("artifact=region|region=VT")));
+}
+
+// ------------------------------------------------------ artifact cache ---
+
+TEST(ArtifactCacheTest, SingleFlightDedupUnderConcurrency) {
+  ArtifactCache cache;
+  const Hash128 key = hash128("one-key");
+  std::atomic<int> computes{0};
+  std::vector<std::thread> threads;
+  std::vector<int> results(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, &computes, &results, key, t] {
+      auto value = cache.get_or_compute<int>("test", key, [&computes] {
+        ++computes;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return std::make_shared<int>(42);
+      });
+      results[t] = *value;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(computes.load(), 1);
+  for (int r : results) EXPECT_EQ(r, 42);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.classes.at("test").lookups, 8u);
+  EXPECT_EQ(stats.classes.at("test").computes, 1u);
+  EXPECT_EQ(stats.classes.at("test").hits(), 7u);
+}
+
+TEST(ArtifactCacheTest, FailedComputeReleasesSlot) {
+  ArtifactCache cache;
+  const Hash128 key = hash128("flaky");
+  EXPECT_THROW(cache.get_or_compute<int>("test", key,
+                                         []() -> std::shared_ptr<int> {
+                                           throw std::runtime_error("boom");
+                                         }),
+               std::runtime_error);
+  EXPECT_FALSE(cache.contains(key));
+  auto value = cache.get_or_compute<int>(
+      "test", key, [] { return std::make_shared<int>(7); });
+  EXPECT_EQ(*value, 7);
+  EXPECT_EQ(cache.stats().classes.at("test").computes, 2u);
+}
+
+TEST(ArtifactCacheTest, EvictionIsDeterministicLru) {
+  ArtifactCache cache(2);
+  const Hash128 k1 = hash128("k1");
+  const Hash128 k2 = hash128("k2");
+  const Hash128 k3 = hash128("k3");
+  for (const Hash128& k : {k1, k2, k3}) {
+    cache.get_or_compute<int>("test", k, [] { return std::make_shared<int>(0); });
+  }
+  // k2 is never committed, so it ranks oldest and must go first.
+  cache.commit_use(k1);
+  cache.commit_use(k3);
+  EXPECT_EQ(cache.evict_excess(), 1u);
+  EXPECT_TRUE(cache.contains(k1));
+  EXPECT_FALSE(cache.contains(k2));
+  EXPECT_TRUE(cache.contains(k3));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // Unbounded cache never evicts.
+  ArtifactCache unbounded;
+  unbounded.get_or_compute<int>("test", k1, [] { return std::make_shared<int>(0); });
+  EXPECT_EQ(unbounded.evict_excess(), 0u);
+}
+
+TEST(ArtifactCacheTest, HitReturnsByteIdenticalArtifact) {
+  ArtifactCache cache;
+  const Hash128 key = hash128("serialized-thing");
+  const auto compute = [] {
+    return std::make_shared<std::string>("response-bytes v1\nvalue=0x1p+3\n");
+  };
+  auto cold = cache.get_or_compute<std::string>("test", key, compute);
+  auto warm = cache.get_or_compute<std::string>("test", key, [] {
+    ADD_FAILURE() << "warm lookup must not recompute";
+    return std::make_shared<std::string>("wrong");
+  });
+  EXPECT_EQ(*cold, *warm);
+  EXPECT_EQ(cold.get(), warm.get());  // the very same artifact
+  EXPECT_EQ(cache.stats().classes.at("test").hits(), 1u);
+}
+
+// ------------------------------------------------------ request model ---
+
+ScenarioRequest small_calibration(const std::string& id) {
+  ScenarioRequest request;
+  request.id = id;
+  request.kind = RequestKind::kCalibration;
+  request.region = "VT";
+  request.scale_denominator = 400.0;
+  request.prior_configs = 8;
+  request.posterior_configs = 6;
+  request.calibration_days = 30;
+  request.horizon_days = 10;
+  request.prediction_runs = 2;
+  request.mcmc_samples = 40;
+  request.mcmc_burn_in = 20;
+  return request;
+}
+
+ScenarioRequest small_nightly(const std::string& id) {
+  ScenarioRequest request;
+  request.id = id;
+  request.kind = RequestKind::kNightly;
+  request.design = "economic";
+  request.scale_denominator = 8000.0;
+  request.sample_executions = 2;
+  request.executed_days = 20;
+  request.regions = {"WY", "VT"};
+  return request;
+}
+
+TEST(RequestModel, JsonlRoundTrip) {
+  const ScenarioRequest cal = small_calibration("cal-1");
+  EXPECT_EQ(parse_request(dump_request(cal)), cal);
+  ScenarioRequest nightly = small_nightly("n-1");
+  nightly.priority = -3;
+  nightly.requester = "ops";
+  EXPECT_EQ(parse_request(dump_request(nightly)), nightly);
+  // dump(parse(dump)) is byte-stable — the replay log can be re-emitted.
+  EXPECT_EQ(dump_request(parse_request(dump_request(cal))), dump_request(cal));
+}
+
+TEST(RequestModel, UnknownFieldRejected) {
+  EXPECT_THROW(parse_request(R"({"id":"x","bogus_knob":3})"), Error);
+  // A nightly knob on a calibration request is a typo, not a default.
+  EXPECT_THROW(
+      parse_request(R"({"id":"x","kind":"calibration","executed_days":9})"),
+      Error);
+  EXPECT_THROW(parse_request(R"({"id":"x","kind":"mystery"})"), Error);
+}
+
+TEST(RequestModel, LogParsingSkipsCommentsAndBlanks) {
+  const std::string log = "# request log\n\n" + dump_request(small_calibration("a")) +
+                          "\n# trailer\n" + dump_request(small_nightly("b")) + "\n";
+  const auto requests = parse_request_log(log);
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[0].id, "a");
+  EXPECT_EQ(requests[1].id, "b");
+}
+
+TEST(RequestModel, TailKnobsShareThePriorStageKey) {
+  const ScenarioRequest base = small_calibration("base");
+  ScenarioRequest tail = base;
+  tail.id = "tail";
+  tail.requester = "someone-else";
+  tail.priority = 9;
+  tail.posterior_configs = 12;
+  tail.prediction_runs = 3;
+  tail.mcmc_samples = 80;
+  // Same expensive front half, different tail: one campaign.
+  EXPECT_EQ(prior_stage_key_text(base), prior_stage_key_text(tail));
+  EXPECT_NE(result_key_text(base), result_key_text(tail));
+  // Metadata is not content: id/requester/priority never enter a key.
+  ScenarioRequest renamed = base;
+  renamed.id = "other";
+  renamed.requester = "bob";
+  renamed.priority = -5;
+  EXPECT_EQ(result_key_text(base), result_key_text(renamed));
+  // Prior-stage knobs do change the stage key.
+  ScenarioRequest other_seed = base;
+  other_seed.seed += 1;
+  EXPECT_NE(prior_stage_key_text(base), prior_stage_key_text(other_seed));
+}
+
+// ------------------------------------------------------------ planner ---
+
+TEST(Planner, PriorityOrderDedupAndCampaigns) {
+  ScenarioRequest low = small_calibration("low");
+  ScenarioRequest high = small_calibration("high");
+  high.priority = 10;
+  ScenarioRequest dup = small_calibration("dup-of-low");  // same config
+  ScenarioRequest tail = small_calibration("tail");
+  tail.posterior_configs = 12;  // shares low's prior stage
+  const std::vector<ScenarioRequest> requests = {low, high, dup, tail};
+  const ServicePlan plan = plan_requests(requests);
+  // Service order: high first, then arrival order.
+  ASSERT_EQ(plan.order.size(), 4u);
+  EXPECT_EQ(plan.order[0], 1u);
+  EXPECT_EQ(plan.order[1], 0u);
+  EXPECT_EQ(plan.order[2], 2u);
+  EXPECT_EQ(plan.order[3], 3u);
+  // low/high/dup collapse to one unit (identical config); tail is its own.
+  ASSERT_EQ(plan.units.size(), 2u);
+  EXPECT_EQ(plan.unit_of[0], plan.unit_of[1]);
+  EXPECT_EQ(plan.unit_of[0], plan.unit_of[2]);
+  EXPECT_NE(plan.unit_of[0], plan.unit_of[3]);
+  // The shared unit is owned by the first *served* member: high.
+  EXPECT_EQ(plan.units[plan.unit_of[1]].owner, 1u);
+  // Both units share one prior stage -> one campaign, one payer.
+  ASSERT_EQ(plan.campaigns.size(), 1u);
+  EXPECT_EQ(plan.campaigns[0].units.size(), 2u);
+  EXPECT_TRUE(plan.units[0].pays_stage);
+  EXPECT_FALSE(plan.units[1].pays_stage);
+}
+
+// ---------------------------------------------- service determinism ---
+
+std::string small_log() {
+  ScenarioRequest high = small_calibration("cal-high");
+  high.priority = 5;
+  ScenarioRequest tail = small_calibration("cal-tail");
+  tail.posterior_configs = 12;
+  tail.prediction_runs = 3;
+  ScenarioRequest dup = small_calibration("cal-dup");  // config == cal-high
+  // Different calibration window: its own prior stage, but the same VT
+  // synthetic-population build (region-cache sharing).
+  ScenarioRequest window = small_calibration("cal-window");
+  window.calibration_days = 35;
+  std::string log = "# canned service log\n";
+  log += dump_request(high) + "\n";
+  log += dump_request(tail) + "\n";
+  log += dump_request(dup) + "\n";
+  log += dump_request(window) + "\n";
+  log += dump_request(small_nightly("nightly-1")) + "\n";
+  return log;
+}
+
+TEST(ScenarioServiceTest, ReplayIsByteIdenticalAcrossWorkerCounts) {
+  const std::string log = small_log();
+  ServiceConfig serial;
+  serial.jobs = 1;
+  serial.logical_workers = 3;
+  ScenarioService reference(serial);
+  const ServiceOutcome base = reference.replay_log(log);
+  ASSERT_EQ(base.responses.size(), 5u);
+  for (std::size_t jobs : {std::size_t{2}, std::size_t{4}}) {
+    ServiceConfig parallel = serial;
+    parallel.jobs = jobs;
+    ScenarioService service(parallel);
+    const ServiceOutcome outcome = service.replay_log(log);
+    EXPECT_EQ(outcome.responses, base.responses) << "jobs=" << jobs;
+    EXPECT_EQ(serialize(outcome.report), serialize(base.report))
+        << "jobs=" << jobs;
+  }
+  // And across repeated cold runs.
+  ScenarioService again(serial);
+  const ServiceOutcome repeat = again.replay_log(log);
+  EXPECT_EQ(repeat.responses, base.responses);
+  EXPECT_EQ(serialize(repeat.report), serialize(base.report));
+}
+
+TEST(ScenarioServiceTest, WarmReplayServesCacheHitsByteIdentically) {
+  ServiceConfig config;
+  config.jobs = 1;
+  config.logical_workers = 2;
+  ScenarioService service(config);
+  const std::string log = small_log();
+  const ServiceOutcome cold = service.replay_log(log);
+  const ServiceOutcome warm = service.replay_log(log);
+  EXPECT_EQ(warm.responses, cold.responses);
+  for (const RequestRecord& record : warm.report.records) {
+    EXPECT_EQ(record.status, ServeStatus::kCached) << record.id;
+    EXPECT_EQ(record.latency_hours, 0.0) << record.id;
+  }
+  EXPECT_EQ(warm.report.computed_units, 0u);
+  EXPECT_EQ(warm.report.cached_requests, warm.report.requests);
+}
+
+TEST(ScenarioServiceTest, ReportAccountsDedupSharingAndSavings) {
+  ServiceConfig config;
+  config.jobs = 1;
+  config.logical_workers = 2;
+  ScenarioService service(config);
+  const ServiceOutcome outcome = service.replay_log(small_log());
+  const ServiceReport& report = outcome.report;
+  EXPECT_EQ(report.requests, 5u);
+  EXPECT_EQ(report.computed_units, 4u);   // high, tail, window, nightly
+  EXPECT_EQ(report.deduped_requests, 1u); // cal-dup
+  EXPECT_EQ(report.cached_requests, 0u);
+  EXPECT_EQ(report.campaigns, 2u);        // shared stage + window's own
+  EXPECT_EQ(report.stage_shares, 1u);
+  // The tail shared the campaign's prior stage: a cycle-prior hit.
+  EXPECT_EQ(report.cache.classes.at("cycle-prior").lookups, 3u);
+  EXPECT_EQ(report.cache.classes.at("cycle-prior").computes, 2u);
+  // VT's synthetic population is built once and shared.
+  EXPECT_GE(report.cache.classes.at("region").hits(), 1u);
+  // Dedup + stage sharing means the wave paid less than naive cost.
+  EXPECT_LT(report.actual_cost_hours, report.naive_cost_hours);
+  EXPECT_GT(report.makespan_hours, 0.0);
+  // Responses carry real content: bytes and hashes are consistent.
+  for (std::size_t i = 0; i < report.records.size(); ++i) {
+    EXPECT_EQ(report.records[i].response_bytes, outcome.responses[i].size());
+    EXPECT_EQ(report.records[i].result_hash,
+              to_hex(hash128(outcome.responses[i])));
+  }
+  // Identical configs -> identical response bytes (dedup is invisible in
+  // content, only in accounting).
+  EXPECT_EQ(outcome.responses[0], outcome.responses[2]);
+}
+
+TEST(ScenarioServiceTest, PriorityShapesVirtualLatency) {
+  // One logical worker: the high-priority request must finish first even
+  // though it arrived last.
+  ScenarioRequest first = small_calibration("arrived-first");
+  ScenarioRequest urgent = small_calibration("urgent");
+  urgent.seed += 1;  // distinct artifact
+  urgent.priority = 100;
+  ServiceConfig config;
+  config.jobs = 1;
+  config.logical_workers = 1;
+  ScenarioService service(config);
+  const ServiceOutcome outcome = service.serve({first, urgent});
+  ASSERT_EQ(outcome.report.records.size(), 2u);
+  EXPECT_LT(outcome.report.records[1].latency_hours,
+            outcome.report.records[0].latency_hours);
+}
+
+TEST(ScenarioServiceTest, CacheEvictionBoundsResidentArtifacts) {
+  ServiceConfig config;
+  config.jobs = 1;
+  config.logical_workers = 2;
+  config.cache_capacity = 2;
+  ScenarioService service(config);
+  service.replay_log(small_log());
+  EXPECT_LE(service.cache().size(), 2u);
+  EXPECT_GT(service.cache().stats().evictions, 0u);
+}
+
+// ------------------------------------- engine re-invocation (satellite) ---
+
+TEST(EngineReinvocation, CalibrationCycleBackToBackIsByteIdentical) {
+  CalibrationCycleConfig config;
+  config.region = "VT";
+  config.scale = 1.0 / 400.0;
+  config.prior_configs = 8;
+  config.posterior_configs = 5;
+  config.calibration_days = 25;
+  config.horizon_days = 8;
+  config.prediction_runs = 2;
+  config.mcmc.samples = 30;
+  config.mcmc.burn_in = 15;
+  const std::string first = serialize(run_calibration_cycle(config));
+  const std::string second = serialize(run_calibration_cycle(config));
+  EXPECT_EQ(first, second);
+  // The split pipeline is byte-identical to the fused engine.
+  const CyclePriorStage stage = run_cycle_prior_stage(config);
+  EXPECT_EQ(serialize(finish_calibration_cycle(config, stage)), first);
+  // A shared stage serves two different tails deterministically.
+  CalibrationCycleConfig tail = config;
+  tail.posterior_configs = 7;
+  const std::string tail_once = serialize(finish_calibration_cycle(tail, stage));
+  EXPECT_EQ(serialize(finish_calibration_cycle(tail, stage)), tail_once);
+  EXPECT_NE(tail_once, first);
+}
+
+TEST(EngineReinvocation, NightlyBackToBackIsByteIdentical) {
+  NightlyConfig config;
+  config.scale = 1.0 / 8000.0;
+  config.sample_executions = 2;
+  config.executed_days = 20;
+  config.sample_regions = {"WY"};
+  config.deterministic_timing = true;
+  WorkflowDesign design = economic_design();
+  design.regions = {"WY", "VT"};
+  NightlyWorkflow first_run(config);
+  const std::string first = serialize(first_run.run(design));
+  // A fresh engine in the same process (satellite: safe re-invocation).
+  NightlyWorkflow second_run(config);
+  EXPECT_EQ(serialize(second_run.run(design)), first);
+  // Re-running the *same* engine instance is also well-defined: region
+  // and DB state persist, the report stays byte-identical.
+  EXPECT_EQ(serialize(first_run.run(design)), first);
+}
+
+TEST(EngineReinvocation, InjectedRegionSourcePreservesBytes) {
+  CalibrationCycleConfig config;
+  config.region = "VT";
+  config.scale = 1.0 / 400.0;
+  config.prior_configs = 8;
+  config.posterior_configs = 4;
+  config.calibration_days = 20;
+  config.horizon_days = 6;
+  config.prediction_runs = 1;
+  config.mcmc.samples = 20;
+  config.mcmc.burn_in = 10;
+  const std::string organic = serialize(run_calibration_cycle(config));
+  std::size_t injected_calls = 0;
+  config.region_source = [&injected_calls](const SynthPopConfig& pop_config) {
+    ++injected_calls;
+    return std::make_shared<const SyntheticRegion>(
+        generate_region(pop_config));
+  };
+  EXPECT_EQ(serialize(run_calibration_cycle(config)), organic);
+  EXPECT_GT(injected_calls, 0u);
+}
+
+}  // namespace
+}  // namespace epi::service

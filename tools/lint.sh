@@ -67,6 +67,7 @@ fi
 output_files() {
   ls src/analytics/*.cpp src/analytics/*.hpp \
      src/workflow/*.cpp src/workflow/*.hpp \
+     src/service/*.cpp src/service/*.hpp \
      src/surveillance/*.cpp src/surveillance/*.hpp \
      src/util/csv.cpp src/util/csv.hpp \
      src/util/json.cpp src/util/json.hpp \
