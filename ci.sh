@@ -2,7 +2,8 @@
 # CI entry point with selectable lanes:
 #
 #   ./ci.sh            # all lanes: lint, plain, service, asan, tsan
-#   ./ci.sh lint       # determinism lint only (fast, no build)
+#   ./ci.sh lint       # epilint static analysis + optional clang-tidy
+#                      # (builds only the analyzer, not the libraries)
 #   ./ci.sh plain      # RelWithDebInfo build + tests + CommChecker pass
 #   ./ci.sh service    # scenario-service replay determinism: the canned
 #                      # request log twice, and EPI_JOBS=1 vs 4, with
@@ -20,7 +21,10 @@ cd "$(dirname "$0")"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 run_lint() {
-  echo "== determinism lint =="
+  echo "== static analysis (epilint) =="
+  # tools/lint.sh builds tools/epilint and runs it over all of src/ with
+  # the checked-in (empty) baseline; any non-baselined finding fails the
+  # lane. The analyzer prints a per-rule finding-count summary.
   tools/lint.sh
 }
 

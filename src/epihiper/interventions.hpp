@@ -15,8 +15,8 @@
 // runs exactly.
 #pragma once
 
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <string>
 #include <vector>
 
@@ -167,8 +167,11 @@ class ContactTracing : public Intervention {
   Config config_;
   // (person, remaining depth) expansion frontier for the next tick.
   std::vector<std::pair<PersonId, int>> frontier_;
-  // Local persons under daily follow-up -> last monitored tick.
-  std::unordered_map<PersonId, Tick> monitored_until_;
+  // Local persons under daily follow-up -> last monitored tick. Ordered:
+  // run_monitoring() iterates this map, and the iteration order feeds the
+  // re-entry order of the tracing frontier — with an unordered map that
+  // order would be hash order, which differs across libstdc++ versions.
+  std::map<PersonId, Tick> monitored_until_;
   std::uint64_t expansions_ = 0;
   std::uint64_t reviews_ = 0;
 };

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "util/env.hpp"
 #include "util/timer.hpp"
 
 namespace epi::mpilite {
@@ -509,15 +510,12 @@ void Runtime::run(int num_ranks, const std::function<void(Comm&)>& body) {
 
 void Runtime::run(int num_ranks, const std::function<void(Comm&)>& body,
                   const ObsHooks& obs) {
-  const char* env = std::getenv("EPI_MPILITE_CHECK");
-  const bool check_enabled =
-      env != nullptr && env[0] != '\0' && std::string_view(env) != "0";
-  if (!check_enabled) {
+  if (!env_flag("EPI_MPILITE_CHECK")) {
     run_impl(num_ranks, body, nullptr, obs);
     return;
   }
   CheckOptions options;
-  if (const char* timeout = std::getenv("EPI_MPILITE_CHECK_TIMEOUT_S")) {
+  if (const char* timeout = env_raw("EPI_MPILITE_CHECK_TIMEOUT_S")) {
     char* end = nullptr;
     const double parsed = std::strtod(timeout, &end);
     if (end != timeout && parsed > 0.0) options.deadlock_timeout_s = parsed;

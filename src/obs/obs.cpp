@@ -1,11 +1,11 @@
 #include "obs/obs.hpp"
 
-#include <cstdlib>
+#include "util/env.hpp"
 
 namespace epi::obs {
 
 std::unique_ptr<Session> Session::from_env(bool deterministic_timing) {
-  const char* dir = std::getenv("EPI_TRACE");
+  const char* dir = env_raw("EPI_TRACE");
   if (dir == nullptr || dir[0] == '\0') return nullptr;
   SessionOptions options;
   options.dir = dir;

@@ -6,6 +6,35 @@
 #include "util/error.hpp"
 
 namespace epi {
+namespace {
+
+// The registry gate shared by every accessor: EPI_*-prefixed names must
+// be registered; other prefixes (tests, third-party) pass through.
+void require_registered(const char* name) {
+  if (std::string_view(name).substr(0, 4) != "EPI_") return;
+  EPI_REQUIRE(env_registered(name),
+              name << " is not in kEnvRegistry (util/env.hpp); register it "
+                      "there so epilint and the README env table know it");
+}
+
+}  // namespace
+
+bool env_registered(std::string_view name) {
+  for (const EnvVarInfo& var : kEnvRegistry) {
+    if (name == var.name) return true;
+  }
+  return false;
+}
+
+const char* env_raw(const char* name) {
+  require_registered(name);
+  return std::getenv(name);
+}
+
+bool env_flag(const char* name) {
+  const char* env = env_raw(name);
+  return env != nullptr && env[0] != '\0' && std::string_view(env) != "0";
+}
 
 std::optional<std::size_t> parse_positive_size(std::string_view text) {
   if (text.empty()) return std::nullopt;
@@ -22,7 +51,7 @@ std::optional<std::size_t> parse_positive_size(std::string_view text) {
 }
 
 std::size_t env_positive_size(const char* name, std::size_t fallback) {
-  const char* env = std::getenv(name);
+  const char* env = env_raw(name);
   if (env == nullptr || env[0] == '\0') return fallback;
   const std::optional<std::size_t> parsed = parse_positive_size(env);
   EPI_REQUIRE(parsed.has_value(),

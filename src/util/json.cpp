@@ -118,6 +118,9 @@ void dump_number(std::string& out, double d) {
     out += std::to_string(static_cast<std::int64_t>(d));
   } else {
     char buf[32];
+    // epilint: allow(io-nonhex-float) — JSON is an interchange format, so
+    // hexfloat is not an option; %.17g is the shortest decimal form that
+    // still round-trips every double exactly.
     std::snprintf(buf, sizeof(buf), "%.17g", d);
     out += buf;
   }

@@ -4,9 +4,10 @@
 #include <cctype>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <mutex>
 #include <utility>
+
+#include "util/env.hpp"
 
 namespace epi {
 
@@ -28,7 +29,7 @@ LogLevel parse_log_level(std::string_view text, LogLevel fallback) {
 namespace {
 
 LogLevel initial_level() {
-  const char* env = std::getenv("EPI_LOG_LEVEL");
+  const char* env = env_raw("EPI_LOG_LEVEL");
   if (env == nullptr) return LogLevel::kWarn;
   return parse_log_level(env, LogLevel::kWarn);
 }
@@ -72,6 +73,8 @@ void log_message(LogLevel level, const std::string& message) {
     g_sink(level, message);
     return;
   }
+  // epilint: allow(io-raw-stream) — this is the logger's default sink,
+  // the one sanctioned stderr writer in the codebase.
   std::fprintf(stderr, "[%9.3f] %-5s %s\n", elapsed, level_name(level),
                message.c_str());
 }

@@ -1,0 +1,10 @@
+// Negative fixture: things that merely look like libc randomness.
+// (Fixtures are analyzer inputs, not compiled — Rng needs no definition.)
+double seeded_value(Rng& rng, Rng* other) {
+  rng.srand(7);              // method on a seeded type, not libc srand
+  double a = rng.rand();     // method call via '.'
+  double b = other->rand();  // method call via '->'
+  int rand_count = 3;        // identifier containing 'rand', no call
+  (void)rand_count;
+  return a + b;
+}

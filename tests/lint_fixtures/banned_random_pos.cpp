@@ -1,0 +1,7 @@
+// Positive fixture: unseeded libc randomness.
+#include <cstdlib>
+
+int noisy_value() {
+  std::srand(42);          // line 5: banned-random (srand)
+  return std::rand() % 7;  // line 6: banned-random (rand)
+}

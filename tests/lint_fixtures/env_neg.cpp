@@ -1,0 +1,11 @@
+// Negative fixture: registered names through the sanctioned accessor,
+// and strings the env-registry rule must not mistake for EPI_* names.
+const char* read_knob() {
+  const char* a = env_raw("EPI_FIXTURE_KNOB");    // registered
+  const char* b = env_raw("EPI_FIXTURE_OTHER");   // registered
+  const char* c = "EPIC_STORY";                   // no EPI_ prefix
+  const char* d = "EPI_lowercase_not_a_name";     // not name-shaped
+  const char* e = "SOME_OTHER_TOOLS_VAR";         // different namespace
+  (void)b; (void)c; (void)d; (void)e;
+  return a;
+}

@@ -1,0 +1,7 @@
+// Positive fixture: raw getenv, and an EPI_* name missing from the
+// registry (fixture_env.hpp registers only EPI_FIXTURE_KNOB/_OTHER).
+#include <cstdlib>
+
+const char* read_knob() {
+  return std::getenv("EPI_UNREGISTERED_KNOB");  // line 6: env-getenv
+}                                               // AND env-registry

@@ -1,0 +1,13 @@
+// Miniature env registry for the epilint fixture tests: the env-registry
+// rule checks EPI_* string literals against this table.
+#pragma once
+
+struct EnvVarInfo {
+  const char* name;
+  const char* summary;
+};
+
+inline constexpr EnvVarInfo kEnvRegistry[] = {
+    {"EPI_FIXTURE_KNOB", "registered knob used by the negative fixtures"},
+    {"EPI_FIXTURE_OTHER", "second registered knob"},
+};

@@ -1,0 +1,18 @@
+// Negative fixture: hexfloat in a report path, and decimal formatting in
+// a function that is NOT on any output path.
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+void dump_table(std::ostringstream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%a\n", v);  // hexfloat: exact
+  os << std::hexfloat << v;
+}
+
+double scale_progress(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d%%", static_cast<int>(v));  // no float
+  (void)buf;
+  return v;
+}

@@ -1,0 +1,13 @@
+// Positive fixture: decimal float formatting in a report path (the
+// function name makes it an output seed). Distinct doubles can print
+// identically under %f / setprecision, breaking byte-identity replay.
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+void dump_table(std::ostringstream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%f\n", v);  // line 10: io-nonhex-float
+  os << std::setprecision(17) << v;            // line 11: io-nonhex-float
+  os << std::fixed << v;                       // line 12: io-nonhex-float
+}

@@ -1,0 +1,10 @@
+// Negative fixture: leveled logging and file-directed output are fine.
+#include <cstdio>
+#include <fstream>
+
+void narrate(double x, std::FILE* trace) {
+  EPI_WARN("bad x: " << x);          // the sanctioned logger macro
+  std::ofstream out("table.txt");
+  out << "x " << x << "\n";          // named file stream, not a console
+  std::fprintf(trace, "x %d\n", 1);  // FILE* argument, not stderr/stdout
+}

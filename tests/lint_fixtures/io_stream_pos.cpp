@@ -1,0 +1,9 @@
+// Positive fixture: raw stderr/stdout writes outside the logger.
+#include <cstdio>
+#include <iostream>
+
+void complain(double x) {
+  std::cerr << "bad x: " << x << "\n";      // line 6: io-raw-stream
+  std::printf("progress %d\n", 1);          // line 7: io-raw-stream
+  std::fprintf(stderr, "worse: %d\n", 2);   // line 8: io-raw-stream
+}

@@ -1,0 +1,14 @@
+// Negative fixture: collectives every rank reaches, and rank-gated code
+// that performs no collective.
+void all_ranks(Comm& comm) {
+  if (comm.rank() == 0) {
+    log_line("rank 0 reporting");  // gated, but not a collective
+  }
+  comm.barrier();  // outside the branch: every rank calls it
+}
+
+void range_gated(Comm& comm, int rank, int size) {
+  if (rank < size / 2) {  // no ==/!= comparison: pairwise stage, not a
+    comm.send<int>(rank + size / 2, 1, 0);  // divergent collective
+  }
+}

@@ -1,0 +1,15 @@
+// Positive fixture: collectives under rank-divergent branches. Only some
+// ranks reach the call, so the program deadlocks (or worse, mismatches).
+void rank_gated(Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.barrier();  // line 5: mpilite-divergent-collective
+  }
+}
+
+void rank_gated_else(Comm& comm, int my_rank) {
+  if (my_rank != 0) {
+    log_line("worker");
+  } else {
+    comm.allreduce(1);  // line 13: mpilite-divergent-collective
+  }
+}

@@ -1,0 +1,8 @@
+// Negative fixture: the two sanctioned Runtime entry points, plus type
+// declarations that mention Runtime without using it.
+class Runtime;
+
+void spmd_main(int ranks) {
+  Runtime::run(ranks, [](Comm& comm) { comm.barrier(); });
+  Runtime::run_checked(ranks, [](Comm& comm) { comm.barrier(); });
+}

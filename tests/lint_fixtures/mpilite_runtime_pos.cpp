@@ -1,0 +1,6 @@
+// Positive fixture: touching mpilite::Runtime other than through its two
+// sanctioned entry points.
+void spin_world() {
+  Runtime rt(4);        // line 4: mpilite-runtime-entry (instance)
+  Runtime::launch(4);   // line 5: mpilite-runtime-entry (member)
+}

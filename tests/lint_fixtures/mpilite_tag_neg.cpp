@@ -1,0 +1,11 @@
+// Negative fixture: paired send/recv sharing a tag, plus one-sided
+// functions (only sends, or only receives) that cannot be judged.
+void exchange_ok(Comm& comm, int peer) {
+  comm.send<int>(peer, 7, 42);
+  int got = comm.recv<int>(peer, 7);  // same tag: fine
+  (void)got;
+}
+
+void push_only(Comm& comm, int peer) { comm.send<int>(peer, 3, 1); }
+
+int pull_only(Comm& comm, int peer) { return comm.recv<int>(peer, 5); }

@@ -1,0 +1,7 @@
+// Positive fixture: a function whose sends and receives use disjoint tag
+// sets — these messages can never pair up.
+void exchange_broken(Comm& comm, int peer) {
+  comm.send<int>(peer, 7, 42);
+  int got = comm.recv<int>(peer, 9);  // line 5: mpilite-tag-mismatch
+  (void)got;
+}

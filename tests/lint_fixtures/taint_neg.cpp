@@ -1,0 +1,20 @@
+// Negative fixture: the same call shape as taint_pos, but every helper
+// on the path from the output seed is deterministic.
+#include <map>
+
+namespace {
+
+int accumulate_counts() {
+  std::map<int, int> counts;
+  int total = 0;
+  for (const auto& kv : counts) {  // ordered: not a sink
+    total += kv.second;
+  }
+  return total;
+}
+
+int gather() { return accumulate_counts(); }
+
+}  // namespace
+
+int write_summary() { return gather(); }

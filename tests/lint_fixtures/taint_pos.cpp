@@ -1,0 +1,21 @@
+// Positive fixture: determinism taint. write_summary is an output seed
+// (name contains "write"); it reaches an unordered-container iteration
+// two calls away, so the taint pass must report the seed -> sink path.
+#include <unordered_map>
+
+namespace {
+
+int accumulate_counts() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  for (const auto& kv : counts) {  // line 12: unordered-iter AND the
+    total += kv.second;            // determinism-taint sink
+  }
+  return total;
+}
+
+int gather() { return accumulate_counts(); }
+
+}  // namespace
+
+int write_summary() { return gather(); }

@@ -1,0 +1,14 @@
+// Negative fixture: ordered iteration and non-iterating unordered use.
+#include <map>
+#include <unordered_map>
+
+int lookup_only(int key) {
+  std::map<int, int> ordered;
+  for (const auto& kv : ordered) {  // std::map: deterministic order
+    (void)kv;
+  }
+  std::unordered_map<int, int> index;
+  index[key] = 1;                  // subscript, not iteration
+  auto hit = index.find(key);      // point lookup, not iteration
+  return hit == index.end() ? 0 : hit->second;
+}

@@ -1,0 +1,16 @@
+// Positive fixture: iteration over unordered containers — a range-for
+// over a member declared in the paired header, a .begin() walk, and a
+// local declared through an alias.
+#include "unordered_iter_pos.hpp"
+
+void Tally::tick() {
+  for (const auto& kv : counts_) {  // line 7: unordered-iter (counts_)
+    (void)kv;
+  }
+  auto it = edges_.begin();  // line 10: unordered-iter (edges_)
+  (void)it;
+  EdgeSet scratch;
+  for (long e : scratch) {  // line 13: unordered-iter (scratch)
+    (void)e;
+  }
+}

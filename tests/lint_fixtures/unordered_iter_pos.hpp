@@ -1,0 +1,17 @@
+// Header half of the unordered-iter positive fixture: the member and the
+// alias are declared here and iterated in the paired .cpp, exercising the
+// cross-file declaration harvest of the lite translation unit.
+#pragma once
+#include <unordered_map>
+#include <unordered_set>
+
+using EdgeSet = std::unordered_set<long>;
+
+class Tally {
+ public:
+  void tick();
+
+ private:
+  std::unordered_map<int, int> counts_;
+  EdgeSet edges_;
+};

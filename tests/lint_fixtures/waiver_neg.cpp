@@ -1,0 +1,15 @@
+// Negative fixture: correctly spelled waivers suppress their findings —
+// same-line, line-above, and multi-line-comment-above forms.
+#include <cstdlib>
+#include <unordered_map>
+
+int sanctioned() {
+  int a = std::rand();  // epilint: allow(banned-random) — fixture: same line
+  // epilint: allow(banned-random) — fixture: line above
+  int b = std::rand();
+  // epilint: allow(banned-random, unordered-iter) — fixture: a multi-line
+  // justification, checking that the waiver still reaches the first code
+  // line below the comment block.
+  int c = std::rand();
+  return a + b + c;
+}

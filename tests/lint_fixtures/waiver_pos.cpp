@@ -1,0 +1,8 @@
+// Positive fixture: waivers naming unknown rules are themselves findings
+// (a typo'd waiver must not silently suppress nothing).
+#include <cstdlib>
+
+int misdirected() {
+  // epilint: allow(no-such-rule) — typo'd rule name, line 6: bad-waiver
+  return std::rand();  // line 7: banned-random (waiver names wrong rule)
+}

@@ -1,0 +1,17 @@
+// Negative fixture: monotonic clocks and look-alikes are fine.
+#include <chrono>
+
+struct Series {
+  double time(int step);
+};
+
+double elapsed(Series& series) {
+  auto t0 = std::chrono::steady_clock::now();  // steady_clock is sanctioned
+  auto t1 = std::chrono::steady_clock::now();
+  double at = series.time(3);  // member named 'time' with a real argument
+  double time = 0.0;           // identifier, no call
+  (void)t0;
+  (void)t1;
+  (void)time;
+  return at;
+}

@@ -1,0 +1,9 @@
+// Positive fixture: wall-clock reads outside util/timer.hpp.
+#include <chrono>
+#include <ctime>
+
+long stamp_now() {
+  auto tp = std::chrono::system_clock::now();  // line 6: wall-clock
+  (void)tp;
+  return std::time(nullptr);  // line 8: wall-clock
+}

@@ -1,0 +1,291 @@
+// epilint fixture tests: drive the analyzer as a library over the corpus
+// in tests/lint_fixtures/, asserting the exact (rule, line) set for each
+// positive fixture and a clean bill for each negative one. Deleting any
+// single rule pass from tools/epilint/rules.cpp fails at least one of
+// these. The suite ends with the self-check the lint lane relies on: a
+// run over the repo's own src/ with the committed baseline must be
+// finding-free, and the README env-var table must match what
+// `epilint --env-table` renders from kEnvRegistry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "epilint/epilint.hpp"
+
+namespace {
+
+// Set by tests/CMakeLists.txt.
+const std::string kFixtureDir = EPILINT_FIXTURE_DIR;
+const std::string kRepoDir = EPILINT_REPO_DIR;
+
+struct RuleAt {
+  std::string rule;
+  int line;
+  bool operator==(const RuleAt&) const = default;
+  bool operator<(const RuleAt& other) const {
+    return std::tie(line, rule) < std::tie(other.line, other.rule);
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const RuleAt& r) {
+  return os << r.rule << "@" << r.line;
+}
+
+/// Analyzes one fixture (plus its stem-paired header, if any) against the
+/// fixture env registry and reduces the findings to (rule, line) pairs.
+std::vector<RuleAt> lint_fixture(const std::string& name) {
+  epilint::Options options;
+  options.include_dirs = {kFixtureDir};
+  options.env_registry_path = kFixtureDir + "/fixture_env.hpp";
+  std::vector<RuleAt> out;
+  for (const epilint::Finding& f :
+       epilint::analyze({kFixtureDir + "/" + name}, options)) {
+    EXPECT_EQ(f.file, kFixtureDir + "/" + name) << f.rule << "@" << f.line;
+    EXPECT_TRUE(epilint::known_rules().count(f.rule)) << f.rule;
+    EXPECT_FALSE(f.snippet.empty()) << f.rule << "@" << f.line;
+    out.push_back({f.rule, f.line});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RuleAt> expect(std::initializer_list<RuleAt> list) {
+  std::vector<RuleAt> out(list);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(EpilintRules, BannedRandomPositive) {
+  EXPECT_EQ(lint_fixture("banned_random_pos.cpp"),
+            expect({{"banned-random", 5}, {"banned-random", 6}}));
+}
+
+TEST(EpilintRules, BannedRandomNegative) {
+  EXPECT_EQ(lint_fixture("banned_random_neg.cpp"), expect({}));
+}
+
+TEST(EpilintRules, WallClockPositive) {
+  EXPECT_EQ(lint_fixture("wall_clock_pos.cpp"),
+            expect({{"wall-clock", 6}, {"wall-clock", 8}}));
+}
+
+TEST(EpilintRules, WallClockNegative) {
+  EXPECT_EQ(lint_fixture("wall_clock_neg.cpp"), expect({}));
+}
+
+TEST(EpilintRules, UnorderedIterPositive) {
+  // Member from the paired header, a .begin() walk, and an aliased local.
+  EXPECT_EQ(lint_fixture("unordered_iter_pos.cpp"),
+            expect({{"unordered-iter", 7},
+                    {"unordered-iter", 10},
+                    {"unordered-iter", 13}}));
+}
+
+TEST(EpilintRules, UnorderedIterNegative) {
+  EXPECT_EQ(lint_fixture("unordered_iter_neg.cpp"), expect({}));
+}
+
+TEST(EpilintRules, DeterminismTaintPositive) {
+  // write_summary -> gather -> accumulate_counts reaches the unordered
+  // iteration; the sink line carries both the iteration finding and the
+  // taint-path finding.
+  EXPECT_EQ(lint_fixture("taint_pos.cpp"),
+            expect({{"determinism-taint", 11}, {"unordered-iter", 11}}));
+}
+
+TEST(EpilintRules, DeterminismTaintNegative) {
+  EXPECT_EQ(lint_fixture("taint_neg.cpp"), expect({}));
+}
+
+TEST(EpilintRules, DeterminismTaintMessageNamesThePath) {
+  epilint::Options options;
+  options.include_dirs = {kFixtureDir};
+  const auto findings =
+      epilint::analyze({kFixtureDir + "/taint_pos.cpp"}, options);
+  const auto it = std::find_if(
+      findings.begin(), findings.end(),
+      [](const epilint::Finding& f) { return f.rule == "determinism-taint"; });
+  ASSERT_NE(it, findings.end());
+  EXPECT_NE(it->message.find("write_summary"), std::string::npos)
+      << it->message;
+  EXPECT_NE(it->message.find("accumulate_counts"), std::string::npos)
+      << it->message;
+}
+
+TEST(EpilintRules, MpiliteTagMismatchPositive) {
+  EXPECT_EQ(lint_fixture("mpilite_tag_pos.cpp"),
+            expect({{"mpilite-tag-mismatch", 5}}));
+}
+
+TEST(EpilintRules, MpiliteTagMismatchNegative) {
+  EXPECT_EQ(lint_fixture("mpilite_tag_neg.cpp"), expect({}));
+}
+
+TEST(EpilintRules, MpiliteDivergentCollectivePositive) {
+  EXPECT_EQ(lint_fixture("mpilite_collective_pos.cpp"),
+            expect({{"mpilite-divergent-collective", 5},
+                    {"mpilite-divergent-collective", 13}}));
+}
+
+TEST(EpilintRules, MpiliteDivergentCollectiveNegative) {
+  EXPECT_EQ(lint_fixture("mpilite_collective_neg.cpp"), expect({}));
+}
+
+TEST(EpilintRules, MpiliteRuntimeEntryPositive) {
+  EXPECT_EQ(lint_fixture("mpilite_runtime_pos.cpp"),
+            expect({{"mpilite-runtime-entry", 4},
+                    {"mpilite-runtime-entry", 5}}));
+}
+
+TEST(EpilintRules, MpiliteRuntimeEntryNegative) {
+  EXPECT_EQ(lint_fixture("mpilite_runtime_neg.cpp"), expect({}));
+}
+
+TEST(EpilintRules, EnvPositive) {
+  EXPECT_EQ(lint_fixture("env_pos.cpp"),
+            expect({{"env-getenv", 6}, {"env-registry", 6}}));
+}
+
+TEST(EpilintRules, EnvNegative) {
+  EXPECT_EQ(lint_fixture("env_neg.cpp"), expect({}));
+}
+
+TEST(EpilintRules, EnvRegistryRuleDisabledWithoutRegistry) {
+  // Without an env registry the env-registry rule stays silent but the
+  // getenv rule still fires.
+  epilint::Options options;
+  options.include_dirs = {kFixtureDir};
+  const auto findings =
+      epilint::analyze({kFixtureDir + "/env_pos.cpp"}, options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "env-getenv");
+}
+
+TEST(EpilintRules, IoRawStreamPositive) {
+  EXPECT_EQ(lint_fixture("io_stream_pos.cpp"),
+            expect({{"io-raw-stream", 6},
+                    {"io-raw-stream", 7},
+                    {"io-raw-stream", 8}}));
+}
+
+TEST(EpilintRules, IoRawStreamNegative) {
+  EXPECT_EQ(lint_fixture("io_stream_neg.cpp"), expect({}));
+}
+
+TEST(EpilintRules, IoNonhexFloatPositive) {
+  EXPECT_EQ(lint_fixture("io_float_pos.cpp"),
+            expect({{"io-nonhex-float", 10},
+                    {"io-nonhex-float", 11},
+                    {"io-nonhex-float", 12}}));
+}
+
+TEST(EpilintRules, IoNonhexFloatNegative) {
+  EXPECT_EQ(lint_fixture("io_float_neg.cpp"), expect({}));
+}
+
+TEST(EpilintRules, BadWaiverPositive) {
+  // The typo'd waiver is itself a finding AND fails to suppress the
+  // banned-random hit on the next line.
+  EXPECT_EQ(lint_fixture("waiver_pos.cpp"),
+            expect({{"bad-waiver", 6}, {"banned-random", 7}}));
+}
+
+TEST(EpilintRules, WaiversSuppressNegative) {
+  EXPECT_EQ(lint_fixture("waiver_neg.cpp"), expect({}));
+}
+
+TEST(EpilintOutput, JsonIsExactAndSorted) {
+  epilint::Options options;
+  options.include_dirs = {kFixtureDir};
+  const auto findings =
+      epilint::analyze({kFixtureDir + "/banned_random_pos.cpp"}, options);
+  ASSERT_EQ(findings.size(), 2u);
+  const std::string json = epilint::to_json(findings);
+  const std::string expected =
+      "[\n"
+      "  {\"rule\": \"banned-random\", \"file\": \"" +
+      kFixtureDir +
+      "/banned_random_pos.cpp\", \"line\": 5, \"snippet\": "
+      "\"std::srand(42);          // line 5: banned-random (srand)\", "
+      "\"message\": \"srand() (unseeded libc randomness); use the seeded "
+      "epi::Rng instead\"},\n"
+      "  {\"rule\": \"banned-random\", \"file\": \"" +
+      kFixtureDir +
+      "/banned_random_pos.cpp\", \"line\": 6, \"snippet\": "
+      "\"return std::rand() % 7;  // line 6: banned-random (rand)\", "
+      "\"message\": \"rand() (unseeded libc randomness); use the seeded "
+      "epi::Rng instead\"}\n"
+      "]\n";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(EpilintOutput, TextCarriesPerRuleSummary) {
+  epilint::Options options;
+  options.include_dirs = {kFixtureDir};
+  const auto findings =
+      epilint::analyze({kFixtureDir + "/env_pos.cpp",
+                        kFixtureDir + "/banned_random_pos.cpp"},
+                       options);
+  const std::string text = epilint::to_text(findings);
+  EXPECT_NE(text.find("banned-random: 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("env-getenv: 1"), std::string::npos) << text;
+}
+
+TEST(EpilintBaseline, EntriesSuppressByLineAndByFile) {
+  epilint::Options options;
+  options.include_dirs = {kFixtureDir};
+  const std::string file = kFixtureDir + "/banned_random_pos.cpp";
+  const auto findings = epilint::analyze({file}, options);
+  ASSERT_EQ(findings.size(), 2u);
+
+  // rule|file|line suppresses exactly one finding...
+  const auto by_line = epilint::apply_baseline(
+      findings, {epilint::baseline_entry(findings[0])});
+  ASSERT_EQ(by_line.size(), 1u);
+  EXPECT_EQ(by_line[0].line, findings[1].line);
+
+  // ...and rule|file suppresses every finding of that rule in the file.
+  const auto by_file =
+      epilint::apply_baseline(findings, {"banned-random|" + file});
+  EXPECT_TRUE(by_file.empty());
+}
+
+// --- The self-checks the lint lane stands on ---------------------------
+
+TEST(EpilintSelfCheck, RepoSourcesAreCleanUnderCommittedBaseline) {
+  epilint::Options options;
+  options.include_dirs = {kRepoDir + "/src"};
+  options.env_registry_path = kRepoDir + "/src/util/env.hpp";
+  const auto files = epilint::collect_sources({kRepoDir + "/src"});
+  ASSERT_GT(files.size(), 50u);  // really scanning the tree
+  const auto findings = epilint::analyze(files, options);
+  const auto kept = epilint::apply_baseline(
+      findings,
+      epilint::load_baseline(kRepoDir + "/tools/epilint/baseline.txt"));
+  EXPECT_TRUE(kept.empty()) << epilint::to_text(kept);
+}
+
+TEST(EpilintSelfCheck, ReadmeEnvTableMatchesRegistry) {
+  const auto registry =
+      epilint::parse_env_registry(kRepoDir + "/src/util/env.hpp");
+  ASSERT_GE(registry.size(), 10u);
+  // Alphabetical and unique, so the rendered table is deterministic.
+  for (std::size_t i = 1; i < registry.size(); ++i) {
+    EXPECT_LT(registry[i - 1].name, registry[i].name);
+  }
+  const std::string table = epilint::env_table_markdown(registry);
+  std::ifstream in(kRepoDir + "/README.md");
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find(table), std::string::npos)
+      << "README.md env-var table is stale; regenerate it with "
+         "`build/tools/epilint --env-table` (expected block:\n"
+      << table << ")";
+}
+
+}  // namespace

@@ -43,7 +43,8 @@ TEST(EnvParse, RejectsEverythingElse) {
 }
 
 TEST(EnvParse, EnvFallbackAndStrictness) {
-  const char* kVar = "EPI_SERVICE_TEST_KNOB";
+  // Non-EPI_ prefix: exempt from the registry check, still strictly parsed.
+  const char* kVar = "EPISCALE_TEST_KNOB";
   ::unsetenv(kVar);
   EXPECT_EQ(env_positive_size(kVar, 7), 7u);
   ::setenv(kVar, "", 1);
@@ -60,6 +61,37 @@ TEST(EnvParse, EnvFallbackAndStrictness) {
     EXPECT_NE(std::string(e.what()).find("nope"), std::string::npos);
   }
   ::unsetenv(kVar);
+}
+
+TEST(EnvParse, RegistryGatesEpiPrefixedNames) {
+  EXPECT_TRUE(env_registered("EPI_JOBS"));
+  EXPECT_TRUE(env_registered("EPI_TRACE"));
+  EXPECT_FALSE(env_registered("EPI_TYPO_KNOB"));
+  // A registered name reads normally.
+  ::setenv("EPI_JOBS", "3", 1);
+  EXPECT_EQ(env_positive_size("EPI_JOBS", 1), 3u);
+  EXPECT_STREQ(env_raw("EPI_JOBS"), "3");
+  ::unsetenv("EPI_JOBS");
+  // An unregistered EPI_* name throws, naming the registry.
+  try {
+    (void)env_raw("EPI_TYPO_KNOB");
+    FAIL() << "unregistered EPI_* name should throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("EPI_TYPO_KNOB"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("kEnvRegistry"), std::string::npos);
+  }
+}
+
+TEST(EnvParse, FlagSemantics) {
+  ::unsetenv("EPI_MPILITE_CHECK");
+  EXPECT_FALSE(env_flag("EPI_MPILITE_CHECK"));
+  ::setenv("EPI_MPILITE_CHECK", "", 1);
+  EXPECT_FALSE(env_flag("EPI_MPILITE_CHECK"));
+  ::setenv("EPI_MPILITE_CHECK", "0", 1);
+  EXPECT_FALSE(env_flag("EPI_MPILITE_CHECK"));
+  ::setenv("EPI_MPILITE_CHECK", "1", 1);
+  EXPECT_TRUE(env_flag("EPI_MPILITE_CHECK"));
+  ::unsetenv("EPI_MPILITE_CHECK");
 }
 
 // ----------------------------------------------------- stable hashing ---

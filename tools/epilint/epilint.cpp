@@ -1,0 +1,375 @@
+#include "epilint/epilint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "epilint/lexer.hpp"
+#include "epilint/parse.hpp"
+#include "epilint/rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace epilint {
+namespace {
+
+bool is_source(const fs::path& p) {
+  return p.extension() == ".cpp" || p.extension() == ".hpp";
+}
+
+/// Lexes files once and hands out stable pointers.
+class FileCache {
+ public:
+  const LexedFile* get(const std::string& path) {
+    auto it = cache_.find(path);
+    if (it != cache_.end()) return it->second.get();
+    auto lexed = std::make_unique<LexedFile>(lex_file(path));
+    const LexedFile* raw = lexed.get();
+    cache_.emplace(path, std::move(lexed));
+    return raw;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<LexedFile>> cache_;
+};
+
+/// Resolves an `#include "target"` against the includer's directory and
+/// the configured include roots. Empty string when not found — system
+/// headers and unresolvable targets are simply outside the unit.
+std::string resolve_include(const std::string& target,
+                            const std::string& includer,
+                            const std::vector<std::string>& include_dirs) {
+  const fs::path sibling = fs::path(includer).parent_path() / target;
+  std::error_code ec;
+  if (fs::is_regular_file(sibling, ec)) return sibling.lexically_normal().string();
+  for (const std::string& dir : include_dirs) {
+    const fs::path candidate = fs::path(dir) / target;
+    if (fs::is_regular_file(candidate, ec)) {
+      return candidate.lexically_normal().string();
+    }
+  }
+  return "";
+}
+
+/// Adds `path` and its transitive project includes to `unit.files`.
+void add_with_includes(const std::string& path,
+                       const std::vector<std::string>& include_dirs,
+                       FileCache* cache, std::set<std::string>* visited,
+                       Unit* unit) {
+  if (!visited->insert(path).second) return;
+  const LexedFile* file = cache->get(path);
+  unit->files.push_back(file);
+  for (const std::string& target : file->includes) {
+    const std::string resolved = resolve_include(target, path, include_dirs);
+    if (!resolved.empty()) {
+      add_with_includes(resolved, include_dirs, cache, visited, unit);
+    }
+  }
+}
+
+bool waived(const LexedFile& file, const Finding& finding) {
+  // A waiver covers its own line and the next line that carries code, so a
+  // multi-line waiver comment still suppresses the statement below it.
+  const auto line_has_code = [&file](int line) {
+    const auto it = std::lower_bound(
+        file.tokens.begin(), file.tokens.end(), line,
+        [](const Token& tok, int l) { return tok.line < l; });
+    return it != file.tokens.end() && it->line == line;
+  };
+  const auto allows = [&file, &finding](int line) {
+    const auto it = file.waivers.find(line);
+    return it != file.waivers.end() && it->second.count(finding.rule) != 0;
+  };
+  if (allows(finding.line)) return true;
+  for (int line = finding.line - 1; line >= 1; --line) {
+    if (allows(line)) return true;
+    // A waiver on a code line covers only itself and the line below; stop at
+    // the first code line above the finding.
+    if (line_has_code(line)) break;
+  }
+  return false;
+}
+
+void json_escape(const std::string& text, std::string* out) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const std::set<std::string>& known_rules() {
+  static const std::set<std::string> rules = {
+      "banned-random",     "wall-clock",
+      "unordered-iter",    "determinism-taint",
+      "mpilite-tag-mismatch", "mpilite-divergent-collective",
+      "mpilite-runtime-entry", "env-getenv",
+      "env-registry",      "io-raw-stream",
+      "io-nonhex-float",   "bad-waiver"};
+  return rules;
+}
+
+std::vector<std::string> collect_sources(
+    const std::vector<std::string>& paths) {
+  std::set<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file() && is_source(entry.path())) {
+          files.insert(entry.path().lexically_normal().string());
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.insert(fs::path(path).lexically_normal().string());
+    } else {
+      throw std::runtime_error("epilint: no such file or directory: " + path);
+    }
+  }
+  return {files.begin(), files.end()};
+}
+
+std::vector<Finding> analyze(const std::vector<std::string>& files,
+                             const Options& options) {
+  FileCache cache;
+  const std::set<std::string> input(files.begin(), files.end());
+
+  std::vector<std::string> include_dirs = options.include_dirs;
+  if (include_dirs.empty()) {
+    std::set<std::string> dirs;
+    for (const std::string& f : files) {
+      dirs.insert(fs::path(f).parent_path().string());
+    }
+    include_dirs.assign(dirs.begin(), dirs.end());
+  }
+
+  std::set<std::string> env_registry;
+  if (!options.env_registry_path.empty()) {
+    for (const EnvVar& var : parse_env_registry(options.env_registry_path)) {
+      env_registry.insert(var.name);
+    }
+  }
+
+  // Assemble analysis units: each .cpp with its stem-paired header as
+  // primary files; each unpaired .hpp as its own unit.
+  std::vector<Unit> units;
+  for (const std::string& path : files) {
+    if (fs::path(path).extension() != ".cpp") continue;
+    Unit unit;
+    std::set<std::string> visited;
+    add_with_includes(path, include_dirs, &cache, &visited, &unit);
+    unit.primary.insert(cache.get(path));
+    const std::string paired =
+        (fs::path(path).parent_path() / fs::path(path).stem()).string() +
+        ".hpp";
+    std::error_code ec;
+    if (fs::is_regular_file(paired, ec)) {
+      const std::string normal = fs::path(paired).lexically_normal().string();
+      add_with_includes(normal, include_dirs, &cache, &visited, &unit);
+      unit.primary.insert(cache.get(normal));
+    }
+    units.push_back(std::move(unit));
+  }
+  for (const std::string& path : files) {
+    if (fs::path(path).extension() != ".hpp") continue;
+    const std::string paired =
+        (fs::path(path).parent_path() / fs::path(path).stem()).string() +
+        ".cpp";
+    if (input.count(fs::path(paired).lexically_normal().string())) continue;
+    Unit unit;
+    std::set<std::string> visited;
+    add_with_includes(path, include_dirs, &cache, &visited, &unit);
+    unit.primary.insert(cache.get(path));
+    units.push_back(std::move(unit));
+  }
+
+  std::vector<Finding> findings;
+  for (Unit& unit : units) {
+    unit.index = parse_unit(unit.files);
+    run_rules(unit, env_registry, &findings);
+  }
+
+  // Waivers naming an unknown rule are findings themselves — a typo'd
+  // waiver would otherwise silently fail to suppress anything (or worse,
+  // appear to the reader to suppress something it does not).
+  for (const std::string& path : files) {
+    const LexedFile* file = cache.get(path);
+    for (const auto& [line, rules] : file->waivers) {
+      for (const std::string& rule : rules) {
+        if (!known_rules().count(rule)) {
+          findings.push_back(Finding{
+              "bad-waiver", file->path, line,
+              line >= 1 && static_cast<std::size_t>(line) <= file->lines.size()
+                  ? file->lines[line - 1]
+                  : "",
+              "waiver names unknown rule '" + rule + "'"});
+        }
+      }
+    }
+  }
+
+  // Inline waivers.
+  std::vector<Finding> kept;
+  for (const Finding& f : findings) {
+    if (f.rule != "bad-waiver" && waived(*cache.get(f.file), f)) continue;
+    kept.push_back(f);
+  }
+
+  // Sort + de-duplicate (a site can be reported via several paths).
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+  kept.erase(std::unique(kept.begin(), kept.end(),
+                         [](const Finding& a, const Finding& b) {
+                           return a.file == b.file && a.line == b.line &&
+                                  a.rule == b.rule;
+                         }),
+             kept.end());
+  return kept;
+}
+
+std::string to_json(const std::vector<Finding>& findings) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "  {\"rule\": \"";
+    json_escape(f.rule, &out);
+    out += "\", \"file\": \"";
+    json_escape(f.file, &out);
+    out += "\", \"line\": " + std::to_string(f.line) + ", \"snippet\": \"";
+    json_escape(f.snippet, &out);
+    out += "\", \"message\": \"";
+    json_escape(f.message, &out);
+    out += "\"}";
+    if (i + 1 < findings.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string to_text(const std::vector<Finding>& findings) {
+  std::string out;
+  std::map<std::string, int> counts;
+  for (const Finding& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+           f.message + "\n";
+    if (!f.snippet.empty()) out += "    " + f.snippet + "\n";
+    ++counts[f.rule];
+  }
+  if (findings.empty()) {
+    out += "epilint: clean\n";
+  } else {
+    out += "epilint: " + std::to_string(findings.size()) + " finding(s)\n";
+    for (const auto& [rule, count] : counts) {
+      out += "  " + rule + ": " + std::to_string(count) + "\n";
+    }
+  }
+  return out;
+}
+
+std::set<std::string> load_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("epilint: cannot read baseline " + path);
+  std::set<std::string> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos || line[b] == '#') continue;
+    const std::size_t e = line.find_last_not_of(" \t\r");
+    entries.insert(line.substr(b, e - b + 1));
+  }
+  return entries;
+}
+
+std::string baseline_entry(const Finding& finding) {
+  return finding.rule + "|" + finding.file + "|" + std::to_string(finding.line);
+}
+
+std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
+                                    const std::set<std::string>& baseline) {
+  std::vector<Finding> kept;
+  for (const Finding& f : findings) {
+    if (baseline.count(baseline_entry(f))) continue;
+    if (baseline.count(f.rule + "|" + f.file)) continue;
+    kept.push_back(f);
+  }
+  return kept;
+}
+
+std::vector<EnvVar> parse_env_registry(const std::string& header_path) {
+  const LexedFile file = lex_file(header_path);
+  const std::vector<Token>& toks = file.tokens;
+  std::vector<EnvVar> registry;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!(toks[i].kind == Tok::kIdent && toks[i].text == "kEnvRegistry")) {
+      continue;
+    }
+    // Find the initializer's outer '{' and walk its `{ "NAME", "summary" }`
+    // entries (adjacent string literals in the summary concatenate).
+    std::size_t open = i + 1;
+    while (open < toks.size() && !(toks[open].kind == Tok::kPunct &&
+                                   toks[open].text == "{")) {
+      if (toks[open].kind == Tok::kPunct && toks[open].text == ";") break;
+      ++open;
+    }
+    if (open >= toks.size() || toks[open].text != "{") break;
+    int depth = 0;
+    EnvVar current;
+    bool in_entry = false;
+    for (std::size_t j = open; j < toks.size(); ++j) {
+      if (toks[j].kind == Tok::kPunct && toks[j].text == "{") {
+        ++depth;
+        if (depth == 2) {
+          in_entry = true;
+          current = EnvVar{};
+        }
+        continue;
+      }
+      if (toks[j].kind == Tok::kPunct && toks[j].text == "}") {
+        if (depth == 2 && in_entry && !current.name.empty()) {
+          registry.push_back(current);
+        }
+        in_entry = false;
+        if (--depth == 0) break;
+        continue;
+      }
+      if (in_entry && toks[j].kind == Tok::kString) {
+        if (current.name.empty()) {
+          current.name = toks[j].text;
+        } else {
+          current.summary += toks[j].text;
+        }
+      }
+    }
+    break;
+  }
+  return registry;
+}
+
+std::string env_table_markdown(const std::vector<EnvVar>& registry) {
+  std::string out = "| Variable | Meaning |\n|---|---|\n";
+  for (const EnvVar& var : registry) {
+    out += "| `" + var.name + "` | " + var.summary + " |\n";
+  }
+  return out;
+}
+
+}  // namespace epilint

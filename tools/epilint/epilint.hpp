@@ -1,0 +1,104 @@
+// epilint — tokenizer-based determinism & communication-safety analyzer.
+//
+// Replaces the regex stages of tools/lint.sh with semantic rules that run
+// over all of src/ (DESIGN.md §12 has the architecture and the full rule
+// catalogue with rationale). Pipeline: lexer (lexer.hpp) → declaration /
+// function-boundary parser (parse.hpp) → rule passes (rules.hpp) →
+// waiver + baseline filtering → text/JSON output, all exposed here as a
+// library so tests can drive the analyzer directly and assert exact
+// findings.
+//
+// Rules:
+//   banned-random               std::rand/srand/random_shuffle anywhere
+//   wall-clock                  wall-clock reads outside util/timer.hpp
+//   unordered-iter              iteration of unordered containers (order
+//                               is hash order — never reproducible)
+//   determinism-taint           an output/serialization function reaches
+//                               a nondeterminism sink through the unit's
+//                               call graph (path reported)
+//   mpilite-tag-mismatch        paired send/recv with disjoint tag sets
+//   mpilite-divergent-collective collective under an `if (rank == ...)`
+//   mpilite-runtime-entry       mpilite::Runtime used other than via
+//                               Runtime::run / Runtime::run_checked
+//   env-getenv                  raw getenv outside src/util/env.cpp
+//   env-registry                "EPI_*" name not in the kEnvRegistry
+//                               table of util/env.hpp
+//   io-raw-stream               raw stderr/stdout outside the logger
+//   io-nonhex-float             %f/%e/%g, setprecision, std::fixed or
+//                               std::scientific in a report path
+//   bad-waiver                  `epilint: allow(...)` naming no known rule
+//
+// Waivers: `// epilint: allow(rule[, rule]) — justification`, covering
+// the waiver's own line and the next line that carries code (so a
+// multi-line justification still reaches the statement below it).
+// Baseline: `rule|file[|line]`
+// entries suppress findings without touching the source (kept empty in
+// this repo — see tools/epilint/baseline.txt).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace epilint {
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string snippet;  // trimmed source line
+  std::string message;
+};
+
+struct Options {
+  // Roots against which `#include "..."` targets are resolved when
+  // assembling lite translation units (a .cpp plus its project headers).
+  // Defaults to the directories given to analyze() when empty.
+  std::vector<std::string> include_dirs;
+  // Header defining the kEnvRegistry table; empty disables env-registry.
+  std::string env_registry_path;
+};
+
+/// Every rule id the analyzer can emit (used to validate waivers).
+const std::set<std::string>& known_rules();
+
+/// Expands files and directories (recursing for *.cpp / *.hpp) into a
+/// sorted, de-duplicated file list. Throws std::runtime_error for a path
+/// that does not exist.
+std::vector<std::string> collect_sources(const std::vector<std::string>& paths);
+
+/// Runs every rule pass over `files`, applies inline waivers, and
+/// returns findings sorted by (file, line, rule).
+std::vector<Finding> analyze(const std::vector<std::string>& files,
+                             const Options& options);
+
+/// Machine-readable findings: a JSON array of
+/// {"rule","file","line","snippet","message"} objects, sorted.
+std::string to_json(const std::vector<Finding>& findings);
+
+/// Human-readable findings plus the per-rule count summary.
+std::string to_text(const std::vector<Finding>& findings);
+
+/// Baseline suppressions: one `rule|file[|line]` entry per line; '#'
+/// comments and blank lines ignored.
+std::set<std::string> load_baseline(const std::string& path);
+std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
+                                    const std::set<std::string>& baseline);
+std::string baseline_entry(const Finding& finding);
+
+// --- Environment-variable registry (util/env.hpp kEnvRegistry) ---------
+
+struct EnvVar {
+  std::string name;
+  std::string summary;
+};
+
+/// Parses the `kEnvRegistry` initializer out of the given header.
+std::vector<EnvVar> parse_env_registry(const std::string& header_path);
+
+/// The registry rendered as the markdown table embedded in README.md —
+/// the single source of truth for the documented EPI_* variables.
+std::string env_table_markdown(const std::vector<EnvVar>& registry);
+
+}  // namespace epilint

@@ -1,0 +1,306 @@
+#include "epilint/lexer.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace epilint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character operators that must stay single tokens: `::` so the
+// parser can tell qualification from a range-for `:`, and the usual
+// two-char operators so condition scanning sees `==` as one unit.
+const char* kMultiOps[] = {"...", "->*", "<<=", ">>=", "::", "->", "==",
+                           "!=",  "<=",  ">=",  "&&", "||", "<<", ">>",
+                           "+=",  "-=",  "*=",  "/=", "|=", "&=", "^=",
+                           "%=",  "++",  "--"};
+
+// Parses an `epilint: allow(rule[, rule...])` waiver out of comment text.
+// Returns the rule names, empty when the comment is not a waiver.
+std::set<std::string> parse_waiver(const std::string& comment) {
+  std::set<std::string> rules;
+  const std::string key = "epilint:";
+  const std::size_t at = comment.find(key);
+  if (at == std::string::npos) return rules;
+  std::size_t i = at + key.size();
+  while (i < comment.size() && std::isspace(static_cast<unsigned char>(comment[i]))) ++i;
+  if (comment.compare(i, 5, "allow") != 0) return rules;
+  i += 5;
+  while (i < comment.size() && std::isspace(static_cast<unsigned char>(comment[i]))) ++i;
+  if (i >= comment.size() || comment[i] != '(') return rules;
+  ++i;
+  std::string name;
+  for (; i < comment.size() && comment[i] != ')'; ++i) {
+    const char c = comment[i];
+    if (c == ',') {
+      if (!name.empty()) rules.insert(name);
+      name.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      name.push_back(c);
+    }
+  }
+  if (!name.empty()) rules.insert(name);
+  if (i >= comment.size()) rules.clear();  // no closing ')': not a waiver
+  return rules;
+}
+
+class Lexer {
+ public:
+  Lexer(std::string path, const std::string& src) : src_(src) {
+    out_.path = std::move(path);
+  }
+
+  LexedFile run() {
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        ++line_;
+        ++i_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        preprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == 'R' && peek(1) == '"') {
+        raw_string();
+        continue;
+      }
+      // Encoding prefixes on ordinary literals: u8"", L'', etc.
+      if ((c == 'u' || c == 'U' || c == 'L') && string_prefix()) continue;
+      if (c == '"') {
+        quoted(Tok::kString, '"');
+        continue;
+      }
+      if (c == '\'') {
+        quoted(Tok::kChar, '\'');
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        number();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+
+  void emit(Tok kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void record_comment(const std::string& body, int line) {
+    std::set<std::string> rules = parse_waiver(body);
+    if (!rules.empty()) out_.waivers[line].insert(rules.begin(), rules.end());
+  }
+
+  void line_comment() {
+    const int line = line_;
+    std::size_t begin = i_;
+    while (i_ < src_.size() && src_[i_] != '\n') ++i_;
+    record_comment(src_.substr(begin, i_ - begin), line);
+  }
+
+  void block_comment() {
+    const int line = line_;
+    std::size_t begin = i_;
+    i_ += 2;
+    while (i_ < src_.size() && !(src_[i_] == '*' && peek(1) == '/')) {
+      if (src_[i_] == '\n') ++line_;
+      ++i_;
+    }
+    if (i_ < src_.size()) i_ += 2;
+    record_comment(src_.substr(begin, i_ - begin), line);
+  }
+
+  void preprocessor() {
+    const int line = line_;
+    std::string text;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\\' && peek(1) == '\n') {  // continuation
+        i_ += 2;
+        ++line_;
+        text.push_back(' ');
+        continue;
+      }
+      if (c == '\n') break;
+      text.push_back(c);
+      ++i_;
+    }
+    // Record quoted-include targets for unit assembly.
+    std::size_t inc = text.find("include");
+    if (inc != std::string::npos) {
+      std::size_t open = text.find('"', inc);
+      if (open != std::string::npos) {
+        std::size_t close = text.find('"', open + 1);
+        if (close != std::string::npos) {
+          out_.includes.push_back(text.substr(open + 1, close - open - 1));
+        }
+      }
+    }
+    emit(Tok::kPP, std::move(text), line);
+  }
+
+  // Handles u8"..." / u"..." / U"..." / L"..." / uR"(...)" prefixes.
+  // Returns false when the identifier is not actually a literal prefix.
+  bool string_prefix() {
+    std::size_t j = i_ + 1;
+    if (src_[i_] == 'u' && peek(1) == '8') ++j;
+    if (j >= src_.size()) return false;
+    if (src_[j] == '"' || src_[j] == '\'') {
+      i_ = j;
+      quoted(src_[j] == '"' ? Tok::kString : Tok::kChar, src_[j]);
+      return true;
+    }
+    if (src_[j] == 'R' && j + 1 < src_.size() && src_[j + 1] == '"') {
+      i_ = j;
+      raw_string();
+      return true;
+    }
+    return false;
+  }
+
+  void quoted(Tok kind, char quote) {
+    const int line = line_;
+    std::string text;
+    ++i_;  // opening quote
+    while (i_ < src_.size() && src_[i_] != quote) {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size()) {
+        text.push_back(src_[i_]);
+        text.push_back(src_[i_ + 1]);
+        if (src_[i_ + 1] == '\n') ++line_;
+        i_ += 2;
+        continue;
+      }
+      if (src_[i_] == '\n') break;  // unterminated; close at EOL
+      text.push_back(src_[i_]);
+      ++i_;
+    }
+    if (i_ < src_.size() && src_[i_] == quote) ++i_;
+    emit(kind, std::move(text), line);
+  }
+
+  void raw_string() {
+    const int line = line_;
+    ++i_;  // 'R'
+    ++i_;  // '"'
+    std::string delim;
+    while (i_ < src_.size() && src_[i_] != '(') delim.push_back(src_[i_++]);
+    if (i_ < src_.size()) ++i_;  // '('
+    const std::string close = ")" + delim + "\"";
+    std::string text;
+    while (i_ < src_.size() && src_.compare(i_, close.size(), close) != 0) {
+      if (src_[i_] == '\n') ++line_;
+      text.push_back(src_[i_++]);
+    }
+    if (i_ < src_.size()) i_ += close.size();
+    emit(Tok::kString, std::move(text), line);
+  }
+
+  void identifier() {
+    const int line = line_;
+    std::size_t begin = i_;
+    while (i_ < src_.size() && ident_char(src_[i_])) ++i_;
+    emit(Tok::kIdent, src_.substr(begin, i_ - begin), line);
+  }
+
+  void number() {
+    const int line = line_;
+    std::size_t begin = i_;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        // Exponent signs: 1e+9, 0x1.8p-3.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (peek(1) == '+' || peek(1) == '-')) {
+          i_ += 2;
+          continue;
+        }
+        ++i_;
+        continue;
+      }
+      break;
+    }
+    emit(Tok::kNumber, src_.substr(begin, i_ - begin), line);
+  }
+
+  void punct() {
+    const int line = line_;
+    for (const char* op : kMultiOps) {
+      const std::size_t len = std::char_traits<char>::length(op);
+      if (src_.compare(i_, len, op) == 0) {
+        emit(Tok::kPunct, op, line);
+        i_ += len;
+        return;
+      }
+    }
+    emit(Tok::kPunct, std::string(1, src_[i_]), line);
+    ++i_;
+  }
+
+  const std::string& src_;
+  LexedFile out_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+LexedFile lex(std::string path, const std::string& source) {
+  LexedFile out = Lexer(std::move(path), source).run();
+  std::string line;
+  for (const char c : source) {
+    if (c == '\n') {
+      out.lines.push_back(std::move(line));
+      line.clear();
+    } else if (c != '\r') {
+      line.push_back(c);
+    }
+  }
+  if (!line.empty()) out.lines.push_back(std::move(line));
+  return out;
+}
+
+LexedFile lex_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("epilint: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lex(path, buf.str());
+}
+
+}  // namespace epilint

@@ -1,0 +1,64 @@
+// epilint — C++ lexer.
+//
+// Stage 1 of the analyzer (DESIGN.md §12): turns a source file into a
+// token stream the declaration parser and rule passes can reason about,
+// which is what the grep-based lint fundamentally could not do — a regex
+// cannot tell a `std::rand` call from the word "rand" in a comment or a
+// string, and it cannot pair a declaration in a header with a loop in the
+// matching .cpp. The lexer therefore:
+//
+//   * drops comments and preserves string/char literal *contents* as
+//     single tokens (rules match literals deliberately, e.g. "%f" format
+//     specifiers and "EPI_*" environment-variable names);
+//   * handles raw strings, escapes, digit separators, and line
+//     continuations;
+//   * folds each preprocessor directive into one opaque token, recording
+//     `#include "..."` targets so the analyzer can assemble a lite
+//     translation unit;
+//   * harvests `// epilint: allow(rule[, rule])` waiver comments with the
+//     line they cover.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace epilint {
+
+enum class Tok {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (incl. hex floats)
+  kString,  // string literal; text holds the *contents*, quotes stripped
+  kChar,    // character literal, contents only
+  kPunct,   // operator / punctuation (multi-char ops are one token)
+  kPP,      // whole preprocessor directive, continuations folded in
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line;  // 1-based line of the token's first character
+};
+
+struct LexedFile {
+  std::string path;  // as given to lex_file(); repo-relative in practice
+  std::vector<std::string> lines;  // raw source lines, for finding snippets
+  std::vector<Token> tokens;
+  // line -> rules waived on that line. A waiver covers findings on its
+  // own line and on the following line, so it can trail the offending
+  // statement or sit on its own line above it.
+  std::map<int, std::set<std::string>> waivers;
+  // Targets of #include "..." directives (quoted form only — project
+  // headers; <...> system includes can never contain findings).
+  std::vector<std::string> includes;
+};
+
+/// Lexes `source`; never fails — unterminated literals are closed at EOF.
+LexedFile lex(std::string path, const std::string& source);
+
+/// Reads and lexes a file from disk; throws std::runtime_error when the
+/// file cannot be read.
+LexedFile lex_file(const std::string& path);
+
+}  // namespace epilint

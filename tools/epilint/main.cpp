@@ -1,0 +1,149 @@
+// epilint CLI — the first stage of `ci.sh lint` (driven by tools/lint.sh).
+//
+//   epilint [options] <file-or-dir>...
+//     --json <path|->        write machine-readable findings JSON
+//     --baseline <path>      suppress findings listed in the baseline
+//     --write-baseline <p>   write the current findings as a baseline
+//     --env-registry <path>  header defining kEnvRegistry
+//                            (default: <include-dir>/util/env.hpp)
+//     --include-dir <dir>    include-resolution root (repeatable)
+//     --env-table            print the markdown env-var table and exit
+//     --quiet                summary only, no per-finding lines
+//
+// Exit status: 0 clean, 1 findings remain after baseline, 2 usage/IO.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "epilint/epilint.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: epilint [--json <path|->] [--baseline <path>]\n"
+               "               [--write-baseline <path>] [--env-registry <path>]\n"
+               "               [--include-dir <dir>]... [--env-table] [--quiet]\n"
+               "               <file-or-dir>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path, baseline_path, write_baseline_path;
+  bool env_table = false, quiet = false;
+  epilint::Options options;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      const char* v = value();
+      if (!v) return usage();
+      json_path = v;
+    } else if (arg == "--baseline") {
+      const char* v = value();
+      if (!v) return usage();
+      baseline_path = v;
+    } else if (arg == "--write-baseline") {
+      const char* v = value();
+      if (!v) return usage();
+      write_baseline_path = v;
+    } else if (arg == "--env-registry") {
+      const char* v = value();
+      if (!v) return usage();
+      options.env_registry_path = v;
+    } else if (arg == "--include-dir") {
+      const char* v = value();
+      if (!v) return usage();
+      options.include_dirs.push_back(v);
+    } else if (arg == "--env-table") {
+      env_table = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  try {
+    if (options.env_registry_path.empty()) {
+      for (const std::string& dir :
+           options.include_dirs.empty() ? inputs : options.include_dirs) {
+        const std::string candidate = dir + "/util/env.hpp";
+        if (std::ifstream(candidate).good()) {
+          options.env_registry_path = candidate;
+          break;
+        }
+      }
+    }
+
+    if (env_table) {
+      if (options.env_registry_path.empty()) {
+        std::fprintf(stderr, "epilint: --env-table needs --env-registry\n");
+        return 2;
+      }
+      const std::string table = epilint::env_table_markdown(
+          epilint::parse_env_registry(options.env_registry_path));
+      std::fwrite(table.data(), 1, table.size(), stdout);
+      return 0;
+    }
+
+    if (inputs.empty()) return usage();
+
+    const std::vector<std::string> files = epilint::collect_sources(inputs);
+    std::vector<epilint::Finding> findings = epilint::analyze(files, options);
+
+    if (!write_baseline_path.empty()) {
+      std::ofstream out(write_baseline_path);
+      out << "# epilint baseline — `rule|file[|line]` per line. This file is\n"
+             "# meant to stay EMPTY: fix findings or waive them inline with a\n"
+             "# justification; baselining is for incremental adoption only.\n";
+      for (const epilint::Finding& f : findings) {
+        out << epilint::baseline_entry(f) << "\n";
+      }
+      std::printf("epilint: wrote %zu baseline entr%s to %s\n", findings.size(),
+                  findings.size() == 1 ? "y" : "ies",
+                  write_baseline_path.c_str());
+      return 0;
+    }
+
+    if (!baseline_path.empty()) {
+      findings = epilint::apply_baseline(findings,
+                                         epilint::load_baseline(baseline_path));
+    }
+
+    if (!json_path.empty()) {
+      const std::string json = epilint::to_json(findings);
+      if (json_path == "-") {
+        std::fwrite(json.data(), 1, json.size(), stdout);
+      } else {
+        std::ofstream out(json_path);
+        out << json;
+      }
+    }
+
+    const std::string text = epilint::to_text(findings);
+    if (!quiet) {
+      std::fwrite(text.data(), 1, text.size(), stdout);
+    } else {
+      const std::size_t tail = text.rfind("epilint:");
+      std::fwrite(text.data() + tail, 1, text.size() - tail, stdout);
+    }
+    std::printf("epilint: scanned %zu file(s)\n", files.size());
+    return findings.empty() ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 2;
+  }
+}

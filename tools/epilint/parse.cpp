@@ -1,0 +1,374 @@
+#include "epilint/parse.hpp"
+
+#include <algorithm>
+
+namespace epilint {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+const std::set<std::string>& keywords() {
+  static const std::set<std::string> kw = {
+      "alignas",   "alignof",  "asm",          "auto",     "bool",
+      "break",     "case",     "catch",        "char",     "class",
+      "co_await",  "co_return","co_yield",     "const",    "consteval",
+      "constexpr", "constinit","const_cast",   "continue", "decltype",
+      "default",   "delete",   "do",           "double",   "dynamic_cast",
+      "else",      "enum",     "explicit",     "export",   "extern",
+      "false",     "float",    "for",          "friend",   "goto",
+      "if",        "inline",   "int",          "long",     "mutable",
+      "namespace", "new",      "noexcept",     "nullptr",  "operator",
+      "private",   "protected","public",       "register", "reinterpret_cast",
+      "requires",  "return",   "short",        "signed",   "sizeof",
+      "static",    "static_assert", "static_cast", "struct", "switch",
+      "template",  "this",     "thread_local", "throw",    "true",
+      "try",       "typedef",  "typeid",       "typename", "union",
+      "unsigned",  "using",    "virtual",      "void",     "volatile",
+      "wchar_t",   "while"};
+  return kw;
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Tok::kPunct && t.text == text;
+}
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Tok::kIdent && t.text == text;
+}
+
+/// Index of the token matching the '(' at `open`, or kNone.
+std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kPunct) continue;
+    if (toks[i].text == "(") ++depth;
+    else if (toks[i].text == ")" && --depth == 0) return i;
+  }
+  return kNone;
+}
+
+/// Index of the token matching the '{' at `open`, or kNone.
+std::size_t match_brace(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kPunct) continue;
+    if (toks[i].text == "{") ++depth;
+    else if (toks[i].text == "}" && --depth == 0) return i;
+  }
+  return kNone;
+}
+
+/// toks[open] is '<': returns the index one past the matching '>', or
+/// kNone when this is a comparison rather than a template-argument list
+/// (a ';', '{', or unbalanced end intervenes). `>>` closes two levels.
+std::size_t skip_angles(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Tok::kPunct) {
+      if (t.text == "<") ++depth;
+      else if (t.text == ">") { if (--depth == 0) return i + 1; }
+      else if (t.text == ">>") { depth -= 2; if (depth <= 0) return i + 1; }
+      else if (t.text == "(") {
+        const std::size_t close = match_paren(toks, i);
+        if (close == kNone) return kNone;
+        i = close;
+      } else if (t.text == ";" || t.text == "{" || t.text == "}") {
+        return kNone;
+      }
+    }
+  }
+  return kNone;
+}
+
+// ---------------------------------------------------------------------
+// Function-definition scanning.
+// ---------------------------------------------------------------------
+
+/// From the token after the parameter list's ')', skips trailing
+/// qualifiers (const/noexcept/ref-qualifiers/trailing return type) and a
+/// constructor initializer list. Returns the index of the body '{', or
+/// kNone when this head is not a definition.
+std::size_t find_body_brace(const std::vector<Token>& toks, std::size_t k) {
+  static const std::set<std::string> trailers = {
+      "const", "noexcept", "override", "final", "mutable", "volatile",
+      "try",   "&",        "&&"};
+  while (k < toks.size()) {
+    const Token& t = toks[k];
+    if (t.kind == Tok::kIdent && trailers.count(t.text)) {
+      ++k;
+      if (k < toks.size() && is_punct(toks[k], "(")) {  // noexcept(...)
+        const std::size_t close = match_paren(toks, k);
+        if (close == kNone) return kNone;
+        k = close + 1;
+      }
+      continue;
+    }
+    if (is_punct(t, "&") || is_punct(t, "&&")) { ++k; continue; }
+    if (is_punct(t, "->")) {  // trailing return type
+      ++k;
+      while (k < toks.size() &&
+             (toks[k].kind == Tok::kIdent || is_punct(toks[k], "::") ||
+              is_punct(toks[k], "*") || is_punct(toks[k], "&"))) {
+        ++k;
+        if (k < toks.size() && is_punct(toks[k], "<")) {
+          const std::size_t past = skip_angles(toks, k);
+          if (past == kNone) return kNone;
+          k = past;
+        }
+      }
+      continue;
+    }
+    if (is_punct(t, ":")) {  // constructor initializer list
+      ++k;
+      while (k < toks.size()) {
+        // Initializer name, possibly qualified/templated.
+        while (k < toks.size() &&
+               (toks[k].kind == Tok::kIdent || is_punct(toks[k], "::"))) {
+          ++k;
+        }
+        if (k < toks.size() && is_punct(toks[k], "<")) {
+          const std::size_t past = skip_angles(toks, k);
+          if (past == kNone) return kNone;
+          k = past;
+        }
+        if (k >= toks.size()) return kNone;
+        std::size_t close;
+        if (is_punct(toks[k], "(")) close = match_paren(toks, k);
+        else if (is_punct(toks[k], "{")) close = match_brace(toks, k);
+        else return kNone;
+        if (close == kNone) return kNone;
+        k = close + 1;
+        if (k < toks.size() && is_punct(toks[k], ",")) { ++k; continue; }
+        break;
+      }
+      continue;
+    }
+    if (is_punct(t, "{")) return k;
+    return kNone;
+  }
+  return kNone;
+}
+
+void collect_calls(const std::vector<Token>& toks, std::size_t begin,
+                   std::size_t end, std::vector<CallSite>* out) {
+  for (std::size_t i = begin + 1; i + 1 < end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kIdent || keywords().count(t.text)) continue;
+    std::size_t j = i + 1;
+    if (is_punct(toks[j], "<")) {
+      const std::size_t past = skip_angles(toks, j);
+      if (past == kNone || past >= end) continue;
+      j = past;
+    }
+    if (j >= end || !is_punct(toks[j], "(")) continue;
+    // Declarations look like `Type name(...)`: a preceding identifier or
+    // type-ish punctuation means `t` names a variable, not a callee.
+    const Token& prev = toks[i - 1];
+    if (prev.kind == Tok::kIdent && !keywords().count(prev.text)) continue;
+    if (is_punct(prev, ">") || is_punct(prev, "*") || is_punct(prev, "&")) {
+      continue;
+    }
+    out->push_back(CallSite{t.text, t.line});
+  }
+}
+
+void scan_functions(const LexedFile& file, std::vector<FunctionInfo>* out) {
+  const std::vector<Token>& toks = file.tokens;
+  std::size_t i = 0;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kIdent || keywords().count(t.text) ||
+        i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) {
+      ++i;
+      continue;
+    }
+    // Member-access before the name means a call, never a definition.
+    if (i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+      ++i;
+      continue;
+    }
+    const std::size_t close = match_paren(toks, i + 1);
+    if (close == kNone) { ++i; continue; }
+    const std::size_t body = find_body_brace(toks, close + 1);
+    if (body == kNone) { ++i; continue; }
+    const std::size_t body_close = match_brace(toks, body);
+    if (body_close == kNone) { ++i; continue; }
+    FunctionInfo fn;
+    fn.name = t.text;
+    fn.file = &file;
+    fn.line = t.line;
+    fn.body_begin = body;
+    fn.body_end = body_close + 1;
+    collect_calls(toks, body, body_close + 1, &fn.calls);
+    out->push_back(std::move(fn));
+    i = body_close + 1;  // no nested definitions worth scanning
+  }
+}
+
+// ---------------------------------------------------------------------
+// Unordered-container declaration harvesting.
+// ---------------------------------------------------------------------
+
+void harvest_aliases(const std::vector<const LexedFile*>& files,
+                     std::set<std::string>* aliases) {
+  bool grew = true;
+  while (grew) {  // aliases-of-aliases need a fixpoint
+    grew = false;
+    for (const LexedFile* file : files) {
+      const std::vector<Token>& toks = file->tokens;
+      for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (is_ident(toks[i], "using") && toks[i + 1].kind == Tok::kIdent &&
+            is_punct(toks[i + 2], "=")) {
+          for (std::size_t j = i + 3;
+               j < toks.size() && !is_punct(toks[j], ";"); ++j) {
+            if (toks[j].kind == Tok::kIdent && aliases->count(toks[j].text)) {
+              grew |= aliases->insert(toks[i + 1].text).second;
+              break;
+            }
+          }
+        } else if (is_ident(toks[i], "typedef")) {
+          std::size_t semi = i + 1;
+          bool unordered = false;
+          while (semi < toks.size() && !is_punct(toks[semi], ";")) {
+            if (toks[semi].kind == Tok::kIdent &&
+                aliases->count(toks[semi].text)) {
+              unordered = true;
+            }
+            ++semi;
+          }
+          if (unordered && semi > i + 1 &&
+              toks[semi - 1].kind == Tok::kIdent) {
+            grew |= aliases->insert(toks[semi - 1].text).second;
+          }
+        }
+      }
+    }
+  }
+}
+
+void harvest_vars(const LexedFile& file, const std::set<std::string>& aliases,
+                  std::vector<UnorderedVar>* vars) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || !aliases.count(toks[i].text)) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && is_punct(toks[j], "<")) {
+      const std::size_t past = skip_angles(toks, j);
+      if (past == kNone) continue;
+      j = past;
+    }
+    while (j < toks.size() &&
+           (is_ident(toks[j], "const") || is_punct(toks[j], "*") ||
+            is_punct(toks[j], "&") || is_punct(toks[j], "&&"))) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != Tok::kIdent ||
+        keywords().count(toks[j].text)) {
+      continue;
+    }
+    // `unordered_map<K, V> make()` declares a function, not a variable.
+    if (j + 1 < toks.size() && is_punct(toks[j + 1], "(")) continue;
+    vars->push_back(UnorderedVar{toks[j].text, &file, toks[j].line});
+  }
+}
+
+void harvest_auto_bindings(const LexedFile& file,
+                           std::set<std::string>* var_names,
+                           std::vector<UnorderedVar>* vars) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "auto")) continue;
+    std::size_t j = i + 1;
+    while (j < toks.size() &&
+           (is_ident(toks[j], "const") || is_punct(toks[j], "&") ||
+            is_punct(toks[j], "&&") || is_punct(toks[j], "*"))) {
+      ++j;
+    }
+    if (j + 1 >= toks.size() || toks[j].kind != Tok::kIdent ||
+        !is_punct(toks[j + 1], "=")) {
+      continue;
+    }
+    // The initializer must *be* the container (possibly wrapped in
+    // std::as_const or parens) — `m.begin()` yields an iterator and is
+    // handled as a walk at its own line instead.
+    bool names_unordered = false;
+    bool dereferences = false;
+    for (std::size_t k = j + 2; k < toks.size() && !is_punct(toks[k], ";");
+         ++k) {
+      if (toks[k].kind == Tok::kIdent && var_names->count(toks[k].text)) {
+        names_unordered = true;
+      }
+      if (is_punct(toks[k], ".") || is_punct(toks[k], "->") ||
+          is_punct(toks[k], "[")) {
+        dereferences = true;
+      }
+    }
+    if (names_unordered && !dereferences) {
+      vars->push_back(UnorderedVar{toks[j].text, &file, toks[j].line});
+      var_names->insert(toks[j].text);
+    }
+  }
+}
+
+void scan_iteration(const LexedFile& file, const std::set<std::string>& vars,
+                    std::vector<UnorderedIterSite>* out) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    // Range-for over an unordered container.
+    if (is_ident(toks[i], "for") && is_punct(toks[i + 1], "(")) {
+      const std::size_t close = match_paren(toks, i + 1);
+      if (close == kNone) continue;
+      std::size_t colon = kNone;
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (is_punct(toks[j], "(")) ++depth;
+        else if (is_punct(toks[j], ")")) --depth;
+        else if (depth == 1 && is_punct(toks[j], ":")) { colon = j; break; }
+      }
+      if (colon == kNone) continue;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (toks[j].kind == Tok::kIdent && vars.count(toks[j].text) &&
+            !(j + 1 < close && is_punct(toks[j + 1], "("))) {
+          out->push_back(UnorderedIterSite{toks[j].text, &file, toks[i].line});
+          break;
+        }
+      }
+      continue;
+    }
+    // Explicit iterator walk: var.begin() / var.cbegin() / ...
+    if (toks[i].kind == Tok::kIdent && vars.count(toks[i].text) &&
+        is_punct(toks[i + 1], ".") && i + 3 < toks.size() &&
+        toks[i + 2].kind == Tok::kIdent && is_punct(toks[i + 3], "(")) {
+      const std::string& m = toks[i + 2].text;
+      if (m == "begin" || m == "cbegin" || m == "rbegin" || m == "crbegin") {
+        out->push_back(UnorderedIterSite{toks[i].text, &file, toks[i].line});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool is_cpp_keyword(const std::string& word) { return keywords().count(word); }
+
+UnitIndex parse_unit(const std::vector<const LexedFile*>& files) {
+  UnitIndex index;
+  index.unordered_aliases = {"unordered_map", "unordered_set",
+                             "unordered_multimap", "unordered_multiset"};
+  harvest_aliases(files, &index.unordered_aliases);
+  for (const LexedFile* file : files) {
+    harvest_vars(*file, index.unordered_aliases, &index.unordered_vars);
+  }
+  std::set<std::string> var_names;
+  for (const UnorderedVar& v : index.unordered_vars) var_names.insert(v.name);
+  for (const LexedFile* file : files) {
+    harvest_auto_bindings(*file, &var_names, &index.unordered_vars);
+  }
+  for (const LexedFile* file : files) {
+    scan_iteration(*file, var_names, &index.iter_sites);
+    scan_functions(*file, &index.functions);
+  }
+  return index;
+}
+
+}  // namespace epilint

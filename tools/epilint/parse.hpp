@@ -1,0 +1,79 @@
+// epilint — lightweight declaration and function-boundary parser.
+//
+// Stage 2 of the analyzer (DESIGN.md §12). This is not a C++ front end;
+// it is the minimum structure the rule passes need, recovered from the
+// token stream with brace/paren/angle matching:
+//
+//   * function definitions — name and [body) token range — so rules can
+//     scope findings to a function and build a call graph;
+//   * the calls made inside each body (callee names, call-site lines);
+//   * unordered-container knowledge: `using`/`typedef` aliases that
+//     resolve to std::unordered_{map,set}, variables/members/parameters
+//     declared with such a type (directly or via alias), and `auto`
+//     bindings to a known unordered variable;
+//   * iteration sites over those variables (range-for and explicit
+//     .begin()/.cbegin() walks).
+//
+// Everything is heuristic and deliberately over-approximate in the safe
+// direction for a linter: a missed declaration means a missed finding,
+// never a crash; an extra call-graph edge can only add a taint path that
+// an inline waiver can silence.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "epilint/lexer.hpp"
+
+namespace epilint {
+
+struct CallSite {
+  std::string callee;  // unqualified name
+  int line;
+};
+
+struct FunctionInfo {
+  std::string name;        // unqualified: `bar` for `void Foo::bar()`
+  const LexedFile* file;   // file holding the definition
+  int line;                // line of the function name
+  std::size_t body_begin;  // token index of the opening '{'
+  std::size_t body_end;    // token index one past the closing '}'
+  std::vector<CallSite> calls;
+};
+
+/// A declared variable/member/parameter of unordered-container type.
+struct UnorderedVar {
+  std::string name;
+  const LexedFile* file;
+  int line;
+};
+
+/// A loop or .begin() walk whose iteration order is hash order.
+struct UnorderedIterSite {
+  std::string var;
+  const LexedFile* file;
+  int line;
+};
+
+/// Everything the parser recovered from one analysis unit (a .cpp plus
+/// the project headers it includes, or a lone header).
+struct UnitIndex {
+  std::vector<FunctionInfo> functions;
+  std::set<std::string> unordered_aliases;  // incl. the std names
+  std::vector<UnorderedVar> unordered_vars;
+  std::vector<UnorderedIterSite> iter_sites;
+};
+
+/// Parses all files of one unit. Aliases and variable declarations are
+/// harvested across every file first (a member declared in the header
+/// must be known when the .cpp iterates it), then functions and
+/// iteration sites are collected per file.
+UnitIndex parse_unit(const std::vector<const LexedFile*>& files);
+
+/// True for identifiers that can never be a function/callee name.
+bool is_cpp_keyword(const std::string& word);
+
+}  // namespace epilint

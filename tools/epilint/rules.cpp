@@ -1,0 +1,669 @@
+#include "epilint/rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <queue>
+
+namespace epilint {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Tok::kPunct && t.text == text;
+}
+
+bool path_ends_with(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool in_mpilite(const std::string& path) {
+  return path.find("mpilite/") != std::string::npos;
+}
+
+std::string snippet_for(const LexedFile& file, int line) {
+  if (line < 1 || static_cast<std::size_t>(line) > file.lines.size()) return "";
+  const std::string& raw = file.lines[line - 1];
+  std::size_t b = raw.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = raw.find_last_not_of(" \t");
+  return raw.substr(b, e - b + 1);
+}
+
+void emit(const LexedFile& file, int line, const char* rule,
+          std::string message, std::vector<Finding>* out) {
+  out->push_back(
+      Finding{rule, file.path, line, snippet_for(file, line), std::move(message)});
+}
+
+std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kPunct) continue;
+    if (toks[i].text == "(") ++depth;
+    else if (toks[i].text == ")" && --depth == 0) return i;
+  }
+  return kNone;
+}
+
+std::size_t match_brace(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kPunct) continue;
+    if (toks[i].text == "{") ++depth;
+    else if (toks[i].text == "}" && --depth == 0) return i;
+  }
+  return kNone;
+}
+
+// ---------------------------------------------------------------------
+// Token-level site scans, shared between the global per-file rules and
+// the per-function sink collection of the taint pass.
+// ---------------------------------------------------------------------
+
+struct TokSite {
+  int line;
+  std::string desc;
+};
+
+std::vector<TokSite> find_banned_random(const std::vector<Token>& toks,
+                                        std::size_t b, std::size_t e) {
+  static const std::set<std::string> banned = {
+      "rand", "srand", "random_shuffle", "rand_r", "drand48", "lrand48"};
+  std::vector<TokSite> sites;
+  for (std::size_t i = b; i + 1 < e; ++i) {
+    if (toks[i].kind == Tok::kIdent && banned.count(toks[i].text) &&
+        is_punct(toks[i + 1], "(")) {
+      // `obj.rand(...)` is a method of some seeded type, not libc rand.
+      if (i > b && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+        continue;
+      }
+      sites.push_back({toks[i].line, toks[i].text + "() (unseeded libc randomness)"});
+    }
+  }
+  return sites;
+}
+
+std::vector<TokSite> find_wall_clock(const std::vector<Token>& toks,
+                                     std::size_t b, std::size_t e) {
+  static const std::set<std::string> clocks = {
+      "system_clock", "high_resolution_clock", "localtime", "gmtime",
+      "strftime",     "asctime",               "ctime",     "gettimeofday",
+      "timespec_get"};
+  std::vector<TokSite> sites;
+  for (std::size_t i = b; i < e; ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    const std::string& name = toks[i].text;
+    if (clocks.count(name)) {
+      if (i > b && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+        continue;
+      }
+      sites.push_back({toks[i].line, name + " (wall-clock read)"});
+      continue;
+    }
+    if (name == "time" && i + 1 < e && is_punct(toks[i + 1], "(")) {
+      const bool qualified = i > b && is_punct(toks[i - 1], "::");
+      const bool null_arg =
+          i + 3 < e &&
+          (toks[i + 2].text == "nullptr" || toks[i + 2].text == "NULL" ||
+           toks[i + 2].text == "0") &&
+          is_punct(toks[i + 3], ")");
+      if (qualified || null_arg) {
+        sites.push_back({toks[i].line, "time() (wall-clock read)"});
+      }
+      continue;
+    }
+    if (name == "clock" && i + 2 < e && is_punct(toks[i + 1], "(") &&
+        is_punct(toks[i + 2], ")")) {
+      if (i > b && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+        continue;
+      }
+      sites.push_back({toks[i].line, "clock() (processor-time read)"});
+    }
+  }
+  return sites;
+}
+
+std::vector<TokSite> find_getenv(const std::vector<Token>& toks, std::size_t b,
+                                 std::size_t e) {
+  std::vector<TokSite> sites;
+  for (std::size_t i = b; i + 1 < e; ++i) {
+    if (toks[i].kind == Tok::kIdent &&
+        (toks[i].text == "getenv" || toks[i].text == "secure_getenv") &&
+        is_punct(toks[i + 1], "(")) {
+      sites.push_back({toks[i].line, toks[i].text + "()"});
+    }
+  }
+  return sites;
+}
+
+std::vector<TokSite> find_raw_stream(const std::vector<Token>& toks,
+                                     std::size_t b, std::size_t e) {
+  static const std::set<std::string> streams = {"cerr", "cout", "clog"};
+  static const std::set<std::string> print_fns = {"printf", "vprintf", "puts",
+                                                  "putchar"};
+  std::vector<TokSite> sites;
+  for (std::size_t i = b; i < e; ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    const std::string& name = toks[i].text;
+    if (streams.count(name)) {
+      // Only access to the stream object, not e.g. a member named cout.
+      if (i > b && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+        continue;
+      }
+      sites.push_back({toks[i].line, "std::" + name});
+      continue;
+    }
+    if (i + 1 >= e || !is_punct(toks[i + 1], "(")) continue;
+    if (print_fns.count(name)) {
+      sites.push_back({toks[i].line, name + "()"});
+      continue;
+    }
+    if ((name == "fprintf" || name == "vfprintf") && i + 2 < e &&
+        (toks[i + 2].text == "stderr" || toks[i + 2].text == "stdout")) {
+      sites.push_back({toks[i].line, name + "(" + toks[i + 2].text + ", ...)"});
+    }
+  }
+  return sites;
+}
+
+/// True when a printf-style format string contains a non-hexfloat
+/// floating-point conversion (%f/%e/%g; %a is the sanctioned exact form).
+bool has_nonhex_float_spec(const std::string& text) {
+  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] != '%') continue;
+    std::size_t j = i + 1;
+    if (text[j] == '%') { i = j; continue; }
+    while (j < text.size() && (std::isdigit(static_cast<unsigned char>(text[j])) ||
+                               text[j] == '-' || text[j] == '+' ||
+                               text[j] == ' ' || text[j] == '#' ||
+                               text[j] == '.' || text[j] == '*' ||
+                               text[j] == '\'')) {
+      ++j;
+    }
+    while (j < text.size() && (text[j] == 'l' || text[j] == 'L' ||
+                               text[j] == 'h')) {
+      ++j;
+    }
+    if (j < text.size() && (text[j] == 'f' || text[j] == 'F' ||
+                            text[j] == 'e' || text[j] == 'E' ||
+                            text[j] == 'g' || text[j] == 'G')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<TokSite> find_nonhex_float(const std::vector<Token>& toks,
+                                       std::size_t b, std::size_t e) {
+  std::vector<TokSite> sites;
+  for (std::size_t i = b; i < e; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Tok::kString && has_nonhex_float_spec(t.text)) {
+      sites.push_back({t.line, "\"%" "f\"-style format (prints distinct doubles alike)"});
+      continue;
+    }
+    if (t.kind != Tok::kIdent) continue;
+    if (t.text == "setprecision" && i + 1 < e && is_punct(toks[i + 1], "(")) {
+      sites.push_back({t.line, "std::setprecision"});
+      continue;
+    }
+    if ((t.text == "fixed" || t.text == "scientific") && i > b &&
+        is_punct(toks[i - 1], "::")) {
+      sites.push_back({t.line, "std::" + t.text});
+    }
+  }
+  return sites;
+}
+
+// ---------------------------------------------------------------------
+// Determinism taint: seeds, sinks, reachability.
+// ---------------------------------------------------------------------
+
+bool contains_ci(const std::string& haystack, const char* needle) {
+  std::string lower;
+  lower.reserve(haystack.size());
+  for (char c : haystack) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return lower.find(needle) != std::string::npos;
+}
+
+/// Does a format string contain a hexfloat (%a / %A) conversion?
+bool has_hexfloat_spec(const std::string& text) {
+  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] != '%') continue;
+    std::size_t j = i + 1;
+    while (j < text.size() && (std::isdigit(static_cast<unsigned char>(text[j])) ||
+                               text[j] == '-' || text[j] == '.' ||
+                               text[j] == '*')) {
+      ++j;
+    }
+    if (j < text.size() && (text[j] == 'a' || text[j] == 'A')) return true;
+  }
+  return false;
+}
+
+/// An output/serialization function: the roots of the determinism-taint
+/// pass. Matched by name (serialize/dump/report/write*) or by evidence
+/// in the body — hexfloat formatting only ever appears in the repo's
+/// byte-identity report dumps.
+bool is_output_seed(const FunctionInfo& fn) {
+  if (contains_ci(fn.name, "serialize") || contains_ci(fn.name, "dump") ||
+      contains_ci(fn.name, "report") || contains_ci(fn.name, "write")) {
+    return true;
+  }
+  const std::vector<Token>& toks = fn.file->tokens;
+  for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+    if (toks[i].kind == Tok::kString && has_hexfloat_spec(toks[i].text)) {
+      return true;
+    }
+    if (toks[i].kind == Tok::kIdent && toks[i].text == "hexfloat") return true;
+  }
+  return false;
+}
+
+struct Sink {
+  const LexedFile* file;
+  int line;
+  std::string desc;
+};
+
+struct TaintGraph {
+  std::vector<const FunctionInfo*> fns;
+  std::vector<bool> seed;
+  std::vector<std::vector<Sink>> sinks;
+  std::vector<std::vector<std::size_t>> edges;  // caller -> callees
+  std::vector<bool> reached;                    // from any seed
+  std::vector<std::size_t> parent;              // BFS tree, kNone at roots
+};
+
+TaintGraph build_taint_graph(const Unit& unit) {
+  TaintGraph g;
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  for (const FunctionInfo& fn : unit.index.functions) {
+    by_name[fn.name].push_back(g.fns.size());
+    g.fns.push_back(&fn);
+  }
+  g.seed.resize(g.fns.size());
+  g.sinks.resize(g.fns.size());
+  g.edges.resize(g.fns.size());
+  g.reached.assign(g.fns.size(), false);
+  g.parent.assign(g.fns.size(), kNone);
+
+  for (std::size_t i = 0; i < g.fns.size(); ++i) {
+    const FunctionInfo& fn = *g.fns[i];
+    g.seed[i] = is_output_seed(fn);
+    const std::vector<Token>& toks = fn.file->tokens;
+    const int first_line = toks[fn.body_begin].line;
+    const int last_line = toks[fn.body_end - 1].line;
+    for (const TokSite& s :
+         find_banned_random(toks, fn.body_begin, fn.body_end)) {
+      g.sinks[i].push_back({fn.file, s.line, s.desc});
+    }
+    if (!path_ends_with(fn.file->path, "util/timer.hpp")) {
+      for (const TokSite& s :
+           find_wall_clock(toks, fn.body_begin, fn.body_end)) {
+        g.sinks[i].push_back({fn.file, s.line, s.desc});
+      }
+    }
+    for (const UnorderedIterSite& s : unit.index.iter_sites) {
+      if (s.file == fn.file && s.line >= first_line && s.line <= last_line) {
+        g.sinks[i].push_back(
+            {s.file, s.line, "unordered-container iteration of '" + s.var + "'"});
+      }
+    }
+    for (const CallSite& call : fn.calls) {
+      auto it = by_name.find(call.callee);
+      if (it == by_name.end()) continue;
+      for (std::size_t callee : it->second) {
+        if (callee != i) g.edges[i].push_back(callee);
+      }
+    }
+  }
+
+  std::queue<std::size_t> queue;
+  for (std::size_t i = 0; i < g.fns.size(); ++i) {
+    if (g.seed[i]) {
+      g.reached[i] = true;
+      queue.push(i);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t i = queue.front();
+    queue.pop();
+    for (std::size_t next : g.edges[i]) {
+      if (!g.reached[next]) {
+        g.reached[next] = true;
+        g.parent[next] = i;
+        queue.push(next);
+      }
+    }
+  }
+  return g;
+}
+
+std::string taint_chain(const TaintGraph& g, std::size_t node) {
+  std::vector<std::string> names;
+  for (std::size_t i = node; i != kNone; i = g.parent[i]) {
+    names.push_back(g.fns[i]->name);
+  }
+  std::reverse(names.begin(), names.end());
+  std::string chain;
+  for (const std::string& n : names) {
+    if (!chain.empty()) chain += " -> ";
+    chain += n;
+  }
+  return chain;
+}
+
+// ---------------------------------------------------------------------
+// mpilite misuse.
+// ---------------------------------------------------------------------
+
+/// Splits the argument list of the call whose '(' is at `open` into
+/// top-level argument strings (token texts joined with spaces).
+std::vector<std::string> call_args(const std::vector<Token>& toks,
+                                   std::size_t open) {
+  std::vector<std::string> args;
+  const std::size_t close = match_paren(toks, open);
+  if (close == kNone) return args;
+  std::string current;
+  int depth = 0;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Tok::kPunct) {
+      if (t.text == "(" || t.text == "{" || t.text == "[") ++depth;
+      if (t.text == ")" || t.text == "}" || t.text == "]") --depth;
+      if (t.text == "," && depth == 0) {
+        args.push_back(current);
+        current.clear();
+        continue;
+      }
+    }
+    if (!current.empty()) current += ' ';
+    current += t.text;
+  }
+  args.push_back(current);
+  return args;
+}
+
+void check_tag_mismatch(const FunctionInfo& fn, std::vector<Finding>* out) {
+  const std::vector<Token>& toks = fn.file->tokens;
+  std::set<std::string> send_tags, recv_tags;
+  int first_recv_line = 0;
+  for (std::size_t i = fn.body_begin; i + 2 < fn.body_end; ++i) {
+    if (!(is_punct(toks[i], ".") || is_punct(toks[i], "->"))) continue;
+    const Token& name = toks[i + 1];
+    if (name.kind != Tok::kIdent) continue;
+    const bool is_send = name.text == "send" || name.text == "send_bytes";
+    const bool is_recv = name.text == "recv" || name.text == "recv_bytes";
+    if (!is_send && !is_recv) continue;
+    std::size_t open = i + 2;
+    if (is_punct(toks[open], "<")) {  // send<T>(...)
+      int depth = 0;
+      do {
+        if (toks[open].kind == Tok::kPunct) {
+          if (toks[open].text == "<") ++depth;
+          else if (toks[open].text == ">") --depth;
+          else if (toks[open].text == ">>") depth -= 2;
+        }
+        ++open;
+      } while (open < fn.body_end && depth > 0);
+    }
+    if (open >= fn.body_end || !is_punct(toks[open], "(")) continue;
+    const std::vector<std::string> args = call_args(toks, open);
+    if (args.size() < 2) continue;
+    if (is_send) {
+      send_tags.insert(args[1]);
+    } else {
+      recv_tags.insert(args[1]);
+      if (first_recv_line == 0) first_recv_line = name.line;
+    }
+  }
+  if (send_tags.empty() || recv_tags.empty()) return;
+  for (const std::string& tag : send_tags) {
+    if (recv_tags.count(tag)) return;  // at least one matched pair
+  }
+  std::string sends, recvs;
+  for (const std::string& t : send_tags) sends += (sends.empty() ? "" : ", ") + t;
+  for (const std::string& t : recv_tags) recvs += (recvs.empty() ? "" : ", ") + t;
+  emit(*fn.file, first_recv_line, "mpilite-tag-mismatch",
+       "'" + fn.name + "' pairs sends tagged {" + sends +
+           "} with receives tagged {" + recvs +
+           "}; no tag matches, so these messages can never pair up",
+       out);
+}
+
+void check_divergent_collectives(const FunctionInfo& fn,
+                                 std::vector<Finding>* out) {
+  static const std::set<std::string> collectives = {
+      "barrier", "allreduce", "allgatherv", "alltoallv",
+      "broadcast", "bcast",   "reduce",     "gather",    "scatter"};
+  static const std::set<std::string> rank_names = {"rank", "rank_", "my_rank",
+                                                   "myrank"};
+  const std::vector<Token>& toks = fn.file->tokens;
+
+  auto scan_extent = [&](std::size_t b, std::size_t e, int cond_line) {
+    for (std::size_t i = b; i < e; ++i) {
+      if (toks[i].kind != Tok::kIdent || !collectives.count(toks[i].text)) {
+        continue;
+      }
+      if (i + 1 >= e) continue;
+      if (!(is_punct(toks[i + 1], "(") || is_punct(toks[i + 1], "<"))) continue;
+      if (i > b && is_punct(toks[i - 1], "::")) continue;
+      emit(*fn.file, toks[i].line, "mpilite-divergent-collective",
+           "collective '" + toks[i].text +
+               "' called under a rank-divergent branch (condition at line " +
+               std::to_string(cond_line) +
+               "); all ranks must make the same collective calls",
+           out);
+    }
+  };
+
+  for (std::size_t i = fn.body_begin; i + 1 < fn.body_end; ++i) {
+    if (!(toks[i].kind == Tok::kIdent && toks[i].text == "if") ||
+        !is_punct(toks[i + 1], "(")) {
+      continue;
+    }
+    const std::size_t cond_close = match_paren(toks, i + 1);
+    if (cond_close == kNone || cond_close >= fn.body_end) continue;
+    bool mentions_rank = false, compares = false;
+    for (std::size_t j = i + 2; j < cond_close; ++j) {
+      if (toks[j].kind == Tok::kIdent && rank_names.count(toks[j].text)) {
+        mentions_rank = true;
+      }
+      if (is_punct(toks[j], "==") || is_punct(toks[j], "!=")) compares = true;
+    }
+    if (!mentions_rank || !compares) continue;
+    const int cond_line = toks[i].line;
+    // Then-branch extent.
+    std::size_t b = cond_close + 1, e;
+    if (b < fn.body_end && is_punct(toks[b], "{")) {
+      e = match_brace(toks, b);
+      if (e == kNone) continue;
+    } else {
+      e = b;
+      while (e < fn.body_end && !is_punct(toks[e], ";")) ++e;
+    }
+    scan_extent(b, std::min(e + 1, fn.body_end), cond_line);
+    // Else-branch (unless it chains into another if, which is scanned on
+    // its own and may carry its own rank condition).
+    std::size_t after = e + 1;
+    if (after < fn.body_end && toks[after].kind == Tok::kIdent &&
+        toks[after].text == "else") {
+      std::size_t eb = after + 1;
+      if (eb < fn.body_end && toks[eb].kind == Tok::kIdent &&
+          toks[eb].text == "if") {
+        continue;
+      }
+      std::size_t ee;
+      if (eb < fn.body_end && is_punct(toks[eb], "{")) {
+        ee = match_brace(toks, eb);
+        if (ee == kNone) continue;
+      } else {
+        ee = eb;
+        while (ee < fn.body_end && !is_punct(toks[ee], ";")) ++ee;
+      }
+      scan_extent(eb, std::min(ee + 1, fn.body_end), cond_line);
+    }
+  }
+}
+
+void check_runtime_entry(const LexedFile& file, std::vector<Finding>* out) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!(toks[i].kind == Tok::kIdent && toks[i].text == "Runtime")) continue;
+    // `class Runtime`, `friend class Runtime` — declarations, not uses.
+    if (i > 0 && toks[i - 1].kind == Tok::kIdent &&
+        (toks[i - 1].text == "class" || toks[i - 1].text == "struct")) {
+      continue;
+    }
+    if (is_punct(toks[i + 1], "::") && i + 2 < toks.size() &&
+        toks[i + 2].kind == Tok::kIdent) {
+      const std::string& member = toks[i + 2].text;
+      if (member != "run" && member != "run_checked") {
+        emit(file, toks[i].line, "mpilite-runtime-entry",
+             "Runtime::" + member +
+                 " — the SPMD world may only be entered through "
+                 "Runtime::run or Runtime::run_checked",
+             out);
+      }
+      continue;
+    }
+    if (toks[i + 1].kind == Tok::kIdent && !is_cpp_keyword(toks[i + 1].text)) {
+      emit(file, toks[i].line, "mpilite-runtime-entry",
+           "Runtime instance '" + toks[i + 1].text +
+               "' — Runtime is not instantiable outside mpilite; use "
+               "Runtime::run or Runtime::run_checked",
+           out);
+    }
+  }
+}
+
+}  // namespace
+
+void run_rules(const Unit& unit, const std::set<std::string>& env_registry,
+               std::vector<Finding>* out) {
+  // --- Global token rules over each primary file ------------------------
+  for (const LexedFile* file : unit.files) {
+    if (!unit.primary.count(file)) continue;
+    const std::vector<Token>& toks = file->tokens;
+
+    for (const TokSite& s : find_banned_random(toks, 0, toks.size())) {
+      emit(*file, s.line, "banned-random",
+           s.desc + "; use the seeded epi::Rng instead", out);
+    }
+
+    if (!path_ends_with(file->path, "util/timer.hpp")) {
+      for (const TokSite& s : find_wall_clock(toks, 0, toks.size())) {
+        emit(*file, s.line, "wall-clock",
+             s.desc + " outside util/timer.hpp; simulation state must never "
+                      "depend on real time — use epi::Timer for measurement",
+             out);
+      }
+    }
+
+    if (!path_ends_with(file->path, "util/env.cpp")) {
+      for (const TokSite& s : find_getenv(toks, 0, toks.size())) {
+        emit(*file, s.line, "env-getenv",
+             "raw " + s.desc + " outside src/util/env.cpp; go through the "
+                               "util/env accessors so every knob is "
+                               "registered, validated, and documented",
+             out);
+      }
+    }
+
+    for (const TokSite& s : find_raw_stream(toks, 0, toks.size())) {
+      emit(*file, s.line, "io-raw-stream",
+           "raw " + s.desc + " write outside the logger; use EPI_WARN/"
+                             "EPI_ERROR so EPI_LOG_LEVEL and set_log_sink() "
+                             "govern every line the workflow emits",
+           out);
+    }
+
+    if (!env_registry.empty()) {
+      for (const Token& t : toks) {
+        if (t.kind != Tok::kString || t.text.size() < 5 ||
+            t.text.compare(0, 4, "EPI_") != 0) {
+          continue;
+        }
+        const bool name_shaped =
+            t.text.find_first_not_of(
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_") == std::string::npos;
+        if (name_shaped && !env_registry.count(t.text)) {
+          emit(*file, t.line, "env-registry",
+               "\"" + t.text + "\" is not registered in the kEnvRegistry "
+                               "table of util/env.hpp; add it there (with a "
+                               "summary) so the README table stays complete",
+               out);
+        }
+      }
+    }
+
+    if (!in_mpilite(file->path)) check_runtime_entry(*file, out);
+  }
+
+  // --- Unordered-container iteration ------------------------------------
+  for (const UnorderedIterSite& s : unit.index.iter_sites) {
+    if (!unit.primary.count(s.file)) continue;
+    emit(*s.file, s.line, "unordered-iter",
+         "iteration over unordered container '" + s.var +
+             "' — hash order differs across libstdc++ versions and runs; "
+             "iterate a sorted/ordered structure instead",
+         out);
+  }
+
+  // --- Function-scoped mpilite rules ------------------------------------
+  for (const FunctionInfo& fn : unit.index.functions) {
+    if (!unit.primary.count(fn.file) || in_mpilite(fn.file->path)) continue;
+    check_tag_mismatch(fn, out);
+    check_divergent_collectives(fn, out);
+  }
+
+  // --- Determinism taint + report-path float formatting ------------------
+  const TaintGraph graph = build_taint_graph(unit);
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < graph.fns.size(); ++i) {
+    if (!graph.reached[i]) continue;
+    const FunctionInfo& fn = *graph.fns[i];
+    for (const Sink& sink : graph.sinks[i]) {
+      // Attribute at the sink when it lies in a primary file, else at
+      // the seed that reaches it, so each unit only reports on the
+      // files it owns.
+      const LexedFile* at_file = sink.file;
+      int at_line = sink.line;
+      if (!unit.primary.count(at_file)) {
+        std::size_t root = i;
+        while (graph.parent[root] != kNone) root = graph.parent[root];
+        if (!unit.primary.count(graph.fns[root]->file)) continue;
+        at_file = graph.fns[root]->file;
+        at_line = graph.fns[root]->line;
+      }
+      const std::string key = at_file->path + ":" + std::to_string(at_line) +
+                              ":" + sink.desc;
+      if (!seen.insert(key).second) continue;
+      emit(*at_file, at_line, "determinism-taint",
+           "output path " + taint_chain(graph, i) + " reaches " + sink.desc +
+               " (" + sink.file->path + ":" + std::to_string(sink.line) +
+               "); everything an output function touches must be "
+               "deterministic",
+           out);
+    }
+    if (unit.primary.count(fn.file)) {
+      const std::vector<Token>& toks = fn.file->tokens;
+      for (const TokSite& s :
+           find_nonhex_float(toks, fn.body_begin, fn.body_end)) {
+        emit(*fn.file, s.line, "io-nonhex-float",
+             s.desc + " in report path '" + fn.name +
+                 "'; report dumps use hexfloat (\"%a\") so byte equality "
+                 "is value equality",
+             out);
+      }
+    }
+  }
+}
+
+}  // namespace epilint

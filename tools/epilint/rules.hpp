@@ -1,0 +1,31 @@
+// epilint — rule passes (stage 3; see epilint.hpp for the catalogue).
+//
+// Rules run per analysis unit: a .cpp together with its transitively
+// included project headers (or a lone header), parsed into a UnitIndex.
+// Declarations, aliases, and call-graph edges are harvested across the
+// whole unit — that is what lets a loop in a .cpp be matched against a
+// member declared in the header — but findings are only *emitted* for a
+// unit's primary files, so each file is reported by exactly one unit.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "epilint/epilint.hpp"
+#include "epilint/lexer.hpp"
+#include "epilint/parse.hpp"
+
+namespace epilint {
+
+struct Unit {
+  std::vector<const LexedFile*> files;    // primary files first
+  std::set<const LexedFile*> primary;     // files findings may land in
+  UnitIndex index;
+};
+
+/// Runs every rule pass over one unit. `env_registry` holds the
+/// registered EPI_* names (empty set disables the env-registry rule).
+void run_rules(const Unit& unit, const std::set<std::string>& env_registry,
+               std::vector<Finding>* out);
+
+}  // namespace epilint
