@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # CI entry point with selectable lanes:
 #
-#   ./ci.sh            # all lanes: lint, plain, service, asan, tsan
+#   ./ci.sh            # all lanes: lint, plain, service, obs, asan, tsan
 #   ./ci.sh lint       # epilint static analysis + optional clang-tidy
 #                      # (builds only the analyzer, not the libraries)
 #   ./ci.sh plain      # RelWithDebInfo build + tests + CommChecker pass
 #   ./ci.sh service    # scenario-service replay determinism: the canned
 #                      # request log twice, and EPI_JOBS=1 vs 4, with
 #                      # byte-diffs of responses + report; throughput gate
+#   ./ci.sh obs        # epitrace pass: traced nightly run -> trace_check
+#                      # -> epitrace self-checks; traced-vs-untraced
+#                      # byte-identity; fig9/table1 bench reports diffed
+#                      # against bench/baselines/ (clean must pass, an
+#                      # injected 10%+ regression must be flagged)
 #   ./ci.sh asan       # AddressSanitizer + UBSan + LeakSanitizer build
 #   ./ci.sh tsan       # ThreadSanitizer build (mpilite runs ranks as
 #                      # threads, so this sees every data race real-MPI
@@ -40,8 +45,11 @@ run_plain() {
   # test. InvalidRankOrTagThrows seeds deliberate misuse inside
   # EXPECT_THROW and is excluded — the checker reporting it is the
   # expected behaviour, exercised by tests/test_mpilite_check.cpp.
+  # UnreceivedMessagesLeaveNoDanglingEdges intentionally leaves a send
+  # unmatched to prove flow export emits no dangling edges, which the
+  # checker rightly flags as a message leak.
   EPI_MPILITE_CHECK=1 ctest --test-dir build --output-on-failure -j "$JOBS" \
-    -R 'Mpilite|Parallel' -E 'InvalidRankOrTag'
+    -R 'Mpilite|Parallel' -E 'InvalidRankOrTag|UnreceivedMessages'
 
   echo "== trace pass (EPI_TRACE) =="
   # Run the nightly example twice with tracing on and deterministic
@@ -111,6 +119,51 @@ run_service() {
   echo "service pass OK (see build/service-ci/BENCH_service_throughput.json)"
 }
 
+run_obs() {
+  echo "== observability pass (epitrace) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target nightly_national_run trace_check \
+    epitrace bench_fig9_utilization bench_table1_workflows
+
+  # A traced deterministic nightly run (the fig9 workload): validate the
+  # emitted files, then run the profiler with its self-checks on — every
+  # phase's critical path must fit inside the phase window, and the job
+  # spans' busy node-hours must reproduce the recorded utilization gauge.
+  rm -rf build/obs-ci && mkdir -p build/obs-ci
+  EPI_TRACE=build/obs-ci/run EPI_DETERMINISTIC_TIMING=1 \
+    ./build/examples/nightly_national_run economic > build/obs-ci/report-traced.txt
+  ./build/tools/trace_check build/obs-ci/run/trace.json build/obs-ci/run/metrics.json
+  ./build/tools/epitrace report build/obs-ci/run --check > build/obs-ci/epitrace-report.txt
+  echo "epitrace report OK (critical path + busy-vs-utilization self-checks)"
+
+  # Observer effect check: the same run untraced (and traced with flow
+  # edges off) must produce a byte-identical workflow report.
+  EPI_DETERMINISTIC_TIMING=1 \
+    ./build/examples/nightly_national_run economic > build/obs-ci/report-untraced.txt
+  EPI_TRACE=build/obs-ci/run-noflow EPI_TRACE_FLOW=0 EPI_DETERMINISTIC_TIMING=1 \
+    ./build/examples/nightly_national_run economic > build/obs-ci/report-noflow.txt
+  cmp build/obs-ci/report-traced.txt build/obs-ci/report-untraced.txt
+  cmp build/obs-ci/report-traced.txt build/obs-ci/report-noflow.txt
+  echo "observer-effect OK (traced == untraced == flow-off, byte-identical)"
+
+  # Perf-regression gate: fresh fig9/table1 reports must diff clean
+  # against the committed baselines...
+  mkdir -p build/obs-ci/bench
+  EPI_BENCH_JSON=build/obs-ci/bench ./build/bench/bench_fig9_utilization >/dev/null
+  EPI_BENCH_JSON=build/obs-ci/bench ./build/bench/bench_table1_workflows >/dev/null
+  ./build/tools/epitrace diff bench/baselines build/obs-ci/bench
+  # ...and an injected >= 10% regression in a copy must be flagged.
+  rm -rf build/obs-ci/bench-bad && cp -r build/obs-ci/bench build/obs-ci/bench-bad
+  sed -e 's/"calibration.makespan_hours": /"calibration.makespan_hours": 1/' \
+    build/obs-ci/bench/BENCH_table1_workflows.json \
+    > build/obs-ci/bench-bad/BENCH_table1_workflows.json
+  if ./build/tools/epitrace diff bench/baselines build/obs-ci/bench-bad >/dev/null; then
+    echo "bench-diff gate FAILED to flag an injected regression" >&2
+    exit 1
+  fi
+  echo "bench gate OK (clean run passes, injected regression flagged)"
+}
+
 run_asan() {
   echo "== sanitized build (ASan + UBSan + LSan) =="
   cmake -B build-asan -S . -DEPI_SANITIZE=ON >/dev/null
@@ -134,11 +187,12 @@ case "$lane" in
   lint)    run_lint ;;
   plain)   run_plain ;;
   service) run_service ;;
+  obs)     run_obs ;;
   asan)    run_asan ;;
   tsan)    run_tsan ;;
-  all)     run_lint; run_plain; run_service; run_asan; run_tsan ;;
+  all)     run_lint; run_plain; run_service; run_obs; run_asan; run_tsan ;;
   *)
-    echo "usage: $0 [lint|plain|service|asan|tsan|all]" >&2
+    echo "usage: $0 [lint|plain|service|obs|asan|tsan|all]" >&2
     exit 2
     ;;
 esac

@@ -88,8 +88,11 @@ int main(int argc, char** argv) {
 
   if (session != nullptr) {
     session->write();
-    std::printf("\ntrace:   %s\nmetrics: %s\n", session->trace_path().c_str(),
-                session->metrics_path().c_str());
+    // stderr, so stdout stays byte-identical with an untraced run (the
+    // observer-effect check in `ci.sh obs` compares them with cmp).
+    std::fprintf(stderr, "trace:   %s\nmetrics: %s\n",
+                 session->trace_path().c_str(),
+                 session->metrics_path().c_str());
   }
   return 0;
 }

@@ -59,6 +59,13 @@ void flush_obs(const ExecObs& obs, const std::string& label,
                            "worker " + std::to_string(w));
   }
   const double base_hours = obs.trace->sim_hours();
+  // Chains from different parallel_map calls must not share flow ids (a
+  // later call's 's' could otherwise sort before an earlier call's 'f'
+  // within one sim-hour); the recorder's event count at flush time is a
+  // deterministic per-call discriminator.
+  const std::uint64_t call_seq = obs.trace->event_count();
+  const auto queue_lane = static_cast<std::uint32_t>(workers);
+  if (obs.flow) obs.trace->thread_name(pid, queue_lane, "queue");
   for (std::size_t i = 0; i < spans.size(); ++i) {
     const std::size_t lane =
         obs.deterministic_timing ? i % workers : spans[i].worker;
@@ -71,6 +78,20 @@ void flush_obs(const ExecObs& obs, const std::string& label,
     obs.trace->complete(pid, static_cast<std::uint32_t>(lane),
                         label + "[" + std::to_string(i) + "]", "exec",
                         base_hours, duration_s / 3600.0, std::move(args));
+    if (obs.flow) {
+      const std::string chain = "exec:" + label + "#" +
+                                std::to_string(call_seq) + "[" +
+                                std::to_string(i) + "]";
+      obs::TraceArgs flow_args;
+      flow_args["index"] = static_cast<std::uint64_t>(i);
+      obs.trace->flow_start(pid, queue_lane, "submit", "exec", base_hours,
+                            chain, flow_args);
+      obs.trace->flow_step(pid, static_cast<std::uint32_t>(lane), "start",
+                           "exec", base_hours, chain, flow_args);
+      obs.trace->flow_end(pid, static_cast<std::uint32_t>(lane), "finish",
+                          "exec", base_hours + duration_s / 3600.0, chain,
+                          std::move(flow_args));
+    }
   }
 }
 

@@ -70,6 +70,9 @@ struct ExecObs {
   /// wall stamps read 0, and the (schedule-dependent) steal counter is
   /// not recorded.
   bool deterministic_timing = false;
+  /// Emit per-task submit->start->finish flow chains ('s'/'t'/'f') from
+  /// the queue lane to the task's worker lane. Ignored when trace is null.
+  bool flow = true;
 };
 
 struct ExecConfig {

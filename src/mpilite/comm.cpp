@@ -7,6 +7,9 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <tuple>
+
+#include "obs/trace.hpp"
 
 #include "obs/metrics.hpp"
 #include "util/env.hpp"
@@ -25,6 +28,18 @@ constexpr int kTagBroadcast = kSystemTagBase + 3;
 constexpr int kTagReduce = kSystemTagBase + 4;
 }  // namespace
 
+/// One side of a point-to-point message, buffered for the post-join flow
+/// flush. `seq` is the per-(source, dest, tag) FIFO ordinal, which is
+/// exactly the mailbox matching rule, so the nth send pairs with the nth
+/// recv of the same key.
+struct FlowRecord {
+  int source = 0;
+  int dest = 0;
+  int tag = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t bytes = 0;
+};
+
 struct Hub {
   explicit Hub(int n) : size(n), barrier(n) {
     mailboxes.reserve(static_cast<std::size_t>(n));
@@ -37,6 +52,14 @@ struct Hub {
   Barrier barrier;
   std::unique_ptr<CommChecker> checker;  // null unless checking enabled
   ObsHooks obs;                          // metrics null unless attached
+
+  // Flow-record buffer (see ObsHooks): ranks append under flow_mutex, the
+  // orchestration thread drains after the join.
+  std::mutex flow_mutex;
+  std::vector<FlowRecord> flow_sends;
+  std::vector<FlowRecord> flow_recvs;
+  std::map<std::tuple<int, int, int>, std::uint64_t> flow_send_seq;
+  std::map<std::tuple<int, int, int>, std::uint64_t> flow_recv_seq;
 
   void abort();
 };
@@ -81,6 +104,68 @@ void record_collective_seconds(const Hub& hub, const char* name,
   hub.obs.metrics->observe(
       std::string("mpilite.") + name + "_s",
       hub.obs.deterministic_timing ? 0.0 : timer.elapsed_seconds());
+}
+
+/// Buffers one side of a user point-to-point message for the post-join
+/// flow flush. Collectives are excluded by construction: they bypass
+/// send_bytes/recv_bytes and their waits are already accounted by the
+/// "mpilite.<collective>_s" histograms.
+void record_flow(Hub& hub, bool is_send, int source, int dest, int tag,
+                 std::size_t bytes) {
+  if (hub.obs.trace == nullptr) return;
+  std::lock_guard<std::mutex> lock(hub.flow_mutex);
+  auto& seq_map = is_send ? hub.flow_send_seq : hub.flow_recv_seq;
+  FlowRecord record;
+  record.source = source;
+  record.dest = dest;
+  record.tag = tag;
+  record.seq = seq_map[{source, dest, tag}]++;
+  record.bytes = bytes;
+  (is_send ? hub.flow_sends : hub.flow_recvs).push_back(record);
+}
+
+/// Drains the flow buffer into the TraceRecorder. Called from the
+/// orchestration thread after every rank thread has joined (the recorder
+/// is not thread-safe). Only matched pairs are emitted, in (source, dest,
+/// tag, seq) order, so the output is schedule-independent.
+void flush_flows(Hub& hub) {
+  obs::TraceRecorder* trace = hub.obs.trace;
+  if (trace == nullptr) return;
+  auto key_less = [](const FlowRecord& a, const FlowRecord& b) {
+    return std::tie(a.source, a.dest, a.tag, a.seq) <
+           std::tie(b.source, b.dest, b.tag, b.seq);
+  };
+  std::sort(hub.flow_sends.begin(), hub.flow_sends.end(), key_less);
+  std::sort(hub.flow_recvs.begin(), hub.flow_recvs.end(), key_less);
+
+  const std::uint32_t pid = trace->process("mpilite");
+  const double ts = trace->sim_hours();
+  auto recv_it = hub.flow_recvs.begin();
+  for (const FlowRecord& send : hub.flow_sends) {
+    while (recv_it != hub.flow_recvs.end() && key_less(*recv_it, send)) {
+      ++recv_it;
+    }
+    const bool matched = recv_it != hub.flow_recvs.end() &&
+                         !key_less(send, *recv_it);
+    if (!matched) continue;  // unreceived message: no edge, no dangling 's'
+    const std::string id = "msg:" + std::to_string(send.source) + "->" +
+                           std::to_string(send.dest) + ":t" +
+                           std::to_string(send.tag) + ":#" +
+                           std::to_string(send.seq);
+    trace->thread_name(pid, static_cast<std::uint32_t>(send.source),
+                       "rank " + std::to_string(send.source));
+    trace->thread_name(pid, static_cast<std::uint32_t>(send.dest),
+                       "rank " + std::to_string(send.dest));
+    obs::TraceArgs args;
+    args["bytes"] = send.bytes;
+    trace->flow_start(pid, static_cast<std::uint32_t>(send.source), "send",
+                      "mpilite", ts, id, args);
+    trace->flow_end(pid, static_cast<std::uint32_t>(send.dest), "recv",
+                    "mpilite", ts, id, std::move(args));
+    ++recv_it;
+  }
+  hub.flow_sends.clear();
+  hub.flow_recvs.clear();
 }
 
 /// Suppresses nested collective recording (allreduce runs on allgatherv).
@@ -183,6 +268,7 @@ void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) {
               "user tags must be in [0, 2^30)");
   bytes_sent_ += data.size();
   detail::count_message(*hub_, rank_, dest, data.size());
+  detail::record_flow(*hub_, /*is_send=*/true, rank_, dest, tag, data.size());
   hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
       rank_, tag, Bytes(data.begin(), data.end()));
   if (auto* chk = checker()) {
@@ -198,6 +284,8 @@ Bytes Comm::recv_bytes(int source, int tag) {
   const std::string what = "recv(source=" + std::to_string(source) +
                            ", tag=" + std::to_string(tag) + ")";
   Bytes payload = take_blocking(source, tag, what);
+  detail::record_flow(*hub_, /*is_send=*/false, source, rank_, tag,
+                      payload.size());
   if (chk != nullptr) {
     chk->on_delivered(rank_, source, tag);
     chk->on_op_complete(rank_, what);
@@ -470,6 +558,9 @@ std::vector<CheckReport> Runtime::run_impl(
     });
   }
   for (auto& thread : threads) thread.join();
+  // Every rank thread is done; the orchestration thread owns the (not
+  // thread-safe) TraceRecorder again, so the flow buffer can drain.
+  detail::flush_flows(*hub);
 
   std::vector<CheckReport> reports;
   if (chk != nullptr) {

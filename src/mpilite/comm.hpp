@@ -33,6 +33,7 @@
 
 namespace epi::obs {
 class MetricsRegistry;
+class TraceRecorder;
 }
 
 namespace epi::mpilite {
@@ -46,9 +47,18 @@ using Bytes = std::vector<std::byte>;
 /// (exactly 0.0 under deterministic_timing, keeping metrics files
 /// byte-reproducible). MetricsRegistry is thread-safe; ranks report
 /// concurrently. Null metrics = the exact unobserved seed path.
+///
+/// With `trace` set, every matched point-to-point send->recv pair is
+/// emitted as a causal flow edge ('s'/'f' sharing an id keyed by
+/// src/dst/tag/sequence — the per-(source, tag) FIFO mailbox guarantees
+/// the nth send matches the nth recv). The TraceRecorder is not
+/// thread-safe, so ranks buffer flow records inside the Hub under a mutex
+/// and Runtime::run flushes them — deterministically ordered — from the
+/// orchestration thread after the join.
 struct ObsHooks {
   obs::MetricsRegistry* metrics = nullptr;
   bool deterministic_timing = false;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Thrown on ranks woken by a group abort: another rank failed, or the

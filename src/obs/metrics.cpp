@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 
@@ -71,6 +72,14 @@ void MetricsRegistry::observe_locked(const std::string& name, double value,
   ++histogram.counts[bucket];
   ++histogram.count;
   histogram.sum += value;
+  if (value < histogram.bounds.front()) ++histogram.underflow;
+  if (histogram.count == 1) {
+    histogram.min = value;
+    histogram.max = value;
+  } else {
+    histogram.min = std::min(histogram.min, value);
+    histogram.max = std::max(histogram.max, value);
+  }
 }
 
 std::uint64_t MetricsRegistry::counter(const std::string& name) const {
@@ -108,10 +117,35 @@ Json MetricsRegistry::snapshot() const {
       bucket["count"] = histogram.counts[i];
       buckets.push_back(Json(std::move(bucket)));
     }
+    // Quantile estimate: upper bound of the bucket holding the quantile
+    // rank, clamped to the observed max (keeps the +Inf bucket finite and
+    // makes single-observation histograms report the exact value).
+    auto quantile = [&histogram](double q) {
+      const auto rank = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 std::ceil(q * static_cast<double>(histogram.count))));
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < histogram.counts.size(); ++i) {
+        cumulative += histogram.counts[i];
+        if (cumulative >= rank) {
+          return i < histogram.bounds.size()
+                     ? std::min(histogram.bounds[i], histogram.max)
+                     : histogram.max;
+        }
+      }
+      return histogram.max;
+    };
     JsonObject out;
     out["buckets"] = Json(std::move(buckets));
     out["count"] = histogram.count;
+    out["max"] = histogram.max;
+    out["min"] = histogram.min;
+    out["overflow"] = histogram.counts.back();
+    out["p50"] = quantile(0.50);
+    out["p95"] = quantile(0.95);
+    out["p99"] = quantile(0.99);
     out["sum"] = histogram.sum;
+    out["underflow"] = histogram.underflow;
     histograms[name] = Json(std::move(out));
   }
   JsonObject doc;

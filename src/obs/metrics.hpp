@@ -54,7 +54,12 @@ class MetricsRegistry {
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with all
   /// keys in sorted order. Histograms serialize cumulative-style buckets
-  /// ({"le": bound, "count": n}) plus "count" and "sum".
+  /// ({"le": bound, "count": n}) plus "count", "sum", explicit tail
+  /// accounting ("underflow" = observations strictly below the lowest
+  /// bound, "overflow" = observations above the highest bound, "min",
+  /// "max"), and bucket-estimated quantiles "p50"/"p95"/"p99" (upper bound
+  /// of the bucket holding the quantile rank, clamped to the observed max
+  /// so tail quantiles stay finite even in the +Inf bucket).
   Json snapshot() const;
   void write(const std::string& path) const;
 
@@ -63,7 +68,10 @@ class MetricsRegistry {
     std::vector<double> bounds;   // upper bounds, strictly increasing
     std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow)
     std::uint64_t count = 0;
+    std::uint64_t underflow = 0;  // observations < bounds.front()
     double sum = 0.0;
+    double min = 0.0;  // valid when count > 0
+    double max = 0.0;
   };
 
   void observe_locked(const std::string& name, double value,

@@ -1,8 +1,27 @@
 #include "obs/obs.hpp"
 
+#include <filesystem>
+#include <string_view>
+#include <system_error>
+
 #include "util/env.hpp"
+#include "util/error.hpp"
 
 namespace epi::obs {
+
+Session::Session(SessionOptions options)
+    : options_(std::move(options)), trace_(options_.deterministic_timing) {
+  // Create the output directory eagerly: a mistyped EPI_TRACE path should
+  // fail at session construction with the path in the message, not at the
+  // end of the run with an opaque stream error.
+  if (!options_.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.dir, ec);
+    EPI_REQUIRE(!ec && std::filesystem::is_directory(options_.dir),
+                "cannot create EPI_TRACE output directory '"
+                    << options_.dir << "': " << ec.message());
+  }
+}
 
 std::unique_ptr<Session> Session::from_env(bool deterministic_timing) {
   const char* dir = env_raw("EPI_TRACE");
@@ -10,6 +29,10 @@ std::unique_ptr<Session> Session::from_env(bool deterministic_timing) {
   SessionOptions options;
   options.dir = dir;
   options.deterministic_timing = deterministic_timing;
+  // Default-on knob: unset means enabled, so env_flag (false when unset)
+  // does not fit; only the literal "0" disables flow edges.
+  const char* flow = env_raw("EPI_TRACE_FLOW");
+  options.flow = flow == nullptr || std::string_view(flow) != "0";
   return std::make_unique<Session>(std::move(options));
 }
 

@@ -6,7 +6,9 @@
 // environment hook `EPI_TRACE=<dir>` lets existing binaries record a run
 // without code changes: from_env() returns a session writing
 // <dir>/trace.json (Chrome trace_event format, Perfetto loadable) and
-// <dir>/metrics.json (sorted-key snapshot).
+// <dir>/metrics.json (sorted-key snapshot). `EPI_TRACE_FLOW=0` disables
+// causal flow edges (send→recv, submit→start→finish) while keeping spans
+// and counters; any other value — or unset — leaves them on.
 #pragma once
 
 #include <memory>
@@ -18,22 +20,25 @@
 namespace epi::obs {
 
 struct SessionOptions {
-  /// Directory trace.json / metrics.json are written into (created on
-  /// write).
+  /// Directory trace.json / metrics.json are written into. Created at
+  /// session construction when non-empty, so a bad path fails up front
+  /// with a clear message instead of a late stream error.
   std::string dir;
   /// Zeroes the wall half of the dual clock so emitted files are
   /// byte-reproducible; pair with NightlyConfig::deterministic_timing.
   bool deterministic_timing = false;
+  /// Emit causal flow edges ('s'/'t'/'f'); EPI_TRACE_FLOW=0 turns this off.
+  bool flow = true;
 };
 
 class Session {
  public:
-  explicit Session(SessionOptions options)
-      : options_(std::move(options)), trace_(options_.deterministic_timing) {}
+  explicit Session(SessionOptions options);
 
   TraceRecorder& trace() { return trace_; }
   MetricsRegistry& metrics() { return metrics_; }
   const std::string& dir() const { return options_.dir; }
+  bool flow() const { return options_.flow; }
 
   std::string trace_path() const { return options_.dir + "/trace.json"; }
   std::string metrics_path() const { return options_.dir + "/metrics.json"; }
@@ -45,7 +50,7 @@ class Session {
   }
 
   /// Session for EPI_TRACE=<dir>, or nullptr when the variable is unset
-  /// or empty.
+  /// or empty. Honors EPI_TRACE_FLOW (default on).
   static std::unique_ptr<Session> from_env(bool deterministic_timing = false);
 
  private:

@@ -93,6 +93,33 @@ void TraceRecorder::counter(std::uint32_t pid, const std::string& name,
   push('C', pid, 0, name, "counter", ts_hours, 0.0, std::move(values));
 }
 
+void TraceRecorder::flow_start(std::uint32_t pid, std::uint32_t tid,
+                               const std::string& name,
+                               const std::string& category, double ts_hours,
+                               const std::string& id, TraceArgs args) {
+  EPI_REQUIRE(!id.empty(), "flow event needs a non-empty id");
+  push('s', pid, tid, name, category, ts_hours, 0.0, std::move(args));
+  events_.back().flow_id = id;
+}
+
+void TraceRecorder::flow_step(std::uint32_t pid, std::uint32_t tid,
+                              const std::string& name,
+                              const std::string& category, double ts_hours,
+                              const std::string& id, TraceArgs args) {
+  EPI_REQUIRE(!id.empty(), "flow event needs a non-empty id");
+  push('t', pid, tid, name, category, ts_hours, 0.0, std::move(args));
+  events_.back().flow_id = id;
+}
+
+void TraceRecorder::flow_end(std::uint32_t pid, std::uint32_t tid,
+                             const std::string& name,
+                             const std::string& category, double ts_hours,
+                             const std::string& id, TraceArgs args) {
+  EPI_REQUIRE(!id.empty(), "flow event needs a non-empty id");
+  push('f', pid, tid, name, category, ts_hours, 0.0, std::move(args));
+  events_.back().flow_id = id;
+}
+
 Json TraceRecorder::to_json() const {
   JsonArray trace_events;
   trace_events.reserve(metadata_.size() + events_.size());
@@ -107,6 +134,8 @@ Json TraceRecorder::to_json() const {
     if (!event.name.empty()) out["name"] = event.name;
     if (!event.category.empty()) out["cat"] = event.category;
     if (event.ph == 'i') out["s"] = "t";  // instant scope: thread
+    if (!event.flow_id.empty()) out["id"] = event.flow_id;
+    if (event.ph == 'f') out["bp"] = "e";  // bind to enclosing slice
     if (!event.args.empty()) out["args"] = event.args;
     trace_events.push_back(Json(std::move(out)));
   };

@@ -89,6 +89,27 @@ class TraceRecorder {
   void counter(std::uint32_t pid, const std::string& name, double ts_hours,
                TraceArgs values);
 
+  // --- Causal flow edges ('s'/'t'/'f') ------------------------------------
+  //
+  // Flow events stitch spans on different lanes into a causal chain: a
+  // mpilite send→recv pair, an exec submit→start→finish, a service
+  // request→campaign-unit hand-off. All events of one chain share an `id`
+  // string; Chrome/Perfetto draw the arrows, trace_check validates the
+  // well-formedness (every 'f' terminates a previously started chain).
+
+  /// Opens a causal chain ('s') — e.g. the send or submit side.
+  void flow_start(std::uint32_t pid, std::uint32_t tid,
+                  const std::string& name, const std::string& category,
+                  double ts_hours, const std::string& id, TraceArgs args = {});
+  /// An intermediate hop ('t') on an already-started chain.
+  void flow_step(std::uint32_t pid, std::uint32_t tid, const std::string& name,
+                 const std::string& category, double ts_hours,
+                 const std::string& id, TraceArgs args = {});
+  /// Terminates a chain ('f', binding point "e") — the recv or finish side.
+  void flow_end(std::uint32_t pid, std::uint32_t tid, const std::string& name,
+                const std::string& category, double ts_hours,
+                const std::string& id, TraceArgs args = {});
+
   std::size_t event_count() const { return events_.size(); }
 
   // --- Export ------------------------------------------------------------
@@ -101,11 +122,12 @@ class TraceRecorder {
 
  private:
   struct Event {
-    char ph;  // 'B', 'E', 'X', 'i', 'C'
+    char ph;  // 'B', 'E', 'X', 'i', 'C', 's', 't', 'f'
     std::uint32_t pid = 0;
     std::uint32_t tid = 0;
     double ts_us = 0.0;
-    double dur_us = 0.0;  // 'X' only
+    double dur_us = 0.0;     // 'X' only
+    std::string flow_id;     // 's'/'t'/'f' only
     std::string name;
     std::string category;
     TraceArgs args;

@@ -46,6 +46,12 @@ TraceCheckResult check_trace_json(const Json& doc) {
   };
   std::map<std::pair<std::int64_t, std::int64_t>, Lane> lanes;
 
+  struct Flow {
+    bool open = false;
+    double last_ts = 0.0;
+  };
+  std::map<std::string, Flow> flow_chains;
+
   std::size_t index = 0;
   for (const Json& event : events.as_array()) {
     const std::string at = "event " + std::to_string(index);
@@ -116,6 +122,42 @@ TraceCheckResult check_trace_json(const Json& doc) {
         if (!event.contains("name")) fail(at + ": C event without a name");
         ++result.counters;
         break;
+      case 's':
+      case 't':
+      case 'f': {
+        if (!event.contains("name")) {
+          fail(at + ": flow event without a name");
+        }
+        if (!event.contains("id") || !event.at("id").is_string() ||
+            event.at("id").as_string().empty()) {
+          fail(at + ": flow event without a string id");
+          break;
+        }
+        const std::string& id = event.at("id").as_string();
+        Flow& flow = flow_chains[id];
+        if (ph == 's') {
+          if (flow.open) {
+            fail(at + ": flow '" + id + "' started twice without an end");
+          }
+          flow.open = true;
+          flow.last_ts = ts;
+        } else {  // 't' or 'f' must continue an open chain, forward in time
+          if (!flow.open) {
+            fail(at + ": flow '" + std::string(1, ph) + "' event on '" + id +
+                 "' with no open start");
+            break;
+          }
+          if (ts < flow.last_ts) {
+            fail(at + ": flow '" + id + "' goes backwards in time");
+          }
+          flow.last_ts = ts;
+          if (ph == 'f') {
+            flow.open = false;  // the id may be reused by a later chain
+            ++result.flows;
+          }
+        }
+        break;
+      }
       default:
         fail(at + ": unknown phase '" + std::string(1, ph) + "'");
         break;
@@ -127,6 +169,11 @@ TraceCheckResult check_trace_json(const Json& doc) {
       fail("lane (" + std::to_string(key.first) + ", " +
            std::to_string(key.second) + ") ends with " +
            std::to_string(lane.open_spans) + " unclosed B span(s)");
+    }
+  }
+  for (const auto& [id, flow] : flow_chains) {
+    if (flow.open) {
+      fail("flow '" + id + "' is started but never terminated with 'f'");
     }
   }
   if (result.events == 0) fail("trace contains no events");
@@ -211,6 +258,31 @@ MetricsCheckResult check_metrics_json(const Json& doc) {
     if (bucket_total != static_cast<std::uint64_t>(
                             value.at("count").as_int())) {
       fail("histogram '" + name + "' bucket counts do not sum to count");
+    }
+    // Tail-accounting and quantile summary fields (optional for
+    // hand-built documents; MetricsRegistry always emits them).
+    const JsonArray& bucket_array = value.at("buckets").as_array();
+    if (value.contains("overflow") && !bucket_array.empty() &&
+        bucket_array.back().is_object() &&
+        bucket_array.back().contains("count")) {
+      if (value.at("overflow").as_int() !=
+          bucket_array.back().at("count").as_int()) {
+        fail("histogram '" + name +
+             "' overflow does not match the +Inf bucket count");
+      }
+    }
+    if (value.contains("underflow") && value.at("underflow").as_int() >
+                                           value.at("count").as_int()) {
+      fail("histogram '" + name + "' underflow exceeds count");
+    }
+    if (value.contains("p50") && value.contains("p95") &&
+        value.contains("p99")) {
+      const double p50 = value.at("p50").as_double();
+      const double p95 = value.at("p95").as_double();
+      const double p99 = value.at("p99").as_double();
+      if (p50 > p95 || p95 > p99) {
+        fail("histogram '" + name + "' quantiles are not monotone");
+      }
     }
   }
 

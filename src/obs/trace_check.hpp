@@ -5,8 +5,11 @@
 // a "traceEvents" array whose events carry ph/pid/tid/ts, whose
 // timestamps are monotone non-decreasing within every (pid, tid) lane,
 // and whose 'B'/'E' spans pair up (every 'E' closes an open 'B', nothing
-// left open at the end). Metrics pass when they are the registry snapshot
-// shape with internally consistent histograms.
+// left open at the end). Flow chains ('s'/'t'/'f' sharing an id) must be
+// well-formed: every step/end follows a start, timestamps never run
+// backwards along a chain, and no chain is left dangling. Metrics pass
+// when they are the registry snapshot shape with internally consistent
+// histograms.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +27,7 @@ struct TraceCheckResult {
   std::size_t spans = 0;      // matched B/E pairs plus X events
   std::size_t instants = 0;   // 'i'
   std::size_t counters = 0;   // 'C'
+  std::size_t flows = 0;      // completed flow chains ('f' matching an 's')
   std::size_t processes = 0;  // named via process_name metadata
 };
 

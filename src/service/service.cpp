@@ -112,10 +112,21 @@ ServiceOutcome ScenarioService::serve(
               serialize(workflow.run(to_nightly_design(request))));
         });
   };
+  // The farm flushes its observability from this (orchestrator) thread
+  // after the join, so the session's single-threaded TraceRecorder is safe
+  // to share with it.
+  exec::ExecObs farm_obs;
+  if (config_.trace != nullptr) {
+    farm_obs.trace = &config_.trace->trace();
+    farm_obs.metrics = &config_.trace->metrics();
+    farm_obs.deterministic_timing =
+        config_.trace->trace().deterministic_timing();
+    farm_obs.flow = config_.trace->flow();
+  }
   const std::vector<std::shared_ptr<const std::string>> unit_responses =
       exec::parallel_index_map(plan.units.size(), run_unit,
                                exec::ExecConfig{config_.jobs, 1, "service",
-                                                exec::ExecObs{}});
+                                                farm_obs});
 
   // ---- Virtual-latency schedule: list-schedule the executed units onto
   // logical_workers abstract workers in plan order (earliest-free worker,
@@ -224,6 +235,38 @@ ServiceOutcome ScenarioService::serve(
       trace.thread_name(pid, static_cast<std::uint32_t>(w),
                         "logical-worker-" + std::to_string(w));
     }
+    const auto orch = static_cast<std::uint32_t>(config_.logical_workers);
+    trace.thread_name(pid, orch, "orchestrator");
+    // Flow ids of different waves must not collide; the recorder's event
+    // count at the top of this block is a deterministic discriminator.
+    const std::uint64_t wave_seq = trace.event_count();
+    const bool flow = config_.trace->flow();
+
+    // Wave phases on the orchestrator lane, at the virtual times the unit
+    // spans below inhabit (byte-reproducible by construction).
+    {
+      obs::TraceArgs args;
+      args["requests"] = static_cast<std::uint64_t>(requests.size());
+      args["units"] = static_cast<std::uint64_t>(plan.units.size());
+      args["campaigns"] = static_cast<std::uint64_t>(plan.campaigns.size());
+      trace.complete(pid, orch, "plan", "service-phase", 0.0, 0.0,
+                     std::move(args));
+    }
+    {
+      obs::TraceArgs args;
+      args["units_computed"] = static_cast<std::uint64_t>(
+          report.computed_units);
+      trace.complete(pid, orch, "execute", "service-phase", 0.0, makespan,
+                     std::move(args));
+    }
+    {
+      obs::TraceArgs args;
+      args["makespan_hours"] = report.makespan_hours;
+      args["logical_workers"] = static_cast<std::uint64_t>(
+          config_.logical_workers);
+      trace.complete(pid, orch, "schedule", "service-phase", 0.0, 0.0,
+                     std::move(args));
+    }
     for (std::size_t u = 0; u < plan.units.size(); ++u) {
       const UnitPlan& unit = plan.units[u];
       const Slot& slot = slots[u];
@@ -236,16 +279,44 @@ ServiceOutcome ScenarioService::serve(
                      "unit[" + owner_id + "]", "service", slot.start_hours,
                      slot.cost_hours);
     }
+    // Per-request spans and request->campaign-unit flow edges: every
+    // request gets a span covering its virtual latency on the
+    // orchestrator lane, linked to the unit (or cache hit) that served it.
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const std::size_t u = plan.unit_of[i];
+      const Slot& slot = slots[u];
+      const RequestRecord& record = report.records[i];
+      obs::TraceArgs args;
+      args["id"] = record.id;
+      args["status"] = std::string(to_string(record.status));
+      trace.complete(pid, orch, "request[" + record.id + "]",
+                     "service-request", 0.0, record.latency_hours, args);
+      if (flow) {
+        const std::string chain =
+            "svc:req" + std::to_string(i) + "#" + std::to_string(wave_seq);
+        trace.flow_start(pid, orch, "request", "service", 0.0, chain, args);
+        if (slot.precached) {
+          trace.flow_end(pid, 0, "cache-hit", "service", 0.0, chain,
+                         std::move(args));
+        } else {
+          trace.flow_end(pid, static_cast<std::uint32_t>(slot.worker),
+                         "unit", "service", slot.start_hours, chain,
+                         std::move(args));
+        }
+      }
+    }
     metrics.add("service.requests", report.requests);
     metrics.add("service.units_computed", report.computed_units);
     metrics.add("service.requests_deduped", report.deduped_requests);
     metrics.add("service.requests_cached", report.cached_requests);
     metrics.add("service.campaigns", report.campaigns);
     const CacheStats wave = report.cache;
-    metrics.add("service.cache_lookups",
-                wave.total_lookups() - stats_before.total_lookups());
-    metrics.add("service.cache_hits",
-                wave.total_hits() - stats_before.total_hits());
+    const std::uint64_t lookups =
+        wave.total_lookups() - stats_before.total_lookups();
+    const std::uint64_t hits = wave.total_hits() - stats_before.total_hits();
+    metrics.add("service.cache_lookups", lookups);
+    metrics.add("service.cache_hits", hits);
+    metrics.add("service.cache_misses", lookups - hits);
     metrics.add("service.cache_evictions",
                 wave.evictions - stats_before.evictions);
     metrics.set_max("service.makespan_hours", report.makespan_hours);
@@ -254,7 +325,19 @@ ServiceOutcome ScenarioService::serve(
 }
 
 ServiceOutcome ScenarioService::replay_log(const std::string& log_text) {
-  return serve(parse_request_log(log_text));
+  std::vector<ScenarioRequest> requests = parse_request_log(log_text);
+  if (config_.trace != nullptr) {
+    obs::TraceRecorder& trace = config_.trace->trace();
+    const std::uint32_t pid = trace.process("service");
+    const auto orch = static_cast<std::uint32_t>(config_.logical_workers);
+    trace.thread_name(pid, orch, "orchestrator");
+    obs::TraceArgs args;
+    args["requests"] = static_cast<std::uint64_t>(requests.size());
+    args["log_bytes"] = static_cast<std::uint64_t>(log_text.size());
+    trace.complete(pid, orch, "parse", "service-phase", 0.0, 0.0,
+                   std::move(args));
+  }
+  return serve(requests);
 }
 
 std::string serialize(const ServiceReport& report) {

@@ -37,6 +37,9 @@ struct EnvVarInfo {
 /// accessors below, and rendered into README.md — update all consumers by
 /// editing this one table.
 inline constexpr EnvVarInfo kEnvRegistry[] = {
+    {"EPI_BENCH_BASELINE_DIR",
+     "directory of committed BENCH_<name>.json baselines that `epitrace "
+     "bench-diff` compares candidate runs against (default bench/baselines)"},
     {"EPI_BENCH_JSON",
      "directory where benchmarks write their BENCH_<name>.json reports"},
     {"EPI_CYCLE_REPORT",
@@ -66,6 +69,9 @@ inline constexpr EnvVarInfo kEnvRegistry[] = {
     {"EPI_TRACE",
      "directory to write trace.json + metrics.json observability output "
      "(unset = observability fully off)"},
+    {"EPI_TRACE_FLOW",
+     "causal flow edges in traces: 0 disables send->recv / task-chain "
+     "arrows, anything else (or unset) leaves them on"},
 };
 
 /// True when `name` appears in kEnvRegistry.

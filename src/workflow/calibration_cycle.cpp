@@ -62,6 +62,7 @@ exec::ExecConfig farm_config(const CalibrationCycleConfig& config,
     farm.obs.metrics = &config.trace->metrics();
     farm.obs.deterministic_timing =
         config.trace->trace().deterministic_timing();
+    farm.obs.flow = config.trace->flow();
   }
   return farm;
 }

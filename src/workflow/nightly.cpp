@@ -189,6 +189,7 @@ WorkflowReport NightlyWorkflow::run(const WorkflowDesign& design) {
   farm.obs.trace = trace;
   farm.obs.metrics = metrics;
   farm.obs.deterministic_timing = config_.deterministic_timing;
+  farm.obs.flow = config_.trace != nullptr && config_.trace->flow();
   double raw_bytes_per_person = 0.0;
   std::uint64_t sampled_persons = 0;
   double db_retry_wait_s = 0.0;

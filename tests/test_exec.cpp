@@ -169,8 +169,18 @@ TEST(Executor, RecordsCountersGaugeAndSpans) {
   EXPECT_DOUBLE_EQ(session.metrics().gauge("exec.queue_depth"), 10.0);
   // Deterministic sessions suppress the schedule-dependent steal counter.
   EXPECT_EQ(session.metrics().counter("exec.steal"), 0u);
-  // One span per task, on per-worker lanes of the "exec" process.
-  EXPECT_EQ(session.trace().event_count(), 10u);
+  // One span per task on per-worker lanes of the "exec" process, plus a
+  // submit->start->finish flow chain (3 events) per task.
+  EXPECT_EQ(session.trace().event_count(), 40u);
+
+  // Turning flows off leaves exactly the task spans.
+  obs::Session bare({"", /*deterministic_timing=*/true});
+  config.obs.trace = &bare.trace();
+  config.obs.metrics = nullptr;
+  config.obs.flow = false;
+  (void)exec::parallel_index_map(
+      10, [](std::size_t i) { return i; }, config);
+  EXPECT_EQ(bare.trace().event_count(), 10u);
 }
 
 TEST(Executor, DeterministicTracesAreByteIdenticalAcrossRuns) {

@@ -6,16 +6,22 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "epitrace/epitrace.hpp"
+#include "exec/executor.hpp"
 #include "mpilite/comm.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_check.hpp"
 #include "resilience/fault_injector.hpp"
+#include "service/request.hpp"
+#include "service/service.hpp"
+#include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
 #include "workflow/nightly.hpp"
@@ -112,6 +118,59 @@ TEST(TraceRecorder, DualClockIsZeroedUnderDeterministicTiming) {
   EXPECT_GE(live.wall_seconds(), 0.0);
 }
 
+// -------------------------------------------------------- flow events ----
+
+TEST(TraceFlow, ChainsExportAndValidate) {
+  TraceRecorder trace(true);
+  const std::uint32_t pid = trace.process("p");
+  trace.flow_start(pid, 0, "send", "mpilite", 0.0, "msg:0->1");
+  trace.flow_step(pid, 1, "hop", "mpilite", 0.5, "msg:0->1");
+  trace.flow_end(pid, 1, "recv", "mpilite", 1.0, "msg:0->1");
+
+  const Json doc = trace.to_json();
+  const obs::TraceCheckResult result = obs::check_trace_json(doc);
+  EXPECT_TRUE(result.ok) << joined(result.errors);
+  EXPECT_EQ(result.flows, 1u);
+  for (const Json& event : doc.at("traceEvents").as_array()) {
+    const std::string& ph = event.at("ph").as_string();
+    if (ph != "s" && ph != "t" && ph != "f") continue;
+    EXPECT_EQ(event.at("id").as_string(), "msg:0->1");
+    if (ph == "f") EXPECT_EQ(event.at("bp").as_string(), "e");
+  }
+}
+
+TEST(TraceFlow, ValidationCatchesMisuse) {
+  // Dangling start: the chain never ends.
+  TraceRecorder dangling(true);
+  const std::uint32_t p1 = dangling.process("p");
+  dangling.flow_start(p1, 0, "send", "c", 0.0, "x");
+  EXPECT_FALSE(obs::check_trace_json(dangling.to_json()).ok);
+
+  // End without a start.
+  TraceRecorder orphan(true);
+  const std::uint32_t p2 = orphan.process("p");
+  orphan.flow_end(p2, 0, "recv", "c", 1.0, "y");
+  EXPECT_FALSE(obs::check_trace_json(orphan.to_json()).ok);
+
+  // Time running backwards along a chain (a cyclic happens-before edge).
+  TraceRecorder backwards(true);
+  const std::uint32_t p3 = backwards.process("p");
+  backwards.flow_start(p3, 0, "send", "c", 2.0, "z");
+  backwards.flow_end(p3, 1, "recv", "c", 1.0, "z");
+  EXPECT_FALSE(obs::check_trace_json(backwards.to_json()).ok);
+
+  // Closing a chain frees its id for reuse.
+  TraceRecorder reuse(true);
+  const std::uint32_t p4 = reuse.process("p");
+  reuse.flow_start(p4, 0, "send", "c", 0.0, "r");
+  reuse.flow_end(p4, 1, "recv", "c", 1.0, "r");
+  reuse.flow_start(p4, 0, "send", "c", 2.0, "r");
+  reuse.flow_end(p4, 1, "recv", "c", 3.0, "r");
+  const obs::TraceCheckResult result = obs::check_trace_json(reuse.to_json());
+  EXPECT_TRUE(result.ok) << joined(result.errors);
+  EXPECT_EQ(result.flows, 2u);
+}
+
 // ---------------------------------------------------- metrics registry ----
 
 TEST(MetricsRegistry, CountersGaugesAndHighWater) {
@@ -161,6 +220,35 @@ TEST(MetricsRegistry, DefaultBoundsKickInWithoutExplicitOnes) {
   metrics.observe("latency_s", 2.5);
   EXPECT_EQ(metrics.histogram_count("latency_s"), 2u);
   EXPECT_TRUE(obs::check_metrics_json(metrics.snapshot()).ok);
+}
+
+TEST(MetricsRegistry, HistogramTailsAndPercentiles) {
+  MetricsRegistry metrics;
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  metrics.observe("h", 0.5, bounds);  // underflow (below the first bound)
+  metrics.observe("h", 1.5, bounds);
+  metrics.observe("h", 3.0, bounds);
+  metrics.observe("h", 9.0, bounds);  // overflow (+Inf bucket)
+
+  const Json snapshot = metrics.snapshot();
+  EXPECT_TRUE(obs::check_metrics_json(snapshot).ok);
+  const Json& h = snapshot.at("histograms").at("h");
+  EXPECT_EQ(h.at("underflow").as_double(), 1.0);
+  EXPECT_EQ(h.at("overflow").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(h.at("min").as_double(), 0.5);
+  EXPECT_DOUBLE_EQ(h.at("max").as_double(), 9.0);
+  // Quantile estimate: the upper bound of the bucket holding the rank,
+  // clamped to the observed max (so the +Inf bucket reports finitely).
+  EXPECT_DOUBLE_EQ(h.at("p50").as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(h.at("p95").as_double(), 9.0);
+  EXPECT_DOUBLE_EQ(h.at("p99").as_double(), 9.0);
+
+  // Single observation: every percentile is the exact observed value.
+  metrics.observe("one", 5.0, bounds);
+  const Json again = metrics.snapshot();
+  const Json& one = again.at("histograms").at("one");
+  EXPECT_DOUBLE_EQ(one.at("p50").as_double(), 5.0);
+  EXPECT_DOUBLE_EQ(one.at("p99").as_double(), 5.0);
 }
 
 // ------------------------------------------------ nightly integration ----
@@ -260,6 +348,28 @@ TEST(ObsNightly, GoldenTraceFileValidatesAndCoversEveryLayer) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(ObsNightly, FlowEdgesTrackTheFarmAndTurnOffCleanly) {
+  auto run_with_flow = [](bool flow) {
+    obs::SessionOptions options;
+    options.deterministic_timing = true;
+    options.flow = flow;
+    obs::Session session(std::move(options));
+    NightlyConfig config = small_nightly_config();
+    config.trace = &session;
+    NightlyWorkflow engine(config);
+    const WorkflowReport report = engine.run(small_design());
+    return std::make_pair(report,
+                          obs::check_trace_json(session.trace().to_json()));
+  };
+  const auto on = run_with_flow(true);
+  const auto off = run_with_flow(false);
+  EXPECT_TRUE(on.second.ok) << joined(on.second.errors);
+  EXPECT_TRUE(off.second.ok) << joined(off.second.errors);
+  EXPECT_GT(on.second.flows, 0u);   // the farm's submit->start->finish edges
+  EXPECT_EQ(off.second.flows, 0u);  // EPI_TRACE_FLOW=0 removes them all
+  EXPECT_EQ(on.first, off.first);   // without touching the report
+}
+
 TEST(ObsNightly, FaultInstantsAppearWhenInjectorEnabled) {
   obs::SessionOptions options;
   options.deterministic_timing = true;
@@ -290,6 +400,47 @@ TEST(ObsSession, FromEnvFollowsEpiTrace) {
   EXPECT_EQ(session->dir(), "/tmp/episcale_test_obs_env");
   EXPECT_TRUE(session->trace().deterministic_timing());
   unsetenv("EPI_TRACE");
+  std::filesystem::remove_all("/tmp/episcale_test_obs_env");
+}
+
+TEST(ObsSession, FlowFollowsEpiTraceFlow) {
+  setenv("EPI_TRACE", "/tmp/episcale_test_obs_env_flow", 1);
+  // Default on when the variable is unset...
+  unsetenv("EPI_TRACE_FLOW");
+  EXPECT_TRUE(obs::Session::from_env(true)->flow());
+  // ...and for any value other than the literal "0".
+  setenv("EPI_TRACE_FLOW", "1", 1);
+  EXPECT_TRUE(obs::Session::from_env(true)->flow());
+  setenv("EPI_TRACE_FLOW", "0", 1);
+  EXPECT_FALSE(obs::Session::from_env(true)->flow());
+  unsetenv("EPI_TRACE_FLOW");
+  unsetenv("EPI_TRACE");
+  std::filesystem::remove_all("/tmp/episcale_test_obs_env_flow");
+}
+
+TEST(ObsSession, CreatesMissingOutputDirectoryEagerly) {
+  const std::string root = "/tmp/episcale_test_obs_mkdir";
+  std::filesystem::remove_all(root);
+  obs::SessionOptions options;
+  options.dir = root + "/nested/deep";
+  options.deterministic_timing = true;
+  obs::Session session(std::move(options));
+  // Created at construction, not first write: a bad path fails the run
+  // up front rather than after hours of simulation.
+  EXPECT_TRUE(std::filesystem::is_directory(root + "/nested/deep"));
+  session.write();
+  EXPECT_TRUE(std::filesystem::exists(session.trace_path()));
+  std::filesystem::remove_all(root);
+}
+
+TEST(ObsSession, UnusableOutputDirectoryFailsFast) {
+  const std::string blocker = "/tmp/episcale_test_obs_blocker";
+  std::filesystem::remove_all(blocker);
+  std::ofstream(blocker) << "a plain file where the trace dir should go";
+  obs::SessionOptions options;
+  options.dir = blocker;  // collides with the file
+  EXPECT_THROW(obs::Session{std::move(options)}, Error);
+  std::filesystem::remove_all(blocker);
 }
 
 // ------------------------------------------------------ mpilite hooks ----
@@ -333,6 +484,271 @@ TEST(ObsMpilite, NullHooksLeaveNoFootprint) {
                         mpilite::ObsHooks{});
   // Nothing to assert beyond "it ran": the null path must not crash.
   SUCCEED();
+}
+
+TEST(ObsMpilite, FlowEdgesPairEverySendWithItsRecv) {
+  TraceRecorder trace(true);
+  mpilite::ObsHooks hooks;
+  hooks.deterministic_timing = true;
+  hooks.trace = &trace;
+  mpilite::Runtime::run(
+      3,
+      [](mpilite::Comm& comm) {
+        if (comm.rank() == 0) {
+          // Two messages on the same (src, dst, tag) route: the sequence
+          // number must keep their edges apart.
+          comm.send<int>(1, 7, std::vector<int>{1});
+          comm.send<int>(1, 7, std::vector<int>{2, 2});
+          comm.send<int>(2, 9, std::vector<int>{3});
+        } else if (comm.rank() == 1) {
+          comm.recv<int>(0, 7);
+          comm.recv<int>(0, 7);
+        } else {
+          comm.recv<int>(0, 9);
+        }
+        comm.barrier();  // collectives contribute no point-to-point edges
+      },
+      hooks);
+
+  const Json doc = trace.to_json();
+  const obs::TraceCheckResult result = obs::check_trace_json(doc);
+  EXPECT_TRUE(result.ok) << joined(result.errors);
+  EXPECT_EQ(result.flows, 3u);
+
+  std::vector<std::string> starts, ends;
+  for (const Json& event : doc.at("traceEvents").as_array()) {
+    const std::string& ph = event.at("ph").as_string();
+    if (ph == "s") starts.push_back(event.at("id").as_string());
+    if (ph == "f") ends.push_back(event.at("id").as_string());
+  }
+  const std::vector<std::string> expected{"msg:0->1:t7:#0", "msg:0->1:t7:#1",
+                                          "msg:0->2:t9:#0"};
+  EXPECT_EQ(starts, expected);  // every send edge...
+  EXPECT_EQ(ends, expected);    // ...reaches a matching recv
+}
+
+TEST(ObsMpilite, UnreceivedMessagesLeaveNoDanglingEdges) {
+  TraceRecorder trace(true);
+  trace.instant(trace.process("p"), 0, "run", "marker", 0.0);
+  mpilite::ObsHooks hooks;
+  hooks.deterministic_timing = true;
+  hooks.trace = &trace;
+  mpilite::Runtime::run(
+      2,
+      [](mpilite::Comm& comm) {
+        if (comm.rank() == 0) comm.send<int>(1, 5, std::vector<int>{1});
+        // Rank 1 exits without receiving: the message stays in the mailbox.
+      },
+      hooks);
+  const obs::TraceCheckResult result = obs::check_trace_json(trace.to_json());
+  EXPECT_TRUE(result.ok) << joined(result.errors);
+  EXPECT_EQ(result.flows, 0u);
+}
+
+// ------------------------------------------------------- exec flows ----
+
+TEST(ObsExec, TaskChainsAreWellFormedAcrossCalls) {
+  TraceRecorder trace(true);
+  exec::ExecConfig config;
+  config.jobs = 2;
+  config.label = "unit";
+  config.obs.trace = &trace;
+  config.obs.deterministic_timing = true;
+  const auto squares = exec::parallel_index_map(
+      5, [](std::size_t i) { return i * i; }, config);
+  EXPECT_EQ(squares.size(), 5u);
+  // A second call in the same recorder: chain ids must not collide with
+  // the first call's (the call-sequence discriminator).
+  exec::parallel_index_map(3, [](std::size_t i) { return i + 1; }, config);
+
+  const obs::TraceCheckResult result = obs::check_trace_json(trace.to_json());
+  // ok means every submit->start->finish chain is closed, started once,
+  // and time-ordered — i.e. the task graph the flows encode is acyclic.
+  EXPECT_TRUE(result.ok) << joined(result.errors);
+  EXPECT_EQ(result.flows, 8u);
+}
+
+TEST(ObsExec, FlowToggleSuppressesChains) {
+  TraceRecorder trace(true);
+  exec::ExecConfig config;
+  config.jobs = 2;
+  config.obs.trace = &trace;
+  config.obs.deterministic_timing = true;
+  config.obs.flow = false;
+  exec::parallel_index_map(4, [](std::size_t i) { return i; }, config);
+  const obs::TraceCheckResult result = obs::check_trace_json(trace.to_json());
+  EXPECT_TRUE(result.ok) << joined(result.errors);
+  EXPECT_EQ(result.flows, 0u);
+  EXPECT_EQ(result.spans, 4u);  // the task spans themselves remain
+}
+
+// ------------------------------------------------- service telemetry ----
+
+using service::dump_request;
+using service::RequestKind;
+using service::ScenarioRequest;
+using service::ScenarioService;
+using service::ServiceConfig;
+using service::ServiceOutcome;
+
+ScenarioRequest obs_service_request(const std::string& id) {
+  ScenarioRequest request;
+  request.id = id;
+  request.kind = RequestKind::kCalibration;
+  request.region = "VT";
+  request.scale_denominator = 400.0;
+  request.prior_configs = 8;
+  request.posterior_configs = 4;
+  request.calibration_days = 20;
+  request.horizon_days = 8;
+  request.prediction_runs = 2;
+  request.mcmc_samples = 30;
+  request.mcmc_burn_in = 10;
+  return request;
+}
+
+TEST(ObsService, RequestSpansFlowsAndCacheCountersAppear) {
+  obs::SessionOptions options;
+  options.deterministic_timing = true;
+  obs::Session session(std::move(options));
+  ServiceConfig config;
+  config.jobs = 1;
+  config.logical_workers = 2;
+  config.trace = &session;
+  ScenarioService service(config);
+  const std::string log = dump_request(obs_service_request("cal-1")) + "\n";
+  service.replay_log(log);   // cold: computes the unit
+  service.replay_log(log);   // warm: served from cache
+
+  const Json doc = session.trace().to_json();
+  const obs::TraceCheckResult result = obs::check_trace_json(doc);
+  EXPECT_TRUE(result.ok) << joined(result.errors);
+  // parse + plan + execute + schedule per replay wave.
+  EXPECT_EQ(count_category(doc, "service-phase"), 8u);
+  // One request span per request per wave.
+  EXPECT_EQ(count_category(doc, "service-request"), 2u);
+  // One request->work edge per request (cold lands on a worker lane,
+  // warm on the cache), well-formed either way.
+  EXPECT_GE(result.flows, 2u);
+
+  EXPECT_GT(session.metrics().counter("service.requests"), 0u);
+  EXPECT_GT(session.metrics().counter("service.cache_misses"), 0u);
+  EXPECT_GT(session.metrics().counter("service.cache_hits"), 0u);
+}
+
+TEST(ObsService, TracingDoesNotPerturbResponses) {
+  const std::string log = dump_request(obs_service_request("cal-1")) + "\n";
+  ServiceConfig plain;
+  plain.jobs = 1;
+  plain.logical_workers = 2;
+  ScenarioService untraced(plain);
+  const ServiceOutcome base = untraced.replay_log(log);
+
+  obs::SessionOptions options;
+  options.deterministic_timing = true;
+  obs::Session session(std::move(options));
+  ServiceConfig traced_config = plain;
+  traced_config.trace = &session;
+  ScenarioService traced(traced_config);
+  const ServiceOutcome outcome = traced.replay_log(log);
+  EXPECT_EQ(outcome.responses, base.responses);
+}
+
+// --------------------------------------------------- epitrace library ----
+
+TEST(Epitrace, CriticalPathOnSyntheticTraceHasKnownAnswer) {
+  TraceRecorder trace(true);
+  const std::uint32_t pid = trace.process("p");
+  trace.complete(pid, 0, "window", "phase", 0.0, 10.0);
+  trace.complete(pid, 1, "a", "job", 0.0, 3.0);   // ends 3
+  trace.complete(pid, 2, "b", "job", 4.0, 4.0);   // ends 8; chains after a
+  trace.complete(pid, 3, "c", "job", 1.0, 5.0);   // overlaps both
+  trace.complete(pid, 1, "a.inner", "job", 1.0, 1.0);  // nested inside a
+
+  const epitrace::TraceModel model = epitrace::load_trace(trace.to_json());
+  const std::vector<epitrace::PhasePath> paths =
+      epitrace::critical_paths(model);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].name, "window");
+  EXPECT_DOUBLE_EQ(paths[0].duration_hours, 10.0);
+  // a (3 h) + b (4 h) = 7 h beats c (5 h) and c + nothing.
+  EXPECT_DOUBLE_EQ(paths[0].total_hours, 7.0);
+  ASSERT_EQ(paths[0].spans.size(), 2u);
+  EXPECT_EQ(paths[0].spans[0].name, "a");
+  EXPECT_EQ(paths[0].spans[1].name, "b");
+  // Self-time subtracts the hour a.inner occupied a's lane.
+  EXPECT_DOUBLE_EQ(paths[0].spans[0].self_hours, 2.0);
+  EXPECT_DOUBLE_EQ(paths[0].spans[1].self_hours, 4.0);
+
+  // The summary's own invariants hold on the same input.
+  const Json summary = epitrace::summarize(model, Json(JsonObject{}));
+  EXPECT_TRUE(summary.at("self_checks_ok").as_bool());
+}
+
+TEST(Epitrace, LaneBusyUsesIntervalUnionAndImbalanceRatio) {
+  TraceRecorder trace(true);
+  const std::uint32_t pid = trace.process("p");
+  trace.complete(pid, 0, "outer", "job", 0.0, 4.0);
+  trace.complete(pid, 0, "nested", "job", 1.0, 2.0);  // inside outer
+  trace.complete(pid, 1, "other", "job", 0.0, 2.0);
+
+  const epitrace::TraceModel model = epitrace::load_trace(trace.to_json());
+  const std::vector<epitrace::LaneBusy> lanes = epitrace::lane_busy(model);
+  ASSERT_EQ(lanes.size(), 2u);
+  EXPECT_DOUBLE_EQ(lanes[0].busy_hours, 4.0);  // union, not 6.0
+  EXPECT_DOUBLE_EQ(lanes[1].busy_hours, 2.0);
+  const std::vector<epitrace::Imbalance> ratios = epitrace::imbalance(model);
+  ASSERT_EQ(ratios.size(), 1u);
+  EXPECT_DOUBLE_EQ(ratios[0].max_busy_hours, 4.0);
+  EXPECT_DOUBLE_EQ(ratios[0].mean_busy_hours, 3.0);
+  EXPECT_DOUBLE_EQ(ratios[0].ratio, 4.0 / 3.0);
+}
+
+TEST(Epitrace, BenchDiffGateFlagsRegressionsAndHonorsTolerances) {
+  namespace fs = std::filesystem;
+  const std::string root = "/tmp/episcale_test_epitrace_bench";
+  fs::remove_all(root);
+  const std::string base = root + "/base";
+  const std::string cand = root + "/cand";
+  fs::create_directories(base);
+  fs::create_directories(cand);
+
+  auto write_bench = [](const std::string& dir, double x, double days) {
+    JsonObject metrics;
+    metrics["x"] = x;
+    metrics["days"] = days;
+    JsonObject bench;
+    bench["bench"] = std::string("demo");
+    bench["metrics"] = Json(std::move(metrics));
+    write_json_file(dir + "/BENCH_demo.json", Json(std::move(bench)));
+  };
+  write_bench(base, 100.0, 24.0);
+
+  // Within the default 5% tolerance: clean.
+  write_bench(cand, 104.0, 24.0);
+  EXPECT_TRUE(epitrace::bench_diff(base, cand).ok);
+
+  // An 11% drift is flagged.
+  write_bench(cand, 111.0, 24.0);
+  const epitrace::BenchDiffResult bad = epitrace::bench_diff(base, cand);
+  EXPECT_FALSE(bad.ok);
+
+  // tolerances.json overrides: widen the default, tighten one metric.
+  JsonObject overrides;
+  overrides["demo.days"] = 0.0;
+  JsonObject tolerances;
+  tolerances["default"] = 0.2;
+  tolerances["overrides"] = Json(std::move(overrides));
+  write_json_file(base + "/tolerances.json", Json(std::move(tolerances)));
+  EXPECT_TRUE(epitrace::bench_diff(base, cand).ok);   // 11% < 20%
+  write_bench(cand, 111.0, 25.0);                     // exact-match metric
+  EXPECT_FALSE(epitrace::bench_diff(base, cand).ok);
+
+  // A baseline bench missing from the candidate fails the gate.
+  fs::remove(cand + "/BENCH_demo.json");
+  EXPECT_FALSE(epitrace::bench_diff(base, cand).ok);
+
+  fs::remove_all(root);
 }
 
 // ---------------------------------------------------- logging satellite ----

@@ -26,8 +26,8 @@ if [[ ! -f build/CMakeCache.txt ]]; then
   cmake -B build -S . >/dev/null
 fi
 cmake --build build -j "$JOBS" --target epilint >/dev/null
-if ! ./build/tools/epilint --include-dir src \
-    --baseline tools/epilint/baseline.txt src; then
+if ! ./build/tools/epilint --include-dir src --include-dir tools \
+    --baseline tools/epilint/baseline.txt src tools/epitrace; then
   echo "lint: FAILED (epilint findings above; fix at the source or add an"
   echo "      inline '// epilint: allow(<rule>) — <why>' waiver)"
   exit 1
