@@ -1,15 +1,21 @@
-// Communication-volume A/B: ghost-delta halo exchange vs the legacy
-// broadcast-everything kernel, on the same network and partitioning.
+// Exchange-mode A/B/C/D on the same network and partitioning: legacy
+// broadcast allgatherv, ghost-delta halo exchange, the event-driven core
+// (ghost exchange + timed-event progressions + quiescence tick-skipping),
+// and the adaptive broadcast/ghost switch.
 //
 // The legacy transmission step allgatherv'd every rank's full infectious
 // set to every rank, every tick — O(global infectious x ranks) bytes on
 // the wire regardless of how many of those records a rank could ever use.
 // The ghost-delta protocol sends each rank only the *changes* to the
-// boundary records it subscribed to at construction. This bench runs both
-// kernels to the same epidemic and reports wall time, wire bytes, and
-// peak memory; it exits non-zero if the ghost kernel fails to move
-// strictly fewer bytes than the broadcast baseline measured in the same
-// run (the CI perf-smoke gate), or if the two kernels' outputs diverge.
+// boundary records it subscribed to at construction; the event mode
+// additionally skips globally quiescent ticks outright (the seeds land at
+// tick 8, so the dormant prefix is provably skippable). This bench runs
+// all four kernels to the same epidemic and reports wall time, wire
+// bytes, events processed, and skipped ticks; it exits non-zero if any
+// mode's epidemic diverges from broadcast, if the ghost kernel fails to
+// move strictly fewer bytes than broadcast, or if the event mode is not
+// strictly faster per tick than both legacy modes (the CI perf-smoke
+// gates).
 
 #include <algorithm>
 #include <cstdio>
@@ -52,16 +58,22 @@ double mean(const std::vector<double>& series) {
   return sum / static_cast<double>(series.size());
 }
 
+std::uint64_t sum_edges(const epi::SimOutput& out) {
+  std::uint64_t edges = 0;
+  for (const auto v : out.frontier_edges_per_tick) edges += v;
+  return edges;
+}
+
 }  // namespace
 
 int main() {
   using namespace epi;
   using namespace epi::bench;
 
-  heading("Communication volume — ghost-delta halo vs broadcast allgatherv");
-  note("same network, partitioning, seeds, and RNG streams for both kernels;");
-  note("the epidemic outputs must be identical, only the wire traffic and");
-  note("touched-edge counts differ");
+  heading("Communication volume + exchange-mode matrix");
+  note("same network, partitioning, seeds, and RNG streams for all kernels;");
+  note("the epidemic outputs must be identical, only wire traffic, touched");
+  note("edges, and per-tick cost differ");
 
   SynthPopConfig pop_config;
   pop_config.region = "DC";
@@ -75,7 +87,10 @@ int main() {
   SimulationConfig config;
   config.num_ticks = kTicks;
   config.seed = 11;
-  config.seeds = {SeedSpec{0, 10, 0}};
+  // Seeds land at tick 8: the dormant prefix gives the event mode a
+  // deterministic skip window, so "strictly faster per tick" is a property
+  // of the algorithm, not of scheduler noise.
+  config.seeds = {SeedSpec{0, 10, 8}};
 
   const Partitioning parts =
       partition_network(region.network, static_cast<std::size_t>(kRanks));
@@ -85,40 +100,45 @@ int main() {
              " contacts, " + fmt_int(kRanks) + " ranks, " + fmt_int(kTicks) +
              " ticks");
 
-  const KernelRun bcast = run_kernel(region, model, config, parts, kRanks,
-                                     ExchangeMode::kBroadcast);
-  const KernelRun ghost = run_kernel(region, model, config, parts, kRanks,
-                                     ExchangeMode::kGhostDelta);
+  const ExchangeMode modes[] = {ExchangeMode::kBroadcast,
+                                ExchangeMode::kGhostDelta, ExchangeMode::kEvent,
+                                ExchangeMode::kAdaptive};
+  KernelRun runs[4];
+  for (int i = 0; i < 4; ++i) {
+    runs[i] = run_kernel(region, model, config, parts, kRanks, modes[i]);
+  }
+  const KernelRun& bcast = runs[0];
+  const KernelRun& ghost = runs[1];
+  const KernelRun& event = runs[2];
 
   bool ok = true;
-  if (ghost.out.final_states != bcast.out.final_states ||
-      ghost.out.new_infections_per_tick != bcast.out.new_infections_per_tick ||
-      ghost.out.total_infections != bcast.out.total_infections) {
-    note("FAIL: kernels disagree on the epidemic — the A/B is invalid");
-    ok = false;
+  for (int i = 1; i < 4; ++i) {
+    if (runs[i].out.final_states != bcast.out.final_states ||
+        runs[i].out.new_infections_per_tick !=
+            bcast.out.new_infections_per_tick ||
+        runs[i].out.total_infections != bcast.out.total_infections) {
+      note(std::string("FAIL: ") + exchange_mode_name(modes[i]) +
+           " disagrees with broadcast on the epidemic — the A/B is invalid");
+      ok = false;
+    }
+  }
+
+  row({"kernel", "comm MB", "s/tick", "wall s", "events", "skipped"}, 12);
+  for (int i = 0; i < 4; ++i) {
+    const SimOutput& out = runs[i].out;
+    row({exchange_mode_name(modes[i]),
+         fmt(static_cast<double>(out.communication_bytes) / 1e6, 3),
+         fmt(mean(out.seconds_per_tick), 4), fmt(runs[i].wall_seconds, 3),
+         fmt_int(out.events_fired), fmt_int(out.ticks_skipped)},
+        12);
   }
 
   const std::uint64_t bcast_bytes = bcast.out.communication_bytes;
   const std::uint64_t ghost_bytes = ghost.out.communication_bytes;
-  const std::uint64_t bcast_peak = peak(bcast.out.memory_bytes_per_tick);
-  const std::uint64_t ghost_peak = peak(ghost.out.memory_bytes_per_tick);
-
-  row({"kernel", "comm MB", "halo MB", "peak mem MB", "s/tick", "wall s"}, 14);
-  row({"broadcast", fmt(static_cast<double>(bcast_bytes) / 1e6, 3), "0.000",
-       fmt(static_cast<double>(bcast_peak) / 1e6, 2),
-       fmt(mean(bcast.out.seconds_per_tick), 4), fmt(bcast.wall_seconds, 3)},
-      14);
-  row({"ghost-delta", fmt(static_cast<double>(ghost_bytes) / 1e6, 3),
-       fmt(static_cast<double>(ghost.out.ghost_exchange_bytes) / 1e6, 3),
-       fmt(static_cast<double>(ghost_peak) / 1e6, 2),
-       fmt(mean(ghost.out.seconds_per_tick), 4), fmt(ghost.wall_seconds, 3)},
-      14);
-
-  std::uint64_t bcast_edges = 0, ghost_edges = 0;
-  for (const auto v : bcast.out.frontier_edges_per_tick) bcast_edges += v;
-  for (const auto v : ghost.out.frontier_edges_per_tick) ghost_edges += v;
   note("edges evaluated (all ticks, all ranks): broadcast " +
-       fmt_int(bcast_edges) + ", ghost " + fmt_int(ghost_edges));
+       fmt_int(sum_edges(bcast.out)) + ", ghost " +
+       fmt_int(sum_edges(ghost.out)) + ", event " +
+       fmt_int(sum_edges(event.out)));
   if (ghost_bytes > 0) {
     note("comm reduction: " +
          fmt(static_cast<double>(bcast_bytes) /
@@ -126,6 +146,9 @@ int main() {
              2) +
          "x fewer bytes than broadcast");
   }
+  note("adaptive split: " + fmt_int(runs[3].out.broadcast_ticks) +
+       " broadcast ticks, " + fmt_int(runs[3].out.ghost_ticks) +
+       " ghost ticks");
 
   JsonReport report("comm_volume");
   report.metric("ranks", static_cast<std::uint64_t>(kRanks));
@@ -134,28 +157,52 @@ int main() {
                 static_cast<std::uint64_t>(region.population.person_count()));
   report.metric("contacts", region.network.contact_count());
   report.metric("total_infections", ghost.out.total_infections);
-  report.metric("broadcast.communication_bytes", bcast_bytes);
-  report.metric("broadcast.peak_memory_bytes", bcast_peak);
-  report.metric("broadcast.seconds_per_tick_mean",
-                mean(bcast.out.seconds_per_tick));
-  report.metric("broadcast.edges_evaluated", bcast_edges);
-  report.metric("ghost.communication_bytes", ghost_bytes);
+  for (int i = 0; i < 4; ++i) {
+    const std::string prefix = exchange_mode_name(modes[i]);
+    const SimOutput& out = runs[i].out;
+    report.metric(prefix + ".communication_bytes", out.communication_bytes);
+    report.metric(prefix + ".peak_memory_bytes",
+                  peak(out.memory_bytes_per_tick));
+    report.metric(prefix + ".seconds_per_tick_mean",
+                  mean(out.seconds_per_tick));
+    report.metric(prefix + ".edges_evaluated", sum_edges(out));
+    report.metric(prefix + ".events_scheduled", out.events_scheduled);
+    report.metric(prefix + ".events_fired", out.events_fired);
+    report.metric(prefix + ".ticks_skipped", out.ticks_skipped);
+    report.metric(prefix + ".ticks_executed", out.ticks_executed);
+  }
   report.metric("ghost.ghost_exchange_bytes", ghost.out.ghost_exchange_bytes);
-  report.metric("ghost.peak_memory_bytes", ghost_peak);
-  report.metric("ghost.seconds_per_tick_mean",
-                mean(ghost.out.seconds_per_tick));
-  report.metric("ghost.edges_evaluated", ghost_edges);
+  report.metric("adaptive.broadcast_ticks", runs[3].out.broadcast_ticks);
+  report.metric("adaptive.ghost_ticks", runs[3].out.ghost_ticks);
   report.metric("outputs_identical", ok ? std::uint64_t{1} : std::uint64_t{0});
   report.write();
 
-  // The perf-smoke gate: the whole point of the halo exchange is strictly
-  // less wire traffic than the baseline measured in this very run.
+  // Perf-smoke gates. First, the halo exchange's whole point: strictly
+  // less wire traffic than the broadcast baseline measured in this run.
   if (ghost_bytes >= bcast_bytes) {
     note("FAIL: ghost kernel moved " + fmt_int(ghost_bytes) +
          " bytes, baseline " + fmt_int(bcast_bytes));
     ok = false;
   } else {
     note("PASS: ghost bytes strictly below broadcast baseline");
+  }
+  // Second, the event-driven core's whole point: strictly cheaper ticks
+  // than both legacy modes (skipped ticks cost zero and executed ticks do
+  // no per-person rescans).
+  const double event_spt = mean(event.out.seconds_per_tick);
+  const double bcast_spt = mean(bcast.out.seconds_per_tick);
+  const double ghost_spt = mean(ghost.out.seconds_per_tick);
+  if (event_spt >= bcast_spt || event_spt >= ghost_spt) {
+    note("FAIL: event mode s/tick " + fmt(event_spt, 5) +
+         " not strictly below broadcast " + fmt(bcast_spt, 5) + " and ghost " +
+         fmt(ghost_spt, 5));
+    ok = false;
+  } else {
+    note("PASS: event mode s/tick strictly below both legacy modes");
+  }
+  if (event.out.ticks_skipped == 0) {
+    note("FAIL: event mode skipped no ticks despite the dormant seed prefix");
+    ok = false;
   }
   return ok ? 0 : 1;
 }

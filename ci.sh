@@ -10,9 +10,10 @@
 #                      # byte-diffs of responses + report; throughput gate
 #   ./ci.sh obs        # epitrace pass: traced nightly run -> trace_check
 #                      # -> epitrace self-checks; traced-vs-untraced
-#                      # byte-identity; fig9/table1 bench reports diffed
-#                      # against bench/baselines/ (clean must pass, an
-#                      # injected 10%+ regression must be flagged)
+#                      # byte-identity; fig9/table1/comm-volume/fig7 bench
+#                      # reports diffed against bench/baselines/ (clean
+#                      # must pass, an injected 10%+ regression must be
+#                      # flagged)
 #   ./ci.sh asan       # AddressSanitizer + UBSan + LeakSanitizer build
 #   ./ci.sh tsan       # ThreadSanitizer build (mpilite runs ranks as
 #                      # threads, so this sees every data race real-MPI
@@ -67,14 +68,34 @@ run_plain() {
   cmp build/trace-ci/metrics.json build/trace-ci-2/metrics.json
   echo "trace pass OK (valid + byte-identical across runs)"
 
-  echo "== perf smoke (comm volume) =="
-  # A/B the ghost-delta halo exchange against the broadcast baseline
-  # measured in the same run; the bench exits non-zero if the ghost kernel
-  # does not move strictly fewer bytes, or if the kernels' epidemic
-  # outputs diverge. The JSON report lands in build/ for regression diffs.
+  echo "== perf smoke (exchange-mode matrix) =="
+  # A/B/C/D the four exchange modes in the same run; the bench exits
+  # non-zero if the ghost kernel does not move strictly fewer bytes than
+  # broadcast, if the event-driven core is not strictly faster per tick
+  # than BOTH legacy modes (the ROADMAP hard gate), or if any mode's
+  # epidemic output diverges. The fig7 sweep applies the same event-faster
+  # gate across its size ladder. JSON reports land in build/ for
+  # regression diffs.
   rm -rf build/perf-smoke && mkdir -p build/perf-smoke
   EPI_BENCH_JSON=build/perf-smoke ./build/bench/bench_comm_volume
-  echo "perf smoke OK (see build/perf-smoke/BENCH_comm_volume.json)"
+  EPI_BENCH_JSON=build/perf-smoke \
+    ./build/bench/bench_fig7_runtime --benchmark_filter=none >/dev/null
+  echo "perf smoke OK (see build/perf-smoke/BENCH_*.json)"
+
+  echo "== exchange-mode byte-diff (EPI_EXCHANGE on the nightly) =="
+  # The determinism contract end to end: the deterministic nightly must
+  # produce byte-identical reports under every exchange mode — the env
+  # override is the only thing that changes between runs.
+  for mode in broadcast ghost event adaptive; do
+    EPI_EXCHANGE="$mode" EPI_DETERMINISTIC_TIMING=1 \
+      ./build/examples/nightly_national_run economic \
+      > "build/perf-smoke/nightly-$mode.txt"
+  done
+  for mode in ghost event adaptive; do
+    cmp "build/perf-smoke/nightly-broadcast.txt" \
+      "build/perf-smoke/nightly-$mode.txt"
+  done
+  echo "exchange-mode byte-diff OK (broadcast == ghost == event == adaptive)"
 
   echo "== farm pass (EPI_JOBS) =="
   # The deterministic executor's contract, end to end: the calibration
@@ -123,7 +144,8 @@ run_obs() {
   echo "== observability pass (epitrace) =="
   cmake -B build -S . >/dev/null
   cmake --build build -j "$JOBS" --target nightly_national_run trace_check \
-    epitrace bench_fig9_utilization bench_table1_workflows
+    epitrace bench_fig9_utilization bench_table1_workflows \
+    bench_comm_volume bench_fig7_runtime
 
   # A traced deterministic nightly run (the fig9 workload): validate the
   # emitted files, then run the profiler with its self-checks on — every
@@ -151,6 +173,12 @@ run_obs() {
   mkdir -p build/obs-ci/bench
   EPI_BENCH_JSON=build/obs-ci/bench ./build/bench/bench_fig9_utilization >/dev/null
   EPI_BENCH_JSON=build/obs-ci/bench ./build/bench/bench_table1_workflows >/dev/null
+  # The exchange-mode benches contribute their deterministic count metrics
+  # (edges, events, skipped ticks, wire bytes); their timing metrics are
+  # reported in the JSON but deliberately absent from the baselines.
+  EPI_BENCH_JSON=build/obs-ci/bench ./build/bench/bench_comm_volume >/dev/null
+  EPI_BENCH_JSON=build/obs-ci/bench \
+    ./build/bench/bench_fig7_runtime --benchmark_filter=none >/dev/null
   ./build/tools/epitrace diff bench/baselines build/obs-ci/bench
   # ...and an injected >= 10% regression in a copy must be flagged.
   rm -rf build/obs-ci/bench-bad && cp -r build/obs-ci/bench build/obs-ci/bench-bad

@@ -1,0 +1,123 @@
+// Deterministic per-rank timed-event queue (the ExaCorona direction).
+//
+// The event-driven transmission core schedules within-host disease-state
+// transitions as timed events instead of rescanning every local person
+// every tick: transition_person() pushes one event per scheduled
+// progression and step_progressions() pops only the events due at the
+// current tick. Ticks with an empty queue (and an empty frontier) cost
+// nothing, which is what makes quiescent tick ranges skippable.
+//
+// Determinism contract: events pop in strict ascending (tick, kind,
+// PersonId) order regardless of insertion order — the exact order the
+// legacy per-tick person scan fired transitions in — so the event-driven
+// core replays the scan byte for byte. Stale events (a person was
+// re-transitioned after scheduling, superseding the pending progression)
+// are invalidated lazily: the simulation revalidates each popped event
+// against the person's live next_transition_tick before firing it.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "epihiper/disease_model.hpp"   // Tick
+#include "network/contact_network.hpp"  // PersonId
+
+namespace epi {
+
+/// Event kinds, in intra-tick firing order. Progressions are currently the
+/// only kind; the field exists so future timed work (scheduled intervention
+/// actions, delayed tracing hops) slots into the same total order without
+/// perturbing existing pop sequences.
+enum class EventKind : std::uint8_t {
+  kProgression = 0,
+};
+
+/// One scheduled event. The (tick, kind, person) triple is the queue's
+/// total order; duplicates are legal (re-scheduling does not cancel the
+/// superseded entry) and are shed lazily by the consumer.
+struct TimedEvent {
+  Tick tick = 0;
+  EventKind kind = EventKind::kProgression;
+  PersonId person = 0;
+};
+
+/// Binary min-heap over (tick, kind, person) with lazy invalidation.
+///
+/// A heap's internal layout depends on insertion order, but its pop
+/// sequence over a *total* order does not: distinct keys always pop in
+/// ascending key order, and equal keys are identical events. That makes
+/// the pop order a pure function of the multiset of scheduled events —
+/// the determinism property the event-ordering tests pin down.
+class EventQueue {
+ public:
+  /// Sentinel next_tick() of an empty queue; compares greater than any
+  /// real tick.
+  static constexpr Tick kNever = std::numeric_limits<Tick>::max();
+
+  void schedule(Tick tick, EventKind kind, PersonId person) {
+    heap_.push_back(TimedEvent{tick, kind, person});
+    sift_up(heap_.size() - 1);
+    ++scheduled_;
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Tick of the earliest pending event (kNever when empty) — the queue's
+  /// contribution to the rank's next-active-tick bid.
+  Tick next_tick() const { return heap_.empty() ? kNever : heap_[0].tick; }
+
+  /// Pops the earliest event if it is due at or before `tick`. Returns
+  /// false (leaving `out` untouched) when nothing is due.
+  bool pop_due(Tick tick, TimedEvent* out) {
+    if (heap_.empty() || heap_[0].tick > tick) return false;
+    *out = heap_[0];
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return true;
+  }
+
+  /// Lifetime count of schedule() calls (events-scheduled accounting).
+  std::uint64_t scheduled() const { return scheduled_; }
+
+  std::uint64_t memory_bytes() const {
+    return heap_.capacity() * sizeof(TimedEvent);
+  }
+
+ private:
+  static bool before(const TimedEvent& a, const TimedEvent& b) {
+    if (a.tick != b.tick) return a.tick < b.tick;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.person < b.person;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = left + 1;
+      std::size_t smallest = i;
+      if (left < n && before(heap_[left], heap_[smallest])) smallest = left;
+      if (right < n && before(heap_[right], heap_[smallest])) smallest = right;
+      if (smallest == i) break;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<TimedEvent> heap_;
+  std::uint64_t scheduled_ = 0;
+};
+
+}  // namespace epi

@@ -85,6 +85,17 @@ SimOutput run_simulation_parallel(const ContactNetwork& network,
     merged.work_units += out.work_units;
     merged.max_rank_work_units =
         std::max(merged.max_rank_work_units, out.work_units);
+    // Event accounting sums across ranks; tick counters are identical on
+    // every rank (skip decisions are min-allreduced), so max == any rank.
+    merged.events_scheduled += out.events_scheduled;
+    merged.events_fired += out.events_fired;
+    merged.events_stale += out.events_stale;
+    merged.ticks_skipped = std::max(merged.ticks_skipped, out.ticks_skipped);
+    merged.ticks_executed =
+        std::max(merged.ticks_executed, out.ticks_executed);
+    merged.broadcast_ticks =
+        std::max(merged.broadcast_ticks, out.broadcast_ticks);
+    merged.ghost_ticks = std::max(merged.ghost_ticks, out.ghost_ticks);
   }
   std::sort(merged.transitions.begin(), merged.transitions.end(),
             [](const TransitionEvent& a, const TransitionEvent& b) {

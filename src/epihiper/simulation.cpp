@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -17,6 +18,14 @@ constexpr std::uint64_t kPurposeSeed = 0x53454544ULL;          // "SEED"
 constexpr std::uint64_t kPurposeCoin = 0x434f494eULL;          // "COIN"
 constexpr int kTagIsolation = 7;
 
+// kAdaptive density switch: broadcast when global_infectious * kAdaptiveDenom
+// >= network nodes (i.e. >= 2% of persons infectious). Above that density
+// the push frontier approaches every edge anyway and its enumerate+sort
+// overhead loses to the branch-light full rescan; below it the frontier
+// wins outright. The decision input is an allreduced count, so every rank
+// switches on the same tick.
+constexpr std::int64_t kAdaptiveDenom = 50;
+
 /// Wire format of the owner-routed isolation requests.
 struct IsolationRequest {
   PersonId person;
@@ -24,6 +33,37 @@ struct IsolationRequest {
 };
 static_assert(std::is_trivially_copyable_v<IsolationRequest>);
 }  // namespace
+
+const char* exchange_mode_name(ExchangeMode mode) {
+  switch (mode) {
+    case ExchangeMode::kGhostDelta: return "ghost";
+    case ExchangeMode::kBroadcast: return "broadcast";
+    case ExchangeMode::kEvent: return "event";
+    case ExchangeMode::kAdaptive: return "adaptive";
+  }
+  return "unknown";
+}
+
+ExchangeMode parse_exchange_mode(std::string_view name) {
+  if (name == "ghost") return ExchangeMode::kGhostDelta;
+  if (name == "broadcast") return ExchangeMode::kBroadcast;
+  if (name == "event") return ExchangeMode::kEvent;
+  if (name == "adaptive") return ExchangeMode::kAdaptive;
+  EPI_REQUIRE(false, "unknown exchange mode '"
+                         << name
+                         << "' (expected broadcast|ghost|event|adaptive)");
+  return ExchangeMode::kGhostDelta;  // unreachable
+}
+
+ExchangeMode default_exchange_mode() {
+  const char* value = env_raw("EPI_EXCHANGE");
+  if (value == nullptr || value[0] == '\0') return ExchangeMode::kGhostDelta;
+  return parse_exchange_mode(value);
+}
+
+Tick Intervention::quiescent_until(const Simulation& sim) const {
+  return sim.tick() + 1;  // conservative: may act every tick
+}
 
 Simulation::Simulation(const ContactNetwork& network,
                        const Population& population, const DiseaseModel& model,
@@ -80,13 +120,24 @@ Simulation::Simulation(const ContactNetwork& network,
     }
   }
 
+  event_driven_ = config_.exchange == ExchangeMode::kEvent ||
+                  config_.exchange == ExchangeMode::kAdaptive;
   if (config_.exchange == ExchangeMode::kBroadcast) {
     // The legacy kernel's person-indexed lookup spans the whole network —
-    // the O(network nodes)-per-rank cost the ghost halo replaces.
+    // the O(network nodes)-per-rank cost the ghost halo replaces. Under
+    // kAdaptive it is allocated lazily on the first broadcast tick.
     infectious_lookup_.assign(network_.node_count(), 0);
   } else if (comm_ != nullptr) {
     build_ghost_plan(*partitioning);
   }
+
+  // Pending-seed schedule for the quiescence scan: ascending unique ticks.
+  for (const SeedSpec& spec : config_.seeds) {
+    seed_ticks_.push_back(spec.tick);
+  }
+  std::sort(seed_ticks_.begin(), seed_ticks_.end());
+  seed_ticks_.erase(std::unique(seed_ticks_.begin(), seed_ticks_.end()),
+                    seed_ticks_.end());
 
   static_assert(std::is_trivially_copyable_v<InfectiousInfo> &&
                     sizeof(InfectiousInfo) == 12,
@@ -352,6 +403,13 @@ std::uint64_t Simulation::memory_footprint_bytes() const {
   bytes += subscriber_offsets_.capacity() * sizeof(std::uint64_t);
   bytes += subscriber_ranks_.capacity() * sizeof(std::int32_t);
   bytes += advertised_.capacity() * sizeof(InfectiousInfo);
+  // Event-driven core: the timed-event heap plus the per-tick SoA record
+  // slots of the transmission kernels.
+  bytes += event_queue_.memory_bytes();
+  bytes += slot_person_.capacity() * sizeof(PersonId);
+  bytes += slot_iota_.capacity() * sizeof(double);
+  bytes += slot_state_.capacity() * sizeof(HealthStateId);
+  bytes += slot_isolated_.capacity() + slot_stay_home_.capacity();
   for (const auto& [name, values] : node_traits_) {
     bytes += values.capacity();
   }
@@ -407,6 +465,15 @@ void Simulation::transition_person(PersonId p, HealthStateId new_state,
                                 &next, &dwell)) {
     node.next_transition_tick = tick_ + dwell;
     node.next_state = next;
+    // Event-driven core: the progression becomes a timed event. A
+    // superseded earlier event for p (this transition pre-empted it) stays
+    // queued and is shed lazily when popped (next_transition_tick no
+    // longer matches).
+    if (event_driven_) {
+      event_queue_.schedule(node.next_transition_tick,
+                            EventKind::kProgression, p);
+      ++output_.events_scheduled;
+    }
   }
 }
 
@@ -475,7 +542,7 @@ void Simulation::exchange_remote_isolation_requests() {
 
 void Simulation::step_transmissions() {
   // Snapshot the local infectious records in ascending person order (the
-  // order the legacy full scan produced them in), shared by both kernels.
+  // order the legacy full scan produced them in), shared by all kernels.
   sorted_infectious_scratch_.assign(local_infectious_.begin(),
                                     local_infectious_.end());
   std::sort(sorted_infectious_scratch_.begin(),
@@ -484,27 +551,100 @@ void Simulation::step_transmissions() {
   for (const PersonId p : sorted_infectious_scratch_) {
     tick_records_.push_back(infectious_record(p));
   }
-  if (config_.exchange == ExchangeMode::kBroadcast) {
+  switch (config_.exchange) {
+    case ExchangeMode::kBroadcast:
+      step_transmissions_broadcast();
+      break;
+    case ExchangeMode::kGhostDelta:
+    case ExchangeMode::kEvent:
+      step_transmissions_frontier();
+      break;
+    case ExchangeMode::kAdaptive:
+      step_transmissions_adaptive();
+      break;
+  }
+}
+
+void Simulation::step_transmissions_adaptive() {
+  // Deterministic density switch: identical on every rank because the
+  // input is an allreduced global count, never rank-local state.
+  std::int64_t global_infectious =
+      static_cast<std::int64_t>(local_infectious_.size());
+  if (comm_ != nullptr) {
+    global_infectious =
+        comm_->allreduce(global_infectious, mpilite::ReduceOp::kSum);
+  }
+  const bool use_broadcast =
+      global_infectious * kAdaptiveDenom >=
+      static_cast<std::int64_t>(network_.node_count());
+  if (metrics_ != nullptr) {
+    metrics_->add(use_broadcast ? "epihiper.adaptive_broadcast_ticks"
+                                : "epihiper.adaptive_ghost_ticks");
+  }
+  if (use_broadcast) {
+    ++output_.broadcast_ticks;
+    if (infectious_lookup_.empty()) {
+      infectious_lookup_.assign(network_.node_count(), 0);
+    }
+    // No deltas flow this tick, so whatever subscribers last saw is stale
+    // from here on; the next ghost tick must resync from scratch.
+    ghost_halo_synced_ = false;
     step_transmissions_broadcast();
   } else {
+    ++output_.ghost_ticks;
+    if (!ghost_halo_synced_) {
+      reset_ghost_halo();
+      ghost_halo_synced_ = true;
+    }
     step_transmissions_frontier();
   }
 }
 
-void Simulation::finish_candidate(PersonId p, double rate_sum,
-                                  const std::vector<InfectiousInfo>& records) {
+void Simulation::reset_ghost_halo() {
+  advertised_.clear();
+  for (const std::uint32_t gi : ghost_active_) {
+    ghost_active_pos_[gi] = 0;
+  }
+  ghost_active_.clear();
+  for (std::size_t i = 0; i < ghost_records_.size(); ++i) {
+    InfectiousInfo blank;
+    blank.person = ghost_persons_[i];
+    ghost_records_[i] = blank;  // state == kNoState: absent
+  }
+}
+
+void Simulation::build_record_soa(const std::vector<InfectiousInfo>& records) {
+  const std::size_t n = records.size();
+  slot_person_.resize(n);
+  slot_iota_.resize(n);
+  slot_state_.resize(n);
+  slot_isolated_.resize(n);
+  slot_stay_home_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const InfectiousInfo& rec = records[i];
+    slot_person_[i] = rec.person;
+    slot_state_[i] = rec.state;
+    // Same double arithmetic the AoS loop performed per candidate edge:
+    // (double) state infectivity x (float->double) dynamic scale.
+    slot_iota_[i] =
+        model_.state(rec.state).infectivity * rec.infectivity_scale;
+    slot_isolated_[i] = rec.isolated;
+    slot_stay_home_[i] = rec.stay_home;
+  }
+}
+
+void Simulation::finish_candidate(PersonId p, double rate_sum) {
   const double rate = model_.transmissibility() * rate_sum;
   if (rate <= 0.0) return;
   // Gillespie: exponential waiting time against the one-tick interval;
   // the causing contact is drawn proportionally to its propensity.
   Rng rng = person_rng(p).derive({kPurposeTransmission});
   if (rng.exponential(rate) >= 1.0) return;
-  const std::size_t cause_index = rng.discrete(candidate_rho_);
-  const InfectiousInfo& source = records[candidate_slots_[cause_index]];
+  const std::uint32_t slot = candidate_slots_[rng.discrete(candidate_rho_)];
   const HealthStateId to =
       transmission_to_[nodes_[p - local_begin_].health * model_.state_count() +
-                       source.state];
-  transition_person(p, to, source.person);
+                       slot_state_[slot]];
+  transition_person(p, to, slot_person_[slot]);
 }
 
 void Simulation::step_transmissions_broadcast() {
@@ -523,8 +663,10 @@ void Simulation::step_transmissions_broadcast() {
         static_cast<std::uint32_t>(i + 1);
   }
   if (global_infectious_.empty()) return;
+  build_record_soa(global_infectious_);
 
   const std::size_t state_count = model_.state_count();
+  const bool weights_scaled = !edge_weight_scale_.empty();
   std::uint64_t work = 0;
   for (PersonId p = local_begin_; p < local_end_; ++p) {
     const NodeState& node = nodes_[p - local_begin_];
@@ -537,40 +679,37 @@ void Simulation::step_transmissions_broadcast() {
     candidate_edges_.clear();
     candidate_rho_.clear();
     candidate_slots_.clear();
+    const std::size_t omega_row = node.health * state_count;
+    const double sigma = state.susceptibility * node.susceptibility_scale;
     double rate_sum = 0.0;
     for (EdgeIndex e = network_.in_begin(p); e < network_.in_end(p); ++e) {
       const Contact& c = network_.contact(e);
       const std::uint32_t slot = infectious_lookup_[c.source];
       if (slot == 0) continue;
-      const InfectiousInfo& source = global_infectious_[slot - 1];
-      const double omega =
-          transmission_omega_[node.health * state_count + source.state];
+      const double omega = transmission_omega_[omega_row + slot_state_[slot - 1]];
       if (omega <= 0.0) continue;
-      if (!edge_transmissible(e, p, source.isolated != 0,
-                              source.stay_home != 0)) {
+      if (!edge_transmissible(e, p, slot_isolated_[slot - 1] != 0,
+                              slot_stay_home_[slot - 1] != 0)) {
         continue;
       }
       // Eq (1): rho = T * w_e * sigma(Ps) * iota(Pi) * omega, with contact
       // duration T expressed as a fraction of the one-day tick and w_e the
-      // static weight times any dynamic scaling.
+      // static weight times any dynamic scaling. sigma is loop-invariant
+      // and hoisted; its operand position in the product is unchanged, so
+      // every rho is the bit-identical double the per-edge form produced.
       const double duration_fraction = c.duration_minutes / 1440.0;
       const double weight =
-          edge_weight_scale_.empty()
-              ? c.weight
-              : c.weight * edge_weight_scale_[e - edge_offset_];
-      const double sigma =
-          state.susceptibility * node.susceptibility_scale;
-      const double iota = model_.state(source.state).infectivity *
-                          source.infectivity_scale;
+          weights_scaled ? c.weight * edge_weight_scale_[e - edge_offset_]
+                         : c.weight;
       const double rho =
-          duration_fraction * weight * sigma * iota * omega;
+          duration_fraction * weight * sigma * slot_iota_[slot - 1] * omega;
       if (rho <= 0.0) continue;
       rate_sum += rho;
       candidate_edges_.push_back(e);
       candidate_rho_.push_back(rho);
       candidate_slots_.push_back(slot - 1);
     }
-    finish_candidate(p, rate_sum, global_infectious_);
+    finish_candidate(p, rate_sum);
   }
   output_.work_units += work;
 }
@@ -677,6 +816,7 @@ void Simulation::step_transmissions_frontier() {
     }
   }
   if (tick_records_.empty()) return;
+  build_record_soa(tick_records_);
 
   // Push phase: enumerate this rank's in-edges sourced at any record
   // holder. Out-edge buckets are ascending, so a binary search finds the
@@ -685,8 +825,8 @@ void Simulation::step_transmissions_frontier() {
   frontier_hits_.clear();
   const EdgeIndex edge_end = edge_offset_ + edge_active_.size();
   for (std::uint32_t slot = 0;
-       slot < static_cast<std::uint32_t>(tick_records_.size()); ++slot) {
-    const auto edges = network_.out_edges_of(tick_records_[slot].person);
+       slot < static_cast<std::uint32_t>(slot_person_.size()); ++slot) {
+    const auto edges = network_.out_edges_of(slot_person_[slot]);
     auto it = std::lower_bound(edges.begin(), edges.end(), edge_offset_);
     for (; it != edges.end() && *it < edge_end; ++it) {
       frontier_hits_.push_back(CandidateHit{*it, slot});
@@ -708,6 +848,7 @@ void Simulation::step_transmissions_frontier() {
             });
 
   const std::size_t state_count = model_.state_count();
+  const bool weights_scaled = !edge_weight_scale_.empty();
   std::uint64_t groups = 0;
   std::size_t i = 0;
   while (i < frontier_hits_.size()) {
@@ -727,38 +868,36 @@ void Simulation::step_transmissions_frontier() {
     candidate_edges_.clear();
     candidate_rho_.clear();
     candidate_slots_.clear();
+    const std::size_t omega_row = node.health * state_count;
+    const double sigma = state.susceptibility * node.susceptibility_scale;
     double rate_sum = 0.0;
     for (std::size_t k = i; k < j; ++k) {
       const EdgeIndex e = frontier_hits_[k].edge;
-      const Contact& c = network_.contact(e);
-      const InfectiousInfo& source = tick_records_[frontier_hits_[k].slot];
-      const double omega =
-          transmission_omega_[node.health * state_count + source.state];
+      const std::uint32_t slot = frontier_hits_[k].slot;
+      const double omega = transmission_omega_[omega_row + slot_state_[slot]];
       if (omega <= 0.0) continue;
-      if (!edge_transmissible(e, p, source.isolated != 0,
-                              source.stay_home != 0)) {
+      if (!edge_transmissible(e, p, slot_isolated_[slot] != 0,
+                              slot_stay_home_[slot] != 0)) {
         continue;
       }
       // Eq (1), identical arithmetic and filter order to the broadcast
-      // kernel (same rho values in the same candidate positions).
+      // kernel (same rho values in the same candidate positions); the
+      // source fields come from the dense SoA arrays and sigma is hoisted
+      // per target, neither of which perturbs a single double bit.
+      const Contact& c = network_.contact(e);
       const double duration_fraction = c.duration_minutes / 1440.0;
       const double weight =
-          edge_weight_scale_.empty()
-              ? c.weight
-              : c.weight * edge_weight_scale_[e - edge_offset_];
-      const double sigma =
-          state.susceptibility * node.susceptibility_scale;
-      const double iota = model_.state(source.state).infectivity *
-                          source.infectivity_scale;
+          weights_scaled ? c.weight * edge_weight_scale_[e - edge_offset_]
+                         : c.weight;
       const double rho =
-          duration_fraction * weight * sigma * iota * omega;
+          duration_fraction * weight * sigma * slot_iota_[slot] * omega;
       if (rho <= 0.0) continue;
       rate_sum += rho;
       candidate_edges_.push_back(e);
       candidate_rho_.push_back(rho);
-      candidate_slots_.push_back(frontier_hits_[k].slot);
+      candidate_slots_.push_back(slot);
     }
-    finish_candidate(p, rate_sum, tick_records_);
+    finish_candidate(p, rate_sum);
     i = j;
   }
   work += groups;
@@ -769,6 +908,12 @@ void Simulation::step_transmissions_frontier() {
 }
 
 void Simulation::step_progressions() {
+  if (event_driven_) {
+    step_progressions_events();
+    return;
+  }
+  // Legacy tick-driven form: O(local persons) every tick, the cost the
+  // event queue eliminates.
   output_.work_units += local_end_ - local_begin_;
   for (PersonId p = local_begin_; p < local_end_; ++p) {
     NodeState& node = nodes_[p - local_begin_];
@@ -778,14 +923,65 @@ void Simulation::step_progressions() {
   }
 }
 
+void Simulation::step_progressions_events() {
+  // Pop everything due this tick in (tick, kind, person) order — ascending
+  // person, exactly the order the legacy scan fired in. An event fires only
+  // if it still matches the person's live schedule; anything superseded by
+  // an intervening transition is stale and shed here. Events fired now
+  // schedule strictly-future events (dwell >= 1), so this loop terminates.
+  std::uint64_t popped = 0;
+  TimedEvent event;
+  while (event_queue_.pop_due(tick_, &event)) {
+    ++popped;
+    EPI_ASSERT(event.tick == tick_,
+               "event for tick " << event.tick << " still queued at tick "
+                                 << tick_ << " — a quiescence skip "
+                                 << "jumped over scheduled work");
+    NodeState& node = nodes_[event.person - local_begin_];
+    if (node.next_transition_tick == tick_ && node.next_state != kNoState) {
+      ++output_.events_fired;
+      transition_person(event.person, node.next_state, kNoPerson);
+    } else {
+      ++output_.events_stale;
+    }
+  }
+  output_.work_units += popped;
+}
+
 void Simulation::apply_interventions() {
   for (const auto& intervention : interventions_) {
     intervention->apply(*this);
   }
 }
 
+Tick Simulation::next_active_tick() const {
+  // This rank's bid for the next tick that needs real work:
+  //   - the head of the timed-event queue (earliest pending progression);
+  //   - the next configured seeding tick (seeding is collective);
+  //   - tick_ + 1 whenever transmission or an owed exchange could still
+  //     happen: a live local frontier, subscribed ghost infectious persons,
+  //     unsent advert deltas/tombstones, or queued remote isolations;
+  //   - each intervention's quiescent_until() hint. Hints may be rank-local
+  //     (trait triggers, local counts): the min-allreduce in run() turns
+  //     the most conservative rank's bid into the global decision.
+  Tick next = event_queue_.next_tick();
+  const auto seed_it =
+      std::upper_bound(seed_ticks_.begin(), seed_ticks_.end(), tick_);
+  if (seed_it != seed_ticks_.end()) next = std::min(next, *seed_it);
+  if (!local_infectious_.empty() || !ghost_active_.empty() ||
+      !advertised_.empty() || !pending_remote_isolations_.empty()) {
+    next = std::min(next, tick_ + 1);
+  }
+  for (const auto& intervention : interventions_) {
+    next = std::min(next,
+                    std::max(intervention->quiescent_until(*this), tick_ + 1));
+  }
+  return std::max(next, tick_ + 1);
+}
+
 SimOutput Simulation::run() {
-  for (tick_ = 0; tick_ < config_.num_ticks; ++tick_) {
+  tick_ = 0;
+  while (tick_ < config_.num_ticks) {
     Timer tick_timer;
     cached_global_counts_.reset();
     for (auto& bucket : entered_by_state_) bucket.clear();
@@ -800,6 +996,40 @@ SimOutput Simulation::run() {
 
     output_.memory_bytes_per_tick.push_back(memory_footprint_bytes());
     output_.seconds_per_tick.push_back(tick_timer.elapsed_seconds());
+    ++output_.ticks_executed;
+
+    if (!event_driven_) {
+      ++tick_;
+      continue;
+    }
+    // Quiescence skip: agree on the next globally active tick and jump
+    // there without touching person state. Skipping is safe because the
+    // RNG is keyed by (person, tick) — dormant ticks consume no stream
+    // state — and it is collective-safe because every rank takes the same
+    // min-allreduced jump, keeping lockstep collectives aligned.
+    Tick next = next_active_tick();
+    if (comm_ != nullptr) {
+      next = static_cast<Tick>(comm_->allreduce(
+          static_cast<std::int64_t>(next), mpilite::ReduceOp::kMin));
+    }
+    next = std::min(next, config_.num_ticks);
+    for (Tick skipped = tick_ + 1; skipped < next; ++skipped) {
+      // Skipped ticks still get per-tick output rows (zero activity, zero
+      // cost) so time series stay per-mode comparable tick for tick.
+      output_.new_infections_per_tick.push_back(0);
+      output_.frontier_edges_per_tick.push_back(0);
+      output_.memory_bytes_per_tick.push_back(memory_footprint_bytes());
+      output_.seconds_per_tick.push_back(0.0);
+      ++output_.ticks_skipped;
+    }
+    tick_ = next;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->add("epihiper.events_scheduled", output_.events_scheduled);
+    metrics_->add("epihiper.events_fired", output_.events_fired);
+    metrics_->add("epihiper.events_stale", output_.events_stale);
+    metrics_->add("epihiper.ticks_skipped", output_.ticks_skipped);
+    metrics_->add("epihiper.ticks_executed", output_.ticks_executed);
   }
   output_.final_states.resize(local_end_ - local_begin_);
   for (PersonId p = local_begin_; p < local_end_; ++p) {

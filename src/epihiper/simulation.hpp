@@ -19,14 +19,26 @@
 // (became infectious / record changed / left infectious) to subscribing
 // ranks via alltoallv. Transmission compute is frontier-proportional: the
 // local infectious set is maintained incrementally and only susceptible
-// out-neighbors of currently-infectious sources are evaluated. The legacy
-// broadcast-everything kernel (allgatherv of the full infectious set +
-// full person/edge rescan) is retained behind ExchangeMode::kBroadcast as
-// the A/B baseline; both kernels draw identical RNG streams and produce
-// byte-identical epidemic output (tested).
+// out-neighbors of currently-infectious sources are evaluated.
 //
-// All randomness is keyed by (seed, replicate, person, tick), which makes
-// results *identical for any rank count* — a property the tests rely on.
+// On top of the ghost halo sits the *event-driven core* (ExaCorona
+// direction, DESIGN.md §14): within-host progressions are scheduled as
+// timed events in a deterministic (tick, kind, person) queue instead of
+// rescanning every person every tick, and globally quiescent tick ranges
+// — empty frontier, empty queues, no pending seeds / interventions /
+// isolation requests on any rank, agreed via an mpilite min-allreduce —
+// are skipped without touching person state. ExchangeMode::kAdaptive
+// additionally re-picks broadcast vs ghost-delta each executed tick from
+// the global frontier density. The legacy broadcast-everything kernel
+// (allgatherv of the full infectious set + full person/edge rescan,
+// ExchangeMode::kBroadcast) and the scan-based ghost mode (kGhostDelta)
+// are retained as A/B baselines; all modes draw identical RNG streams and
+// produce byte-identical epidemic output (tested).
+//
+// All randomness is keyed by (seed, replicate, person, tick) — stateless
+// streams, no draw ever depends on a previous draw's position — which
+// makes results *identical for any rank count* (a property the tests rely
+// on) and is what lets skipped ticks consume nothing.
 #pragma once
 
 #include <cstdint>
@@ -35,9 +47,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "epihiper/disease_model.hpp"
+#include "epihiper/event_queue.hpp"
 #include "mpilite/comm.hpp"
 #include "network/contact_network.hpp"
 #include "network/partition.hpp"
@@ -67,16 +81,38 @@ struct SeedSpec {
   Tick tick = 0;
 };
 
-/// How ranks learn about remote infectious contacts each tick.
+/// How ranks learn about remote infectious contacts each tick, and whether
+/// the engine runs tick-driven (scan) or event-driven (queue + skip).
+/// Every mode produces byte-identical epidemic output (tested); they
+/// differ only in wire traffic and per-tick compute.
 enum class ExchangeMode : std::uint8_t {
   /// Ghost-list halo exchange of boundary infectious *deltas* plus the
-  /// push-based candidate frontier (the production kernel).
+  /// push-based candidate frontier; per-tick progression scan.
   kGhostDelta,
   /// Legacy baseline: allgatherv the full infectious set to every rank and
   /// rescan every local person and in-edge. Kept for A/B benchmarking and
   /// the byte-identity tests.
   kBroadcast,
+  /// Event-driven core (the production mode): ghost-delta exchange,
+  /// progressions from the timed-event queue, quiescent tick ranges
+  /// skipped under a global min-allreduce agreement.
+  kEvent,
+  /// Event-driven core with a per-executed-tick broadcast-vs-ghost switch
+  /// keyed on global frontier density (DESIGN.md §14); the decision is an
+  /// allreduced count, so it is deterministic and rank-identical.
+  kAdaptive,
 };
+
+/// Canonical lowercase name ("ghost", "broadcast", "event", "adaptive").
+const char* exchange_mode_name(ExchangeMode mode);
+
+/// Inverse of exchange_mode_name; throws epi::Error on unknown names.
+ExchangeMode parse_exchange_mode(std::string_view name);
+
+/// The mode SimulationConfig defaults to: EPI_EXCHANGE when set (one of
+/// broadcast|ghost|event|adaptive), else kGhostDelta. Callers that assign
+/// config.exchange explicitly (A/B benches, mode tests) are unaffected.
+ExchangeMode default_exchange_mode();
 
 struct SimulationConfig {
   Tick num_ticks = 120;
@@ -86,7 +122,7 @@ struct SimulationConfig {
   /// Record individual transition events (raw output). Aggregates are
   /// always recorded.
   bool record_transitions = true;
-  ExchangeMode exchange = ExchangeMode::kGhostDelta;
+  ExchangeMode exchange = default_exchange_mode();
 };
 
 /// Simulation output for one replicate.
@@ -106,9 +142,16 @@ struct SimOutput {
   /// communication_bytes; zero in broadcast mode and serial runs).
   std::uint64_t ghost_exchange_bytes = 0;
   /// Per-tick count of candidate edges the transmission kernel evaluated —
-  /// the frontier size. Under kGhostDelta this is the edges pushed from
-  /// currently-infectious sources; under kBroadcast it is every in-edge of
-  /// every susceptible person (the full rescan).
+  /// the frontier size. Semantics per mode:
+  ///   kGhostDelta — edges pushed from currently-infectious sources (local
+  ///     + ghost) into this rank's partition;
+  ///   kBroadcast  — every in-edge of every susceptible local person (the
+  ///     full rescan), counted whether or not its source is infectious;
+  ///   kEvent      — as kGhostDelta on executed ticks, exactly 0 on
+  ///     skipped ticks (nothing is touched);
+  ///   kAdaptive   — per tick, whichever kernel the density switch picked
+  ///     (so the series is a mix of the two counting rules; use
+  ///     broadcast_ticks/ghost_ticks below to attribute them).
   std::vector<std::uint64_t> frontier_edges_per_tick;
   /// Computational work performed by this rank: edge propensity
   /// evaluations plus per-node scans. On a dedicated-core machine,
@@ -118,6 +161,24 @@ struct SimOutput {
   /// After a parallel merge: the largest single rank's work_units — the
   /// compute-bound critical path.
   std::uint64_t max_rank_work_units = 0;
+
+  // --- Event-driven-core accounting (zero under the legacy modes) --------
+  /// Progression events pushed into the timed-event queue.
+  std::uint64_t events_scheduled = 0;
+  /// Events popped and fired (the progression actually happened).
+  std::uint64_t events_fired = 0;
+  /// Events popped but superseded by a later transition (lazy
+  /// invalidation); scheduled == fired + stale + still-queued at exit.
+  std::uint64_t events_stale = 0;
+  /// Ticks advanced without touching person state (globally quiescent).
+  /// Rank-identical in parallel runs — the skip decision is collective.
+  std::uint64_t ticks_skipped = 0;
+  /// Ticks that actually executed; executed + skipped == num_ticks.
+  std::uint64_t ticks_executed = 0;
+  /// kAdaptive only: executed ticks resolved to each kernel. The split is
+  /// deterministic (the switch keys on an allreduced infectious count).
+  std::uint64_t broadcast_ticks = 0;
+  std::uint64_t ghost_ticks = 0;
 };
 
 class Simulation;
@@ -133,6 +194,14 @@ class Intervention {
   virtual ~Intervention() = default;
   virtual std::string name() const = 0;
   virtual void apply(Simulation& sim) = 0;
+  /// Quiescence hint for the event-driven core: the earliest future tick
+  /// at which this intervention might act. The default — "next tick" —
+  /// disables tick skipping while the intervention is installed, which is
+  /// always correct. Override to return a later tick (e.g. a fixed start
+  /// tick) and the scheduler may skip up to it. May be rank-local: the
+  /// global skip decision min-allreduces every rank's bid, so divergent
+  /// hints are safe. Must not mutate state.
+  virtual Tick quiescent_until(const Simulation& sim) const;
 };
 
 /// The simulator. Construct once per replicate and call run().
@@ -267,23 +336,48 @@ class Simulation {
   };
 
   void seed_infections();
+  /// Mode dispatch for the transmission step. All modes first snapshot the
+  /// local infectious records in ascending person order (tick_records_).
+  /// kBroadcast runs the full-rescan kernel; kGhostDelta and kEvent run
+  /// the push-based frontier kernel (with the halo exchange in parallel
+  /// runs); kAdaptive re-picks one of the two kernels per executed tick
+  /// from the allreduced global infectious count — see
+  /// step_transmissions_adaptive for the switch and the halo resync that
+  /// keeps ghost state consistent across kernel changes.
   void step_transmissions();
   void step_transmissions_broadcast();
   void step_transmissions_frontier();
+  void step_transmissions_adaptive();
   void exchange_ghost_deltas();
   void build_ghost_plan(const Partitioning& partitioning);
+  /// Rebuilds the per-tick SoA mirror (slot_* arrays) of `records` for the
+  /// transmission inner loops: premultiplied source infectivity, state,
+  /// isolation flags, person ids, indexed by record slot.
+  void build_record_soa(const std::vector<InfectiousInfo>& records);
+  /// Forgets all advertised/ghost halo state (every record absent) so the
+  /// next exchange_ghost_deltas() re-sends the full current boundary set —
+  /// the resync run after adaptive broadcast ticks left the halo stale.
+  /// Collective in effect: all ranks reset on the same tick because the
+  /// adaptive decision is global.
+  void reset_ghost_halo();
   void step_progressions();
+  void step_progressions_events();
   void apply_interventions();
   void exchange_remote_isolation_requests();
+  /// The earliest future tick at which this rank might need to do any
+  /// work: queue head, frontier/halo activity, pending seeds,
+  /// interventions' quiescence hints, queued isolation requests. The
+  /// global skip target is the min-allreduce of every rank's value.
+  Tick next_active_tick() const;
   void transition_person(PersonId p, HealthStateId new_state, PersonId cause);
   Rng person_rng(PersonId p) const;
   InfectiousInfo infectious_record(PersonId p) const;
   /// Gillespie draw for one susceptible target after its candidate edges
   /// (candidate_edges_/candidate_rho_/candidate_slots_, ascending
-  /// EdgeIndex) have been collected; shared verbatim by both kernels so
-  /// their RNG consumption is identical.
-  void finish_candidate(PersonId p, double rate_sum,
-                        const std::vector<InfectiousInfo>& records);
+  /// EdgeIndex) have been collected; shared verbatim by all kernels so
+  /// their RNG consumption is identical. Sources are read from the slot_*
+  /// SoA arrays (build_record_soa must cover the current records).
+  void finish_candidate(PersonId p, double rate_sum);
 
   const ContactNetwork& network_;
   const Population& population_;
@@ -335,8 +429,27 @@ class Simulation {
   // diff against the current records yields the delta traffic.
   std::vector<InfectiousInfo> advertised_;
 
+  // --- Event-driven core (kEvent / kAdaptive only) -----------------------
+  bool event_driven_ = false;   // progressions from the queue + tick skipping
+  EventQueue event_queue_;
+  std::vector<Tick> seed_ticks_;  // sorted unique pending-seed ticks
+  // kAdaptive: whether the advertised/ghost halo matches what subscribers
+  // last received; false after a broadcast tick (no deltas flowed), forcing
+  // reset_ghost_halo() before the next ghost-kernel exchange.
+  bool ghost_halo_synced_ = true;
+
   // --- Per-tick scratch, hoisted out of the hot loops --------------------
   std::vector<InfectiousInfo> tick_records_;   // current local (+ghost) view
+  // SoA mirror of the current records (build_record_soa): the frontier
+  // inner loop touches only these dense arrays, not the 12-byte AoS wire
+  // structs. slot_iota_ is the premultiplied effective source infectivity
+  // (state infectivity x dynamic scale), computed once per record per tick
+  // instead of once per candidate edge.
+  std::vector<PersonId> slot_person_;
+  std::vector<double> slot_iota_;
+  std::vector<HealthStateId> slot_state_;
+  std::vector<std::uint8_t> slot_isolated_;
+  std::vector<std::uint8_t> slot_stay_home_;
   std::vector<InfectiousInfo> current_advert_;
   std::vector<std::vector<InfectiousInfo>> delta_outbox_;
   std::vector<PersonId> sorted_infectious_scratch_;

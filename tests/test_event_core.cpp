@@ -1,0 +1,414 @@
+// Event-driven transmission core: event-queue ordering determinism, serial
+// and parallel byte-identity of the event mode against both legacy
+// exchange modes, quiescence tick-skipping, and the adaptive
+// broadcast/ghost switch.
+#include "epihiper/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <tuple>
+#include <vector>
+
+#include "epihiper/interventions.hpp"
+#include "epihiper/parallel.hpp"
+#include "epihiper/simulation.hpp"
+#include "synthpop/generator.hpp"
+#include "util/error.hpp"
+
+namespace epi {
+namespace {
+
+// --- EventQueue unit tests ------------------------------------------------
+
+std::vector<TimedEvent> drain(EventQueue& queue) {
+  std::vector<TimedEvent> popped;
+  TimedEvent event;
+  while (queue.pop_due(EventQueue::kNever - 1, &event)) popped.push_back(event);
+  return popped;
+}
+
+bool strictly_ordered(const std::vector<TimedEvent>& events) {
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const auto a = std::tuple(events[i - 1].tick, events[i - 1].kind,
+                              events[i - 1].person);
+    const auto b = std::tuple(events[i].tick, events[i].kind,
+                              events[i].person);
+    if (b < a) return false;
+  }
+  return true;
+}
+
+TEST(EventQueue, PopsInTickThenPersonOrder) {
+  EventQueue queue;
+  queue.schedule(5, EventKind::kProgression, 7);
+  queue.schedule(3, EventKind::kProgression, 9);
+  queue.schedule(3, EventKind::kProgression, 2);
+  queue.schedule(8, EventKind::kProgression, 1);
+  const auto popped = drain(queue);
+  ASSERT_EQ(popped.size(), 4u);
+  EXPECT_EQ(popped[0].tick, 3);
+  EXPECT_EQ(popped[0].person, 2u);
+  EXPECT_EQ(popped[1].tick, 3);
+  EXPECT_EQ(popped[1].person, 9u);
+  EXPECT_EQ(popped[2].tick, 5);
+  EXPECT_EQ(popped[3].tick, 8);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.next_tick(), EventQueue::kNever);
+}
+
+TEST(EventQueue, PopOrderIndependentOfInsertionOrder) {
+  // The pop sequence must be a pure function of the scheduled multiset:
+  // insert the same events in many deterministic permutations and require
+  // identical drains. (xorshift, fixed seed — no global RNG state.)
+  std::vector<TimedEvent> events;
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 200; ++i) {
+    events.push_back(TimedEvent{static_cast<Tick>(next() % 40),
+                                EventKind::kProgression,
+                                static_cast<PersonId>(next() % 64)});
+  }
+  std::vector<std::vector<TimedEvent>> drains;
+  for (int round = 0; round < 5; ++round) {
+    for (std::size_t i = events.size(); i > 1; --i) {
+      std::swap(events[i - 1], events[next() % i]);
+    }
+    EventQueue queue;
+    for (const TimedEvent& e : events) queue.schedule(e.tick, e.kind, e.person);
+    drains.push_back(drain(queue));
+  }
+  for (const auto& d : drains) {
+    ASSERT_EQ(d.size(), events.size());
+    EXPECT_TRUE(strictly_ordered(d));
+    EXPECT_EQ(d[0].tick, drains[0][0].tick);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      EXPECT_EQ(d[i].tick, drains[0][i].tick) << "event " << i;
+      EXPECT_EQ(d[i].person, drains[0][i].person) << "event " << i;
+    }
+  }
+}
+
+TEST(EventQueue, PopDueRespectsTickHorizon) {
+  EventQueue queue;
+  queue.schedule(4, EventKind::kProgression, 1);
+  queue.schedule(6, EventKind::kProgression, 2);
+  TimedEvent event;
+  EXPECT_FALSE(queue.pop_due(3, &event));
+  EXPECT_EQ(queue.next_tick(), 4);
+  ASSERT_TRUE(queue.pop_due(4, &event));
+  EXPECT_EQ(event.person, 1u);
+  EXPECT_FALSE(queue.pop_due(5, &event));
+  EXPECT_EQ(queue.next_tick(), 6);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.scheduled(), 2u);
+}
+
+// --- Simulation fixtures --------------------------------------------------
+
+const SyntheticRegion& test_region() {
+  static const SyntheticRegion region = [] {
+    SynthPopConfig config;
+    config.region = "DC";
+    config.scale = 1.0 / 300.0;  // ~2350 persons
+    config.seed = 99;
+    return generate_region(config);
+  }();
+  return region;
+}
+
+SimulationConfig base_config(Tick ticks = 60) {
+  SimulationConfig config;
+  config.num_ticks = ticks;
+  config.seed = 1234;
+  config.seeds = {SeedSpec{0, 10, 0}};
+  return config;
+}
+
+void expect_same_epidemic(const SimOutput& a, const SimOutput& b) {
+  EXPECT_EQ(a.total_infections, b.total_infections);
+  EXPECT_EQ(a.new_infections_per_tick, b.new_infections_per_tick);
+  EXPECT_EQ(a.final_states, b.final_states);
+  ASSERT_EQ(a.transitions.size(), b.transitions.size());
+  for (std::size_t i = 0; i < a.transitions.size(); ++i) {
+    EXPECT_EQ(a.transitions[i].tick, b.transitions[i].tick) << "event " << i;
+    EXPECT_EQ(a.transitions[i].person, b.transitions[i].person)
+        << "event " << i;
+    EXPECT_EQ(a.transitions[i].exit_state, b.transitions[i].exit_state)
+        << "event " << i;
+    EXPECT_EQ(a.transitions[i].infector, b.transitions[i].infector)
+        << "event " << i;
+  }
+}
+
+SimOutput run_mode(ExchangeMode mode, Tick ticks = 60,
+                   const InterventionFactory& factory = nullptr) {
+  SimulationConfig config = base_config(ticks);
+  config.exchange = mode;
+  return run_simulation(test_region().network, test_region().population,
+                        covid_model(), config, factory);
+}
+
+// --- Serial byte-identity -------------------------------------------------
+
+// The event-driven core must replay the per-tick scan byte for byte — the
+// exact transition sequence, order included — against both legacy modes.
+TEST(EventCore, SerialEventMatchesBothLegacyModesByteForByte) {
+  const SimOutput event = run_mode(ExchangeMode::kEvent);
+  const SimOutput bcast = run_mode(ExchangeMode::kBroadcast);
+  const SimOutput ghost = run_mode(ExchangeMode::kGhostDelta);
+  expect_same_epidemic(event, bcast);
+  expect_same_epidemic(event, ghost);
+  EXPECT_GT(event.events_scheduled, 0u);
+  EXPECT_GT(event.events_fired, 0u);
+  EXPECT_EQ(event.ticks_executed + event.ticks_skipped, 60u);
+  // Legacy modes never skip and schedule no events.
+  EXPECT_EQ(bcast.events_scheduled, 0u);
+  EXPECT_EQ(bcast.ticks_skipped, 0u);
+  EXPECT_EQ(ghost.ticks_skipped, 0u);
+}
+
+TEST(EventCore, SameSeedSameEventOrderAcrossRuns) {
+  const SimOutput a = run_mode(ExchangeMode::kEvent);
+  const SimOutput b = run_mode(ExchangeMode::kEvent);
+  expect_same_epidemic(a, b);
+  EXPECT_EQ(a.events_scheduled, b.events_scheduled);
+  EXPECT_EQ(a.events_fired, b.events_fired);
+  EXPECT_EQ(a.events_stale, b.events_stale);
+  EXPECT_EQ(a.ticks_skipped, b.ticks_skipped);
+}
+
+// --- Parallel byte-identity (suite name carries "Parallel" so the
+// CommChecker CI lane re-runs these under EPI_MPILITE_CHECK=1) -------------
+
+class EventParallelEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventParallelEquivalence, MatchesSerialBroadcast) {
+  const int ranks = GetParam();
+  const DiseaseModel model = covid_model();
+  SimulationConfig serial_config = base_config(40);
+  serial_config.exchange = ExchangeMode::kBroadcast;
+  const SimOutput serial = run_simulation(
+      test_region().network, test_region().population, model, serial_config);
+  const Partitioning parts =
+      partition_network(test_region().network, static_cast<std::size_t>(ranks));
+  SimulationConfig event_config = base_config(40);
+  event_config.exchange = ExchangeMode::kEvent;
+  const SimOutput parallel =
+      run_simulation_parallel(test_region().network, test_region().population,
+                              model, event_config, parts, ranks);
+  EXPECT_EQ(parallel.total_infections, serial.total_infections);
+  EXPECT_EQ(parallel.new_infections_per_tick, serial.new_infections_per_tick);
+  EXPECT_EQ(parallel.final_states, serial.final_states);
+  ASSERT_EQ(parallel.transitions.size(), serial.transitions.size());
+  auto key = [](const TransitionEvent& e) {
+    return std::tuple(e.tick, e.person, e.exit_state, e.infector);
+  };
+  std::vector<std::tuple<Tick, PersonId, HealthStateId, PersonId>> s, p;
+  for (const auto& e : serial.transitions) s.push_back(key(e));
+  for (const auto& e : parallel.transitions) p.push_back(key(e));
+  std::sort(s.begin(), s.end());
+  std::sort(p.begin(), p.end());
+  EXPECT_EQ(s, p);
+  EXPECT_EQ(parallel.ticks_executed + parallel.ticks_skipped, 40u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, EventParallelEquivalence,
+                         ::testing::Values(1, 2, 4, 8));
+
+// --- Quiescence skipping --------------------------------------------------
+
+// Seeds landing late leave a long dormant prefix: the event core must jump
+// over it without touching person state and still match the legacy scan.
+TEST(EventCore, SkipsDormantPrefixBeforeLateSeeds) {
+  SimulationConfig legacy_config = base_config(60);
+  legacy_config.seeds = {SeedSpec{0, 10, 30}};  // county 0, 10 seeds, tick 30
+  legacy_config.exchange = ExchangeMode::kGhostDelta;
+  SimulationConfig event_config = legacy_config;
+  event_config.exchange = ExchangeMode::kEvent;
+  const DiseaseModel model = covid_model();
+  const SimOutput legacy = run_simulation(
+      test_region().network, test_region().population, model, legacy_config);
+  const SimOutput event = run_simulation(
+      test_region().network, test_region().population, model, event_config);
+  expect_same_epidemic(event, legacy);
+  // Ticks 1..29 are globally dormant (tick 0 always executes); the dormant
+  // gap must be skipped, not scanned.
+  EXPECT_GE(event.ticks_skipped, 29u);
+  EXPECT_EQ(event.ticks_executed + event.ticks_skipped, 60u);
+  ASSERT_EQ(event.seconds_per_tick.size(), 60u);
+  ASSERT_EQ(event.new_infections_per_tick.size(), 60u);
+  ASSERT_EQ(event.memory_bytes_per_tick.size(), 60u);
+}
+
+// With zero transmissibility the seeds progress to a terminal state and the
+// world goes quiet; the tail of the run must be skipped.
+TEST(EventCore, SkipsQuiescentTailAfterEpidemicDies) {
+  CovidParams params;
+  params.transmissibility = 0.0;
+  const DiseaseModel model = covid_model(params);
+  SimulationConfig config = base_config(200);
+  config.exchange = ExchangeMode::kEvent;
+  const SimOutput out = run_simulation(test_region().network,
+                                       test_region().population, model, config);
+  EXPECT_EQ(out.total_infections, 0u);
+  EXPECT_FALSE(out.transitions.empty());  // seeds still progress
+  EXPECT_GT(out.ticks_skipped, 100u);
+  EXPECT_EQ(out.ticks_executed + out.ticks_skipped, 200u);
+}
+
+// Scheduled-action intervention that knows its own quiescent range. Records
+// the ticks it actually ran at so the test can pin the skip pattern.
+class ScheduledProbe : public Intervention {
+ public:
+  ScheduledProbe(Tick action_tick, std::vector<Tick>* applied_at)
+      : action_tick_(action_tick), applied_at_(applied_at) {}
+  std::string name() const override { return "probe"; }
+  void apply(Simulation& sim) override { applied_at_->push_back(sim.tick()); }
+  Tick quiescent_until(const Simulation& sim) const override {
+    return sim.tick() < action_tick_ ? action_tick_ : EventQueue::kNever;
+  }
+
+ private:
+  Tick action_tick_;
+  std::vector<Tick>* applied_at_;
+};
+
+TEST(EventCore, QuiescentUntilHintsGateInterventionWakeups) {
+  // No seeds, no events: the only activity is the probe's scheduled action
+  // at tick 20. The run must execute exactly tick 0 (first tick always
+  // runs) and tick 20, skipping the other 28.
+  std::vector<Tick> applied_at;
+  SimulationConfig config = base_config(30);
+  config.seeds.clear();
+  config.exchange = ExchangeMode::kEvent;
+  auto factory = [&applied_at] {
+    return std::vector<std::shared_ptr<Intervention>>{
+        std::make_shared<ScheduledProbe>(20, &applied_at)};
+  };
+  const SimOutput out =
+      run_simulation(test_region().network, test_region().population,
+                     covid_model(), config, factory);
+  EXPECT_EQ(applied_at, (std::vector<Tick>{0, 20}));
+  EXPECT_EQ(out.ticks_executed, 2u);
+  EXPECT_EQ(out.ticks_skipped, 28u);
+}
+
+TEST(EventCore, DefaultInterventionHintBlocksSkipping) {
+  // An intervention without a quiescent_until override may act every tick,
+  // so its presence must pin the run to full per-tick execution.
+  std::vector<Tick> applied_at;
+  SimulationConfig config = base_config(30);
+  config.seeds.clear();
+  config.exchange = ExchangeMode::kEvent;
+  auto factory = [] {
+    return std::vector<std::shared_ptr<Intervention>>{
+        std::make_shared<VoluntaryHomeIsolation>(
+            VoluntaryHomeIsolation::Config{0.7, 14, 0})};
+  };
+  const SimOutput out =
+      run_simulation(test_region().network, test_region().population,
+                     covid_model(), config, factory);
+  EXPECT_EQ(out.ticks_executed, 30u);
+  EXPECT_EQ(out.ticks_skipped, 0u);
+}
+
+// --- Adaptive mode --------------------------------------------------------
+
+InterventionFactory stacked_interventions() {
+  return [] {
+    return std::vector<std::shared_ptr<Intervention>>{
+        std::make_shared<VoluntaryHomeIsolation>(
+            VoluntaryHomeIsolation::Config{0.7, 14, 0}),
+        std::make_shared<SchoolClosure>(SchoolClosure::Config{10, 60}),
+        std::make_shared<StayAtHome>(StayAtHome::Config{20, 45, 0.6}),
+        std::make_shared<ContactTracing>(
+            ContactTracing::Config{2, 5, 0.5, 0.7, 10})};
+  };
+}
+
+TEST(EventCore, SerialAdaptiveMatchesBothFixedModesUnderInterventions) {
+  CovidParams params;
+  // Hot enough that concurrent infectious crosses the adaptive density
+  // threshold even with the intervention stack suppressing spread.
+  params.transmissibility = 0.5;
+  const DiseaseModel model = covid_model(params);
+  auto run_with = [&model](ExchangeMode mode) {
+    SimulationConfig config = base_config(50);
+    config.exchange = mode;
+    return run_simulation(test_region().network, test_region().population,
+                          model, config, stacked_interventions());
+  };
+  const SimOutput adaptive = run_with(ExchangeMode::kAdaptive);
+  const SimOutput bcast = run_with(ExchangeMode::kBroadcast);
+  const SimOutput ghost = run_with(ExchangeMode::kGhostDelta);
+  expect_same_epidemic(adaptive, bcast);
+  expect_same_epidemic(adaptive, ghost);
+  // The epidemic starts sparse and grows past the density threshold, so
+  // the run must genuinely exercise both kernels.
+  EXPECT_GT(adaptive.ghost_ticks, 0u);
+  EXPECT_GT(adaptive.broadcast_ticks, 0u);
+}
+
+class AdaptiveParallelEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdaptiveParallelEquivalence, MatchesSerialBroadcastUnderInterventions) {
+  const int ranks = GetParam();
+  CovidParams params;
+  params.transmissibility = 0.25;
+  const DiseaseModel model = covid_model(params);
+  SimulationConfig serial_config = base_config(50);
+  serial_config.exchange = ExchangeMode::kBroadcast;
+  const SimOutput serial =
+      run_simulation(test_region().network, test_region().population, model,
+                     serial_config, stacked_interventions());
+  const Partitioning parts =
+      partition_network(test_region().network, static_cast<std::size_t>(ranks));
+  SimulationConfig adaptive_config = base_config(50);
+  adaptive_config.exchange = ExchangeMode::kAdaptive;
+  const SimOutput parallel = run_simulation_parallel(
+      test_region().network, test_region().population, model, adaptive_config,
+      parts, ranks, stacked_interventions());
+  EXPECT_EQ(parallel.total_infections, serial.total_infections);
+  EXPECT_EQ(parallel.new_infections_per_tick, serial.new_infections_per_tick);
+  EXPECT_EQ(parallel.final_states, serial.final_states);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, AdaptiveParallelEquivalence,
+                         ::testing::Values(2, 4, 8));
+
+// --- EPI_EXCHANGE wiring --------------------------------------------------
+
+TEST(EventCore, ExchangeModeNamesRoundTrip) {
+  for (ExchangeMode mode :
+       {ExchangeMode::kBroadcast, ExchangeMode::kGhostDelta,
+        ExchangeMode::kEvent, ExchangeMode::kAdaptive}) {
+    EXPECT_EQ(parse_exchange_mode(exchange_mode_name(mode)), mode);
+  }
+  EXPECT_THROW(parse_exchange_mode("banana"), Error);
+}
+
+TEST(EventCore, EnvOverrideSetsDefaultExchangeMode) {
+  ASSERT_EQ(::setenv("EPI_EXCHANGE", "event", 1), 0);
+  EXPECT_EQ(default_exchange_mode(), ExchangeMode::kEvent);
+  EXPECT_EQ(SimulationConfig{}.exchange, ExchangeMode::kEvent);
+  ASSERT_EQ(::setenv("EPI_EXCHANGE", "broadcast", 1), 0);
+  EXPECT_EQ(default_exchange_mode(), ExchangeMode::kBroadcast);
+  ASSERT_EQ(::unsetenv("EPI_EXCHANGE"), 0);
+  EXPECT_EQ(default_exchange_mode(), ExchangeMode::kGhostDelta);
+  // An explicit assignment always wins over the env default.
+  ASSERT_EQ(::setenv("EPI_EXCHANGE", "adaptive", 1), 0);
+  SimulationConfig config;
+  config.exchange = ExchangeMode::kBroadcast;
+  EXPECT_EQ(config.exchange, ExchangeMode::kBroadcast);
+  ASSERT_EQ(::unsetenv("EPI_EXCHANGE"), 0);
+}
+
+}  // namespace
+}  // namespace epi
