@@ -1,10 +1,17 @@
 #!/usr/bin/env bash
 # CI entry point with selectable lanes:
 #
-#   ./ci.sh            # all lanes: lint, plain, service, obs, asan, tsan
+#   ./ci.sh            # all lanes: lint, plain, proc, service, obs, asan, tsan
 #   ./ci.sh lint       # epilint static analysis + optional clang-tidy
 #                      # (builds only the analyzer, not the libraries)
 #   ./ci.sh plain      # RelWithDebInfo build + tests + CommChecker pass
+#   ./ci.sh proc       # shared-memory backend pass (EPI_MPILITE_BACKEND=shm,
+#                      # ranks as forked processes): mpilite + event-core +
+#                      # parallel-equivalence suites (all four exchange
+#                      # modes at 1/2/4/8 ranks vs the serial oracle), the
+#                      # CommChecker re-run, the comm-volume bench, and a
+#                      # deterministic nightly byte-diffed thread vs shm
+#                      # per exchange mode
 #   ./ci.sh service    # scenario-service replay determinism: the canned
 #                      # request log twice, and EPI_JOBS=1 vs 4, with
 #                      # byte-diffs of responses + report; throughput gate
@@ -112,6 +119,65 @@ run_plain() {
   echo "farm pass OK (serial and parallel reports byte-identical)"
 }
 
+run_proc() {
+  echo "== process-backend pass (EPI_MPILITE_BACKEND=shm) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+
+  # The mpilite, event-core, and parallel-equivalence suites with every
+  # rank above 0 a forked process over the shared-memory segment. The
+  # equivalence suites compare each exchange mode's parallel output
+  # byte-for-byte against the backend-independent serial oracle at
+  # 1/2/4/8 ranks, so a pass here IS the thread-vs-shm identity for all
+  # four EPI_EXCHANGE modes.
+  #
+  # No EPI_JOBS farm runs here: the shm launcher forks, and forking a
+  # process that holds live farm worker threads is undefined enough to be
+  # banned outright (DESIGN.md §15).
+  EPI_MPILITE_BACKEND=shm ctest --test-dir build --output-on-failure -j "$JOBS" \
+    -R 'Mpilite|EventCore|Parallel|Ghost|ExchangeMode'
+
+  echo "== CommChecker pass under forked ranks =="
+  # Same exclusions as the plain lane's checker pass (deliberate misuse
+  # and deliberate leaks), now with the watchdog reading cross-process
+  # state from the segment's checker slots.
+  EPI_MPILITE_BACKEND=shm EPI_MPILITE_CHECK=1 \
+    ctest --test-dir build --output-on-failure -j "$JOBS" \
+    -R 'Mpilite|Parallel' -E 'InvalidRankOrTag|UnreceivedMessages'
+
+  echo "== exchange-mode kernels under forked ranks =="
+  # bench_comm_volume A/B/C/Ds the exchange modes over
+  # run_simulation_parallel and exits nonzero if any mode's epidemic
+  # output diverges — here with ranks as forked processes.
+  rm -rf build/proc-ci && mkdir -p build/proc-ci/bench
+  EPI_BENCH_JSON=build/proc-ci/bench EPI_MPILITE_BACKEND=shm \
+    ./build/bench/bench_comm_volume
+
+  echo "== deterministic nightly byte-diff (thread vs shm) =="
+  # The nightly under both backends, per exchange mode: the reports must
+  # be byte-identical — the backend env var may never perturb workflow
+  # output.
+  for mode in broadcast ghost event adaptive; do
+    for backend in thread shm; do
+      EPI_EXCHANGE="$mode" EPI_MPILITE_BACKEND="$backend" \
+        EPI_DETERMINISTIC_TIMING=1 \
+        ./build/examples/nightly_national_run economic \
+        > "build/proc-ci/nightly-$mode-$backend.txt"
+    done
+    cmp "build/proc-ci/nightly-$mode-thread.txt" \
+      "build/proc-ci/nightly-$mode-shm.txt"
+  done
+  echo "nightly byte-diff OK (thread == shm for all four exchange modes)"
+
+  # A traced shm run must still emit a valid trace/metrics pair.
+  EPI_TRACE=build/proc-ci/trace-shm EPI_MPILITE_BACKEND=shm \
+    EPI_DETERMINISTIC_TIMING=1 \
+    ./build/examples/nightly_national_run economic >/dev/null
+  ./build/tools/trace_check build/proc-ci/trace-shm/trace.json \
+    build/proc-ci/trace-shm/metrics.json
+  echo "proc pass OK (forked ranks byte-identical to threads)"
+}
+
 run_service() {
   echo "== scenario-service replay pass =="
   cmake -B build -S . >/dev/null
@@ -214,13 +280,14 @@ lane="${1:-all}"
 case "$lane" in
   lint)    run_lint ;;
   plain)   run_plain ;;
+  proc)    run_proc ;;
   service) run_service ;;
   obs)     run_obs ;;
   asan)    run_asan ;;
   tsan)    run_tsan ;;
-  all)     run_lint; run_plain; run_service; run_obs; run_asan; run_tsan ;;
+  all)     run_lint; run_plain; run_proc; run_service; run_obs; run_asan; run_tsan ;;
   *)
-    echo "usage: $0 [lint|plain|service|obs|asan|tsan|all]" >&2
+    echo "usage: $0 [lint|plain|proc|service|obs|asan|tsan|all]" >&2
     exit 2
     ;;
 esac

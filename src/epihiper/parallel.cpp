@@ -1,10 +1,116 @@
 #include "epihiper/parallel.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
 
 #include "util/error.hpp"
 
 namespace epi {
+
+namespace {
+
+// Rank-local results only exist in rank 0's process under the mpilite shm
+// backend (forked ranks do not share per_rank below), so every other rank
+// ships its SimOutput to rank 0 explicitly. The tag is the highest valid
+// user tag — far from the simulator's small tick-keyed tags.
+constexpr int kGatherTag = (1 << 30) - 1;
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+template <typename T>
+void put_pod_vector(std::vector<std::byte>& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put_u64(out, v.size());
+  const std::size_t at = out.size();
+  out.resize(at + v.size() * sizeof(T));
+  if (!v.empty()) std::memcpy(out.data() + at, v.data(), v.size() * sizeof(T));
+}
+
+struct OutputReader {
+  std::span<const std::byte> blob;
+  std::size_t pos = 0;
+
+  std::uint64_t u64() {
+    EPI_REQUIRE(pos + 8 <= blob.size(), "truncated rank SimOutput payload");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(blob[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> pod_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t count = u64();
+    EPI_REQUIRE(pos + count * sizeof(T) <= blob.size(),
+                "truncated rank SimOutput payload");
+    std::vector<T> v(static_cast<std::size_t>(count));
+    if (count > 0) std::memcpy(v.data(), blob.data() + pos, count * sizeof(T));
+    pos += count * sizeof(T);
+    return v;
+  }
+};
+
+std::vector<std::byte> serialize_sim_output(const SimOutput& out) {
+  std::vector<std::byte> blob;
+  put_pod_vector(blob, out.transitions);
+  put_pod_vector(blob, out.new_infections_per_tick);
+  put_pod_vector(blob, out.memory_bytes_per_tick);
+  put_pod_vector(blob, out.seconds_per_tick);
+  put_pod_vector(blob, out.final_states);
+  put_pod_vector(blob, out.frontier_edges_per_tick);
+  put_u64(blob, out.total_infections);
+  put_u64(blob, out.communication_bytes);
+  put_u64(blob, out.ghost_exchange_bytes);
+  put_u64(blob, out.work_units);
+  put_u64(blob, out.max_rank_work_units);
+  put_u64(blob, out.events_scheduled);
+  put_u64(blob, out.events_fired);
+  put_u64(blob, out.events_stale);
+  put_u64(blob, out.ticks_skipped);
+  put_u64(blob, out.ticks_executed);
+  put_u64(blob, out.broadcast_ticks);
+  put_u64(blob, out.ghost_ticks);
+  return blob;
+}
+
+SimOutput deserialize_sim_output(const std::vector<std::byte>& blob) {
+  OutputReader in{blob};
+  SimOutput out;
+  out.transitions = in.pod_vector<TransitionEvent>();
+  out.new_infections_per_tick = in.pod_vector<std::uint64_t>();
+  out.memory_bytes_per_tick = in.pod_vector<std::uint64_t>();
+  out.seconds_per_tick = in.pod_vector<double>();
+  out.final_states = in.pod_vector<HealthStateId>();
+  out.frontier_edges_per_tick = in.pod_vector<std::uint64_t>();
+  out.total_infections = in.u64();
+  out.communication_bytes = in.u64();
+  out.ghost_exchange_bytes = in.u64();
+  out.work_units = in.u64();
+  out.max_rank_work_units = in.u64();
+  out.events_scheduled = in.u64();
+  out.events_fired = in.u64();
+  out.events_stale = in.u64();
+  out.ticks_skipped = in.u64();
+  out.ticks_executed = in.u64();
+  out.broadcast_ticks = in.u64();
+  out.ghost_ticks = in.u64();
+  EPI_REQUIRE(in.pos == blob.size(),
+              "trailing bytes in rank SimOutput payload");
+  return out;
+}
+
+}  // namespace
 
 SimOutput run_simulation(const ContactNetwork& network,
                          const Population& population,
@@ -47,13 +153,34 @@ SimOutput run_simulation_parallel(const ContactNetwork& network,
   std::vector<SimOutput> per_rank(static_cast<std::size_t>(num_ranks));
   mpilite::Runtime::run(num_ranks, [&](mpilite::Comm& comm) {
     Simulation sim(network, population, model, config, &comm, &partitioning);
-    sim.set_metrics(obs.metrics);
+    // Through the Comm, not obs.metrics directly: under the shm backend
+    // each forked rank reports into a process-local registry that is
+    // merged after the run (a captured parent pointer would silently drop
+    // every child's metrics).
+    sim.set_metrics(comm.metrics());
     if (interventions) {
       for (auto& intervention : interventions()) {
         sim.add_intervention(std::move(intervention));
       }
     }
-    per_rank[static_cast<std::size_t>(comm.rank())] = sim.run();
+    SimOutput out = sim.run();
+    if (comm.backend() == mpilite::BackendKind::kShm) {
+      // Gather to rank 0, whose body runs on this (launching) thread so
+      // its per_rank writes survive the forked ranks' exit. The gather
+      // runs after sim.run() captured communication_bytes, so it never
+      // perturbs the simulation output itself.
+      if (comm.rank() == 0) {
+        per_rank[0] = std::move(out);
+        for (int r = 1; r < comm.size(); ++r) {
+          per_rank[static_cast<std::size_t>(r)] =
+              deserialize_sim_output(comm.recv_bytes(r, kGatherTag));
+        }
+      } else {
+        comm.send_bytes(0, kGatherTag, serialize_sim_output(out));
+      }
+    } else {
+      per_rank[static_cast<std::size_t>(comm.rank())] = std::move(out);
+    }
   }, obs);
 
   // Merge rank outputs into the serial-equivalent view.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <sstream>
 
 namespace epi::mpilite {
@@ -68,12 +70,40 @@ void CommChecker::record(CheckKind kind, int rank, std::string message) {
   reports_.push_back(CheckReport{kind, rank, std::move(message)});
 }
 
-void CommChecker::bump_progress() {
+void CommChecker::report_violation(CheckKind kind, int rank,
+                                   std::string message) {
+  bump_progress(rank);
+  record(kind, rank, std::move(message));
+}
+
+void CommChecker::bump_progress(int rank) {
   progress_.fetch_add(1, std::memory_order_relaxed);
+  if (shm_slots_ != nullptr && rank >= 0 && rank < num_ranks_) {
+    shm_slots_[rank].progress.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void CommChecker::touch(int rank) { bump_progress(rank); }
+
+void CommChecker::attach_shm(ShmCheckSlot* slots) { shm_slots_ = slots; }
+
+/// Copies `rank`'s local state into its shared slot (strings first, then
+/// the phase store with release, matching the watchdog's acquire read).
+/// Caller holds mutex_.
+void CommChecker::mirror_locked(int rank) {
+  if (shm_slots_ == nullptr) return;
+  const RankState& state = ranks_[static_cast<std::size_t>(rank)];
+  ShmCheckSlot& slot = shm_slots_[rank];
+  std::snprintf(slot.blocked_on, sizeof(slot.blocked_on), "%s",
+                state.blocked_on.c_str());
+  std::snprintf(slot.last_op, sizeof(slot.last_op), "%s",
+                state.last_op.c_str());
+  slot.phase.store(static_cast<std::uint8_t>(state.phase),
+                   std::memory_order_release);
 }
 
 void CommChecker::on_send(int rank, int dest, int tag, int comm_size) {
-  bump_progress();
+  bump_progress(rank);
   if (dest < 0 || dest >= comm_size) {
     std::ostringstream oss;
     oss << "send to rank " << dest << " but the communicator has ranks 0.."
@@ -99,11 +129,11 @@ void CommChecker::on_send(int rank, int dest, int tag, int comm_size) {
     record(CheckKind::kSelfSend, rank, oss.str());
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  ++pending_[{rank, dest, tag}];
+  ++sends_[{rank, dest, tag}];
 }
 
 void CommChecker::on_recv_args(int rank, int source, int tag, int comm_size) {
-  bump_progress();
+  bump_progress(rank);
   if (source < 0 || source >= comm_size) {
     std::ostringstream oss;
     oss << "recv from rank " << source << " but the communicator has ranks "
@@ -123,16 +153,15 @@ void CommChecker::on_recv_args(int rank, int source, int tag, int comm_size) {
 }
 
 void CommChecker::on_delivered(int rank, int source, int tag) {
-  bump_progress();
+  bump_progress(rank);
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = pending_.find({source, rank, tag});
-  if (it != pending_.end() && --it->second == 0) pending_.erase(it);
+  ++delivered_[{source, rank, tag}];
 }
 
 void CommChecker::on_collective(int rank, CollectiveKind kind, int root,
                                 int op, std::size_t count,
                                 bool count_must_agree) {
-  bump_progress();
+  bump_progress(rank);
   if (kind == CollectiveKind::kBroadcast &&
       (root < 0 || root >= num_ranks_)) {
     std::ostringstream oss;
@@ -147,31 +176,35 @@ void CommChecker::on_collective(int rank, CollectiveKind kind, int root,
 }
 
 void CommChecker::enter_blocked(int rank, std::string what) {
-  bump_progress();
+  bump_progress(rank);
   std::lock_guard<std::mutex> lock(mutex_);
   RankState& state = ranks_[static_cast<std::size_t>(rank)];
   state.phase = Phase::kBlocked;
   state.blocked_on = std::move(what);
+  mirror_locked(rank);
 }
 
 void CommChecker::exit_blocked(int rank) {
-  bump_progress();
+  bump_progress(rank);
   std::lock_guard<std::mutex> lock(mutex_);
   RankState& state = ranks_[static_cast<std::size_t>(rank)];
   state.phase = Phase::kRunning;
   state.blocked_on.clear();
+  mirror_locked(rank);
 }
 
 void CommChecker::on_op_complete(int rank, std::string op) {
-  bump_progress();
+  bump_progress(rank);
   std::lock_guard<std::mutex> lock(mutex_);
   ranks_[static_cast<std::size_t>(rank)].last_op = std::move(op);
+  mirror_locked(rank);
 }
 
 void CommChecker::on_rank_done(int rank) {
-  bump_progress();
+  bump_progress(rank);
   std::lock_guard<std::mutex> lock(mutex_);
   ranks_[static_cast<std::size_t>(rank)].phase = Phase::kDone;
+  mirror_locked(rank);
 }
 
 void CommChecker::start_watchdog(std::function<void()> abort_group) {
@@ -188,6 +221,37 @@ void CommChecker::stop_watchdog() {
   if (watchdog_.joinable()) watchdog_.join();
 }
 
+/// The group-wide progress counter the watchdog samples: the local atomic
+/// in-process, or the per-rank slot sum once a shared segment is attached
+/// (children tick their own slots from their own processes).
+std::uint64_t CommChecker::observed_progress() const {
+  if (shm_slots_ == nullptr) return progress_.load();
+  std::uint64_t sum = 0;
+  for (int r = 0; r < num_ranks_; ++r) {
+    sum += shm_slots_[r].progress.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void CommChecker::collect_phases(bool& any_blocked, bool& all_stuck) const {
+  any_blocked = false;
+  all_stuck = true;
+  if (shm_slots_ != nullptr) {
+    for (int r = 0; r < num_ranks_; ++r) {
+      const auto phase = static_cast<Phase>(
+          shm_slots_[r].phase.load(std::memory_order_acquire));
+      if (phase == Phase::kBlocked) any_blocked = true;
+      if (phase == Phase::kRunning) all_stuck = false;
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const RankState& state : ranks_) {
+    if (state.phase == Phase::kBlocked) any_blocked = true;
+    if (state.phase == Phase::kRunning) all_stuck = false;
+  }
+}
+
 void CommChecker::watchdog_loop() {
   using Clock = std::chrono::steady_clock;
   const auto timeout =
@@ -196,14 +260,14 @@ void CommChecker::watchdog_loop() {
   const auto poll = std::min<Clock::duration>(
       timeout / 4 + Clock::duration{1}, std::chrono::milliseconds(50));
 
-  std::uint64_t last_progress = progress_.load();
+  std::uint64_t last_progress = observed_progress();
   auto last_change = Clock::now();
   std::unique_lock<std::mutex> wlock(watchdog_mutex_);
   while (!watchdog_stop_) {
     watchdog_cv_.wait_for(wlock, poll, [&] { return watchdog_stop_; });
     if (watchdog_stop_) return;
 
-    const std::uint64_t now_progress = progress_.load();
+    const std::uint64_t now_progress = observed_progress();
     const auto now = Clock::now();
     if (now_progress != last_progress) {
       last_progress = now_progress;
@@ -213,29 +277,42 @@ void CommChecker::watchdog_loop() {
 
     bool any_blocked = false;
     bool all_stuck = true;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      for (const RankState& state : ranks_) {
-        if (state.phase == Phase::kBlocked) any_blocked = true;
-        if (state.phase == Phase::kRunning) all_stuck = false;
-      }
-    }
+    collect_phases(any_blocked, all_stuck);
     if (!any_blocked || !all_stuck || now - last_change < timeout) continue;
 
     // Deadlock: every rank is blocked or finished, and nothing has moved
     // for a full timeout. Any deliverable message would have woken its
-    // receiver (mailbox puts notify), so nothing can ever move again.
-    // Progress ticked when the last rank entered its blocked state, so the
-    // group really was wedged for the whole window.
+    // receiver (mailbox puts notify; ring pushes bump the route's futex
+    // word), so nothing can ever move again. Progress ticked when the
+    // last rank entered its blocked state, so the group really was wedged
+    // for the whole window.
     {
       std::lock_guard<std::mutex> lock(mutex_);
       for (int r = 0; r < num_ranks_; ++r) {
-        const RankState& state = ranks_[static_cast<std::size_t>(r)];
-        if (state.phase != Phase::kBlocked) continue;
+        std::string blocked_on;
+        std::string last_op;
+        if (shm_slots_ != nullptr) {
+          const ShmCheckSlot& slot = shm_slots_[r];
+          if (static_cast<Phase>(slot.phase.load(
+                  std::memory_order_acquire)) != Phase::kBlocked) {
+            continue;
+          }
+          // The owner has been quiescent for a full timeout, so these
+          // fixed-size NUL-terminated mirrors are stable.
+          blocked_on.assign(slot.blocked_on,
+                            strnlen(slot.blocked_on, sizeof(slot.blocked_on)));
+          last_op.assign(slot.last_op,
+                         strnlen(slot.last_op, sizeof(slot.last_op)));
+        } else {
+          const RankState& state = ranks_[static_cast<std::size_t>(r)];
+          if (state.phase != Phase::kBlocked) continue;
+          blocked_on = state.blocked_on;
+          last_op = state.last_op;
+        }
         std::ostringstream oss;
-        oss << "blocked in " << state.blocked_on
+        oss << "blocked in " << blocked_on
             << " with no deliverable message and no rank running"
-            << "; last completed operation: " << state.last_op;
+            << "; last completed operation: " << last_op;
         reports_.push_back(CheckReport{CheckKind::kDeadlock, r, oss.str()});
       }
     }
@@ -328,7 +405,11 @@ std::vector<CheckReport> CommChecker::finalize(Shutdown shutdown) {
   }
 
   if (shutdown == Shutdown::kClean) {
-    for (const auto& [key, count] : pending_) {
+    for (const auto& [key, sent] : sends_) {
+      const auto it = delivered_.find(key);
+      const std::int64_t count =
+          sent - (it == delivered_.end() ? 0 : it->second);
+      if (count <= 0) continue;
       const auto& [source, dest, tag] = key;
       std::ostringstream oss;
       oss << count << " message" << (count == 1 ? "" : "s") << " from rank "
@@ -340,6 +421,161 @@ std::vector<CheckReport> CommChecker::finalize(Shutdown shutdown) {
     }
   }
   return out;
+}
+
+// --- Cross-process state shipping ---------------------------------------
+//
+// A forked child's checker is a copy-on-write snapshot: its reports, its
+// own rank's collective history, and its send/delivered tallies exist only
+// in the child. The child serializes them into its exit blob; the parent
+// absorbs every child in rank order before finalize, reconstructing the
+// global view the thread backend accumulates in one address space. The
+// format is a private parent<->child pipe payload (same binary, same
+// architecture), so plain little-endian scalar dumps suffice.
+
+namespace {
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_i32(std::vector<std::byte>& out, std::int32_t v) {
+  put_u64(out, static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+}
+
+void put_str(std::vector<std::byte>& out, const std::string& s) {
+  put_u64(out, s.size());
+  for (const char c : s) out.push_back(static_cast<std::byte>(c));
+}
+
+class BlobReader {
+ public:
+  explicit BlobReader(std::span<const std::byte> blob) : blob_(blob) {}
+
+  std::uint8_t u8() {
+    EPI_REQUIRE(pos_ + 1 <= blob_.size(),
+                "mpilite: truncated checker state blob from child process");
+    return static_cast<std::uint8_t>(blob_[pos_++]);
+  }
+
+  std::uint64_t u64() {
+    EPI_REQUIRE(pos_ + 8 <= blob_.size(),
+                "mpilite: truncated checker state blob from child process");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(blob_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::int32_t i32() {
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(u64()));
+  }
+
+  std::string str() {
+    const std::uint64_t len = u64();
+    EPI_REQUIRE(pos_ + len <= blob_.size(),
+                "mpilite: truncated checker state blob from child process");
+    std::string s(len, '\0');
+    for (std::uint64_t i = 0; i < len; ++i) {
+      s[i] = static_cast<char>(blob_[pos_ + i]);
+    }
+    pos_ += len;
+    return s;
+  }
+
+  bool done() const { return pos_ == blob_.size(); }
+
+ private:
+  std::span<const std::byte> blob_;
+  std::size_t pos_ = 0;
+};
+
+void put_tally(std::vector<std::byte>& out,
+               const std::map<std::tuple<int, int, int>, std::int64_t>& m) {
+  put_u64(out, m.size());
+  for (const auto& [key, count] : m) {
+    put_i32(out, std::get<0>(key));
+    put_i32(out, std::get<1>(key));
+    put_i32(out, std::get<2>(key));
+    put_u64(out, static_cast<std::uint64_t>(count));
+  }
+}
+
+void read_tally(BlobReader& in,
+                std::map<std::tuple<int, int, int>, std::int64_t>& m) {
+  const std::uint64_t n = in.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const int a = in.i32();
+    const int b = in.i32();
+    const int c = in.i32();
+    m[{a, b, c}] += static_cast<std::int64_t>(in.u64());
+  }
+}
+
+}  // namespace
+
+std::vector<std::byte> CommChecker::serialize_child_state(int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::byte> out;
+
+  put_u64(out, reports_.size());
+  for (const CheckReport& report : reports_) {
+    out.push_back(static_cast<std::byte>(report.kind));
+    put_i32(out, report.rank);
+    put_str(out, report.message);
+  }
+
+  const auto& history = history_[static_cast<std::size_t>(rank)];
+  put_u64(out, history.size());
+  for (const CollectiveRecord& rec : history) {
+    out.push_back(static_cast<std::byte>(rec.kind));
+    put_i32(out, rec.root);
+    put_i32(out, rec.op);
+    put_u64(out, rec.count);
+    out.push_back(static_cast<std::byte>(rec.count_must_agree ? 1 : 0));
+  }
+
+  put_tally(out, sends_);
+  put_tally(out, delivered_);
+  return out;
+}
+
+void CommChecker::absorb_child_state(int rank,
+                                     std::span<const std::byte> blob) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BlobReader in(blob);
+
+  const std::uint64_t n_reports = in.u64();
+  for (std::uint64_t i = 0; i < n_reports; ++i) {
+    CheckReport report;
+    report.kind = static_cast<CheckKind>(in.u8());
+    report.rank = in.i32();
+    report.message = in.str();
+    reports_.push_back(std::move(report));
+  }
+
+  auto& history = history_[static_cast<std::size_t>(rank)];
+  history.clear();  // the parent never ran this rank; the slot is empty
+  const std::uint64_t n_records = in.u64();
+  history.reserve(n_records);
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    CollectiveRecord rec;
+    rec.kind = static_cast<CollectiveKind>(in.u8());
+    rec.root = in.i32();
+    rec.op = in.i32();
+    rec.count = static_cast<std::size_t>(in.u64());
+    rec.count_must_agree = in.u8() != 0;
+    history.push_back(rec);
+  }
+
+  read_tally(in, sends_);
+  read_tally(in, delivered_);
+  EPI_REQUIRE(in.done(), "mpilite: trailing bytes in checker state blob");
 }
 
 }  // namespace detail

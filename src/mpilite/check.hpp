@@ -35,6 +35,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -96,6 +97,20 @@ enum class CollectiveKind : std::uint8_t {
 
 const char* to_string(CollectiveKind kind);
 
+/// One rank's checker mirror in the shared-memory segment (shm backend).
+/// Each rank — parent or forked child — owns exactly one slot and writes
+/// its phase / blocked call site / last completed operation / progress
+/// counter there, so the parent's deadlock watchdog can observe every
+/// process of the group. Strings are written before the phase store
+/// (release) and read after the phase load (acquire); during a diagnosed
+/// deadlock the owner is quiescent, so the dump reads stable text.
+struct ShmCheckSlot {
+  std::atomic<std::uint64_t> progress{0};
+  std::atomic<std::uint8_t> phase{0};  // CommChecker::Phase values
+  char blocked_on[104] = {};
+  char last_op[104] = {};
+};
+
 /// Shared, thread-safe recorder. One instance per communicator group,
 /// owned by the Hub; every hook may be called concurrently from rank
 /// threads. Hooks are cheap (one mutex, small map updates) and never
@@ -141,6 +156,36 @@ class CommChecker {
   /// anyone, so it counts toward the deadlock condition.
   void on_rank_done(int rank);
 
+  /// A bare progress tick for `rank` — used by the shm backend once per
+  /// transferred chunk / collective round so a long-but-moving transfer
+  /// is never diagnosed as a deadlock.
+  void touch(int rank);
+
+  /// Records a violation found outside the checker's own hooks (the shm
+  /// arena's collective-stamp verification); the caller is responsible
+  /// for aborting (typically by throwing CheckError after this returns).
+  void report_violation(CheckKind kind, int rank, std::string message);
+
+  // --- Cross-process support (shm backend) ------------------------------
+
+  /// Mirrors every subsequent hook's rank state into `slots` (one per
+  /// rank, living in the shared segment) and makes the watchdog read
+  /// phases and progress from there instead of this process's local
+  /// state. Call in the parent before forking so every process inherits
+  /// an attached checker.
+  void attach_shm(ShmCheckSlot* slots);
+
+  /// Serializes the state a forked child accumulated — its live reports,
+  /// its rank's collective history, and its send/delivered tallies — for
+  /// shipment through the exit pipe.
+  std::vector<std::byte> serialize_child_state(int rank) const;
+
+  /// Merges one child's shipped state into this (parent) checker:
+  /// reports append in absorption order, the child's history replaces the
+  /// empty slot for `rank`, and send/delivered tallies add, so finalize
+  /// sees the same global view the thread backend accumulates in-process.
+  void absorb_child_state(int rank, std::span<const std::byte> blob);
+
   // --- Lifecycle (runtime thread) --------------------------------------
 
   /// Starts the watchdog thread. `abort_group` is invoked (once) when a
@@ -182,7 +227,10 @@ class CommChecker {
   };
 
   void record(CheckKind kind, int rank, std::string message);
-  void bump_progress();
+  void bump_progress(int rank);
+  void mirror_locked(int rank);
+  std::uint64_t observed_progress() const;
+  void collect_phases(bool& any_blocked, bool& all_stuck) const;
   void watchdog_loop();
   void check_collective_history(Shutdown shutdown,
                                 std::vector<CheckReport>& out) const;
@@ -194,10 +242,15 @@ class CommChecker {
   mutable std::mutex mutex_;
   std::vector<CheckReport> reports_;
   std::vector<RankState> ranks_;
-  // Pending deliveries keyed by (source, dest, tag); ordered so leak
-  // reports are emitted in sorted key order.
-  std::map<std::tuple<int, int, int>, std::int64_t> pending_;
+  // Send and delivery tallies keyed by (source, dest, tag); kept as two
+  // separate monotone maps (rather than one decremented pending map) so a
+  // child process's tallies can be shipped and added into the parent's —
+  // finalize reports any key where sends exceed deliveries, in sorted key
+  // order.
+  std::map<std::tuple<int, int, int>, std::int64_t> sends_;
+  std::map<std::tuple<int, int, int>, std::int64_t> delivered_;
   std::vector<std::vector<CollectiveRecord>> history_;
+  ShmCheckSlot* shm_slots_ = nullptr;  // non-null once attach_shm ran
 
   // Watchdog coordination. `progress_` ticks on every hook; the watchdog
   // fires only when it is static while every rank is blocked or done.

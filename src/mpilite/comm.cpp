@@ -11,6 +11,8 @@
 
 #include "obs/trace.hpp"
 
+#include "mpilite/hub.hpp"
+#include "mpilite/shm.hpp"
 #include "obs/metrics.hpp"
 #include "util/env.hpp"
 #include "util/timer.hpp"
@@ -28,41 +30,12 @@ constexpr int kTagBroadcast = kSystemTagBase + 3;
 constexpr int kTagReduce = kSystemTagBase + 4;
 }  // namespace
 
-/// One side of a point-to-point message, buffered for the post-join flow
-/// flush. `seq` is the per-(source, dest, tag) FIFO ordinal, which is
-/// exactly the mailbox matching rule, so the nth send pairs with the nth
-/// recv of the same key.
-struct FlowRecord {
-  int source = 0;
-  int dest = 0;
-  int tag = 0;
-  std::uint64_t seq = 0;
-  std::uint64_t bytes = 0;
-};
+Hub::Hub(int n) : size(n), barrier(n) {
+  mailboxes.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) mailboxes.push_back(std::make_unique<Mailbox>());
+}
 
-struct Hub {
-  explicit Hub(int n) : size(n), barrier(n) {
-    mailboxes.reserve(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) mailboxes.push_back(std::make_unique<Mailbox>());
-  }
-
-  int size;
-  std::atomic<bool> aborted{false};
-  std::vector<std::unique_ptr<Mailbox>> mailboxes;
-  Barrier barrier;
-  std::unique_ptr<CommChecker> checker;  // null unless checking enabled
-  ObsHooks obs;                          // metrics null unless attached
-
-  // Flow-record buffer (see ObsHooks): ranks append under flow_mutex, the
-  // orchestration thread drains after the join.
-  std::mutex flow_mutex;
-  std::vector<FlowRecord> flow_sends;
-  std::vector<FlowRecord> flow_recvs;
-  std::map<std::tuple<int, int, int>, std::uint64_t> flow_send_seq;
-  std::map<std::tuple<int, int, int>, std::uint64_t> flow_recv_seq;
-
-  void abort();
-};
+Hub::~Hub() = default;
 
 namespace {
 
@@ -84,8 +57,22 @@ struct BlockGuard {
   int rank_;
 };
 
-/// Per-rank-pair traffic counters ("mpilite.msgs.SSS->DDD" and
-/// "mpilite.bytes.SSS->DDD"); called at every mailbox put site.
+/// Suppresses nested collective recording (allreduce runs on allgatherv).
+struct CollectiveScope {
+  explicit CollectiveScope(bool& flag) : flag_(flag), outer_(flag) {
+    flag_ = true;
+  }
+  ~CollectiveScope() { flag_ = outer_; }
+  bool outer() const { return outer_; }
+
+ private:
+  bool& flag_;
+  bool outer_;
+};
+
+}  // namespace
+
+// Declared in hub.hpp — shared with the shm backend (shm.cpp).
 void count_message(const Hub& hub, int source, int dest, std::size_t bytes) {
   if (hub.obs.metrics == nullptr) return;
   char pair[16];
@@ -96,8 +83,6 @@ void count_message(const Hub& hub, int source, int dest, std::size_t bytes) {
   }
 }
 
-/// Records one top-level collective's wall time (0.0 under deterministic
-/// timing) into "mpilite.<name>_s".
 void record_collective_seconds(const Hub& hub, const char* name,
                                const Timer& timer) {
   if (hub.obs.metrics == nullptr) return;
@@ -168,21 +153,6 @@ void flush_flows(Hub& hub) {
   hub.flow_recvs.clear();
 }
 
-/// Suppresses nested collective recording (allreduce runs on allgatherv).
-struct CollectiveScope {
-  explicit CollectiveScope(bool& flag) : flag_(flag), outer_(flag) {
-    flag_ = true;
-  }
-  ~CollectiveScope() { flag_ = outer_; }
-  bool outer() const { return outer_; }
-
- private:
-  bool& flag_;
-  bool outer_;
-};
-
-}  // namespace
-
 void Mailbox::put(int source, int tag, Bytes payload) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -245,20 +215,98 @@ void Barrier::wake_all() {
 
 void Hub::abort() {
   aborted.store(true);
+  if (shm) shm->abort();  // wakes blocked ranks in every process
   for (auto& mailbox : mailboxes) mailbox->wake_all();
   barrier.wake_all();
+}
+
+std::vector<CheckReport> finish_run(
+    Hub& hub, CommChecker* chk,
+    const std::vector<std::exception_ptr>& errors) {
+  // Every rank is done; the orchestration thread owns the (not
+  // thread-safe) TraceRecorder again, so the flow buffer can drain.
+  flush_flows(hub);
+
+  std::vector<CheckReport> reports;
+  if (chk != nullptr) {
+    chk->stop_watchdog();
+    using Shutdown = CommChecker::Shutdown;
+    Shutdown shutdown = Shutdown::kClean;
+    const bool aborted =
+        hub.aborted.load() || (hub.shm != nullptr && hub.shm->aborted());
+    if (chk->deadlock_fired()) {
+      shutdown = Shutdown::kDeadlock;
+    } else if (aborted) {
+      shutdown = Shutdown::kAborted;
+    }
+    reports = chk->finalize(shutdown);
+  }
+
+  // An AbortedError is a secondary casualty of the group abort — the rank
+  // that actually threw carries the diagnosis, whatever its rank number.
+  // Rethrow the first primary error in rank order; fall back to the first
+  // AbortedError only when no rank failed for its own reason. (Under the
+  // checker both AbortedError and CheckError are swallowed outright: the
+  // returned reports are the diagnosis.)
+  std::exception_ptr secondary;
+  for (const auto& error : errors) {
+    if (!error) continue;
+    try {
+      std::rethrow_exception(error);
+    } catch (const CheckError&) {
+      if (chk == nullptr) throw;
+    } catch (const AbortedError&) {
+      if (chk == nullptr && !secondary) secondary = error;
+    } catch (...) {
+      throw;
+    }
+  }
+  if (secondary) std::rethrow_exception(secondary);
+  return reports;
 }
 
 }  // namespace detail
 
 int Comm::size() const { return hub_->size; }
 
+BackendKind Comm::backend() const {
+  return hub_->shm != nullptr ? BackendKind::kShm : BackendKind::kThread;
+}
+
+obs::MetricsRegistry* Comm::metrics() const { return hub_->obs.metrics; }
+
 detail::CommChecker* Comm::checker() const { return hub_->checker.get(); }
 
-/// A mailbox take annotated as a blocked state for the deadlock watchdog.
+/// A blocking take annotated as a blocked state for the deadlock watchdog:
+/// from this rank's mailbox (thread backend) or the (source -> rank) ring
+/// (shm backend).
 Bytes Comm::take_blocking(int source, int tag, const std::string& what) {
   detail::BlockGuard guard(checker(), rank_, what);
+  if (hub_->shm) return shm_take(source, tag);
   return hub_->mailboxes[static_cast<std::size_t>(rank_)]->take(source, tag);
+}
+
+/// The shm receive path. The per-route ring is FIFO in send order across
+/// all tags, so a pop may surface a message with a tag this call is not
+/// waiting for; those park in shm_stash_ (checked first) and per-(source,
+/// tag) FIFO order — the thread backend's mailbox matching rule — is
+/// preserved. Self-sends never touch the segment: they are stashed
+/// directly by send_bytes, mirroring the thread backend's unbounded
+/// self-buffering.
+Bytes Comm::shm_take(int source, int tag) {
+  const auto key = std::make_pair(source, tag);
+  const auto it = shm_stash_.find(key);
+  if (it != shm_stash_.end() && !it->second.empty()) {
+    Bytes payload = std::move(it->second.front());
+    it->second.pop_front();
+    return payload;
+  }
+  for (;;) {
+    auto [got_tag, payload] =
+        hub_->shm->pop_message(source, rank_, checker(), rank_);
+    if (got_tag == tag) return payload;
+    shm_stash_[{source, got_tag}].push_back(std::move(payload));
+  }
 }
 
 void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) {
@@ -269,8 +317,22 @@ void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) {
   bytes_sent_ += data.size();
   detail::count_message(*hub_, rank_, dest, data.size());
   detail::record_flow(*hub_, /*is_send=*/true, rank_, dest, tag, data.size());
-  hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
-      rank_, tag, Bytes(data.begin(), data.end()));
+  if (hub_->shm) {
+    if (dest == rank_) {
+      shm_stash_[{rank_, tag}].emplace_back(data.begin(), data.end());
+    } else {
+      // Unlike the unbounded thread mailboxes, a ring send blocks under
+      // backpressure (rendezvous-like, as real MPI may); mark it for the
+      // watchdog so a never-received giant send is diagnosed, not hung.
+      detail::BlockGuard guard(checker(), rank_,
+                               "send(dest=" + std::to_string(dest) +
+                                   ", tag=" + std::to_string(tag) + ")");
+      hub_->shm->push_message(rank_, dest, tag, data, checker(), rank_);
+    }
+  } else {
+    hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
+        rank_, tag, Bytes(data.begin(), data.end()));
+  }
   if (auto* chk = checker()) {
     chk->on_op_complete(rank_, "send(dest=" + std::to_string(dest) +
                                    ", tag=" + std::to_string(tag) + ")");
@@ -303,7 +365,11 @@ void Comm::barrier() {
   const Timer timer;
   {
     detail::BlockGuard guard(chk, rank_, "barrier()");
-    hub_->barrier.arrive_and_wait();
+    if (hub_->shm) {
+      hub_->shm->barrier_collective(rank_, chk);
+    } else {
+      hub_->barrier.arrive_and_wait();
+    }
   }
   if (!scope.outer()) detail::record_collective_seconds(*hub_, "barrier", timer);
   if (chk != nullptr && !scope.outer()) chk->on_op_complete(rank_, "barrier()");
@@ -317,25 +383,38 @@ Bytes Comm::allgatherv_bytes(Bytes mine) {
   }
   detail::CollectiveScope scope(in_collective_);
   const Timer timer;
-  // Ring-free naive implementation: everyone posts to everyone. Message
-  // counts are tiny (one per rank pair) and correctness is what matters.
+  // Accounting is identical on both backends: one logical message per
+  // peer, so metrics and bytes_sent() stay backend-independent.
   for (int dest = 0; dest < size(); ++dest) {
     if (dest == rank_) continue;
     bytes_sent_ += mine.size();
     detail::count_message(*hub_, rank_, dest, mine.size());
-    hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
-        rank_, detail::kTagAllgather, mine);
+    if (!hub_->shm) {
+      hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
+          rank_, detail::kTagAllgather, mine);
+    }
   }
   Bytes result;
-  for (int source = 0; source < size(); ++source) {
-    if (source == rank_) {
-      result.insert(result.end(), mine.begin(), mine.end());
-    } else {
-      Bytes part =
-          take_blocking(source, detail::kTagAllgather,
-                        "allgatherv: waiting for the contribution of rank " +
-                            std::to_string(source));
-      result.insert(result.end(), part.begin(), part.end());
+  if (hub_->shm) {
+    detail::BlockGuard guard(chk, rank_, "allgatherv");
+    // Nested only under allreduce, so when this call is not the top-level
+    // collective the arena stamp must say "allreduce" — the collective the
+    // user actually entered — for cross-rank verification and reporting.
+    const auto stamp_kind = scope.outer()
+                                ? detail::CollectiveKind::kAllreduce
+                                : detail::CollectiveKind::kAllgatherv;
+    result = hub_->shm->allgatherv(rank_, mine, chk, stamp_kind);
+  } else {
+    for (int source = 0; source < size(); ++source) {
+      if (source == rank_) {
+        result.insert(result.end(), mine.begin(), mine.end());
+      } else {
+        Bytes part =
+            take_blocking(source, detail::kTagAllgather,
+                          "allgatherv: waiting for the contribution of rank " +
+                              std::to_string(source));
+        result.insert(result.end(), part.begin(), part.end());
+      }
     }
   }
   if (!scope.outer()) {
@@ -360,17 +439,26 @@ std::vector<Bytes> Comm::alltoallv_bytes(const std::vector<Bytes>& outbox) {
     bytes_sent_ += outbox[static_cast<std::size_t>(dest)].size();
     detail::count_message(*hub_, rank_, dest,
                           outbox[static_cast<std::size_t>(dest)].size());
-    hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
-        rank_, detail::kTagAlltoall, outbox[static_cast<std::size_t>(dest)]);
+    if (!hub_->shm) {
+      hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
+          rank_, detail::kTagAlltoall, outbox[static_cast<std::size_t>(dest)]);
+    }
   }
-  std::vector<Bytes> inbox(static_cast<std::size_t>(size()));
-  inbox[static_cast<std::size_t>(rank_)] = outbox[static_cast<std::size_t>(rank_)];
-  for (int source = 0; source < size(); ++source) {
-    if (source == rank_) continue;
-    inbox[static_cast<std::size_t>(source)] =
-        take_blocking(source, detail::kTagAlltoall,
-                      "alltoallv: waiting for the slice from rank " +
-                          std::to_string(source));
+  std::vector<Bytes> inbox;
+  if (hub_->shm) {
+    detail::BlockGuard guard(chk, rank_, "alltoallv");
+    inbox = hub_->shm->alltoallv(rank_, outbox, chk);
+  } else {
+    inbox.resize(static_cast<std::size_t>(size()));
+    inbox[static_cast<std::size_t>(rank_)] =
+        outbox[static_cast<std::size_t>(rank_)];
+    for (int source = 0; source < size(); ++source) {
+      if (source == rank_) continue;
+      inbox[static_cast<std::size_t>(source)] =
+          take_blocking(source, detail::kTagAlltoall,
+                        "alltoallv: waiting for the slice from rank " +
+                            std::to_string(source));
+    }
   }
   if (!scope.outer()) {
     detail::record_collective_seconds(*hub_, "alltoallv", timer);
@@ -488,8 +576,15 @@ std::vector<double> Comm::broadcast(std::vector<double> value, int root) {
       if (dest == root) continue;
       bytes_sent_ += raw.size();
       detail::count_message(*hub_, rank_, dest, raw.size());
-      hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
-          rank_, detail::kTagBroadcast, raw);
+      if (!hub_->shm) {
+        hub_->mailboxes[static_cast<std::size_t>(dest)]->put(
+            rank_, detail::kTagBroadcast, raw);
+      }
+    }
+    if (hub_->shm) {
+      detail::BlockGuard guard(
+          chk, rank_, "broadcast(root=" + std::to_string(root) + ")");
+      hub_->shm->broadcast(rank_, root, raw, chk);
     }
     if (!scope.outer()) {
       detail::record_collective_seconds(*hub_, "broadcast", timer);
@@ -499,9 +594,17 @@ std::vector<double> Comm::broadcast(std::vector<double> value, int root) {
     }
     return value;
   }
-  Bytes raw = take_blocking(root, detail::kTagBroadcast,
-                            "broadcast: waiting for root " +
-                                std::to_string(root));
+  Bytes raw;
+  if (hub_->shm) {
+    detail::BlockGuard guard(chk, rank_,
+                             "broadcast: waiting for root " +
+                                 std::to_string(root));
+    raw = hub_->shm->broadcast(rank_, root, Bytes{}, chk);
+  } else {
+    raw = take_blocking(root, detail::kTagBroadcast,
+                        "broadcast: waiting for root " +
+                            std::to_string(root));
+  }
   std::vector<double> out(raw.size() / sizeof(double));
   std::memcpy(out.data(), raw.data(), raw.size());
   if (!scope.outer()) {
@@ -518,6 +621,26 @@ std::int64_t Comm::broadcast(std::int64_t value, int root) {
   return static_cast<std::int64_t>(v[0]);
 }
 
+namespace {
+
+/// EPI_MPILITE_BACKEND: unset/empty/"thread" -> thread backend,
+/// "shm" -> forked processes over shared memory; anything else throws so
+/// a typo cannot silently run the wrong transport.
+bool shm_backend_selected() {
+  const char* backend = env_raw("EPI_MPILITE_BACKEND");
+  if (backend == nullptr || backend[0] == '\0') return false;
+  const std::string_view value(backend);
+  if (value == "thread") return false;
+  if (value == "shm") return true;
+  EPI_REQUIRE(false, "EPI_MPILITE_BACKEND='"
+                         << backend
+                         << "' is not a known transport; use 'thread' "
+                            "(default) or 'shm'");
+  return false;
+}
+
+}  // namespace
+
 /// Shared SPMD driver. With `check_options` set, the group runs under the
 /// CommChecker and the collected reports are returned; without it the
 /// behaviour (and cost) is exactly the unchecked seed path.
@@ -525,6 +648,9 @@ std::vector<CheckReport> Runtime::run_impl(
     int num_ranks, const std::function<void(Comm&)>& body,
     const CheckOptions* check_options, const ObsHooks& obs) {
   EPI_REQUIRE(num_ranks > 0, "mpilite needs at least one rank");
+  if (shm_backend_selected()) {
+    return run_shm_impl(num_ranks, body, check_options, obs);
+  }
   auto hub = std::make_shared<detail::Hub>(num_ranks);
   hub->obs = obs;
   for (auto& mailbox : hub->mailboxes) mailbox->set_abort_flag(&hub->aborted);
@@ -558,41 +684,7 @@ std::vector<CheckReport> Runtime::run_impl(
     });
   }
   for (auto& thread : threads) thread.join();
-  // Every rank thread is done; the orchestration thread owns the (not
-  // thread-safe) TraceRecorder again, so the flow buffer can drain.
-  detail::flush_flows(*hub);
-
-  std::vector<CheckReport> reports;
-  if (chk != nullptr) {
-    chk->stop_watchdog();
-    using Shutdown = detail::CommChecker::Shutdown;
-    Shutdown shutdown = Shutdown::kClean;
-    if (chk->deadlock_fired()) {
-      shutdown = Shutdown::kDeadlock;
-    } else if (hub->aborted.load()) {
-      shutdown = Shutdown::kAborted;
-    }
-    reports = chk->finalize(shutdown);
-  }
-
-  for (const auto& error : errors) {
-    if (!error) continue;
-    if (chk != nullptr) {
-      // Under the checker, CheckError is already materialized as a report
-      // and AbortedError is a secondary casualty of the group abort; the
-      // reports (or another rank's genuine exception) carry the diagnosis.
-      try {
-        std::rethrow_exception(error);
-      } catch (const CheckError&) {
-      } catch (const AbortedError&) {
-      } catch (...) {
-        throw;
-      }
-    } else {
-      std::rethrow_exception(error);
-    }
-  }
-  return reports;
+  return detail::finish_run(*hub, chk, errors);
 }
 
 void Runtime::run(int num_ranks, const std::function<void(Comm&)>& body) {
@@ -606,11 +698,8 @@ void Runtime::run(int num_ranks, const std::function<void(Comm&)>& body,
     return;
   }
   CheckOptions options;
-  if (const char* timeout = env_raw("EPI_MPILITE_CHECK_TIMEOUT_S")) {
-    char* end = nullptr;
-    const double parsed = std::strtod(timeout, &end);
-    if (end != timeout && parsed > 0.0) options.deadlock_timeout_s = parsed;
-  }
+  options.deadlock_timeout_s = env_positive_real("EPI_MPILITE_CHECK_TIMEOUT_S",
+                                                 options.deadlock_timeout_s);
   const std::vector<CheckReport> reports =
       run_impl(num_ranks, body, &options, obs);
   if (!reports.empty()) {

@@ -61,6 +61,14 @@ struct ObsHooks {
   obs::TraceRecorder* trace = nullptr;
 };
 
+/// Which transport carries a communicator group. The thread backend is the
+/// default and the byte-identity reference; the shm backend runs ranks as
+/// forked processes over a POSIX shared-memory segment (select it with
+/// EPI_MPILITE_BACKEND=shm). Simulator code only needs this to decide
+/// whether rank-local results must be gathered to rank 0 explicitly —
+/// under threads they share an address space, under processes they do not.
+enum class BackendKind { kThread, kShm };
+
 /// Thrown on ranks woken by a group abort: another rank failed, or the
 /// CommChecker's deadlock watchdog fired. Secondary by construction — the
 /// primary cause is the first rank's exception or the checker report.
@@ -123,6 +131,16 @@ class Comm {
  public:
   int rank() const { return rank_; }
   int size() const;
+
+  /// The transport carrying this group (see BackendKind).
+  BackendKind backend() const;
+
+  /// This group's metrics sink, or null when none is attached. Under the
+  /// shm backend each forked rank swaps in a process-local registry whose
+  /// state is merged into the real one after the run, so rank bodies must
+  /// reach the registry through here rather than capture a pointer from
+  /// the launching process.
+  obs::MetricsRegistry* metrics() const;
 
   // --- Point-to-point (blocking, buffered) ------------------------------
 
@@ -225,10 +243,16 @@ class Comm {
   Bytes take_blocking(int source, int tag, const std::string& what);
   Bytes allgatherv_bytes(Bytes mine);
   std::vector<Bytes> alltoallv_bytes(const std::vector<Bytes>& outbox);
+  Bytes shm_take(int source, int tag);
 
   std::shared_ptr<detail::Hub> hub_;
   int rank_;
   std::uint64_t bytes_sent_ = 0;
+  // shm backend only: messages popped off a ring while waiting for a
+  // different tag, parked here keyed by (source, tag). Per-key FIFO order
+  // is preserved because the ring itself is FIFO per route and this rank
+  // is the route's only consumer.
+  std::map<std::pair<int, int>, std::deque<Bytes>> shm_stash_;
   // True while inside a top-level collective, so collectives implemented
   // in terms of other collectives (allreduce over allgatherv) record one
   // history entry, not two. Per-rank state; never shared across threads.
@@ -267,6 +291,14 @@ class Runtime {
                                            const std::function<void(Comm&)>& body,
                                            const CheckOptions* check_options,
                                            const ObsHooks& obs = {});
+
+  /// The shm-backend launcher (shm.cpp): forks one process per rank over
+  /// a shared segment, runs rank 0 on the calling thread, and merges each
+  /// child's shipped state (checker, flow records, metrics) before the
+  /// shared finalize path.
+  static std::vector<CheckReport> run_shm_impl(
+      int num_ranks, const std::function<void(Comm&)>& body,
+      const CheckOptions* check_options, const ObsHooks& obs);
 };
 
 }  // namespace epi::mpilite

@@ -2,12 +2,78 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
 #include "util/error.hpp"
 
 namespace epi::obs {
+
+namespace {
+
+// Blob helpers for serialize_state/merge_state: a private same-machine
+// parent<->child payload, so plain little-endian scalar dumps with
+// bit-exact doubles (memcpy through u64) are all that is needed.
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_f64(std::vector<std::byte>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_str(std::vector<std::byte>& out, const std::string& s) {
+  put_u64(out, s.size());
+  for (const char c : s) out.push_back(static_cast<std::byte>(c));
+}
+
+class StateReader {
+ public:
+  explicit StateReader(const std::vector<std::byte>& blob) : blob_(blob) {}
+
+  std::uint64_t u64() {
+    EPI_REQUIRE(pos_ + 8 <= blob_.size(), "truncated metrics state blob");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(blob_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string str() {
+    const std::uint64_t len = u64();
+    EPI_REQUIRE(pos_ + len <= blob_.size(), "truncated metrics state blob");
+    std::string s(len, '\0');
+    for (std::uint64_t i = 0; i < len; ++i) {
+      s[i] = static_cast<char>(blob_[pos_ + i]);
+    }
+    pos_ += len;
+    return s;
+  }
+
+  bool done() const { return pos_ == blob_.size(); }
+
+ private:
+  const std::vector<std::byte>& blob_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
 
 const std::vector<double>& MetricsRegistry::default_bounds() {
   static const std::vector<double> bounds = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
@@ -98,6 +164,98 @@ std::uint64_t MetricsRegistry::histogram_count(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? 0 : it->second.count;
+}
+
+std::vector<std::byte> MetricsRegistry::serialize_state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::byte> out;
+  put_u64(out, counters_.size());
+  for (const auto& [name, value] : counters_) {
+    put_str(out, name);
+    put_u64(out, value);
+  }
+  put_u64(out, gauges_.size());
+  for (const auto& [name, value] : gauges_) {
+    put_str(out, name);
+    put_f64(out, value);
+  }
+  put_u64(out, histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    put_str(out, name);
+    put_u64(out, histogram.bounds.size());
+    for (const double bound : histogram.bounds) put_f64(out, bound);
+    put_u64(out, histogram.counts.size());
+    for (const std::uint64_t count : histogram.counts) put_u64(out, count);
+    put_u64(out, histogram.count);
+    put_u64(out, histogram.underflow);
+    put_f64(out, histogram.sum);
+    put_f64(out, histogram.min);
+    put_f64(out, histogram.max);
+  }
+  return out;
+}
+
+void MetricsRegistry::merge_state(const std::vector<std::byte>& blob) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StateReader in(blob);
+
+  const std::uint64_t n_counters = in.u64();
+  for (std::uint64_t i = 0; i < n_counters; ++i) {
+    const std::string name = in.str();
+    counters_[name] += in.u64();
+  }
+
+  const std::uint64_t n_gauges = in.u64();
+  for (std::uint64_t i = 0; i < n_gauges; ++i) {
+    const std::string name = in.str();
+    const double value = in.f64();
+    const auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      gauges_.emplace(name, value);
+    } else {
+      it->second = std::max(it->second, value);
+    }
+  }
+
+  const std::uint64_t n_histograms = in.u64();
+  for (std::uint64_t i = 0; i < n_histograms; ++i) {
+    const std::string name = in.str();
+    Histogram incoming;
+    const std::uint64_t n_bounds = in.u64();
+    incoming.bounds.resize(n_bounds);
+    for (auto& bound : incoming.bounds) bound = in.f64();
+    const std::uint64_t n_counts = in.u64();
+    incoming.counts.resize(n_counts);
+    for (auto& count : incoming.counts) count = in.u64();
+    incoming.count = in.u64();
+    incoming.underflow = in.u64();
+    incoming.sum = in.f64();
+    incoming.min = in.f64();
+    incoming.max = in.f64();
+
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, std::move(incoming));
+      continue;
+    }
+    Histogram& mine = it->second;
+    EPI_REQUIRE(mine.bounds == incoming.bounds,
+                "histogram '" << name
+                              << "' merged with different bucket bounds");
+    for (std::size_t b = 0; b < mine.counts.size(); ++b) {
+      mine.counts[b] += incoming.counts[b];
+    }
+    if (incoming.count > 0) {
+      mine.min = mine.count > 0 ? std::min(mine.min, incoming.min)
+                                : incoming.min;
+      mine.max = mine.count > 0 ? std::max(mine.max, incoming.max)
+                                : incoming.max;
+    }
+    mine.count += incoming.count;
+    mine.underflow += incoming.underflow;
+    mine.sum += incoming.sum;
+  }
+  EPI_REQUIRE(in.done(), "trailing bytes in metrics state blob");
 }
 
 Json MetricsRegistry::snapshot() const {

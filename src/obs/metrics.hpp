@@ -13,6 +13,7 @@
 // locks, no allocations.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -49,6 +50,21 @@ class MetricsRegistry {
   std::uint64_t counter(const std::string& name) const;
   double gauge(const std::string& name) const;
   std::uint64_t histogram_count(const std::string& name) const;
+
+  // --- Cross-process state shipping (mpilite shm backend) ----------------
+
+  /// Serializes the full registry state into a private binary blob. Doubles
+  /// are shipped bit-exact (memcpy, not text), so merging a child process's
+  /// registry reproduces the values the thread backend would have
+  /// accumulated in-process — a precondition for byte-identical metrics
+  /// files across backends under deterministic timing.
+  std::vector<std::byte> serialize_state() const;
+
+  /// Merges a serialize_state() blob into this registry: counters add,
+  /// gauges keep the maximum (the only cross-rank gauge semantics mpilite
+  /// uses is high-water), histograms with identical bounds add bucket-wise.
+  /// Call once per child, in rank order, for deterministic results.
+  void merge_state(const std::vector<std::byte>& blob);
 
   // --- Export ------------------------------------------------------------
 

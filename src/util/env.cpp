@@ -62,4 +62,46 @@ std::size_t env_positive_size(const char* name, std::size_t fallback) {
   return *parsed;
 }
 
+std::optional<double> parse_positive_real(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  // Hand-rolled so the grammar stays as strict as parse_positive_size:
+  // strtod would accept "1e3", " 2", "0x1p2", "inf" — all misconfiguration
+  // more likely than intent for a seconds knob.
+  double value = 0.0;
+  std::size_t i = 0;
+  bool any_int_digit = false;
+  for (; i < text.size() && text[i] >= '0' && text[i] <= '9'; ++i) {
+    value = value * 10.0 + static_cast<double>(text[i] - '0');
+    any_int_digit = true;
+  }
+  if (!any_int_digit) return std::nullopt;
+  if (i < text.size()) {
+    if (text[i] != '.') return std::nullopt;
+    ++i;
+    if (i == text.size()) return std::nullopt;  // trailing dot: "3."
+    double scale = 0.1;
+    for (; i < text.size(); ++i) {
+      if (text[i] < '0' || text[i] > '9') return std::nullopt;
+      value += static_cast<double>(text[i] - '0') * scale;
+      scale *= 0.1;
+    }
+  }
+  if (!(value > 0.0) || value > std::numeric_limits<double>::max()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+double env_positive_real(const char* name, double fallback) {
+  const char* env = env_raw(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  const std::optional<double> parsed = parse_positive_real(env);
+  EPI_REQUIRE(parsed.has_value(),
+              name << "='" << env
+                   << "' is not a positive decimal number; unset the "
+                      "variable for the default ("
+                   << fallback << ") or pass e.g. '2' or '0.25'");
+  return *parsed;
+}
+
 }  // namespace epi

@@ -56,6 +56,10 @@ inline constexpr EnvVarInfo kEnvRegistry[] = {
      "path)"},
     {"EPI_LOG_LEVEL",
      "logger threshold: debug, info, warn (default), error, or off"},
+    {"EPI_MPILITE_BACKEND",
+     "mpilite rank transport: thread (default; ranks as threads in one "
+     "process) or shm (forked processes over a POSIX shared-memory "
+     "segment)"},
     {"EPI_MPILITE_CHECK",
      "any value but 0 runs mpilite under the communication checker; "
      "reports become errors at finalize"},
@@ -100,5 +104,16 @@ std::optional<std::size_t> parse_positive_size(std::string_view text);
 /// "EPI_JOBS='banana' ..." — so misconfigured runs die at startup rather
 /// than silently running with a default.
 std::size_t env_positive_size(const char* name, std::size_t fallback);
+
+/// Parses `text` as a strictly positive decimal real: digits with an
+/// optional single '.' fraction (no sign, no whitespace, no exponent, no
+/// hex). Returns nullopt when malformed, zero, or not finite.
+std::optional<double> parse_positive_real(std::string_view text);
+
+/// Reads environment variable `name` as a positive real (seconds-style
+/// knobs such as EPI_MPILITE_CHECK_TIMEOUT_S). Unset or empty returns
+/// `fallback`; anything else must satisfy parse_positive_real() or an
+/// epi::Error is thrown naming the variable and the offending text.
+double env_positive_real(const char* name, double fallback);
 
 }  // namespace epi

@@ -1,27 +1,80 @@
+// Core mpilite semantics. These tests are backend-agnostic: the proc CI
+// lane re-runs this binary under EPI_MPILITE_BACKEND=shm, where every rank
+// above 0 is a forked process. Two consequences shape the style here:
+//
+//   * gtest EXPECT_* inside a rank body is invisible from a child process,
+//     so rank bodies assert by throwing (require below) — the exception
+//     ships back through the launcher and fails the test there;
+//   * ranks share no address space, so cross-rank observations travel
+//     through the communicator (allgatherv) instead of captured variables.
 #include "mpilite/comm.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <sstream>
+#include <string>
 
 namespace epi::mpilite {
 namespace {
 
+void require(bool condition, const std::string& what) {
+  if (!condition) throw Error("rank assertion failed: " + what);
+}
+
+template <typename T>
+void require_eq(const T& actual, const T& expected, const std::string& what) {
+  if (actual == expected) return;
+  std::ostringstream oss;
+  oss << "rank assertion failed: " << what;
+  if constexpr (std::is_arithmetic_v<T>) {
+    oss << " (actual " << actual << ", expected " << expected << ")";
+  }
+  throw Error(oss.str());
+}
+
+/// Pins the thread backend for one test (saving/restoring the variable), for
+/// the few tests whose mechanism is inherently single-process.
+class ThreadBackendGuard {
+ public:
+  ThreadBackendGuard() {
+    const char* current = std::getenv("EPI_MPILITE_BACKEND");
+    if (current != nullptr) saved_ = current;
+    had_value_ = current != nullptr;
+    setenv("EPI_MPILITE_BACKEND", "thread", 1);
+  }
+  ~ThreadBackendGuard() {
+    if (had_value_) {
+      setenv("EPI_MPILITE_BACKEND", saved_.c_str(), 1);
+    } else {
+      unsetenv("EPI_MPILITE_BACKEND");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
 TEST(Mpilite, SingleRankRuns) {
   std::atomic<int> calls{0};
+  // A 1-rank group always runs rank 0 on the calling thread (both
+  // backends), so the captured counter is observable.
   Runtime::run(1, [&](Comm& comm) {
-    EXPECT_EQ(comm.rank(), 0);
-    EXPECT_EQ(comm.size(), 1);
+    require_eq(comm.rank(), 0, "rank of a singleton group");
+    require_eq(comm.size(), 1, "size of a singleton group");
     ++calls;
   });
   EXPECT_EQ(calls.load(), 1);
 }
 
 TEST(Mpilite, RanksGetDistinctIds) {
-  std::vector<int> seen(4, -1);
-  Runtime::run(4, [&](Comm& comm) { seen[comm.rank()] = comm.rank(); });
-  for (int r = 0; r < 4; ++r) EXPECT_EQ(seen[r], r);
+  Runtime::run(4, [](Comm& comm) {
+    const auto all = comm.allgatherv(std::vector<int>{comm.rank()});
+    require_eq(all, std::vector<int>{0, 1, 2, 3}, "gathered rank ids");
+  });
 }
 
 TEST(Mpilite, PointToPointDelivers) {
@@ -29,8 +82,8 @@ TEST(Mpilite, PointToPointDelivers) {
     if (comm.rank() == 0) {
       comm.send<int>(1, 5, std::vector<int>{1, 2, 3});
     } else {
-      const auto received = comm.recv<int>(0, 5);
-      EXPECT_EQ(received, (std::vector<int>{1, 2, 3}));
+      require_eq(comm.recv<int>(0, 5), std::vector<int>{1, 2, 3},
+                 "received payload");
     }
   });
 }
@@ -43,7 +96,7 @@ TEST(Mpilite, MessagesNonOvertakingPerTag) {
       }
     } else {
       for (int i = 0; i < 20; ++i) {
-        EXPECT_EQ(comm.recv<int>(0, 7)[0], i);
+        require_eq(comm.recv<int>(0, 7)[0], i, "FIFO order per tag");
       }
     }
   });
@@ -56,8 +109,8 @@ TEST(Mpilite, TagsKeepStreamsSeparate) {
       comm.send<int>(1, 2, std::vector<int>{222});
     } else {
       // Receive in reverse tag order: must still match by tag.
-      EXPECT_EQ(comm.recv<int>(0, 2)[0], 222);
-      EXPECT_EQ(comm.recv<int>(0, 1)[0], 111);
+      require_eq(comm.recv<int>(0, 2)[0], 222, "tag-2 payload");
+      require_eq(comm.recv<int>(0, 1)[0], 111, "tag-1 payload");
     }
   });
 }
@@ -67,12 +120,16 @@ TEST(Mpilite, EmptyMessageDelivered) {
     if (comm.rank() == 0) {
       comm.send<double>(1, 3, std::vector<double>{});
     } else {
-      EXPECT_TRUE(comm.recv<double>(0, 3).empty());
+      require(comm.recv<double>(0, 3).empty(), "empty payload delivered");
     }
   });
 }
 
 TEST(Mpilite, BarrierSynchronizes) {
+  // Observes the barrier through a shared atomic, which only exists with
+  // ranks as threads; the shm barrier is covered by the cross-backend
+  // identity and stress tests (test_mpilite_shm.cpp).
+  ThreadBackendGuard thread_backend;
   std::atomic<int> before{0};
   std::atomic<bool> violated{false};
   Runtime::run(4, [&](Comm& comm) {
@@ -88,23 +145,25 @@ TEST(Mpilite, AllreduceSum) {
   Runtime::run(3, [](Comm& comm) {
     const double result = comm.allreduce(static_cast<double>(comm.rank() + 1),
                                          ReduceOp::kSum);
-    EXPECT_DOUBLE_EQ(result, 6.0);  // 1 + 2 + 3
+    require_eq(result, 6.0, "sum allreduce");  // 1 + 2 + 3
   });
 }
 
 TEST(Mpilite, AllreduceMinMax) {
   Runtime::run(4, [](Comm& comm) {
     const double value = static_cast<double>(comm.rank());
-    EXPECT_DOUBLE_EQ(comm.allreduce(value, ReduceOp::kMin), 0.0);
-    EXPECT_DOUBLE_EQ(comm.allreduce(value, ReduceOp::kMax), 3.0);
+    require_eq(comm.allreduce(value, ReduceOp::kMin), 0.0, "min allreduce");
+    require_eq(comm.allreduce(value, ReduceOp::kMax), 3.0, "max allreduce");
   });
 }
 
 TEST(Mpilite, AllreduceLogicalOr) {
   Runtime::run(3, [](Comm& comm) {
     const double mine = comm.rank() == 1 ? 1.0 : 0.0;
-    EXPECT_DOUBLE_EQ(comm.allreduce(mine, ReduceOp::kLogicalOr), 1.0);
-    EXPECT_DOUBLE_EQ(comm.allreduce(0.0, ReduceOp::kLogicalOr), 0.0);
+    require_eq(comm.allreduce(mine, ReduceOp::kLogicalOr), 1.0,
+               "logical-or with one contributor");
+    require_eq(comm.allreduce(0.0, ReduceOp::kLogicalOr), 0.0,
+               "logical-or with no contributor");
   });
 }
 
@@ -113,8 +172,8 @@ TEST(Mpilite, AllreduceVectorElementwise) {
     const std::vector<double> mine = {static_cast<double>(comm.rank()), 10.0};
     const auto out = comm.allreduce(std::span<const double>(mine),
                                     ReduceOp::kSum);
-    EXPECT_DOUBLE_EQ(out[0], 1.0);
-    EXPECT_DOUBLE_EQ(out[1], 20.0);
+    require_eq(out[0], 1.0, "element 0 of vector allreduce");
+    require_eq(out[1], 20.0, "element 1 of vector allreduce");
   });
 }
 
@@ -124,22 +183,24 @@ TEST(Mpilite, AllreduceInt64ExactBeyondDoublePrecision) {
   constexpr std::int64_t big = (std::int64_t{1} << 53) + 1;
   Runtime::run(3, [](Comm& comm) {
     const std::int64_t sum = comm.allreduce(big, ReduceOp::kSum);
-    EXPECT_EQ(sum, 3 * big);  // 3*2^53 + 3, off by 1+ if rounded
+    require_eq(sum, 3 * big, "exact int64 sum");  // off by 1+ if rounded
     const std::vector<std::int64_t> mine = {
         big + comm.rank(), -static_cast<std::int64_t>(comm.rank()),
         comm.rank() == 2 ? std::int64_t{1} : std::int64_t{0}};
     const auto out =
         comm.allreduce(std::span<const std::int64_t>(mine), ReduceOp::kSum);
-    EXPECT_EQ(out[0], 3 * big + 3);
-    EXPECT_EQ(out[1], -3);
-    EXPECT_EQ(out[2], 1);
-    EXPECT_EQ(comm.allreduce(std::int64_t{comm.rank()} - 1, ReduceOp::kMin),
-              -1);
-    EXPECT_EQ(comm.allreduce(big + comm.rank(), ReduceOp::kMax), big + 2);
-    EXPECT_EQ(comm.allreduce(std::int64_t{0}, ReduceOp::kLogicalOr), 0);
-    EXPECT_EQ(comm.allreduce(std::int64_t{comm.rank() == 1 ? 7 : 0},
-                             ReduceOp::kLogicalOr),
-              1);
+    require_eq(out[0], 3 * big + 3, "element 0 of int64 vector allreduce");
+    require_eq(out[1], std::int64_t{-3}, "element 1 of int64 vector allreduce");
+    require_eq(out[2], std::int64_t{1}, "element 2 of int64 vector allreduce");
+    require_eq(comm.allreduce(std::int64_t{comm.rank()} - 1, ReduceOp::kMin),
+               std::int64_t{-1}, "int64 min");
+    require_eq(comm.allreduce(big + comm.rank(), ReduceOp::kMax), big + 2,
+               "int64 max");
+    require_eq(comm.allreduce(std::int64_t{0}, ReduceOp::kLogicalOr),
+               std::int64_t{0}, "int64 logical-or of zeros");
+    require_eq(comm.allreduce(std::int64_t{comm.rank() == 1 ? 7 : 0},
+                              ReduceOp::kLogicalOr),
+               std::int64_t{1}, "int64 logical-or with one contributor");
   });
 }
 
@@ -149,8 +210,8 @@ TEST(Mpilite, AllgathervConcatenatesInRankOrder) {
     std::vector<int> mine(static_cast<std::size_t>(comm.rank() + 1),
                           comm.rank());
     const auto all = comm.allgatherv(mine);
-    const std::vector<int> expected = {0, 1, 1, 2, 2, 2};
-    EXPECT_EQ(all, expected);
+    require_eq(all, std::vector<int>{0, 1, 1, 2, 2, 2},
+               "rank-ordered concatenation");
   });
 }
 
@@ -162,8 +223,8 @@ TEST(Mpilite, AlltoallvRoutesPersonalizedMessages) {
     }
     const auto inbox = comm.alltoallv(outbox);
     for (int src = 0; src < 3; ++src) {
-      ASSERT_EQ(inbox[src].size(), 1u);
-      EXPECT_EQ(inbox[src][0], src * 10 + comm.rank());
+      require_eq(inbox[src].size(), std::size_t{1}, "inbox slice size");
+      require_eq(inbox[src][0], src * 10 + comm.rank(), "routed payload");
     }
   });
 }
@@ -174,9 +235,9 @@ TEST(Mpilite, BroadcastFromEveryRoot) {
       std::vector<double> value;
       if (comm.rank() == root) value = {42.0, static_cast<double>(root)};
       const auto out = comm.broadcast(value, root);
-      ASSERT_EQ(out.size(), 2u);
-      EXPECT_DOUBLE_EQ(out[0], 42.0);
-      EXPECT_DOUBLE_EQ(out[1], static_cast<double>(root));
+      require_eq(out.size(), std::size_t{2}, "broadcast payload size");
+      require_eq(out[0], 42.0, "broadcast element 0");
+      require_eq(out[1], static_cast<double>(root), "broadcast element 1");
     });
   }
 }
@@ -199,10 +260,10 @@ TEST(Mpilite, BytesSentAccounted) {
   Runtime::run(2, [](Comm& comm) {
     if (comm.rank() == 0) {
       comm.send<std::uint64_t>(1, 0, std::vector<std::uint64_t>{1, 2, 3, 4});
-      EXPECT_EQ(comm.bytes_sent(), 32u);
+      require_eq(comm.bytes_sent(), std::uint64_t{32}, "sender accounting");
     } else {
       comm.recv<std::uint64_t>(0, 0);
-      EXPECT_EQ(comm.bytes_sent(), 0u);
+      require_eq(comm.bytes_sent(), std::uint64_t{0}, "receiver accounting");
     }
   });
 }
@@ -210,8 +271,20 @@ TEST(Mpilite, BytesSentAccounted) {
 TEST(Mpilite, InvalidRankOrTagThrows) {
   Runtime::run(2, [](Comm& comm) {
     if (comm.rank() == 0) {
-      EXPECT_THROW(comm.send<int>(5, 0, std::vector<int>{1}), Error);
-      EXPECT_THROW(comm.send<int>(1, -1, std::vector<int>{1}), Error);
+      bool threw = false;
+      try {
+        comm.send<int>(5, 0, std::vector<int>{1});
+      } catch (const Error&) {
+        threw = true;
+      }
+      require(threw, "send to out-of-range rank must throw");
+      threw = false;
+      try {
+        comm.send<int>(1, -1, std::vector<int>{1});
+      } catch (const Error&) {
+        threw = true;
+      }
+      require(threw, "send with negative tag must throw");
       comm.send<int>(1, 0, std::vector<int>{1});
     } else {
       comm.recv<int>(0, 0);
@@ -220,12 +293,12 @@ TEST(Mpilite, InvalidRankOrTagThrows) {
 }
 
 TEST(Mpilite, ManyRanksStress) {
-  // Ring pass with 16 ranks exercises mailbox contention.
+  // Ring pass with 16 ranks exercises mailbox (or shm ring) contention.
   Runtime::run(16, [](Comm& comm) {
     const int next = (comm.rank() + 1) % comm.size();
     const int prev = (comm.rank() + comm.size() - 1) % comm.size();
     comm.send<int>(next, 9, std::vector<int>{comm.rank()});
-    EXPECT_EQ(comm.recv<int>(prev, 9)[0], prev);
+    require_eq(comm.recv<int>(prev, 9)[0], prev, "ring neighbour payload");
   });
 }
 

@@ -183,8 +183,10 @@ TEST(MpiliteCheck, SlowRankIsNotADeadlock) {
         if (comm.rank() == 0) {
           std::this_thread::sleep_for(std::chrono::milliseconds(400));
           comm.send<int>(1, 0, std::vector<int>{42});
-        } else {
-          EXPECT_EQ(comm.recv<int>(0, 0)[0], 42);
+        } else if (comm.recv<int>(0, 0)[0] != 42) {
+          // Throwing, not EXPECT: rank 1 may be a forked process (shm
+          // backend), where a gtest failure would be invisible.
+          throw Error("late message corrupted");
         }
       },
       options);
@@ -280,29 +282,30 @@ std::vector<double> exercise_everything(Comm& comm) {
 }
 
 TEST(MpiliteCheck, CleanRunZeroReportsAndByteIdenticalResults) {
+  // Every rank's digest is gathered through the communicator: captured
+  // per-rank vectors would silently stay empty for forked ranks under the
+  // shm backend, and rank 0's body runs on the launching thread in both
+  // backends, so its captures are always observable.
   constexpr int kRanks = 4;
-  std::vector<std::vector<double>> unchecked(kRanks);
+  std::vector<double> unchecked;
   Runtime::run(kRanks, [&](Comm& comm) {
-    unchecked[static_cast<std::size_t>(comm.rank())] =
-        exercise_everything(comm);
+    const auto all = comm.allgatherv(exercise_everything(comm));
+    if (comm.rank() == 0) unchecked = all;
   });
 
-  std::vector<std::vector<double>> checked(kRanks);
+  std::vector<double> checked;
   const auto reports = Runtime::run_checked(kRanks, [&](Comm& comm) {
-    checked[static_cast<std::size_t>(comm.rank())] =
-        exercise_everything(comm);
+    const auto all = comm.allgatherv(exercise_everything(comm));
+    if (comm.rank() == 0) checked = all;
   });
 
   EXPECT_TRUE(reports.empty()) << format_reports(reports);
-  for (int r = 0; r < kRanks; ++r) {
-    ASSERT_EQ(checked[r].size(), unchecked[r].size());
-    for (std::size_t i = 0; i < checked[r].size(); ++i) {
-      // Byte-identical, not just approximately equal.
-      EXPECT_EQ(std::memcmp(&checked[r][i], &unchecked[r][i],
-                            sizeof(double)),
-                0)
-          << "rank " << r << " element " << i;
-    }
+  ASSERT_FALSE(unchecked.empty());
+  ASSERT_EQ(checked.size(), unchecked.size());
+  for (std::size_t i = 0; i < checked.size(); ++i) {
+    // Byte-identical, not just approximately equal.
+    EXPECT_EQ(std::memcmp(&checked[i], &unchecked[i], sizeof(double)), 0)
+        << "element " << i;
   }
 }
 

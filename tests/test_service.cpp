@@ -82,6 +82,43 @@ TEST(EnvParse, RegistryGatesEpiPrefixedNames) {
   }
 }
 
+TEST(EnvParse, PositiveRealGrammar) {
+  EXPECT_EQ(parse_positive_real("2"), 2.0);
+  EXPECT_EQ(parse_positive_real("0.25"), 0.25);
+  EXPECT_EQ(parse_positive_real("12.5"), 12.5);
+  for (const char* bad :
+       {"", "0", "0.0", "-1", "+1", " 2", "2 ", "1e3", "0x1p2", "inf", "nan",
+        "3.", ".5", "1.2.3", "2s", "banana"}) {
+    EXPECT_FALSE(parse_positive_real(bad).has_value()) << "input: " << bad;
+  }
+}
+
+TEST(EnvParse, CheckTimeoutRejectsMalformedZeroAndNegative) {
+  // The watchdog-patience knob must die loudly on misconfiguration: a
+  // malformed timeout silently falling back would either mask deadlocks
+  // (too large) or flag healthy slow ranks (too small).
+  const char* kVar = "EPI_MPILITE_CHECK_TIMEOUT_S";
+  ::unsetenv(kVar);
+  EXPECT_EQ(env_positive_real(kVar, 30.0), 30.0);
+  ::setenv(kVar, "", 1);
+  EXPECT_EQ(env_positive_real(kVar, 30.0), 30.0);
+  ::setenv(kVar, "0.5", 1);
+  EXPECT_EQ(env_positive_real(kVar, 30.0), 0.5);
+  for (const char* bad : {"banana", "0", "-2", "1e3", " 2"}) {
+    ::setenv(kVar, bad, 1);
+    try {
+      (void)env_positive_real(kVar, 30.0);
+      FAIL() << "value '" << bad << "' should throw";
+    } catch (const Error& e) {
+      // The message must name the variable and the offending text.
+      EXPECT_NE(std::string(e.what()).find(kVar), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(bad), std::string::npos) << e.what();
+    }
+  }
+  ::unsetenv(kVar);
+}
+
 TEST(EnvParse, FlagSemantics) {
   ::unsetenv("EPI_MPILITE_CHECK");
   EXPECT_FALSE(env_flag("EPI_MPILITE_CHECK"));
